@@ -1,0 +1,94 @@
+//! Criterion benches for the FHE primitives behind Table II's latency
+//! column and the paper's client-side cost claims.
+//!
+//! Covers: CKKS encrypt/decrypt/add/plaintext-multiply at the paper
+//! parameter sets, the NTT kernel across ring degrees, LWE operations,
+//! and Paillier encrypt/decrypt (the PFMLP baseline's bottleneck).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, SeedableRng};
+
+use rhychee_fhe::ckks::{ntt::NttTable, CkksContext};
+use rhychee_fhe::lwe::LweContext;
+use rhychee_fhe::paillier::PaillierContext;
+use rhychee_fhe::params::{CkksParams, LweParams};
+
+fn bench_ckks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckks");
+    group.sample_size(10);
+    for (name, params) in [("ckks3", CkksParams::ckks3()), ("ckks4", CkksParams::ckks4())] {
+        let ctx = CkksContext::new(params).expect("params");
+        let mut rng = StdRng::seed_from_u64(1);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let values: Vec<f64> = (0..ctx.slot_count()).map(|i| (i % 100) as f64 / 100.0).collect();
+        let ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+        let ct2 = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+
+        group.bench_function(BenchmarkId::new("encrypt_full_ct", name), |b| {
+            b.iter(|| ctx.encrypt(&pk, &values, &mut rng).expect("encrypt"))
+        });
+        group.bench_function(BenchmarkId::new("decrypt_full_ct", name), |b| {
+            b.iter(|| ctx.decrypt(&sk, &ct))
+        });
+        group.bench_function(BenchmarkId::new("hom_add", name), |b| {
+            b.iter(|| ctx.add(&ct, &ct2).expect("add"))
+        });
+        group.bench_function(BenchmarkId::new("mul_scalar", name), |b| {
+            b.iter(|| ctx.mul_scalar(&ct, 0.1))
+        });
+        group.bench_function(BenchmarkId::new("serialize", name), |b| {
+            b.iter(|| ctx.serialize(&ct))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [12u32, 13, 15] {
+        let n = 1usize << log_n;
+        let q = rhychee_fhe::ckks::modarith::find_ntt_primes(50, 1, 2 * n as u64)[0];
+        let table = NttTable::new(n, q);
+        let mut rng = StdRng::seed_from_u64(2);
+        let data: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..q)).collect();
+        group.bench_function(BenchmarkId::new("forward", n), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| table.forward(&mut d),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_lwe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lwe");
+    let ctx = LweContext::new(LweParams::tfhe1()).expect("params");
+    let mut rng = StdRng::seed_from_u64(3);
+    let sk = ctx.generate_key(&mut rng);
+    let ct = ctx.encrypt(&sk, 3, &mut rng).expect("encrypt");
+    let ct2 = ctx.encrypt(&sk, 5, &mut rng).expect("encrypt");
+    group.bench_function("encrypt", |b| b.iter(|| ctx.encrypt(&sk, 3, &mut rng).expect("encrypt")));
+    group.bench_function("decrypt", |b| b.iter(|| ctx.decrypt(&sk, &ct)));
+    group.bench_function("hom_add", |b| b.iter(|| ctx.add(&ct, &ct2).expect("add")));
+    group.finish();
+}
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    group.sample_size(10);
+    // 1024-bit keys keep the bench fast; the 2048-bit production point is
+    // measured by the table2 binary.
+    let mut rng = StdRng::seed_from_u64(4);
+    let ctx = PaillierContext::generate(&mut rng, 1024).expect("keygen");
+    let ct = ctx.encrypt_u64(42, &mut rng);
+    let ct2 = ctx.encrypt_u64(13, &mut rng);
+    group.bench_function("encrypt_1024", |b| b.iter(|| ctx.encrypt_u64(42, &mut rng)));
+    group.bench_function("decrypt_1024", |b| b.iter(|| ctx.decrypt(&ct)));
+    group.bench_function("hom_add_1024", |b| b.iter(|| ctx.add(&ct, &ct2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ckks, bench_ntt, bench_lwe, bench_paillier);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for HDC primitives: the paper's "lightweight
+//! training" claim rests on encoding and class-vector updates being
+//! orders of magnitude cheaper than CNN backpropagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder, RbfEncoder};
+use rhychee_hdc::model::{EncodedDataset, HdcModel};
+use rhychee_hdc::quantize::QuantizedModel;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    let mut rng = StdRng::seed_from_u64(1);
+    for d in [1000usize, 2000, 4000] {
+        let rbf = RbfEncoder::new(784, d, &mut rng);
+        let rp = RandomProjectionEncoder::new(561, d, &mut rng);
+        let img: Vec<f32> = (0..784).map(|i| (i % 255) as f32 / 255.0).collect();
+        let feats: Vec<f32> = (0..561).map(|i| (i as f32 * 0.01).sin()).collect();
+        group.bench_function(BenchmarkId::new("rbf_mnist", d), |b| b.iter(|| rbf.encode(&img)));
+        group.bench_function(BenchmarkId::new("proj_har", d), |b| b.iter(|| rp.encode(&feats)));
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdc_model");
+    let mut rng = StdRng::seed_from_u64(2);
+    let d = 2000;
+    let hvs: Vec<Vec<f32>> =
+        (0..200).map(|_| (0..d).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
+    let labels: Vec<usize> = (0..200).map(|i| i % 10).collect();
+    let data = EncodedDataset::new(hvs.clone(), labels);
+    let mut trained = HdcModel::new(10, d);
+    for _ in 0..2 {
+        trained.train_epoch(&data, 1.0);
+    }
+
+    group.bench_function("train_epoch_200_samples_d2000", |b| {
+        b.iter_batched(
+            || HdcModel::new(10, d),
+            |mut m| m.train_epoch(&data, 1.0),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("classify_d2000", |b| b.iter(|| trained.classify(&hvs[0])));
+    group.bench_function("quantize_8bit_d2000", |b| {
+        b.iter(|| QuantizedModel::quantize(&trained, 8))
+    });
+    group.bench_function("flatten_d2000", |b| b.iter(|| trained.flatten()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation for the paper's §V-D precision claim: *"We tested lowering
+//! the ciphertext modulus Q as low as 61 bits does not degrade the
+//! global model accuracy."*
+//!
+//! Runs the same encrypted federation through all four CKKS parameter
+//! sets (scale factors from 2^40 down to 2^26) plus the plaintext
+//! reference, and reports final accuracy and the per-round encrypt /
+//! aggregate / decrypt costs.
+//!
+//! Expected shape: accuracy is flat across parameter sets (HDC absorbs
+//! CKKS quantization noise), while CKKS-4 minimizes both bits and time.
+
+use rhychee_bench::{banner, format_bits, format_seconds, Table};
+use rhychee_core::{FlConfig, Framework};
+use rhychee_data::{DatasetKind, SyntheticConfig};
+use rhychee_fhe::params::CkksParams;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (samples, rounds, hd_dim) = if quick { (600, 3, 512) } else { (1_500, 5, 2_000) };
+
+    let data = SyntheticConfig {
+        kind: DatasetKind::Mnist,
+        train_samples: samples,
+        test_samples: samples / 4,
+    }
+    .generate(51)
+    .expect("dataset generation");
+    let config = || {
+        FlConfig::builder().clients(5).rounds(rounds).hd_dim(hd_dim).seed(19).build()
+            .expect("valid config")
+    };
+
+    banner("Ablation: CKKS scale factor / ciphertext modulus vs accuracy (S V-D)");
+    let mut table = Table::new(vec![
+        "pipeline",
+        "log Q",
+        "scale",
+        "final acc",
+        "bits/upload",
+        "enc+agg+dec per round",
+    ]);
+
+    let mut plain = Framework::hdc_plaintext(config(), &data).expect("build");
+    let plain_report = plain.run().expect("run");
+    table.row(vec![
+        "plaintext".into(),
+        "-".into(),
+        "-".into(),
+        format!("{:.4}", plain_report.final_accuracy),
+        format!("{}", plain.num_parameters() * 32),
+        "-".into(),
+    ]);
+
+    let sets = [
+        ("CKKS-1", CkksParams::ckks1()),
+        ("CKKS-2", CkksParams::ckks2()),
+        ("CKKS-3", CkksParams::ckks3()),
+        ("CKKS-4", CkksParams::ckks4()),
+    ];
+    let mut accs = Vec::new();
+    for (name, params) in sets {
+        let log_q = params.log_q();
+        let scale = format!("2^{}", params.scale_bits);
+        let mut fed = Framework::hdc_encrypted(config(), &data, params).expect("build");
+        let report = fed.run().expect("run");
+        let last = report.rounds.last().expect("rounds");
+        let crypto_time = last.encrypt_time + last.aggregate_time + last.decrypt_time;
+        accs.push(report.final_accuracy);
+        table.row(vec![
+            name.into(),
+            log_q.to_string(),
+            scale,
+            format!("{:.4}", report.final_accuracy),
+            format_bits(fed.upload_bits_per_round()),
+            format_seconds(crypto_time.as_secs_f64()),
+        ]);
+        eprintln!("  [{name}] done: acc {:.4}", report.final_accuracy);
+    }
+    table.print();
+
+    let spread = accs.iter().cloned().fold(f64::MIN, f64::max)
+        - accs.iter().cloned().fold(f64::MAX, f64::min);
+    let vs_plain = (plain_report.final_accuracy
+        - accs.iter().cloned().fold(f64::MAX, f64::min))
+    .abs();
+    println!(
+        "\naccuracy spread across CKKS sets: {spread:.4}; worst gap to plaintext: {vs_plain:.4}"
+    );
+    println!(
+        "paper claim: lowering Q to 61 bits (scale 2^26) does not degrade accuracy\n\
+         while cutting communication by 39% vs CKKS-3."
+    );
+}

@@ -1,0 +1,80 @@
+//! Regenerates **Fig. 4**: per-round communication overhead as a function
+//! of model size for every FHE parameter set, comparing the HDC model
+//! (D = 2000, 20,000 parameters) with the CNN baseline (43,484
+//! parameters).
+//!
+//! Paper claims validated here:
+//! * HDC is up to **2.2×** smaller than CNN (CKKS-4: 5 vs 11 ciphertexts);
+//! * CKKS-4 beats TFHE-1 by **21.4×** at the HDC operating point;
+//! * dropping CKKS-3 → CKKS-4 saves **39%**.
+
+use rhychee_bench::{banner, format_bits, Table};
+use rhychee_fhe::params::ParamSet;
+
+/// The model-size sweep for the figure's x-axis, plus the two operating
+/// points the paper highlights.
+const MODEL_SIZES: [u64; 10] =
+    [500, 1_000, 2_000, 4_000, 8_000, 16_000, 20_000, 32_000, 43_484, 64_000];
+
+/// HDC with D = 2000, L = 10.
+const HDC_PARAMS: u64 = 20_000;
+/// The 2-conv/2-FC CNN baseline.
+const CNN_PARAMS: u64 = 43_484;
+
+fn main() {
+    banner("Fig. 4a: Communication size vs model size (bits per upload)");
+    let sets = ParamSet::table3();
+    let mut header: Vec<String> = vec!["params".into()];
+    header.extend(sets.iter().map(|(n, _)| n.to_string()));
+    let mut table = Table::new(header);
+    for &size in &MODEL_SIZES {
+        let mut row = vec![size.to_string()];
+        for (_, set) in &sets {
+            row.push(set.comm_bits(size).to_string());
+        }
+        table.row(row);
+    }
+    table.print();
+
+    banner("Fig. 4b: The HDC vs CNN operating points");
+    let mut points = Table::new(vec!["Set", "HDC (20,000)", "CNN (43,484)", "CNN/HDC"]);
+    for (name, set) in &sets {
+        let hdc = set.comm_bits(HDC_PARAMS);
+        let cnn = set.comm_bits(CNN_PARAMS);
+        points.row(vec![
+            name.to_string(),
+            format_bits(hdc),
+            format_bits(cnn),
+            format!("{:.2}x", cnn as f64 / hdc as f64),
+        ]);
+    }
+    points.print();
+
+    banner("Paper claims (shape checks)");
+    let ckks3 = &sets[2].1;
+    let ckks4 = &sets[3].1;
+    let tfhe1 = &sets[4].1;
+    let ratio_cnn = ckks4.comm_bits(CNN_PARAMS) as f64 / ckks4.comm_bits(HDC_PARAMS) as f64;
+    println!("HDC vs CNN at CKKS-4:      {ratio_cnn:.2}x smaller   (paper: 2.2x)");
+    let ratio_tfhe = tfhe1.comm_bits(HDC_PARAMS) as f64 / ckks4.comm_bits(HDC_PARAMS) as f64;
+    println!("CKKS-4 vs TFHE-1 (HDC):    {ratio_tfhe:.1}x smaller   (paper: 21.4x)");
+    let reduction =
+        1.0 - ckks4.comm_bits(HDC_PARAMS) as f64 / ckks3.comm_bits(HDC_PARAMS) as f64;
+    println!("CKKS-3 -> CKKS-4 saving:   {:.0}%            (paper: 39%)", reduction * 100.0);
+
+    // TFHE advantage at small model sizes (paper Fig. 4b discussion).
+    banner("Small-model crossover (TFHE wins below one CKKS ciphertext)");
+    let mut cross = Table::new(vec!["params", "CKKS-4 bits", "TFHE-3 bits", "winner"]);
+    let tfhe3 = &sets[6].1;
+    for size in [64u64, 128, 256, 512, 1024, 2048, 4096, 8192] {
+        let c = ckks4.comm_bits(size);
+        let t = tfhe3.comm_bits(size);
+        cross.row(vec![
+            size.to_string(),
+            c.to_string(),
+            t.to_string(),
+            if t < c { "TFHE".into() } else { "CKKS".into() },
+        ]);
+    }
+    cross.print();
+}

@@ -1,0 +1,147 @@
+//! Why FHE-FL needs error detection while plain HDC-FL does not
+//! (paper §I / §IV-C motivation).
+//!
+//! FedHD/FHDnn showed that *unencrypted* hypervector models tolerate
+//! channel noise: a flipped bit perturbs one model value, and HDC's
+//! holographic redundancy absorbs it. Under FHE the same flip corrupts
+//! an entire ciphertext ("a single bit error can result in completely
+//! incorrect decryption").
+//!
+//! This experiment runs the same federation twice over a detection-free
+//! binary symmetric channel at increasing BER:
+//!
+//! * **plaintext path** — models cross as 8-bit quantized integers;
+//! * **encrypted path** — models cross as CKKS-4 ciphertexts.
+//!
+//! Expected shape: plaintext accuracy degrades gracefully (barely at
+//! all); encrypted accuracy collapses as soon as flips appear —
+//! justifying the CRC + retransmission layer of §IV-C.
+
+use rand::{rngs::StdRng, SeedableRng};
+use rhychee_bench::{banner, Table};
+use rhychee_core::{FlConfig, NoisyChannelConfig, NoisyFederation};
+use rhychee_data::{DatasetKind, SyntheticConfig, TrainTest};
+use rhychee_fhe::params::CkksParams;
+use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder};
+use rhychee_hdc::model::{EncodedDataset, HdcModel};
+use rhychee_hdc::quantize::QuantizedModel;
+
+use rhychee_channel::packet::BitFlipChannel;
+use rhychee_data::partition::dirichlet_partition_indices;
+
+const QUANT_BITS: u32 = 8;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (samples, rounds, hd_dim, clients) =
+        if quick { (600, 3, 256, 3) } else { (1_200, 4, 512, 5) };
+
+    let data = SyntheticConfig {
+        kind: DatasetKind::Har,
+        train_samples: samples,
+        test_samples: samples / 4,
+    }
+    .generate(83)
+    .expect("dataset generation");
+
+    banner("Noise fragility: plaintext HDC vs FHE ciphertexts (no error detection)");
+    let mut table = Table::new(vec!["BER", "plaintext HDC acc", "encrypted (CKKS-4) acc"]);
+    for ber in [0.0f64, 1e-6, 1e-5, 1e-4] {
+        let plain = plaintext_noisy_run(&data, clients, rounds, hd_dim, ber);
+        let cfg = FlConfig::builder()
+            .clients(clients)
+            .rounds(rounds)
+            .hd_dim(hd_dim)
+            .seed(47)
+            .build()
+            .expect("valid config");
+        let channel = NoisyChannelConfig { ber, detector: None, ..Default::default() };
+        let mut enc = NoisyFederation::new(cfg, &data, CkksParams::ckks4(), channel)
+            .expect("federation");
+        let (enc_report, _) = enc.run().expect("run");
+        table.row(vec![
+            format!("{ber:.0e}"),
+            format!("{plain:.4}"),
+            format!("{:.4}", enc_report.final_accuracy),
+        ]);
+        eprintln!("  [BER {ber:.0e}] plaintext {plain:.4}, encrypted {:.4}", enc_report.final_accuracy);
+    }
+    table.print();
+    println!(
+        "\nShape: plaintext hypervectors absorb bit flips (FedHD/FHDnn's\n\
+         robustness result); ciphertexts do not — hence Rhychee-FL pairs FHE\n\
+         with CRC-32 detect-and-retransmit (S IV-C), after which noise has no\n\
+         effect on convergence (see the noise_robustness experiment)."
+    );
+}
+
+/// Plaintext federated HDC where every model crosses the raw bit-flip
+/// channel as 8-bit quantized integers (the FedHD transport model).
+fn plaintext_noisy_run(
+    data: &TrainTest,
+    clients: usize,
+    rounds: usize,
+    hd_dim: usize,
+    ber: f64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(47);
+    let classes = data.train.num_classes();
+    let encoder = RandomProjectionEncoder::new(data.train.feature_dim(), hd_dim, &mut rng);
+    let train_hv = encoder.encode_batch(data.train.features(), 1);
+    let test_hv = encoder.encode_batch(data.test.features(), 1);
+    let test = EncodedDataset::new(test_hv, data.test.labels().to_vec());
+
+    let shards: Vec<EncodedDataset> =
+        dirichlet_partition_indices(data.train.labels(), classes, clients, 0.5, &mut rng)
+            .into_iter()
+            .map(|idx| {
+                EncodedDataset::new(
+                    idx.iter().map(|&i| train_hv[i].clone()).collect(),
+                    idx.iter().map(|&i| data.train.labels()[i]).collect(),
+                )
+            })
+            .collect();
+
+    let channel = BitFlipChannel::new(ber);
+    let mut global = vec![0.0f32; classes * hd_dim];
+    let mut models: Vec<HdcModel> = (0..clients).map(|_| HdcModel::new(classes, hd_dim)).collect();
+    for round in 0..rounds {
+        let mut sum = vec![0.0f32; global.len()];
+        for (model, shard) in models.iter_mut().zip(&shards) {
+            model.load_flat(&global);
+            if round == 0 {
+                model.bundle(shard);
+            }
+            for _ in 0..5 {
+                model.train_epoch(shard, 5.0);
+            }
+            // Quantize, serialize, cross the channel, dequantize.
+            let q = QuantizedModel::quantize(model, QUANT_BITS);
+            let bytes: Vec<u8> = q.to_offset_encoded().iter().map(|&v| v as u8).collect();
+            let (received, _) = channel.transmit(&bytes, &mut rng);
+            let values: Vec<u64> = received.iter().map(|&b| u64::from(b)).collect();
+            let restored = QuantizedModel::from_offset_encoded(
+                &values,
+                q.scale(),
+                QUANT_BITS,
+                classes,
+                hd_dim,
+            )
+            .dequantize();
+            for (s, v) in sum.iter_mut().zip(restored.flatten()) {
+                *s += v / clients as f32;
+            }
+        }
+        // Download: the global model also crosses the channel to each
+        // client; use one representative transfer.
+        let gm = HdcModel::from_flat(&sum, classes, hd_dim);
+        let q = QuantizedModel::quantize(&gm, QUANT_BITS);
+        let bytes: Vec<u8> = q.to_offset_encoded().iter().map(|&v| v as u8).collect();
+        let (received, _) = channel.transmit(&bytes, &mut rng);
+        let values: Vec<u64> = received.iter().map(|&b| u64::from(b)).collect();
+        global = QuantizedModel::from_offset_encoded(&values, q.scale(), QUANT_BITS, classes, hd_dim)
+            .dequantize()
+            .flatten();
+    }
+    HdcModel::from_flat(&global, classes, hd_dim).accuracy(&test)
+}

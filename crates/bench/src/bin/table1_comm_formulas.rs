@@ -1,0 +1,88 @@
+//! Regenerates **Table I**: per-round communication size per scheme.
+//!
+//! The paper states the symbolic formulas; this binary evaluates them on
+//! the experimental operating point (HDC D = 2000, L = 10 → DL = 20,000
+//! trainable parameters) across all seven Table III parameter sets, and
+//! checks the closed forms against actually serialized ciphertexts.
+
+use rand::{rngs::StdRng, SeedableRng};
+use rhychee_bench::{banner, format_bits, Table};
+use rhychee_fhe::ckks::CkksContext;
+use rhychee_fhe::lwe::LweContext;
+use rhychee_fhe::params::ParamSet;
+
+fn main() {
+    banner("Table I: Design Space and Communication Size");
+    println!("Model size DL = 2000 x 10 = 20,000 trainable parameters\n");
+
+    let dl: u64 = 20_000;
+    let mut table = Table::new(vec![
+        "Set",
+        "Scheme",
+        "Formula",
+        "Ciphertexts",
+        "Size (bits)",
+        "Size",
+    ]);
+    for (name, set) in ParamSet::table3() {
+        let (scheme, formula, cts) = match &set {
+            ParamSet::Ckks(p) => (
+                "CKKS",
+                format!("ceil(DL/(N/2)) * 2N log Q = ceil({dl}/{}) * 2*{}*{}", p.slot_count(), p.n, p.log_q()),
+                dl.div_ceil(p.slot_count() as u64),
+            ),
+            ParamSet::Tfhe(p) => (
+                "TFHE",
+                format!("DL (n+1) log q = {dl} * {} * {}", p.dimension + 1, p.log_q),
+                dl,
+            ),
+        };
+        let bits = set.comm_bits(dl);
+        table.row(vec![
+            name.to_string(),
+            scheme.to_string(),
+            formula,
+            cts.to_string(),
+            bits.to_string(),
+            format_bits(bits),
+        ]);
+    }
+    table.print();
+
+    // Cross-check the formulas against real serialized ciphertext sizes
+    // (bit-packed wire format; header overhead is 72 bits per ciphertext).
+    banner("Formula vs. serialized wire size (validation)");
+    let mut check = Table::new(vec!["Set", "Formula bits/ct", "Serialized bits/ct", "Overhead"]);
+    let mut rng = StdRng::seed_from_u64(1);
+    for (name, set) in ParamSet::table3() {
+        match set {
+            ParamSet::Ckks(p) => {
+                let formula = p.ciphertext_bits();
+                let ctx = CkksContext::new(p).expect("params");
+                let (_, pk) = ctx.generate_keys(&mut rng);
+                let ct = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+                let actual = (ctx.serialize(&ct).len() * 8) as u64;
+                check.row(vec![
+                    name.to_string(),
+                    formula.to_string(),
+                    actual.to_string(),
+                    format!("{:+.3}%", 100.0 * (actual as f64 - formula as f64) / formula as f64),
+                ]);
+            }
+            ParamSet::Tfhe(p) => {
+                let formula = p.ciphertext_bits();
+                let ctx = LweContext::new(p).expect("params");
+                let sk = ctx.generate_key(&mut rng);
+                let ct = ctx.encrypt(&sk, 1, &mut rng).expect("encrypt");
+                let actual = (ctx.serialize(&ct).len() * 8) as u64;
+                check.row(vec![
+                    name.to_string(),
+                    formula.to_string(),
+                    actual.to_string(),
+                    format!("{:+.3}%", 100.0 * (actual as f64 - formula as f64) / formula as f64),
+                ]);
+            }
+        }
+    }
+    check.print();
+}

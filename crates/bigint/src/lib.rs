@@ -1,0 +1,36 @@
+//! Arbitrary-precision unsigned integer arithmetic for Rhychee-FL.
+//!
+//! This crate is the numeric substrate for the [Paillier] additively
+//! homomorphic cryptosystem used as the PFMLP baseline in the Rhychee-FL
+//! evaluation (Table II of the paper). It provides:
+//!
+//! * [`BigUint`] — a little-endian, 64-bit-limb unsigned big integer with
+//!   full ring arithmetic (add, sub, mul, divrem, shifts, comparisons).
+//! * [`modular`] — modular exponentiation, modular inverse (extended GCD)
+//!   and a Montgomery multiplication context for fast `modpow`.
+//! * [`prime`] — Miller–Rabin probabilistic primality testing and random
+//!   prime generation.
+//!
+//! The implementation favours clarity and testability over raw speed, but a
+//! Montgomery ladder keeps 2048-bit exponentiations practical for the
+//! Paillier benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhychee_bigint::BigUint;
+//!
+//! let a = BigUint::from(12345u64);
+//! let b = BigUint::from(67890u64);
+//! assert_eq!(&a * &b, BigUint::from(12345u64 * 67890u64));
+//! ```
+//!
+//! [Paillier]: https://en.wikipedia.org/wiki/Paillier_cryptosystem
+
+mod biguint;
+pub mod modular;
+pub mod prime;
+
+pub use biguint::BigUint;
+pub use modular::{mod_inv, mod_pow, Montgomery};
+pub use prime::{gen_prime, is_probable_prime};

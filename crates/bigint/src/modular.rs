@@ -1,0 +1,357 @@
+//! Modular arithmetic: exponentiation, inversion and Montgomery
+//! multiplication over [`BigUint`] operands.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhychee_bigint::{mod_pow, BigUint};
+//!
+//! let base = BigUint::from(4u64);
+//! let exp = BigUint::from(13u64);
+//! let modulus = BigUint::from(497u64);
+//! assert_eq!(mod_pow(&base, &exp, &modulus), BigUint::from(445u64));
+//! ```
+
+use crate::BigUint;
+
+/// Computes `base^exp mod modulus`.
+///
+/// Uses Montgomery exponentiation when `modulus` is odd, and a plain
+/// square-and-multiply ladder otherwise.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero(), "modulus must be non-zero");
+    if modulus.is_one() {
+        return BigUint::zero();
+    }
+    if modulus.is_odd() {
+        let mont = Montgomery::new(modulus.clone());
+        return mont.pow(base, exp);
+    }
+    // Generic ladder for even moduli (rare in our use cases).
+    let mut result = BigUint::one();
+    let mut b = base.rem_of(modulus);
+    for i in 0..exp.bits() {
+        if exp.bit(i) {
+            result = (&result * &b).rem_of(modulus);
+        }
+        b = (&b * &b).rem_of(modulus);
+    }
+    result
+}
+
+/// Computes the modular inverse of `a` modulo `m`, if it exists.
+///
+/// Returns `None` when `gcd(a, m) != 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rhychee_bigint::{mod_inv, BigUint};
+///
+/// let inv = mod_inv(&BigUint::from(3u64), &BigUint::from(11u64)).expect("coprime");
+/// assert_eq!(inv, BigUint::from(4u64)); // 3 * 4 = 12 ≡ 1 (mod 11)
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_inv(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    assert!(!m.is_zero(), "modulus must be non-zero");
+    if m.is_one() {
+        return Some(BigUint::zero());
+    }
+    // Extended Euclid tracking only the coefficient of `a`, with signs
+    // handled via a parallel sign flag (values stay non-negative).
+    let mut r0 = m.clone();
+    let mut r1 = a.rem_of(m);
+    let mut t0 = (BigUint::zero(), false);
+    let mut t1 = (BigUint::one(), false);
+    while !r1.is_zero() {
+        let (q, r2) = r0.div_rem(&r1);
+        // t2 = t0 - q * t1
+        let qt1 = &q * &t1.0;
+        let t2 = signed_sub(&t0, &(qt1, t1.1));
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t1 = t2;
+    }
+    if !r0.is_one() {
+        return None;
+    }
+    let (mag, neg) = t0;
+    Some(if neg { m - &mag.rem_of(m) } else { mag.rem_of(m) })
+}
+
+/// Signed subtraction `(a - b)` on (magnitude, is_negative) pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a - b with both non-negative
+        (false, false) => {
+            if a.0 >= b.0 {
+                (&a.0 - &b.0, false)
+            } else {
+                (&b.0 - &a.0, true)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (&a.0 + &b.0, false),
+        // -a - b = -(a + b)
+        (true, false) => (&a.0 + &b.0, true),
+        // -a - (-b) = b - a
+        (true, true) => {
+            if b.0 >= a.0 {
+                (&b.0 - &a.0, false)
+            } else {
+                (&a.0 - &b.0, true)
+            }
+        }
+    }
+}
+
+/// Montgomery multiplication context for a fixed odd modulus.
+///
+/// Precomputes `R = 2^(64·k)` residues so repeated multiplications (as in
+/// [`Montgomery::pow`]) avoid per-step divisions. This is the workhorse
+/// behind Paillier's 2048-bit exponentiations.
+///
+/// # Examples
+///
+/// ```
+/// use rhychee_bigint::{BigUint, Montgomery};
+///
+/// let mont = Montgomery::new(BigUint::from(97u64));
+/// let x = mont.pow(&BigUint::from(5u64), &BigUint::from(96u64));
+/// assert!(x.is_one()); // Fermat: 5^96 ≡ 1 (mod 97)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    n: BigUint,
+    k: usize,
+    n_prime: u64,
+    r2: BigUint,
+}
+
+impl Montgomery {
+    /// Creates a context for odd modulus `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, one, or even.
+    pub fn new(n: BigUint) -> Self {
+        assert!(n.is_odd() && !n.is_one(), "Montgomery modulus must be odd and > 1");
+        let k = n.limbs().len();
+        let n0 = n.limbs()[0];
+        // n' = -n^{-1} mod 2^64 via Newton iteration.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n_prime = inv.wrapping_neg();
+        // R^2 mod n, with R = 2^(64k).
+        let r = BigUint::one() << (64 * k);
+        let r2 = (&r * &r).rem_of(&n);
+        Montgomery { n, k, n_prime, r2 }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Montgomery product: `REDC(a * b)` where inputs are in Montgomery form.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.k;
+        let a_limbs = a.limbs();
+        let b_limbs = b.limbs();
+        let n_limbs = self.n.limbs();
+        // CIOS: t has k+2 limbs.
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            let ai = a_limbs.get(i).copied().unwrap_or(0);
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let bj = b_limbs.get(j).copied().unwrap_or(0);
+                let s = u128::from(t[j]) + u128::from(ai) * u128::from(bj) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = u128::from(t[k]) + carry;
+            t[k] = s as u64;
+            t[k + 1] = t[k + 1].wrapping_add((s >> 64) as u64);
+
+            // m = t[0] * n' mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let s = u128::from(t[0]) + u128::from(m) * u128::from(n_limbs[0]);
+            let mut carry: u128 = s >> 64;
+            for j in 1..k {
+                let s = u128::from(t[j]) + u128::from(m) * u128::from(n_limbs[j]) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = u128::from(t[k]) + carry;
+            t[k - 1] = s as u64;
+            let s2 = u128::from(t[k + 1]) + (s >> 64);
+            t[k] = s2 as u64;
+            t[k + 1] = (s2 >> 64) as u64;
+        }
+        t.truncate(k + 1);
+        let mut result = BigUint::from_limbs(t);
+        if result >= self.n {
+            result -= &self.n;
+        }
+        result
+    }
+
+    /// Converts into Montgomery form: `a · R mod n`.
+    fn to_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(&a.rem_of(&self.n), &self.r2)
+    }
+
+    /// Converts out of Montgomery form.
+    fn from_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, &BigUint::one())
+    }
+
+    /// Computes `a * b mod n`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Computes `base^exp mod n` with a left-to-right binary ladder.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem_of(&self.n);
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = base_m.clone();
+        for i in (0..exp.bits() - 1).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn mod_pow_small_cases() {
+        assert_eq!(
+            mod_pow(&BigUint::from(4u64), &BigUint::from(13u64), &BigUint::from(497u64)),
+            BigUint::from(445u64)
+        );
+        assert_eq!(
+            mod_pow(&BigUint::from(2u64), &BigUint::from(10u64), &BigUint::from(1000u64)),
+            BigUint::from(24u64)
+        );
+        // exp = 0
+        assert_eq!(
+            mod_pow(&BigUint::from(99u64), &BigUint::zero(), &BigUint::from(7u64)),
+            BigUint::one()
+        );
+        // modulus = 1
+        assert!(mod_pow(&BigUint::from(5u64), &BigUint::from(5u64), &BigUint::one()).is_zero());
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        // 3^5 mod 64 = 243 mod 64 = 51
+        assert_eq!(
+            mod_pow(&BigUint::from(3u64), &BigUint::from(5u64), &BigUint::from(64u64)),
+            BigUint::from(51u64)
+        );
+    }
+
+    #[test]
+    fn mod_pow_matches_naive_random() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let m = u64::from(rng.gen::<u32>() | 1); // odd modulus
+            let b = u64::from(rng.gen::<u32>());
+            let e = u64::from(rng.gen::<u16>());
+            let expected = naive_pow(b, e, m);
+            assert_eq!(
+                mod_pow(&BigUint::from(b), &BigUint::from(e), &BigUint::from(m)),
+                BigUint::from(expected)
+            );
+        }
+    }
+
+    fn naive_pow(b: u64, mut e: u64, m: u64) -> u64 {
+        let mut acc: u128 = 1;
+        let mut base = u128::from(b % m);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc * base % u128::from(m);
+            }
+            base = base * base % u128::from(m);
+            e >>= 1;
+        }
+        acc as u64
+    }
+
+    #[test]
+    fn mod_inv_small() {
+        let inv = mod_inv(&BigUint::from(3u64), &BigUint::from(11u64)).expect("coprime");
+        assert_eq!(inv, BigUint::from(4u64));
+        assert!(mod_inv(&BigUint::from(4u64), &BigUint::from(8u64)).is_none());
+        assert_eq!(mod_inv(&BigUint::from(5u64), &BigUint::one()), Some(BigUint::zero()));
+    }
+
+    #[test]
+    fn mod_inv_random_verifies() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let m = BigUint::random_bits(&mut rng, 256);
+        for _ in 0..40 {
+            let a = BigUint::random_below(&mut rng, &m);
+            if let Some(inv) = mod_inv(&a, &m) {
+                assert_eq!((&a * &inv).rem_of(&m), BigUint::one().rem_of(&m));
+            } else {
+                assert!(!a.gcd(&m).is_one());
+            }
+        }
+    }
+
+    #[test]
+    fn montgomery_matches_plain_mul() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..30 {
+            let mut n = BigUint::random_bits(&mut rng, 320);
+            if n.is_even() {
+                n += &BigUint::one();
+            }
+            let mont = Montgomery::new(n.clone());
+            let a = BigUint::random_below(&mut rng, &n);
+            let b = BigUint::random_below(&mut rng, &n);
+            assert_eq!(mont.mul(&a, &b), (&a * &b).rem_of(&n));
+        }
+    }
+
+    #[test]
+    fn montgomery_pow_fermat() {
+        // 2^(p-1) ≡ 1 mod p for prime p = 2^61 - 1.
+        let p = BigUint::from((1u64 << 61) - 1);
+        let mont = Montgomery::new(p.clone());
+        let e = &p - &BigUint::one();
+        assert!(mont.pow(&BigUint::from(2u64), &e).is_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn montgomery_rejects_even_modulus() {
+        let _ = Montgomery::new(BigUint::from(10u64));
+    }
+}

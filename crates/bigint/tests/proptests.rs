@@ -1,0 +1,126 @@
+//! Property-based tests for the big-integer ring axioms and the
+//! equivalence of Montgomery and schoolbook modular arithmetic.
+
+use proptest::prelude::*;
+use rhychee_bigint::{mod_inv, mod_pow, BigUint, Montgomery};
+
+/// Strategy producing BigUints of up to ~256 bits from raw limb vectors.
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..4).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy producing non-zero BigUints.
+fn arb_nonzero() -> impl Strategy<Value = BigUint> {
+    arb_biguint().prop_map(|v| if v.is_zero() { BigUint::one() } else { v })
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn addition_associates(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributive_law(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn add_then_sub_round_trips(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in arb_biguint(), b in arb_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_left_is_mul_by_power_of_two(a in arb_biguint(), s in 0usize..130) {
+        let pow2 = BigUint::one() << s;
+        prop_assert_eq!(&a << s, &a * &pow2);
+    }
+
+    #[test]
+    fn decimal_round_trip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_round_trip(a in arb_biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_nonzero(), b in arb_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.rem_of(&g).is_zero());
+        prop_assert!(b.rem_of(&g).is_zero());
+    }
+
+    #[test]
+    fn montgomery_mul_matches_schoolbook(
+        a in arb_biguint(),
+        b in arb_biguint(),
+        m in arb_nonzero(),
+    ) {
+        // Force odd modulus > 1 for Montgomery.
+        let m = if m.is_even() { &m + &BigUint::one() } else { m };
+        let m = if m.is_one() { BigUint::from(3u64) } else { m };
+        let mont = Montgomery::new(m.clone());
+        prop_assert_eq!(mont.mul(&a, &b), (&a * &b).rem_of(&m));
+    }
+
+    #[test]
+    fn mod_pow_multiplicative_in_exponent(
+        base in arb_biguint(),
+        e1 in 0u64..64,
+        e2 in 0u64..64,
+        m in arb_nonzero(),
+    ) {
+        let m = if m.is_one() { BigUint::from(2u64) } else { m };
+        // base^(e1+e2) = base^e1 * base^e2 (mod m)
+        let lhs = mod_pow(&base, &BigUint::from(e1 + e2), &m);
+        let rhs = (mod_pow(&base, &BigUint::from(e1), &m)
+            * mod_pow(&base, &BigUint::from(e2), &m))
+        .rem_of(&m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inv_verifies_when_exists(a in arb_nonzero(), m in arb_nonzero()) {
+        let m = if m.is_one() { BigUint::from(5u64) } else { m };
+        match mod_inv(&a, &m) {
+            Some(inv) => prop_assert_eq!((&a * &inv).rem_of(&m), BigUint::one()),
+            None => prop_assert!(!a.gcd(&m).is_one()),
+        }
+    }
+
+    #[test]
+    fn comparison_agrees_with_subtraction(a in arb_biguint(), b in arb_biguint()) {
+        if a >= b {
+            let d = &a - &b;
+            prop_assert_eq!(&b + &d, a);
+        } else {
+            let d = &b - &a;
+            prop_assert!(!d.is_zero());
+        }
+    }
+}

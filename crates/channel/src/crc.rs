@@ -1,0 +1,203 @@
+//! Error-detection codes: CRC-32 (IEEE 802.3) and the 16-bit Internet
+//! checksum (RFC 1071).
+//!
+//! The paper's receiver model (§IV-C) compares both: the checksum is
+//! cheaper but far weaker; CRC-32 drives the undetected-error probability
+//! `P_re = 2^-32` used in the failure analysis.
+
+/// Reflected CRC-32 polynomial (IEEE 802.3).
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// Byte-at-a-time lookup table for [`crc32`].
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 { (crc >> 1) ^ CRC32_POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Computes the CRC-32 (IEEE 802.3, reflected) of a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use rhychee_channel::crc::crc32;
+///
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926); // standard check value
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Computes the 16-bit Internet checksum (RFC 1071 ones'-complement sum).
+///
+/// # Examples
+///
+/// ```
+/// use rhychee_channel::crc::internet_checksum;
+///
+/// let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(internet_checksum(&data), 0x220d);
+/// ```
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Which error-detection code a receiver runs on each packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Detector {
+    /// 32-bit cyclic redundancy check.
+    Crc32,
+    /// 16-bit Internet checksum.
+    Checksum16,
+}
+
+impl Detector {
+    /// Probability that a *corrupted* packet passes undetected
+    /// (`P_re` in the paper: `2^-32` for CRC-32, `2^-16` for the
+    /// checksum — the standard random-error approximation).
+    pub fn undetected_probability(self) -> f64 {
+        match self {
+            Detector::Crc32 => 2.0f64.powi(-32),
+            Detector::Checksum16 => 2.0f64.powi(-16),
+        }
+    }
+
+    /// Size of the appended check value in bits.
+    pub fn tag_bits(self) -> usize {
+        match self {
+            Detector::Crc32 => 32,
+            Detector::Checksum16 => 16,
+        }
+    }
+
+    /// Computes the check tag over a payload (low bytes used for the
+    /// 16-bit checksum).
+    pub fn compute(self, data: &[u8]) -> u32 {
+        match self {
+            Detector::Crc32 => crc32(data),
+            Detector::Checksum16 => u32::from(internet_checksum(data)),
+        }
+    }
+
+    /// Verifies a tag produced by [`Detector::compute`].
+    pub fn verify(self, data: &[u8], tag: u32) -> bool {
+        self.compute(data) == tag
+    }
+}
+
+impl std::fmt::Display for Detector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Detector::Crc32 => write!(f, "CRC-32"),
+            Detector::Checksum16 => write!(f, "Checksum-16"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let tag = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), tag, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_detects_burst_errors() {
+        let data = vec![0xAAu8; 200];
+        let tag = crc32(&data);
+        // All burst errors up to 32 bits are detected by CRC-32.
+        for start in [0usize, 50, 199] {
+            let mut corrupted = data.clone();
+            corrupted[start] ^= 0xFF;
+            if start + 1 < corrupted.len() {
+                corrupted[start + 1] ^= 0xFF;
+            }
+            assert_ne!(crc32(&corrupted), tag);
+        }
+    }
+
+    #[test]
+    fn checksum_rfc1071_examples() {
+        // Sum of zero data is 0xFFFF (complement of 0).
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
+        // Odd-length input pads with zero.
+        let even = internet_checksum(&[0x12, 0x34, 0x56, 0x00]);
+        let odd = internet_checksum(&[0x12, 0x34, 0x56]);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn checksum_misses_reordered_words() {
+        // The classic checksum weakness: word reordering is invisible.
+        let a = [0x12u8, 0x34, 0x56, 0x78];
+        let b = [0x56u8, 0x78, 0x12, 0x34];
+        assert_eq!(internet_checksum(&a), internet_checksum(&b));
+        // CRC-32 catches it.
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+
+    #[test]
+    fn detector_round_trip() {
+        let data = b"payload".to_vec();
+        for det in [Detector::Crc32, Detector::Checksum16] {
+            let tag = det.compute(&data);
+            assert!(det.verify(&data, tag));
+            let mut bad = data.clone();
+            bad[0] ^= 1;
+            assert!(!det.verify(&bad, tag), "{det} missed a flip");
+        }
+    }
+
+    #[test]
+    fn undetected_probabilities() {
+        assert!(Detector::Crc32.undetected_probability() < Detector::Checksum16.undetected_probability());
+        assert_eq!(Detector::Crc32.tag_bits(), 32);
+        assert_eq!(Detector::Checksum16.tag_bits(), 16);
+        let p = Detector::Crc32.undetected_probability();
+        assert!((p - 2.328e-10).abs() / p < 1e-3, "paper quotes 2.328e-10");
+    }
+}

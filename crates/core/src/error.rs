@@ -1,0 +1,63 @@
+//! Error type for the Rhychee-FL framework.
+
+use std::fmt;
+
+use rhychee_fhe::FheError;
+
+/// Errors produced by federated-learning configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// Invalid framework configuration.
+    InvalidConfig(String),
+    /// The dataset cannot support the requested setup.
+    DataError(String),
+    /// An underlying homomorphic-encryption operation failed.
+    Fhe(FheError),
+    /// The LWE noise budget cannot support the client count.
+    NoiseBudget { clients: usize, budget: usize },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::InvalidConfig(msg) => write!(f, "invalid FL configuration: {msg}"),
+            FlError::DataError(msg) => write!(f, "dataset error: {msg}"),
+            FlError::Fhe(e) => write!(f, "FHE operation failed: {e}"),
+            FlError::NoiseBudget { clients, budget } => write!(
+                f,
+                "LWE noise budget supports only {budget} additions, but {clients} clients requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Fhe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FheError> for FlError {
+    fn from(e: FheError) -> Self {
+        FlError::Fhe(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FlError::InvalidConfig("clients must be positive".into());
+        assert!(e.to_string().contains("clients"));
+        let e: FlError = FheError::LevelExhausted.into();
+        assert!(matches!(e, FlError::Fhe(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FlError::NoiseBudget { clients: 100, budget: 79 };
+        assert!(e.to_string().contains("79"));
+    }
+}

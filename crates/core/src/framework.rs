@@ -1,0 +1,658 @@
+//! The Rhychee-FL orchestrator: clients, server, and the per-round
+//! aggregation loop of paper §IV-A.
+//!
+//! Supports three transport pipelines over the same HDC learner:
+//!
+//! * **plaintext** — FedAvg on raw parameters (the paper's Fig. 2/3
+//!   accuracy studies, "conducted in non-encrypted data");
+//! * **CKKS** — packed RLWE ciphertexts, homomorphic averaging (Eq. 2);
+//! * **LWE/TFHE** — per-parameter ciphertexts with fixed-point
+//!   quantization (the design-space alternative of Table I).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use rhychee_data::partition::dirichlet_partition_indices;
+use rhychee_data::TrainTest;
+use rhychee_fhe::ckks::{CkksContext, CkksPublicKey, CkksSecretKey};
+use rhychee_fhe::lwe::{LweContext, LweSecretKey};
+use rhychee_fhe::params::{CkksParams, LweParams};
+use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder, RbfEncoder};
+use rhychee_hdc::model::{EncodedDataset, HdcModel};
+use rhychee_hdc::quantize::QuantizedModel;
+
+use crate::config::{Aggregation, EncoderKind, FlConfig};
+use crate::error::FlError;
+use crate::packing;
+
+/// Measurements from one aggregation round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Global-model accuracy on the held-out test set after the round.
+    pub accuracy: f64,
+    /// Bits uploaded per client this round.
+    pub upload_bits_per_client: u64,
+    /// Bits downloaded per client this round.
+    pub download_bits_per_client: u64,
+    /// Wall time spent in local training (all clients).
+    pub train_time: Duration,
+    /// Wall time spent encrypting local models (all clients).
+    pub encrypt_time: Duration,
+    /// Wall time spent in server-side aggregation.
+    pub aggregate_time: Duration,
+    /// Wall time spent decrypting the global model (one client).
+    pub decrypt_time: Duration,
+}
+
+/// Full-run measurements.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-round reports in order.
+    pub rounds: Vec<RoundReport>,
+    /// Accuracy after the final round.
+    pub final_accuracy: f64,
+}
+
+impl RunReport {
+    /// First round (1-based) at which accuracy reached `target`, if any —
+    /// the metric behind the paper's Fig. 3 "rounds to 90%" markers.
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        self.rounds.iter().position(|r| r.accuracy >= target).map(|i| i + 1)
+    }
+
+    /// Total bits uploaded per client over the run.
+    pub fn total_upload_bits_per_client(&self) -> u64 {
+        self.rounds.iter().map(|r| r.upload_bits_per_client).sum()
+    }
+}
+
+/// Transport pipeline for model exchange.
+enum Pipeline {
+    /// Raw parameter exchange (no encryption).
+    Plaintext,
+    /// Packed CKKS ciphertexts with homomorphic averaging.
+    Ckks { ctx: Box<CkksContext>, sk: CkksSecretKey, pk: CkksPublicKey },
+    /// Per-parameter LWE ciphertexts over quantized weights.
+    Lwe { ctx: LweContext, sk: LweSecretKey, quant_bits: u32 },
+}
+
+/// One federated client: a local encoded shard and an HDC model.
+struct Client {
+    data: EncodedDataset,
+    model: HdcModel,
+    /// Adaptive updates applied in the last local phase (FedNova τ).
+    last_steps: usize,
+}
+
+/// The Rhychee-FL federated system (server + clients simulation).
+///
+/// # Examples
+///
+/// ```
+/// use rhychee_core::{FlConfig, Framework};
+/// use rhychee_data::{DatasetKind, SyntheticConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = SyntheticConfig::small(DatasetKind::Har).generate(3)?;
+/// let config = FlConfig::builder().clients(4).rounds(2).hd_dim(256).seed(3).build()?;
+/// let mut fw = Framework::hdc_plaintext(config, &data)?;
+/// let report = fw.run()?;
+/// assert!(report.final_accuracy > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Framework {
+    config: FlConfig,
+    clients: Vec<Client>,
+    test: EncodedDataset,
+    global: Vec<f32>,
+    classes: usize,
+    pipeline: Pipeline,
+    rng: StdRng,
+    next_round: usize,
+}
+
+impl Framework {
+    /// Builds a plaintext-aggregation federation (paper Fig. 2/3 setting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError`] on invalid config or insufficient data.
+    pub fn hdc_plaintext(config: FlConfig, data: &TrainTest) -> Result<Self, FlError> {
+        Self::build(config, data, Pipeline::Plaintext)
+    }
+
+    /// Builds the full Rhychee-FL pipeline: encrypted aggregation under
+    /// CKKS with maximum packing.
+    ///
+    /// Key sharing (paper §IV-A) is simulated: every client holds the
+    /// shared secret key; the server only ever touches ciphertexts and
+    /// the public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError`] on invalid config or FHE parameters.
+    pub fn hdc_encrypted(
+        config: FlConfig,
+        data: &TrainTest,
+        params: CkksParams,
+    ) -> Result<Self, FlError> {
+        let ctx = CkksContext::new(params)?;
+        let mut key_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let (sk, pk) = ctx.generate_keys(&mut key_rng);
+        Self::build(config, data, Pipeline::Ckks { ctx: Box::new(ctx), sk, pk })
+    }
+
+    /// Builds an encrypted federation over the single-value LWE scheme,
+    /// quantizing each parameter to `quant_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoiseBudget`] if the parameter set cannot
+    /// absorb `clients` additions, [`FlError::InvalidConfig`] if the
+    /// plaintext modulus cannot hold the sum of quantized values.
+    pub fn hdc_encrypted_lwe(
+        config: FlConfig,
+        data: &TrainTest,
+        params: LweParams,
+        quant_bits: u32,
+    ) -> Result<Self, FlError> {
+        let needed = (config.clients as u64) << quant_bits;
+        if params.plaintext_modulus < needed {
+            return Err(FlError::InvalidConfig(format!(
+                "plaintext modulus {} cannot hold {} clients at {} bits (needs >= {needed}); \
+                 use lwe_fl_params()",
+                params.plaintext_modulus, config.clients, quant_bits
+            )));
+        }
+        if params.max_additions() < config.clients {
+            return Err(FlError::NoiseBudget {
+                clients: config.clients,
+                budget: params.max_additions(),
+            });
+        }
+        let ctx = LweContext::new(params)?;
+        let mut key_rng = StdRng::seed_from_u64(config.seed ^ 0x517C_C1B7_2722_0A95);
+        let sk = ctx.generate_key(&mut key_rng);
+        Self::build(config, data, Pipeline::Lwe { ctx, sk, quant_bits })
+    }
+
+    /// LWE parameters sized for a federation: plaintext modulus holding
+    /// `clients · 2^quant_bits` and a ciphertext modulus with noise room.
+    pub fn lwe_fl_params(clients: usize, quant_bits: u32) -> LweParams {
+        let t = ((clients as u64) << quant_bits).next_power_of_two();
+        // Keep Δ = q/t at 128 for comfortable noise margin.
+        let q_bits = t.trailing_zeros() + 7;
+        LweParams {
+            dimension: 534,
+            log_q: q_bits,
+            plaintext_modulus: t,
+            sigma_int: 0.6,
+        }
+    }
+
+    fn build(config: FlConfig, data: &TrainTest, pipeline: Pipeline) -> Result<Self, FlError> {
+        config.validate()?;
+        if data.train.len() < config.clients {
+            return Err(FlError::DataError(format!(
+                "{} training samples cannot serve {} clients",
+                data.train.len(),
+                config.clients
+            )));
+        }
+        if data.train.is_empty() || data.test.is_empty() {
+            return Err(FlError::DataError("train and test sets must be non-empty".into()));
+        }
+        let classes = data.train.num_classes();
+        let feature_dim = data.train.feature_dim();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Shared encoder: all clients derive identical bases from the
+        // common seed (the HDC analogue of the shared model architecture).
+        let use_rbf = match config.encoder {
+            EncoderKind::Rbf => true,
+            EncoderKind::RandomProjection => false,
+            // The paper uses RBF for MNIST (pixel images) and random
+            // projection for HAR (dense statistical features).
+            EncoderKind::Auto => feature_dim == 784,
+        };
+        let (train_hv, test_hv) = if use_rbf {
+            let encoder = RbfEncoder::new(feature_dim, config.hd_dim, &mut rng);
+            (
+                encoder.encode_batch(data.train.features(), config.threads),
+                encoder.encode_batch(data.test.features(), config.threads),
+            )
+        } else {
+            let encoder = RandomProjectionEncoder::new(feature_dim, config.hd_dim, &mut rng);
+            (
+                encoder.encode_batch(data.train.features(), config.threads),
+                encoder.encode_batch(data.test.features(), config.threads),
+            )
+        };
+        let test = EncodedDataset::new(test_hv, data.test.labels().to_vec());
+
+        // Non-IID shards via Dirichlet label skew (Li et al., α = 0.5).
+        let shards = dirichlet_partition_indices(
+            data.train.labels(),
+            classes,
+            config.clients,
+            config.dirichlet_alpha,
+            &mut rng,
+        );
+        let clients = shards
+            .iter()
+            .map(|idx| {
+                let hvs = idx.iter().map(|&i| train_hv[i].clone()).collect();
+                let labels = idx.iter().map(|&i| data.train.labels()[i]).collect();
+                Client {
+                    data: EncodedDataset::new(hvs, labels),
+                    model: HdcModel::new(classes, config.hd_dim),
+                    last_steps: 0,
+                }
+            })
+            .collect();
+
+        let global = vec![0.0; classes * config.hd_dim];
+        Ok(Framework { config, clients, test, global, classes, pipeline, rng, next_round: 0 })
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.config
+    }
+
+    /// Trainable parameter count `D × L`.
+    pub fn num_parameters(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Current global model as an [`HdcModel`].
+    pub fn global_model(&self) -> HdcModel {
+        HdcModel::from_flat(&self.global, self.classes, self.config.hd_dim)
+    }
+
+    /// Accuracy of the current global model on the test set.
+    pub fn global_accuracy(&self) -> f64 {
+        self.global_model().accuracy(&self.test)
+    }
+
+    /// Bits a client uploads per round under the active pipeline.
+    pub fn upload_bits_per_round(&self) -> u64 {
+        let n = self.num_parameters() as u64;
+        match &self.pipeline {
+            Pipeline::Plaintext => n * 32,
+            Pipeline::Ckks { ctx, .. } => {
+                n.div_ceil(ctx.slot_count() as u64) * ctx.params().ciphertext_bits()
+            }
+            Pipeline::Lwe { ctx, .. } => n * ctx.params().ciphertext_bits(),
+        }
+    }
+
+    /// Executes one aggregation round (paper Fig. 1: local training →
+    /// collection → homomorphic aggregation → distribution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates FHE errors from the encrypted pipelines.
+    pub fn run_round(&mut self) -> Result<RoundReport, FlError> {
+        let round = self.next_round;
+        self.next_round += 1;
+        let mut report = RoundReport { round, ..RoundReport::default() };
+
+        // Client sampling (participation < 1.0 is an extension; the paper
+        // aggregates all clients every round).
+        let participants = self.sample_participants();
+
+        // 1. Local training.
+        let t0 = Instant::now();
+        let local_models = self.train_locals(&participants);
+        report.train_time = t0.elapsed();
+
+        // 2–4. Collection, aggregation, distribution.
+        let new_global = match &self.pipeline {
+            Pipeline::Plaintext => {
+                let t0 = Instant::now();
+                let weights = self.aggregation_weights(&participants);
+                let global = weighted_average(&local_models, &weights);
+                report.aggregate_time = t0.elapsed();
+                global
+            }
+            Pipeline::Ckks { ctx, sk, pk } => {
+                let t0 = Instant::now();
+                let encrypted: Result<Vec<_>, _> = local_models
+                    .iter()
+                    .map(|m| packing::encrypt_model(ctx, pk, m, &mut self.rng))
+                    .collect();
+                let encrypted = encrypted?;
+                report.encrypt_time = t0.elapsed();
+
+                let t0 = Instant::now();
+                let global_ct = packing::homomorphic_average(ctx, &encrypted)?;
+                report.aggregate_time = t0.elapsed();
+
+                let t0 = Instant::now();
+                let global = packing::decrypt_model(ctx, sk, &global_ct, self.global.len());
+                report.decrypt_time = t0.elapsed();
+                global
+            }
+            Pipeline::Lwe { ctx, sk, quant_bits } => {
+                let bits = *quant_bits;
+                let p = local_models.len() as u64;
+                let t0 = Instant::now();
+                // Quantize every client model with a common scale so sums
+                // are meaningful: use the max dynamic range.
+                let quantized: Vec<QuantizedModel> = local_models
+                    .iter()
+                    .map(|m| {
+                        let model = HdcModel::from_flat(m, self.classes, self.config.hd_dim);
+                        QuantizedModel::quantize(&model, bits)
+                    })
+                    .collect();
+                let scale = quantized.iter().map(QuantizedModel::scale).fold(f64::MAX, f64::min);
+                let encrypted: Result<Vec<Vec<_>>, _> = quantized
+                    .iter()
+                    .map(|q| {
+                        q.to_offset_encoded()
+                            .iter()
+                            .map(|&v| ctx.encrypt(sk, v, &mut self.rng))
+                            .collect()
+                    })
+                    .collect();
+                let encrypted = encrypted?;
+                report.encrypt_time = t0.elapsed();
+
+                let t0 = Instant::now();
+                let n = self.global.len();
+                let mut sums = encrypted[0].clone();
+                for client in &encrypted[1..] {
+                    for (acc, ct) in sums.iter_mut().zip(client) {
+                        ctx.add_assign(acc, ct)?;
+                    }
+                }
+                report.aggregate_time = t0.elapsed();
+
+                let t0 = Instant::now();
+                let offset = (1i64 << (bits - 1)) * p as i64;
+                let global: Vec<f32> = (0..n)
+                    .map(|i| {
+                        let sum = ctx.decrypt(sk, &sums[i]) as i64 - offset;
+                        (sum as f64 / (p as f64 * scale)) as f32
+                    })
+                    .collect();
+                report.decrypt_time = t0.elapsed();
+                global
+            }
+        };
+
+        self.global = new_global;
+        self.distribute_global(&participants);
+
+        report.upload_bits_per_client = self.upload_bits_per_round();
+        report.download_bits_per_client = report.upload_bits_per_client;
+        report.accuracy = self.global_accuracy();
+        Ok(report)
+    }
+
+    /// Runs all configured rounds and collects the reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first round error.
+    pub fn run(&mut self) -> Result<RunReport, FlError> {
+        let mut report = RunReport::default();
+        for _ in 0..self.config.rounds {
+            report.rounds.push(self.run_round()?);
+        }
+        report.final_accuracy = report.rounds.last().map_or(0.0, |r| r.accuracy);
+        Ok(report)
+    }
+
+    fn sample_participants(&mut self) -> Vec<usize> {
+        let total = self.clients.len();
+        let count = ((total as f64 * self.config.participation).ceil() as usize).clamp(1, total);
+        let mut ids: Vec<usize> = (0..total).collect();
+        if count < total {
+            ids.shuffle(&mut self.rng);
+            ids.truncate(count);
+            ids.sort_unstable();
+        }
+        ids
+    }
+
+    /// Runs local training on the selected clients; returns their flat
+    /// (optionally normalized) models.
+    fn train_locals(&mut self, participants: &[usize]) -> Vec<Vec<f32>> {
+        let cfg = self.config.clone();
+        let global = self.global.clone();
+        // A zero global model marks the first round: clients start with
+        // the standard OnlineHD/FedHD one-shot bundling pass, which the
+        // adaptive Eq. 1 epochs then refine.
+        let first_round = global.iter().all(|&v| v == 0.0);
+        participants
+            .iter()
+            .map(|&id| {
+                let client = &mut self.clients[id];
+                client.model.load_flat(&global);
+                if first_round {
+                    client.model.bundle(&client.data);
+                }
+                let mut steps = 0;
+                for _ in 0..cfg.local_epochs {
+                    steps += client.model.train_epoch(&client.data, cfg.lr);
+                    if let Aggregation::FedProx { mu } = cfg.aggregation {
+                        proximal_pull(&mut client.model, &global, mu);
+                    }
+                }
+                client.last_steps = steps.max(1);
+                let mut out = client.model.clone();
+                if cfg.normalize {
+                    out.normalize();
+                }
+                out.flatten()
+            })
+            .collect()
+    }
+
+    /// Aggregation weights per participant (uniform for FedAvg, step-
+    /// normalized for FedNova).
+    fn aggregation_weights(&self, participants: &[usize]) -> Vec<f64> {
+        match self.config.aggregation {
+            Aggregation::FedAvg | Aggregation::FedProx { .. } => {
+                vec![1.0 / participants.len() as f64; participants.len()]
+            }
+            Aggregation::FedNova => {
+                // Weight clients inversely to their local step count so
+                // heavy local updaters do not dominate the average.
+                let inv: Vec<f64> = participants
+                    .iter()
+                    .map(|&id| 1.0 / self.clients[id].last_steps as f64)
+                    .collect();
+                let total: f64 = inv.iter().sum();
+                inv.into_iter().map(|w| w / total).collect()
+            }
+        }
+    }
+
+    fn distribute_global(&mut self, participants: &[usize]) {
+        for &id in participants {
+            self.clients[id].model.load_flat(&self.global);
+        }
+    }
+}
+
+/// Pulls a model toward the global parameters: `w ← w − μ(w − g)`.
+fn proximal_pull(model: &mut HdcModel, global: &[f32], mu: f32) {
+    let mut flat = model.flatten();
+    for (w, &g) in flat.iter_mut().zip(global) {
+        *w -= mu * (*w - g);
+    }
+    model.load_flat(&flat);
+}
+
+/// Weighted element-wise average of flat models.
+fn weighted_average(models: &[Vec<f32>], weights: &[f64]) -> Vec<f32> {
+    assert_eq!(models.len(), weights.len());
+    assert!(!models.is_empty(), "cannot average zero models");
+    let n = models[0].len();
+    let mut out = vec![0.0f32; n];
+    for (m, &w) in models.iter().zip(weights) {
+        for (o, &v) in out.iter_mut().zip(m) {
+            *o += (w as f32) * v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhychee_data::{DatasetKind, SyntheticConfig};
+
+    fn small_data(kind: DatasetKind) -> TrainTest {
+        SyntheticConfig { kind, train_samples: 300, test_samples: 120 }
+            .generate(11)
+            .expect("generate")
+    }
+
+    fn small_config(clients: usize, rounds: usize) -> FlConfig {
+        FlConfig::builder()
+            .clients(clients)
+            .rounds(rounds)
+            .hd_dim(512)
+            .seed(5)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn plaintext_fl_converges() {
+        let data = small_data(DatasetKind::Har);
+        let mut fw = Framework::hdc_plaintext(small_config(5, 4), &data).expect("build");
+        let report = fw.run().expect("run");
+        assert_eq!(report.rounds.len(), 4);
+        assert!(report.final_accuracy > 0.8, "accuracy {}", report.final_accuracy);
+        // Accuracy is broadly non-decreasing (allow small dips).
+        assert!(report.rounds[3].accuracy + 0.1 >= report.rounds[0].accuracy);
+    }
+
+    #[test]
+    fn encrypted_fl_matches_plaintext_closely() {
+        let data = small_data(DatasetKind::Har);
+        let mut plain = Framework::hdc_plaintext(small_config(4, 3), &data).expect("build");
+        let mut enc =
+            Framework::hdc_encrypted(small_config(4, 3), &data, CkksParams::toy()).expect("build");
+        let rp = plain.run().expect("run");
+        let re = enc.run().expect("run");
+        assert!(
+            (rp.final_accuracy - re.final_accuracy).abs() < 0.08,
+            "plaintext {} vs encrypted {}",
+            rp.final_accuracy,
+            re.final_accuracy
+        );
+    }
+
+    #[test]
+    fn lwe_pipeline_runs_and_learns() {
+        let data = small_data(DatasetKind::Har);
+        let mut cfg = small_config(4, 2);
+        cfg.hd_dim = 128; // keep the per-parameter ciphertext count small
+        let params = Framework::lwe_fl_params(4, 6);
+        let mut fw = Framework::hdc_encrypted_lwe(cfg, &data, params, 6).expect("build");
+        let report = fw.run().expect("run");
+        assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
+    }
+
+    #[test]
+    fn lwe_rejects_overflowing_setup() {
+        let data = small_data(DatasetKind::Har);
+        let params = LweParams::tfhe1(); // t = 16: too small for 4 clients at 6 bits
+        let err = Framework::hdc_encrypted_lwe(small_config(4, 1), &data, params, 6);
+        assert!(matches!(err, Err(FlError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn upload_bits_formulas() {
+        let data = small_data(DatasetKind::Har);
+        let cfg = small_config(3, 1);
+        let n = (cfg.hd_dim * 6) as u64;
+        let plain = Framework::hdc_plaintext(cfg.clone(), &data).expect("build");
+        assert_eq!(plain.upload_bits_per_round(), n * 32);
+        let enc = Framework::hdc_encrypted(cfg, &data, CkksParams::toy()).expect("build");
+        // toy: N = 512, slots = 256, log Q = 90.
+        assert_eq!(enc.upload_bits_per_round(), n.div_ceil(256) * 2 * 512 * 90);
+    }
+
+    #[test]
+    fn rounds_to_accuracy_metric() {
+        let mut report = RunReport::default();
+        for (i, acc) in [0.5, 0.85, 0.93, 0.95].iter().enumerate() {
+            report.rounds.push(RoundReport { round: i, accuracy: *acc, ..Default::default() });
+        }
+        assert_eq!(report.rounds_to_accuracy(0.9), Some(3));
+        assert_eq!(report.rounds_to_accuracy(0.99), None);
+        assert_eq!(report.rounds_to_accuracy(0.4), Some(1));
+    }
+
+    #[test]
+    fn participation_sampling() {
+        let data = small_data(DatasetKind::Har);
+        let mut cfg = small_config(10, 1);
+        cfg.participation = 0.3;
+        let mut fw = Framework::hdc_plaintext(cfg, &data).expect("build");
+        let p = fw.sample_participants();
+        assert_eq!(p.len(), 3);
+        assert!(p.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+    }
+
+    #[test]
+    fn fednova_and_fedprox_run() {
+        let data = small_data(DatasetKind::Har);
+        for agg in [Aggregation::FedNova, Aggregation::FedProx { mu: 0.1 }] {
+            let mut cfg = small_config(4, 2);
+            cfg.aggregation = agg;
+            let mut fw = Framework::hdc_plaintext(cfg, &data).expect("build");
+            let report = fw.run().expect("run");
+            assert!(report.final_accuracy > 0.6, "{agg:?}: {}", report.final_accuracy);
+        }
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 6, test_samples: 6 }
+            .generate(1)
+            .expect("generate");
+        let err = Framework::hdc_plaintext(small_config(50, 1), &data);
+        assert!(matches!(err, Err(FlError::DataError(_))));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = small_data(DatasetKind::Har);
+        let run = |seed: u64| {
+            let cfg = FlConfig::builder()
+                .clients(4)
+                .rounds(2)
+                .hd_dim(256)
+                .seed(seed)
+                .build()
+                .expect("valid");
+            let mut fw = Framework::hdc_plaintext(cfg, &data).expect("build");
+            fw.run().expect("run").final_accuracy
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn weighted_average_basics() {
+        let models = vec![vec![1.0f32, 2.0], vec![3.0, 6.0]];
+        let avg = weighted_average(&models, &[0.5, 0.5]);
+        assert_eq!(avg, vec![2.0, 4.0]);
+        let weighted = weighted_average(&models, &[0.25, 0.75]);
+        assert_eq!(weighted, vec![2.5, 5.0]);
+    }
+}

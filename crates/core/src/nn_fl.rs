@@ -1,0 +1,267 @@
+//! Federated baselines over conventional neural models (CNN / MLP /
+//! logistic regression), used as the comparison arm of Fig. 3–5 and
+//! Table II.
+//!
+//! Runs FedAvg over [`rhychee_nn::Network`] parameters. The structure
+//! mirrors [`Framework`](crate::framework::Framework) but trains with
+//! minibatch SGD instead of HDC updates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rhychee_data::partition::dirichlet_partition_indices;
+use rhychee_data::TrainTest;
+use rhychee_nn::Network;
+
+use crate::config::FlConfig;
+use crate::error::FlError;
+use crate::framework::{RoundReport, RunReport};
+
+/// Which baseline model the federation trains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NnModelKind {
+    /// Two-conv + two-FC CNN (Li et al. baseline; 43,484 parameters).
+    Cnn,
+    /// Multilayer perceptron (PFMLP baseline).
+    Mlp,
+    /// Logistic regression (xMK-CKKS baseline).
+    LogisticRegression,
+}
+
+/// SGD hyperparameters for the local solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { lr: 0.05, momentum: 0.9, batch_size: 32 }
+    }
+}
+
+/// A FedAvg federation over a neural baseline.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rhychee_core::{FlConfig, NnFederation, NnModelKind};
+/// use rhychee_data::{DatasetKind, SyntheticConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = SyntheticConfig::small(DatasetKind::Mnist).generate(1)?;
+/// let config = FlConfig::builder().clients(4).rounds(3).build()?;
+/// let mut fed = NnFederation::new(&config, &data, NnModelKind::Cnn, Default::default())?;
+/// let report = fed.run()?;
+/// println!("CNN FedAvg accuracy: {:.3}", report.final_accuracy);
+/// # Ok(())
+/// # }
+/// ```
+pub struct NnFederation {
+    net: Network,
+    global: Vec<f32>,
+    shards: Vec<(Vec<Vec<f32>>, Vec<usize>)>,
+    test_features: Vec<Vec<f32>>,
+    test_labels: Vec<usize>,
+    config: FlConfig,
+    sgd: SgdConfig,
+    rng: StdRng,
+    next_round: usize,
+}
+
+impl NnFederation {
+    /// Builds a federation of the given baseline over Dirichlet shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError`] on invalid config, insufficient data, or a
+    /// model/dataset shape mismatch (the CNN requires 784-feature
+    /// image-shaped inputs).
+    pub fn new(
+        config: &FlConfig,
+        data: &TrainTest,
+        kind: NnModelKind,
+        sgd: SgdConfig,
+    ) -> Result<Self, FlError> {
+        config.validate()?;
+        if data.train.len() < config.clients {
+            return Err(FlError::DataError("fewer training samples than clients".into()));
+        }
+        let feature_dim = data.train.feature_dim();
+        let classes = data.train.num_classes();
+        if kind == NnModelKind::Cnn && feature_dim != 784 {
+            return Err(FlError::DataError(format!(
+                "CNN baseline expects 784 features (28x28 images), got {feature_dim}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let net = match kind {
+            NnModelKind::Cnn => Network::cnn_mnist(&mut rng),
+            NnModelKind::Mlp => Network::mlp(feature_dim, &[69], classes, &mut rng),
+            NnModelKind::LogisticRegression => {
+                Network::logistic_regression(feature_dim, classes, &mut rng)
+            }
+        };
+        let global = net.flatten_params();
+        let shards = dirichlet_partition_indices(
+            data.train.labels(),
+            classes,
+            config.clients,
+            config.dirichlet_alpha,
+            &mut rng,
+        )
+        .into_iter()
+        .map(|idx| {
+            let feats = idx.iter().map(|&i| data.train.features()[i].clone()).collect();
+            let labels = idx.iter().map(|&i| data.train.labels()[i]).collect();
+            (feats, labels)
+        })
+        .collect();
+        Ok(NnFederation {
+            net,
+            global,
+            shards,
+            test_features: data.test.features().to_vec(),
+            test_labels: data.test.labels().to_vec(),
+            config: config.clone(),
+            sgd,
+            rng,
+            next_round: 0,
+        })
+    }
+
+    /// Trainable parameter count of the federated model.
+    pub fn num_parameters(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Accuracy of the current global model on the test set.
+    pub fn global_accuracy(&mut self) -> f64 {
+        self.net.load_params(&self.global.clone());
+        self.net.accuracy(&self.test_features, &self.test_labels)
+    }
+
+    /// Executes one FedAvg round over all clients.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but kept fallible for pipeline symmetry.
+    pub fn run_round(&mut self) -> Result<RoundReport, FlError> {
+        let round = self.next_round;
+        self.next_round += 1;
+        let t0 = std::time::Instant::now();
+        let mut sum = vec![0.0f32; self.global.len()];
+        let clients = self.shards.len();
+        for c in 0..clients {
+            self.net.load_params(&self.global.clone());
+            self.net.reset_momentum();
+            let (feats, labels) = &self.shards[c];
+            for _ in 0..self.config.local_epochs {
+                self.net.train_epoch(
+                    feats,
+                    labels,
+                    self.sgd.batch_size,
+                    self.sgd.lr,
+                    self.sgd.momentum,
+                    &mut self.rng,
+                );
+            }
+            for (s, p) in sum.iter_mut().zip(self.net.flatten_params()) {
+                *s += p;
+            }
+        }
+        for s in sum.iter_mut() {
+            *s /= clients as f32;
+        }
+        self.global = sum;
+        let train_time = t0.elapsed();
+        let accuracy = self.global_accuracy();
+        Ok(RoundReport {
+            round,
+            accuracy,
+            upload_bits_per_client: self.global.len() as u64 * 32,
+            download_bits_per_client: self.global.len() as u64 * 32,
+            train_time,
+            ..RoundReport::default()
+        })
+    }
+
+    /// Runs all configured rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first round error.
+    pub fn run(&mut self) -> Result<RunReport, FlError> {
+        let mut report = RunReport::default();
+        for _ in 0..self.config.rounds {
+            report.rounds.push(self.run_round()?);
+        }
+        report.final_accuracy = report.rounds.last().map_or(0.0, |r| r.accuracy);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhychee_data::{DatasetKind, SyntheticConfig};
+
+    fn config(clients: usize, rounds: usize) -> FlConfig {
+        FlConfig::builder().clients(clients).rounds(rounds).seed(3).build().expect("valid")
+    }
+
+    #[test]
+    fn lr_federation_learns_har() {
+        let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 300, test_samples: 120 }
+            .generate(2)
+            .expect("generate");
+        let sgd = SgdConfig { lr: 0.1, momentum: 0.0, batch_size: 16 };
+        let mut fed =
+            NnFederation::new(&config(4, 5), &data, NnModelKind::LogisticRegression, sgd)
+                .expect("build");
+        assert_eq!(fed.num_parameters(), 561 * 6 + 6);
+        let report = fed.run().expect("run");
+        assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
+    }
+
+    #[test]
+    fn mlp_federation_learns_mnist() {
+        let data =
+            SyntheticConfig { kind: DatasetKind::Mnist, train_samples: 300, test_samples: 120 }
+                .generate(3)
+                .expect("generate");
+        let sgd = SgdConfig { lr: 0.1, momentum: 0.5, batch_size: 16 };
+        let mut fed = NnFederation::new(&config(3, 4), &data, NnModelKind::Mlp, sgd).expect("build");
+        let report = fed.run().expect("run");
+        assert!(report.final_accuracy > 0.5, "accuracy {}", report.final_accuracy);
+    }
+
+    #[test]
+    fn cnn_requires_image_features() {
+        let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 60, test_samples: 30 }
+            .generate(4)
+            .expect("generate");
+        let err = NnFederation::new(&config(2, 1), &data, NnModelKind::Cnn, SgdConfig::default());
+        assert!(matches!(err, Err(FlError::DataError(_))));
+    }
+
+    #[test]
+    fn cnn_round_produces_report() {
+        let data =
+            SyntheticConfig { kind: DatasetKind::Mnist, train_samples: 60, test_samples: 30 }
+                .generate(5)
+                .expect("generate");
+        let mut fed =
+            NnFederation::new(&config(2, 1), &data, NnModelKind::Cnn, SgdConfig::default())
+                .expect("build");
+        assert_eq!(fed.num_parameters(), 43_484);
+        let r = fed.run_round().expect("round");
+        assert!(r.accuracy >= 0.0 && r.accuracy <= 1.0);
+        assert_eq!(r.upload_bits_per_client, 43_484 * 32);
+    }
+}

@@ -1,0 +1,237 @@
+//! Maximum-packing of model parameters into CKKS ciphertext slots
+//! (paper §IV-A step 2).
+//!
+//! A naive design would encrypt each class hypervector as its own
+//! ciphertext, wasting most of the `N/2` slots. Rhychee-FL instead
+//! flattens the whole `L × D` model and fills every slot of every
+//! ciphertext, needing exactly `⌈DL / (N/2)⌉` ciphertexts.
+
+use rand::Rng;
+
+use rhychee_fhe::ckks::{CkksCiphertext, CkksContext, CkksPublicKey, CkksSecretKey};
+use rhychee_fhe::FheError;
+
+/// Splits a flat parameter vector into slot-sized chunks (the last chunk
+/// zero-padded implicitly by the encoder).
+pub fn chunk_params(flat: &[f32], slots: usize) -> Vec<Vec<f64>> {
+    assert!(slots > 0, "slot count must be positive");
+    flat.chunks(slots)
+        .map(|c| c.iter().map(|&v| f64::from(v)).collect())
+        .collect()
+}
+
+/// Number of ciphertexts required for `num_params` parameters:
+/// `⌈DL / (N/2)⌉`.
+pub fn ciphertexts_needed(num_params: usize, slots: usize) -> usize {
+    num_params.div_ceil(slots)
+}
+
+/// Encrypts a flat model with maximum packing under the public key.
+///
+/// # Errors
+///
+/// Propagates [`FheError`] from encryption.
+pub fn encrypt_model<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    pk: &CkksPublicKey,
+    flat: &[f32],
+    rng: &mut R,
+) -> Result<Vec<CkksCiphertext>, FheError> {
+    chunk_params(flat, ctx.slot_count())
+        .iter()
+        .map(|chunk| ctx.encrypt(pk, chunk, rng))
+        .collect()
+}
+
+/// Decrypts a packed model back to a flat parameter vector of length
+/// `num_params`.
+pub fn decrypt_model(
+    ctx: &CkksContext,
+    sk: &CkksSecretKey,
+    cts: &[CkksCiphertext],
+    num_params: usize,
+) -> Vec<f32> {
+    let mut flat = Vec::with_capacity(num_params);
+    for ct in cts {
+        let values = ctx.decrypt(sk, ct);
+        for v in values {
+            if flat.len() == num_params {
+                break;
+            }
+            flat.push(v as f32);
+        }
+    }
+    assert_eq!(flat.len(), num_params, "ciphertexts carry too few parameters");
+    flat
+}
+
+/// Homomorphically averages packed models from several clients:
+/// `HomMul(Σᵢ Enc(LMᵢ), 1/P)` (paper Eq. 2), ciphertext by ciphertext.
+///
+/// # Errors
+///
+/// Returns [`FheError`] if clients submitted inconsistent ciphertext
+/// counts or incompatible ciphertexts.
+pub fn homomorphic_average(
+    ctx: &CkksContext,
+    client_models: &[Vec<CkksCiphertext>],
+) -> Result<Vec<CkksCiphertext>, FheError> {
+    let p = client_models.len();
+    if p == 0 {
+        return Err(FheError::InvalidParams("no client models to aggregate".into()));
+    }
+    homomorphic_weighted_average(ctx, client_models, &vec![1.0 / p as f64; p])
+}
+
+/// Homomorphically computes a weighted average `Σᵢ wᵢ · Enc(LMᵢ)`.
+///
+/// Generalizes [`homomorphic_average`] to sample-count-weighted FedAvg
+/// (McMahan et al.): each client's ciphertexts are scaled by its public
+/// plaintext weight before summation. Weights must sum to ≈ 1 so the
+/// result stays in the global model's dynamic range.
+///
+/// # Errors
+///
+/// Returns [`FheError`] on empty input, mismatched weight/model counts,
+/// inconsistent ciphertext counts, or incompatible ciphertexts.
+pub fn homomorphic_weighted_average(
+    ctx: &CkksContext,
+    client_models: &[Vec<CkksCiphertext>],
+    weights: &[f64],
+) -> Result<Vec<CkksCiphertext>, FheError> {
+    if client_models.is_empty() {
+        return Err(FheError::InvalidParams("no client models to aggregate".into()));
+    }
+    if client_models.len() != weights.len() {
+        return Err(FheError::InvalidParams(format!(
+            "{} models but {} weights",
+            client_models.len(),
+            weights.len()
+        )));
+    }
+    let chunks = client_models[0].len();
+    if client_models.iter().any(|m| m.len() != chunks) {
+        return Err(FheError::InvalidParams(
+            "clients submitted differing ciphertext counts".into(),
+        ));
+    }
+    let mut global = Vec::with_capacity(chunks);
+    for chunk_idx in 0..chunks {
+        let mut acc = ctx.mul_scalar(&client_models[0][chunk_idx], weights[0]);
+        for (client, &w) in client_models[1..].iter().zip(&weights[1..]) {
+            let scaled = ctx.mul_scalar(&client[chunk_idx], w);
+            ctx.add_assign(&mut acc, &scaled)?;
+        }
+        global.push(acc);
+    }
+    Ok(global)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use rhychee_fhe::params::CkksParams;
+
+    fn setup() -> (CkksContext, CkksSecretKey, CkksPublicKey, StdRng) {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("valid");
+        let mut rng = StdRng::seed_from_u64(1);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        (ctx, sk, pk, rng)
+    }
+
+    #[test]
+    fn chunking_covers_all_params() {
+        let flat: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let chunks = chunk_params(&flat, 256);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0].len(), 256);
+        assert_eq!(chunks[3].len(), 1000 - 3 * 256);
+        assert_eq!(chunks.iter().map(Vec::len).sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn ciphertext_count_formula() {
+        // The paper's headline numbers: D·L = 20,000 at N/2 = 4096 slots
+        // → 5 ciphertexts; the 43,484-param CNN → 11.
+        assert_eq!(ciphertexts_needed(20_000, 4096), 5);
+        assert_eq!(ciphertexts_needed(43_484, 4096), 11);
+        assert_eq!(ciphertexts_needed(1, 4096), 1);
+        assert_eq!(ciphertexts_needed(4096, 4096), 1);
+        assert_eq!(ciphertexts_needed(4097, 4096), 2);
+    }
+
+    #[test]
+    fn encrypt_decrypt_model_round_trip() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let flat: Vec<f32> = (0..700).map(|i| (i as f32 * 0.01).sin()).collect();
+        let cts = encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt");
+        assert_eq!(cts.len(), ciphertexts_needed(700, ctx.slot_count()));
+        let back = decrypt_model(&ctx, &sk, &cts, 700);
+        for (a, b) in flat.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_average_matches_plaintext() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let p = 4;
+        let models: Vec<Vec<f32>> = (0..p)
+            .map(|c| (0..300).map(|i| ((c * 300 + i) as f32 * 0.01).cos()).collect())
+            .collect();
+        let encrypted: Vec<Vec<CkksCiphertext>> = models
+            .iter()
+            .map(|m| encrypt_model(&ctx, &pk, m, &mut rng).expect("encrypt"))
+            .collect();
+        let global = homomorphic_average(&ctx, &encrypted).expect("aggregate");
+        let back = decrypt_model(&ctx, &sk, &global, 300);
+        for i in 0..300 {
+            let expected: f32 = models.iter().map(|m| m[i]).sum::<f32>() / p as f32;
+            assert!((back[i] - expected).abs() < 1e-2, "param {i}: {} vs {expected}", back[i]);
+        }
+    }
+
+    #[test]
+    fn weighted_average_matches_plaintext() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let models: Vec<Vec<f32>> = vec![vec![1.0; 100], vec![5.0; 100], vec![9.0; 100]];
+        let weights = [0.5f64, 0.3, 0.2];
+        let encrypted: Vec<Vec<CkksCiphertext>> = models
+            .iter()
+            .map(|m| encrypt_model(&ctx, &pk, m, &mut rng).expect("encrypt"))
+            .collect();
+        let global =
+            homomorphic_weighted_average(&ctx, &encrypted, &weights).expect("aggregate");
+        let back = decrypt_model(&ctx, &sk, &global, 100);
+        let expected = 0.5 * 1.0 + 0.3 * 5.0 + 0.2 * 9.0;
+        for v in &back {
+            assert!((v - expected as f32).abs() < 1e-2, "{v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn weighted_average_rejects_mismatched_weights() {
+        let (ctx, _, pk, mut rng) = setup();
+        let a = encrypt_model(&ctx, &pk, &vec![1.0; 10], &mut rng).expect("encrypt");
+        assert!(homomorphic_weighted_average(&ctx, &[a], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn aggregation_rejects_inconsistent_counts() {
+        let (ctx, _, pk, mut rng) = setup();
+        let a = encrypt_model(&ctx, &pk, &vec![1.0; 300], &mut rng).expect("encrypt");
+        let b = encrypt_model(&ctx, &pk, &vec![1.0; 600], &mut rng).expect("encrypt");
+        assert!(homomorphic_average(&ctx, &[a, b]).is_err());
+        assert!(homomorphic_average(&ctx, &[]).is_err());
+    }
+
+    #[test]
+    fn packing_is_maximal() {
+        let (ctx, _, pk, mut rng) = setup();
+        // One model the size of exactly 2.5 ciphertexts.
+        let n = ctx.slot_count() * 5 / 2;
+        let cts = encrypt_model(&ctx, &pk, &vec![0.5; n], &mut rng).expect("encrypt");
+        assert_eq!(cts.len(), 3, "⌈2.5⌉ = 3 ciphertexts, no per-row waste");
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic datasets and federated partitioning for Rhychee-FL.
+//!
+//! The paper evaluates on MNIST and UCI HAR, neither of which is
+//! available in this offline reproduction. This crate provides faithful
+//! synthetic stand-ins (documented in the repository's DESIGN.md):
+//!
+//! * [`synth_mnist`] — 28×28 digit glyphs rendered from per-class stroke
+//!   skeletons with affine jitter and pixel noise (10 classes, 784
+//!   features);
+//! * [`synth_har`] — six simulated activities as 6-channel inertial
+//!   windows summarized into the UCI HAR 561-feature vector;
+//! * [`partition`] — the Dirichlet non-IID partitioner of Li et al. used
+//!   in the paper's setup (α = 0.5), plus an IID partitioner;
+//! * [`dataset`] / [`config`] — dataset containers and generation entry
+//!   points.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use rhychee_data::{DatasetKind, SyntheticConfig};
+//! use rhychee_data::partition::dirichlet_partition;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let split = SyntheticConfig::small(DatasetKind::Mnist).generate(1)?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let shards = dirichlet_partition(&split.train, 10, 0.5, &mut rng);
+//! assert_eq!(shards.len(), 10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod dataset;
+pub mod partition;
+pub mod synth_har;
+pub mod synth_mnist;
+
+pub use config::{DatasetKind, FeatureStats, GenerateError, SyntheticConfig};
+pub use dataset::{Dataset, TrainTest};
+pub use partition::{dirichlet_partition, dirichlet_partition_indices, iid_partition, label_skew};

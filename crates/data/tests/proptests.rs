@@ -1,0 +1,110 @@
+//! Property-based tests for dataset generation and federated
+//! partitioning.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+use rhychee_data::dataset::Dataset;
+use rhychee_data::partition::{dirichlet_partition, dirichlet_partition_indices, iid_partition};
+use rhychee_data::synth_har::{generate_sample, Activity};
+use rhychee_data::synth_mnist::{render_digit, GlyphJitter};
+
+fn labelled_dataset(n: usize, classes: usize) -> Dataset {
+    Dataset::new(
+        (0..n).map(|i| vec![i as f32]).collect(),
+        (0..n).map(|i| i % classes).collect(),
+        classes,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dirichlet_partition_conserves_and_covers(
+        seed in any::<u64>(),
+        n in 50usize..400,
+        clients in 1usize..20,
+        alpha in 0.05f64..20.0,
+        classes in 2usize..8,
+    ) {
+        prop_assume!(n >= clients);
+        let ds = labelled_dataset(n, classes);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = dirichlet_partition(&ds, clients, alpha, &mut rng);
+        prop_assert_eq!(shards.len(), clients);
+        prop_assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), n);
+        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        // Every sample appears exactly once.
+        let mut ids: Vec<i64> = shards
+            .iter()
+            .flat_map(|s| s.features().iter().map(|f| f[0] as i64))
+            .collect();
+        ids.sort_unstable();
+        let expected: Vec<i64> = (0..n as i64).collect();
+        prop_assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn index_partition_matches_dataset_partition_shapes(
+        seed in any::<u64>(),
+        n in 30usize..200,
+        clients in 1usize..10,
+    ) {
+        prop_assume!(n >= clients);
+        let ds = labelled_dataset(n, 4);
+        let mut rng1 = StdRng::seed_from_u64(seed);
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        let shards = dirichlet_partition(&ds, clients, 0.5, &mut rng1);
+        let indices = dirichlet_partition_indices(ds.labels(), 4, clients, 0.5, &mut rng2);
+        for (shard, idx) in shards.iter().zip(&indices) {
+            prop_assert_eq!(shard.len(), idx.len());
+        }
+    }
+
+    #[test]
+    fn iid_partition_is_balanced(
+        seed in any::<u64>(),
+        n in 20usize..300,
+        clients in 1usize..15,
+    ) {
+        prop_assume!(n >= clients);
+        let ds = labelled_dataset(n, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shards = iid_partition(&ds, clients, &mut rng);
+        let min = shards.iter().map(Dataset::len).min().unwrap();
+        let max = shards.iter().map(Dataset::len).max().unwrap();
+        prop_assert!(max - min <= 1, "imbalance {min}..{max}");
+    }
+
+    #[test]
+    fn digit_renders_are_valid_images(seed in any::<u64>(), digit in 0usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = render_digit(digit, &GlyphJitter::default(), &mut rng);
+        prop_assert_eq!(img.len(), 784);
+        prop_assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p) && p.is_finite()));
+        let ink: f32 = img.iter().sum();
+        prop_assert!(ink > 5.0 && ink < 600.0, "ink mass {ink}");
+    }
+
+    #[test]
+    fn har_features_are_finite_and_dimensioned(seed in any::<u64>(), class in 0usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let features = generate_sample(Activity::all()[class], &mut rng);
+        prop_assert_eq!(features.len(), 561);
+        prop_assert!(features.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn subset_preserves_labels(
+        n in 10usize..100,
+        pick in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
+    ) {
+        let ds = labelled_dataset(n, 5);
+        let indices: Vec<usize> = pick.iter().map(|i| i.index(n)).collect();
+        let sub = ds.subset(&indices);
+        for (k, &i) in indices.iter().enumerate() {
+            prop_assert_eq!(sub.labels()[k], ds.labels()[i]);
+        }
+    }
+}

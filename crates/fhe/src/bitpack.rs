@@ -1,0 +1,176 @@
+//! Bit-level packing for ciphertext wire formats.
+//!
+//! Ciphertext sizes in the paper are counted in *bits* (`2N·log Q` for
+//! RLWE, `(n+1)·log q` for LWE). Packing each residue at exactly
+//! `⌈log2 q⌉` bits makes our serialized sizes match the analytical
+//! formulas, which the channel experiments depend on.
+
+use crate::error::FheError;
+
+/// Append-only bit writer (little-endian within bytes).
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bit_pos: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `bits` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64` or if `value` has bits set above `bits`.
+    pub fn write_bits(&mut self, value: u64, bits: u32) {
+        assert!(bits <= 64, "cannot write more than 64 bits at once");
+        assert!(
+            bits == 64 || value < (1u64 << bits),
+            "value {value} does not fit in {bits} bits"
+        );
+        for i in 0..bits {
+            let byte = self.bit_pos / 8;
+            let off = self.bit_pos % 8;
+            if byte == self.buf.len() {
+                self.buf.push(0);
+            }
+            if (value >> i) & 1 == 1 {
+                self.buf[byte] |= 1 << off;
+            }
+            self.bit_pos += 1;
+        }
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_pos
+    }
+
+    /// Finishes writing and returns the byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential bit reader over a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, bit_pos: 0 }
+    }
+
+    /// Reads the next `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Deserialize`] if the buffer is exhausted.
+    pub fn read_bits(&mut self, bits: u32) -> Result<u64, FheError> {
+        assert!(bits <= 64, "cannot read more than 64 bits at once");
+        if self.bit_pos + bits as usize > self.buf.len() * 8 {
+            return Err(FheError::Deserialize(format!(
+                "unexpected end of buffer at bit {}",
+                self.bit_pos
+            )));
+        }
+        let mut value = 0u64;
+        for i in 0..bits {
+            let byte = self.bit_pos / 8;
+            let off = self.bit_pos % 8;
+            if (self.buf[byte] >> off) & 1 == 1 {
+                value |= 1 << i;
+            }
+            self.bit_pos += 1;
+        }
+        Ok(value)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> usize {
+        self.bit_pos
+    }
+}
+
+/// Number of bits needed to represent values in `[0, q)`.
+pub fn bits_for(q: u64) -> u32 {
+    64 - (q - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xFFFF, 16);
+        w.write_bits(0, 1);
+        w.write_bits(u64::MAX, 64);
+        let expected_bits = 3 + 16 + 1 + 64;
+        assert_eq!(w.bit_len(), expected_bits);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), expected_bits.div_ceil(8));
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(16).unwrap(), 0xFFFF);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn random_round_trip() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let entries: Vec<(u64, u32)> = (0..500)
+            .map(|_| {
+                let bits = rng.gen_range(1..=63);
+                let value = rng.gen::<u64>() & ((1u64 << bits) - 1);
+                (value, bits)
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, b) in &entries {
+            w.write_bits(v, b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, b) in &entries {
+            assert_eq!(r.read_bits(b).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn read_past_end_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(1, 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(8).unwrap(); // the padded byte is readable
+        assert!(r.read_bits(1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(8, 3);
+    }
+
+    #[test]
+    fn bits_for_moduli() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(1024), 10);
+        assert_eq!(bits_for(1025), 11);
+        assert_eq!(bits_for(1u64 << 61), 61);
+        assert_eq!(bits_for((1u64 << 61) - 1), 61);
+    }
+}

@@ -1,0 +1,653 @@
+//! CKKS context, keys, ciphertexts and homomorphic operations.
+//!
+//! Supports exactly the operation set Rhychee-FL needs (paper §II-A):
+//! encryption, decryption, ciphertext-ciphertext addition, and
+//! multiplication by a plaintext scalar or vector, plus rescaling. No
+//! relinearization or bootstrapping is required because federated
+//! averaging is linear.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::bitpack::{bits_for, BitReader, BitWriter};
+use crate::error::FheError;
+use crate::params::CkksParams;
+use crate::sampling::{gaussian_vec, ternary_vec};
+
+use super::encoder::CkksEncoder;
+use super::modarith::{find_ntt_primes, mul_mod};
+use super::ntt::NttTable;
+use super::rns::RnsPoly;
+
+/// Shared CKKS evaluation context: primes, NTT tables and the encoder.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rhychee_fhe::ckks::CkksContext;
+/// use rhychee_fhe::params::CkksParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ctx = CkksContext::new(CkksParams::toy())?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let (sk, pk) = ctx.generate_keys(&mut rng);
+/// let ct = ctx.encrypt(&pk, &[1.0, 2.0, 3.0], &mut rng)?;
+/// let back = ctx.decrypt(&sk, &ct);
+/// assert!((back[0] - 1.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    primes: Vec<u64>,
+    ntt: Vec<NttTable>,
+    encoder: CkksEncoder,
+}
+
+/// A CKKS secret key (the ternary ring element `s`).
+#[derive(Debug, Clone)]
+pub struct CkksSecretKey {
+    pub(crate) s: RnsPoly,
+}
+
+/// A CKKS public key `(b, a) = (−a·s + e, a)`.
+#[derive(Debug, Clone)]
+pub struct CkksPublicKey {
+    pub(crate) b: RnsPoly,
+    pub(crate) a: RnsPoly,
+}
+
+/// A CKKS ciphertext `(c0, c1)` with scale and (implicit) level tracking.
+#[derive(Debug, Clone)]
+pub struct CkksCiphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    pub(crate) scale: f64,
+}
+
+impl CkksCiphertext {
+    /// The current scale Δ' of the encrypted message.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Remaining modulus levels (number of active primes).
+    pub fn levels(&self) -> usize {
+        self.c0.levels()
+    }
+}
+
+impl CkksContext {
+    /// Builds a context from validated parameters, materializing the
+    /// NTT-friendly prime chain and transform tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::InvalidParams`] if `params` fails validation.
+    pub fn new(params: CkksParams) -> Result<Self, FheError> {
+        params.validate()?;
+        let two_n = 2 * params.n as u64;
+        // Group requested prime sizes so repeated sizes yield distinct primes.
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &b in &params.prime_bits {
+            *counts.entry(b).or_insert(0) += 1;
+        }
+        let mut pools: HashMap<u32, Vec<u64>> = counts
+            .into_iter()
+            .map(|(bits, count)| (bits, find_ntt_primes(bits, count, two_n)))
+            .collect();
+        let primes: Vec<u64> = params
+            .prime_bits
+            .iter()
+            .map(|b| pools.get_mut(b).expect("pool exists").remove(0))
+            .collect();
+        let ntt = primes.iter().map(|&q| NttTable::new(params.n, q)).collect();
+        let encoder = CkksEncoder::new(params.n, 1u64 << params.scale_bits);
+        Ok(CkksContext { params, primes, ntt, encoder })
+    }
+
+    /// The parameter set this context was built from.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The materialized RNS prime chain.
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Number of plaintext slots per ciphertext (N/2).
+    pub fn slot_count(&self) -> usize {
+        self.params.slot_count()
+    }
+
+    /// The slot encoder for this context.
+    pub fn encoder(&self) -> &CkksEncoder {
+        &self.encoder
+    }
+
+    /// Generates a fresh (secret, public) key pair.
+    pub fn generate_keys<R: Rng + ?Sized>(&self, rng: &mut R) -> (CkksSecretKey, CkksPublicKey) {
+        let n = self.params.n;
+        let s_coeffs = ternary_vec(rng, n);
+        let s = RnsPoly::from_signed_coeffs(&s_coeffs, &self.primes);
+        let a = self.uniform_poly(rng);
+        let e_coeffs = gaussian_vec(rng, n, self.params.sigma);
+        let e = RnsPoly::from_signed_coeffs(&e_coeffs, &self.primes);
+        // b = -(a·s) + e
+        let a_s = self.poly_mul(&a, &s);
+        let b = a_s.neg(&self.primes).add(&e, &self.primes);
+        (CkksSecretKey { s }, CkksPublicKey { b, a })
+    }
+
+    /// Encrypts a slot vector under the public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::PlaintextTooLarge`] if more than `N/2` values
+    /// are supplied.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        pk: &CkksPublicKey,
+        values: &[f64],
+        rng: &mut R,
+    ) -> Result<CkksCiphertext, FheError> {
+        let m = self.encode_poly(values)?;
+        let n = self.params.n;
+        let v_coeffs = ternary_vec(rng, n);
+        let v = RnsPoly::from_signed_coeffs(&v_coeffs, &self.primes);
+        let e0 = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
+        let e1 = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
+        let c0 = self.poly_mul(&pk.b, &v).add(&e0, &self.primes).add(&m, &self.primes);
+        let c1 = self.poly_mul(&pk.a, &v).add(&e1, &self.primes);
+        Ok(CkksCiphertext { c0, c1, scale: self.encoder.scale() })
+    }
+
+    /// Encrypts a slot vector under the secret key (symmetric mode).
+    ///
+    /// Produces the same ciphertext shape as [`CkksContext::encrypt`] with
+    /// slightly lower fresh noise; useful when clients hold the shared
+    /// secret key anyway, as in Rhychee-FL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::PlaintextTooLarge`] if more than `N/2` values
+    /// are supplied.
+    pub fn encrypt_symmetric<R: Rng + ?Sized>(
+        &self,
+        sk: &CkksSecretKey,
+        values: &[f64],
+        rng: &mut R,
+    ) -> Result<CkksCiphertext, FheError> {
+        let m = self.encode_poly(values)?;
+        let n = self.params.n;
+        let a = self.uniform_poly(rng);
+        let e = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
+        // c0 = -(a·s) + e + m, c1 = a
+        let c0 = self
+            .poly_mul(&a, &sk.s)
+            .neg(&self.primes)
+            .add(&e, &self.primes)
+            .add(&m, &self.primes);
+        Ok(CkksCiphertext { c0, c1: a, scale: self.encoder.scale() })
+    }
+
+    /// Decrypts a ciphertext to its slot values.
+    pub fn decrypt(&self, sk: &CkksSecretKey, ct: &CkksCiphertext) -> Vec<f64> {
+        let levels = ct.levels();
+        let active = &self.primes[..levels];
+        let s = self.at_level(&sk.s, levels);
+        let c1_s = self.poly_mul_at(&ct.c1, &s, levels);
+        let m = ct.c0.add(&c1_s, active);
+        let coeffs = m.to_centered_f64(active);
+        self.encoder.decode_with_scale(&coeffs, ct.scale)
+    }
+
+    /// Homomorphic addition of two ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::LevelMismatch`] or [`FheError::ScaleMismatch`]
+    /// if the operands are incompatible.
+    pub fn add(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, FheError> {
+        self.check_compatible(a, b)?;
+        let active = &self.primes[..a.levels()];
+        Ok(CkksCiphertext {
+            c0: a.c0.add(&b.c0, active),
+            c1: a.c1.add(&b.c1, active),
+            scale: a.scale,
+        })
+    }
+
+    /// In-place homomorphic addition (`acc += ct`), the hot loop of
+    /// federated aggregation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::LevelMismatch`] or [`FheError::ScaleMismatch`]
+    /// if the operands are incompatible.
+    pub fn add_assign(&self, acc: &mut CkksCiphertext, ct: &CkksCiphertext) -> Result<(), FheError> {
+        self.check_compatible(acc, ct)?;
+        let levels = acc.levels();
+        acc.c0.add_assign(&ct.c0, &self.primes[..levels]);
+        acc.c1.add_assign(&ct.c1, &self.primes[..levels]);
+        Ok(())
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::LevelMismatch`] or [`FheError::ScaleMismatch`]
+    /// if the operands are incompatible.
+    pub fn sub(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, FheError> {
+        self.check_compatible(a, b)?;
+        let active = &self.primes[..a.levels()];
+        Ok(CkksCiphertext {
+            c0: a.c0.sub(&b.c0, active),
+            c1: a.c1.sub(&b.c1, active),
+            scale: a.scale,
+        })
+    }
+
+    /// Multiplies a ciphertext by a plaintext scalar (e.g. `1/P` in
+    /// federated averaging, Eq. 2 of the paper).
+    ///
+    /// The scalar is encoded at the context scale Δ, so the result's scale
+    /// becomes `ct.scale · Δ`. Call [`CkksContext::rescale`] afterwards if
+    /// a modulus level is available; decoding also works at the squared
+    /// scale as long as the message magnitude stays within the modulus.
+    pub fn mul_scalar(&self, ct: &CkksCiphertext, scalar: f64) -> CkksCiphertext {
+        let delta = self.encoder.scale();
+        let encoded = (scalar * delta).round() as i64;
+        let active = &self.primes[..ct.levels()];
+        CkksCiphertext {
+            c0: ct.c0.mul_scalar_signed(encoded, active),
+            c1: ct.c1.mul_scalar_signed(encoded, active),
+            scale: ct.scale * delta,
+        }
+    }
+
+    /// Slot-wise multiplication by a plaintext vector.
+    ///
+    /// Encodes `values` as a plaintext polynomial and multiplies both
+    /// ciphertext components by it (one NTT product per prime). The scale
+    /// becomes `ct.scale · Δ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::PlaintextTooLarge`] if more than `N/2` values
+    /// are supplied.
+    pub fn mul_plain_vec(
+        &self,
+        ct: &CkksCiphertext,
+        values: &[f64],
+    ) -> Result<CkksCiphertext, FheError> {
+        if values.len() > self.slot_count() {
+            return Err(FheError::PlaintextTooLarge {
+                len: values.len(),
+                capacity: self.slot_count(),
+            });
+        }
+        let coeffs = self.encoder.encode(values);
+        let levels = ct.levels();
+        let m = RnsPoly::from_signed_coeffs(&coeffs, &self.primes[..levels]);
+        Ok(CkksCiphertext {
+            c0: self.poly_mul_at(&ct.c0, &m, levels),
+            c1: self.poly_mul_at(&ct.c1, &m, levels),
+            scale: ct.scale * self.encoder.scale(),
+        })
+    }
+
+    /// Rescales a ciphertext by the last active prime, dropping one level
+    /// and dividing the scale accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::LevelExhausted`] at the bottom of the chain.
+    pub fn rescale(&self, ct: &CkksCiphertext) -> Result<CkksCiphertext, FheError> {
+        let levels = ct.levels();
+        if levels < 2 {
+            return Err(FheError::LevelExhausted);
+        }
+        let q_last = self.primes[levels - 1] as f64;
+        let active = &self.primes[..levels];
+        Ok(CkksCiphertext {
+            c0: ct.c0.rescale(active),
+            c1: ct.c1.rescale(active),
+            scale: ct.scale / q_last,
+        })
+    }
+
+    /// Serializes a ciphertext with exact-width residue packing, so the
+    /// byte length closely tracks the paper's `2N·log Q` accounting.
+    pub fn serialize(&self, ct: &CkksCiphertext) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(ct.levels() as u64, 8);
+        w.write_bits(ct.scale.to_bits(), 64);
+        for poly in [&ct.c0, &ct.c1] {
+            for (i, &q) in self.primes[..ct.levels()].iter().enumerate() {
+                let bits = bits_for(q);
+                for &r in poly.residues(i) {
+                    w.write_bits(r, bits);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a ciphertext previously produced by
+    /// [`CkksContext::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Deserialize`] on truncated input or an invalid
+    /// level count, and surfaces residues `≥ q` as corruption (callers in
+    /// the channel experiments rely on decrypting *garbage*, not erroring,
+    /// for in-range bit flips — exactly as a real system would).
+    pub fn deserialize(&self, bytes: &[u8]) -> Result<CkksCiphertext, FheError> {
+        let mut r = BitReader::new(bytes);
+        let levels = r.read_bits(8)? as usize;
+        if levels == 0 || levels > self.primes.len() {
+            return Err(FheError::Deserialize(format!("invalid level count {levels}")));
+        }
+        let scale = f64::from_bits(r.read_bits(64)?);
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(FheError::Deserialize("invalid scale".into()));
+        }
+        let n = self.params.n;
+        let mut polys = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let mut poly = RnsPoly::zero(n, levels);
+            for (i, &q) in self.primes[..levels].iter().enumerate() {
+                let bits = bits_for(q);
+                for j in 0..n {
+                    // Reduce mod q: a flipped bit may push a residue over q.
+                    poly.residues_mut(i)[j] = r.read_bits(bits)? % q;
+                }
+            }
+            polys.push(poly);
+        }
+        let c1 = polys.pop().expect("two polys");
+        let c0 = polys.pop().expect("two polys");
+        Ok(CkksCiphertext { c0, c1, scale })
+    }
+
+    fn check_compatible(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<(), FheError> {
+        if a.levels() != b.levels() {
+            return Err(FheError::LevelMismatch { lhs: a.levels(), rhs: b.levels() });
+        }
+        let tol = a.scale.max(b.scale) * 1e-9;
+        if (a.scale - b.scale).abs() > tol {
+            return Err(FheError::ScaleMismatch { lhs: a.scale, rhs: b.scale });
+        }
+        Ok(())
+    }
+
+    fn encode_poly(&self, values: &[f64]) -> Result<RnsPoly, FheError> {
+        if values.len() > self.slot_count() {
+            return Err(FheError::PlaintextTooLarge {
+                len: values.len(),
+                capacity: self.slot_count(),
+            });
+        }
+        let coeffs = self.encoder.encode(values);
+        Ok(RnsPoly::from_signed_coeffs(&coeffs, &self.primes))
+    }
+
+    pub(crate) fn uniform_poly<R: Rng + ?Sized>(&self, rng: &mut R) -> RnsPoly {
+        let n = self.params.n;
+        let mut poly = RnsPoly::zero(n, self.primes.len());
+        for (i, &q) in self.primes.iter().enumerate() {
+            for r in poly.residues_mut(i) {
+                *r = rng.gen_range(0..q);
+            }
+        }
+        poly
+    }
+
+    /// Truncates a full-level polynomial to the first `levels` primes.
+    pub(crate) fn at_level(&self, poly: &RnsPoly, levels: usize) -> RnsPoly {
+        let mut out = RnsPoly::zero(poly.degree(), levels);
+        for i in 0..levels {
+            out.residues_mut(i).copy_from_slice(poly.residues(i));
+        }
+        out
+    }
+
+    /// Negacyclic product over the first `levels` primes.
+    pub(crate) fn poly_mul_at(&self, a: &RnsPoly, b: &RnsPoly, levels: usize) -> RnsPoly {
+        let n = self.params.n;
+        let mut out = RnsPoly::zero(n, levels);
+        for i in 0..levels {
+            let table = &self.ntt[i];
+            let q = self.primes[i];
+            let mut fa = a.residues(i).to_vec();
+            let mut fb = b.residues(i).to_vec();
+            table.forward(&mut fa);
+            table.forward(&mut fb);
+            for (x, y) in fa.iter_mut().zip(&fb) {
+                *x = mul_mod(*x, *y, q);
+            }
+            table.inverse(&mut fa);
+            out.residues_mut(i).copy_from_slice(&fa);
+        }
+        out
+    }
+
+    fn poly_mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.poly_mul_at(a, b, self.primes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy_setup() -> (CkksContext, CkksSecretKey, CkksPublicKey, StdRng) {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("valid params");
+        let mut rng = StdRng::seed_from_u64(42);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        (ctx, sk, pk, rng)
+    }
+
+    fn assert_close(actual: &[f64], expected: &[f64], tol: f64) {
+        for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+            assert!((a - e).abs() < tol, "slot {i}: {a} vs {e} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let values: Vec<f64> = (0..ctx.slot_count()).map(|i| (i as f64 * 0.1).sin()).collect();
+        let ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+        let back = ctx.decrypt(&sk, &ct);
+        assert_close(&back[..values.len()], &values, 1e-4);
+    }
+
+    #[test]
+    fn symmetric_encryption_round_trip() {
+        let (ctx, sk, _, mut rng) = toy_setup();
+        let values = vec![3.25, -1.5, 0.0, 99.0];
+        let ct = ctx.encrypt_symmetric(&sk, &values, &mut rng).expect("encrypt");
+        let back = ctx.decrypt(&sk, &ct);
+        assert_close(&back[..4], &values, 1e-4);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let x = vec![1.0, 2.0, -3.0];
+        let y = vec![10.0, -20.0, 30.0];
+        let cx = ctx.encrypt(&pk, &x, &mut rng).expect("encrypt");
+        let cy = ctx.encrypt(&pk, &y, &mut rng).expect("encrypt");
+        let sum = ctx.add(&cx, &cy).expect("add");
+        let back = ctx.decrypt(&sk, &sum);
+        assert_close(&back[..3], &[11.0, -18.0, 27.0], 1e-3);
+    }
+
+    #[test]
+    fn homomorphic_subtraction() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let cx = ctx.encrypt(&pk, &[5.0, 7.0], &mut rng).expect("encrypt");
+        let cy = ctx.encrypt(&pk, &[2.0, 10.0], &mut rng).expect("encrypt");
+        let diff = ctx.sub(&cx, &cy).expect("sub");
+        let back = ctx.decrypt(&sk, &diff);
+        assert_close(&back[..2], &[3.0, -3.0], 1e-3);
+    }
+
+    #[test]
+    fn add_assign_accumulates_many() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let clients = 10;
+        let mut acc = ctx.encrypt(&pk, &[1.0, -1.0], &mut rng).expect("encrypt");
+        for _ in 1..clients {
+            let ct = ctx.encrypt(&pk, &[1.0, -1.0], &mut rng).expect("encrypt");
+            ctx.add_assign(&mut acc, &ct).expect("add_assign");
+        }
+        let back = ctx.decrypt(&sk, &acc);
+        assert_close(&back[..2], &[clients as f64, -(clients as f64)], 1e-2);
+    }
+
+    #[test]
+    fn scalar_multiplication_and_rescale() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let x = vec![4.0, -8.0, 0.5];
+        let ct = ctx.encrypt(&pk, &x, &mut rng).expect("encrypt");
+        let scaled = ctx.mul_scalar(&ct, 0.1);
+        // Without rescale the scale is squared but decryption still works.
+        let back = ctx.decrypt(&sk, &scaled);
+        assert_close(&back[..3], &[0.4, -0.8, 0.05], 1e-3);
+        // With rescale the level drops and the result matches too.
+        let rescaled = ctx.rescale(&scaled).expect("rescale");
+        assert_eq!(rescaled.levels(), ct.levels() - 1);
+        let back = ctx.decrypt(&sk, &rescaled);
+        assert_close(&back[..3], &[0.4, -0.8, 0.05], 1e-3);
+    }
+
+    #[test]
+    fn federated_average_pattern() {
+        // HomAvg = HomMul(Σ ct_i, 1/P): the exact Eq. 2 pipeline.
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let p = 5usize;
+        let models: Vec<Vec<f64>> = (0..p)
+            .map(|c| (0..8).map(|j| (c * 8 + j) as f64 / 10.0).collect())
+            .collect();
+        let mut acc = ctx.encrypt(&pk, &models[0], &mut rng).expect("encrypt");
+        for m in &models[1..] {
+            let ct = ctx.encrypt(&pk, m, &mut rng).expect("encrypt");
+            ctx.add_assign(&mut acc, &ct).expect("add");
+        }
+        let avg_ct = ctx.mul_scalar(&acc, 1.0 / p as f64);
+        let back = ctx.decrypt(&sk, &avg_ct);
+        let expected: Vec<f64> = (0..8)
+            .map(|j| models.iter().map(|m| m[j]).sum::<f64>() / p as f64)
+            .collect();
+        assert_close(&back[..8], &expected, 1e-3);
+    }
+
+    #[test]
+    fn plaintext_vector_multiplication() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let x = vec![2.0, 3.0, -4.0];
+        let w = vec![0.5, -1.0, 0.25];
+        let ct = ctx.encrypt(&pk, &x, &mut rng).expect("encrypt");
+        let prod = ctx.mul_plain_vec(&ct, &w).expect("mul");
+        let back = ctx.decrypt(&sk, &prod);
+        assert_close(&back[..3], &[1.0, -3.0, -1.0], 1e-3);
+    }
+
+    #[test]
+    fn level_and_scale_mismatch_rejected() {
+        let (ctx, _, pk, mut rng) = toy_setup();
+        let a = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+        let b = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+        let b_low = ctx.rescale(&ctx.mul_scalar(&b, 1.0)).expect("rescale");
+        assert!(matches!(ctx.add(&a, &b_low), Err(FheError::LevelMismatch { .. })));
+        let b_scaled = ctx.mul_scalar(&b, 2.0);
+        assert!(matches!(ctx.add(&a, &b_scaled), Err(FheError::ScaleMismatch { .. })));
+    }
+
+    #[test]
+    fn rescale_at_bottom_errors() {
+        let (ctx, _, pk, mut rng) = toy_setup();
+        let ct = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+        let low = ctx.rescale(&ctx.mul_scalar(&ct, 1.0)).expect("first rescale");
+        assert_eq!(low.levels(), 1);
+        assert!(matches!(ctx.rescale(&low), Err(FheError::LevelExhausted)));
+    }
+
+    #[test]
+    fn oversized_plaintext_rejected() {
+        let (ctx, _, pk, mut rng) = toy_setup();
+        let too_big = vec![0.0; ctx.slot_count() + 1];
+        assert!(matches!(
+            ctx.encrypt(&pk, &too_big, &mut rng),
+            Err(FheError::PlaintextTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let values = vec![1.25, -2.5, 3.75];
+        let ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+        let bytes = ctx.serialize(&ct);
+        let back = ctx.deserialize(&bytes).expect("deserialize");
+        let dec = ctx.decrypt(&sk, &back);
+        assert_close(&dec[..3], &values, 1e-4);
+    }
+
+    #[test]
+    fn serialized_size_tracks_formula() {
+        let (ctx, _, pk, mut rng) = toy_setup();
+        let ct = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+        let bytes = ctx.serialize(&ct);
+        // 2 polys * N coeffs * (50 + 40) bits + 72-bit header.
+        let expected_bits = 2 * 512 * (50 + 40) + 72;
+        assert_eq!(bytes.len(), (expected_bits as usize).div_ceil(8));
+    }
+
+    #[test]
+    fn corrupted_ciphertext_decrypts_to_garbage() {
+        // A single bit flip in the payload must not error out, but must
+        // destroy the plaintext (paper §IV-C motivation).
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let values = vec![1.0; 16];
+        let ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+        let mut bytes = ctx.serialize(&ct);
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x10;
+        let corrupted = ctx.deserialize(&bytes).expect("still parseable");
+        let dec = ctx.decrypt(&sk, &corrupted);
+        let max_err = dec[..16]
+            .iter()
+            .zip(&values)
+            .map(|(d, v)| (d - v).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err > 1.0, "bit flip should corrupt decryption, err = {max_err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_truncation() {
+        let (ctx, _, pk, mut rng) = toy_setup();
+        let ct = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+        let bytes = ctx.serialize(&ct);
+        assert!(ctx.deserialize(&bytes[..bytes.len() / 2]).is_err());
+        assert!(ctx.deserialize(&[]).is_err());
+    }
+
+    #[test]
+    fn distinct_primes_for_repeated_bit_sizes() {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("valid");
+        let primes = ctx.primes();
+        let mut sorted = primes.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), primes.len(), "primes must be distinct");
+    }
+}

@@ -1,0 +1,28 @@
+//! RNS-CKKS: approximate homomorphic encryption over the reals.
+//!
+//! The SIMD-style scheme of Cheon–Kim–Kim–Song, in its residue-number-
+//! system variant: a ciphertext packs up to `N/2` real values and supports
+//! slot-wise addition and plaintext multiplication — exactly the operation
+//! set federated averaging needs.
+//!
+//! Module layout:
+//!
+//! * [`modarith`] — scalar arithmetic mod word-sized NTT primes
+//! * [`ntt`] — negacyclic number-theoretic transform
+//! * [`rns`] — RNS polynomials and CRT reconstruction
+//! * [`encoder`] — canonical-embedding slot encoder
+//! * [`cipher`] — context, keys, ciphertexts, homomorphic ops
+//! * [`relin`] — ct×ct multiplication, Galois rotations, slot sums
+//! * [`threshold`] — n-out-of-n distributed keygen and decryption
+
+pub mod cipher;
+pub mod encoder;
+pub mod modarith;
+pub mod ntt;
+pub mod relin;
+pub mod rns;
+pub mod threshold;
+
+pub use cipher::{CkksCiphertext, CkksContext, CkksPublicKey, CkksSecretKey};
+pub use encoder::{CkksEncoder, Complex};
+pub use relin::{EvalKey, GaloisKey, RelinKey};

@@ -1,0 +1,246 @@
+//! Negacyclic number-theoretic transform over `Z_q[X]/(X^N + 1)`.
+//!
+//! Implements the merged-twist NTT of Longa–Naehrig: the powers of the
+//! primitive 2N-th root ψ are folded into the butterfly twiddles, so the
+//! transform computes the negacyclic convolution directly without separate
+//! pre-/post-scaling passes.
+
+use super::modarith::{add_mod, inv_mod, mul_mod, primitive_root, sub_mod};
+
+/// Precomputed NTT tables for one prime modulus.
+///
+/// Construction cost is `O(N)` after the root search; transforms are
+/// `O(N log N)`. One table is built per RNS prime in a parameter set.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    q: u64,
+    n: usize,
+    /// ψ^i in bit-reversed index order (forward twiddles).
+    psi_rev: Vec<u64>,
+    /// ψ^{-i} in bit-reversed index order (inverse twiddles).
+    psi_inv_rev: Vec<u64>,
+    /// N^{-1} mod q, folded into the last inverse pass.
+    n_inv: u64,
+}
+
+impl NttTable {
+    /// Builds tables for ring degree `n` (a power of two) and prime `q`
+    /// with `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q ≢ 1 (mod 2n)`.
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(n.is_power_of_two(), "ring degree must be a power of two");
+        assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2N");
+        let psi = primitive_root(2 * n as u64, q);
+        let psi_inv = inv_mod(psi, q);
+        let log_n = n.trailing_zeros();
+        let mut psi_rev = vec![0u64; n];
+        let mut psi_inv_rev = vec![0u64; n];
+        let mut fwd = 1u64;
+        let mut inv = 1u64;
+        let mut powers_fwd = vec![0u64; n];
+        let mut powers_inv = vec![0u64; n];
+        for i in 0..n {
+            powers_fwd[i] = fwd;
+            powers_inv[i] = inv;
+            fwd = mul_mod(fwd, psi, q);
+            inv = mul_mod(inv, psi_inv, q);
+        }
+        for i in 0..n {
+            let r = (i as u32).reverse_bits() >> (32 - log_n);
+            psi_rev[i] = powers_fwd[r as usize];
+            psi_inv_rev[i] = powers_inv[r as usize];
+        }
+        let n_inv = inv_mod(n as u64, q);
+        NttTable { q, n, psi_rev, psi_inv_rev, n_inv }
+    }
+
+    /// The prime modulus of this table.
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// The ring degree of this table.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_rev[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_mod(a[j + t], s, q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (including the `N^{-1}` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != N`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let q = self.q;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = self.psi_inv_rev[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = mul_mod(sub_mod(u, v, q), s, q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, q);
+        }
+    }
+
+    /// Negacyclic polynomial product `a * b mod (X^N + 1, q)` via NTT.
+    ///
+    /// Convenience wrapper used by tests and non-hot paths; hot paths keep
+    /// operands in the NTT domain and multiply pointwise.
+    pub fn multiply(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.forward(&mut fa);
+        self.forward(&mut fb);
+        for (x, y) in fa.iter_mut().zip(&fb) {
+            *x = mul_mod(*x, *y, self.q);
+        }
+        self.inverse(&mut fa);
+        fa
+    }
+}
+
+/// Schoolbook negacyclic multiplication, used as a test oracle.
+///
+/// `O(N^2)`; only suitable for small N.
+pub fn negacyclic_mul_naive(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    let n = a.len();
+    assert_eq!(b.len(), n);
+    let mut out = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let p = mul_mod(ai, bj, q);
+            let k = i + j;
+            if k < n {
+                out[k] = add_mod(out[k], p, q);
+            } else {
+                // X^N = -1
+                out[k - n] = sub_mod(out[k - n], p, q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::modarith::find_ntt_primes;
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn table(n: usize) -> NttTable {
+        let q = find_ntt_primes(40, 1, 2 * n as u64)[0];
+        NttTable::new(n, q)
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let t = table(256);
+        let mut rng = StdRng::seed_from_u64(1);
+        let original: Vec<u64> = (0..256).map(|_| rng.gen_range(0..t.modulus())).collect();
+        let mut a = original.clone();
+        t.forward(&mut a);
+        assert_ne!(a, original, "transform should not be identity");
+        t.inverse(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    fn ntt_multiply_matches_naive() {
+        let t = table(64);
+        let q = t.modulus();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a: Vec<u64> = (0..64).map(|_| rng.gen_range(0..q)).collect();
+            let b: Vec<u64> = (0..64).map(|_| rng.gen_range(0..q)).collect();
+            assert_eq!(t.multiply(&a, &b), negacyclic_mul_naive(&a, &b, q));
+        }
+    }
+
+    #[test]
+    fn multiply_by_one_is_identity() {
+        let t = table(128);
+        let mut one = vec![0u64; 128];
+        one[0] = 1;
+        let mut rng = StdRng::seed_from_u64(3);
+        let a: Vec<u64> = (0..128).map(|_| rng.gen_range(0..t.modulus())).collect();
+        assert_eq!(t.multiply(&a, &one), a);
+    }
+
+    #[test]
+    fn multiply_by_x_rotates_with_sign() {
+        // X * (c_0, ..., c_{N-1}) = (-c_{N-1}, c_0, ..., c_{N-2}) in the
+        // negacyclic ring.
+        let t = table(16);
+        let q = t.modulus();
+        let mut x = vec![0u64; 16];
+        x[1] = 1;
+        let a: Vec<u64> = (1..=16).collect();
+        let out = t.multiply(&a, &x);
+        assert_eq!(out[0], q - 16);
+        assert_eq!(&out[1..], &a[..15]);
+    }
+
+    #[test]
+    fn works_at_large_degree() {
+        let t = table(4096);
+        let mut rng = StdRng::seed_from_u64(4);
+        let original: Vec<u64> = (0..4096).map(|_| rng.gen_range(0..t.modulus())).collect();
+        let mut a = original.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring degree")]
+    fn rejects_wrong_length() {
+        let t = table(64);
+        let mut a = vec![0u64; 32];
+        t.forward(&mut a);
+    }
+}

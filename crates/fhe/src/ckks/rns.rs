@@ -1,0 +1,416 @@
+//! Residue-number-system (RNS) polynomials for CKKS.
+//!
+//! A ring element of `R_Q = Z_Q[X]/(X^N + 1)` with `Q = q_0 · q_1 ⋯ q_L`
+//! is stored as one residue vector per prime. All homomorphic operations
+//! act independently per prime, which keeps every limb in native `u64`
+//! arithmetic — the entire scheme runs without big-integer maths except at
+//! decode time, where coefficients are CRT-reconstructed.
+
+use rhychee_bigint::{mod_inv, BigUint};
+
+use super::modarith::{add_mod, inv_mod, mul_mod, neg_mod, sub_mod};
+
+/// A polynomial in RNS (double-CRT-less, coefficient-domain) representation.
+///
+/// `residues[i][j]` is coefficient `j` reduced modulo prime `i`. The active
+/// primes are implied by `residues.len()` (the *level* of the polynomial).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    residues: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// The all-zero polynomial at the given degree and level.
+    pub fn zero(n: usize, levels: usize) -> Self {
+        RnsPoly { residues: vec![vec![0u64; n]; levels] }
+    }
+
+    /// Builds an RNS polynomial from signed coefficients.
+    ///
+    /// Each coefficient is reduced into `[0, q_i)` per prime, mapping
+    /// negative values to `q_i - |c|`.
+    pub fn from_signed_coeffs(coeffs: &[i64], primes: &[u64]) -> Self {
+        let residues = primes
+            .iter()
+            .map(|&q| {
+                coeffs
+                    .iter()
+                    .map(|&c| {
+                        let r = (c % q as i64 + q as i64) % q as i64;
+                        r as u64
+                    })
+                    .collect()
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Ring degree N.
+    pub fn degree(&self) -> usize {
+        self.residues.first().map_or(0, Vec::len)
+    }
+
+    /// Number of active primes (level + 1).
+    pub fn levels(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Residues of this polynomial modulo the `i`-th prime.
+    pub fn residues(&self, i: usize) -> &[u64] {
+        &self.residues[i]
+    }
+
+    /// Mutable residues modulo the `i`-th prime.
+    pub fn residues_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.residues[i]
+    }
+
+    /// Element-wise addition. Operands must share degree and level.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched shapes.
+    pub fn add(&self, rhs: &RnsPoly, primes: &[u64]) -> RnsPoly {
+        self.zip_with(rhs, primes, add_mod)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched shapes.
+    pub fn sub(&self, rhs: &RnsPoly, primes: &[u64]) -> RnsPoly {
+        self.zip_with(rhs, primes, sub_mod)
+    }
+
+    /// In-place element-wise addition.
+    pub fn add_assign(&mut self, rhs: &RnsPoly, primes: &[u64]) {
+        assert_eq!(self.levels(), rhs.levels(), "level mismatch");
+        for (i, &q) in primes.iter().take(self.levels()).enumerate() {
+            for (a, &b) in self.residues[i].iter_mut().zip(&rhs.residues[i]) {
+                *a = add_mod(*a, b, q);
+            }
+        }
+    }
+
+    /// Negation.
+    pub fn neg(&self, primes: &[u64]) -> RnsPoly {
+        let residues = self
+            .residues
+            .iter()
+            .zip(primes)
+            .map(|(r, &q)| r.iter().map(|&a| neg_mod(a, q)).collect())
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Multiplies every coefficient by a signed scalar.
+    pub fn mul_scalar_signed(&self, scalar: i64, primes: &[u64]) -> RnsPoly {
+        let residues = self
+            .residues
+            .iter()
+            .zip(primes)
+            .map(|(r, &q)| {
+                let s = ((scalar % q as i64 + q as i64) % q as i64) as u64;
+                r.iter().map(|&a| mul_mod(a, s, q)).collect()
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Drops the last prime, rescaling by it: `x ↦ round(x / q_last)`.
+    ///
+    /// Implements the standard RNS rescale: for each remaining prime
+    /// `q_i`, computes `(x_i − x_last) · q_last^{-1} mod q_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial has only one level.
+    pub fn rescale(&self, primes: &[u64]) -> RnsPoly {
+        let l = self.levels();
+        assert!(l >= 2, "cannot rescale a level-0 polynomial");
+        let q_last = primes[l - 1];
+        let last = &self.residues[l - 1];
+        let residues = (0..l - 1)
+            .map(|i| {
+                let q = primes[i];
+                let q_last_inv = inv_mod(q_last % q, q);
+                self.residues[i]
+                    .iter()
+                    .zip(last)
+                    .map(|(&xi, &xl)| {
+                        // Centered lift of x_last before reduction mod q_i so
+                        // the rounding error stays within ±1/2.
+                        let xl_centered = if xl > q_last / 2 {
+                            sub_mod(xi, (xl + q - (q_last % q)) % q, q)
+                        } else {
+                            sub_mod(xi, xl % q, q)
+                        };
+                        mul_mod(xl_centered, q_last_inv, q)
+                    })
+                    .collect()
+            })
+            .collect();
+        RnsPoly { residues }
+    }
+
+    fn zip_with(&self, rhs: &RnsPoly, primes: &[u64], f: fn(u64, u64, u64) -> u64) -> RnsPoly {
+        assert_eq!(self.levels(), rhs.levels(), "level mismatch");
+        assert_eq!(self.degree(), rhs.degree(), "degree mismatch");
+        let residues = self
+            .residues
+            .iter()
+            .zip(&rhs.residues)
+            .zip(primes)
+            .map(|((a, b), &q)| a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect())
+            .collect();
+        RnsPoly { residues }
+    }
+
+    /// Decomposes every coefficient's *centered integer value* into
+    /// `num_digits` signed base-`2^log_base` digits that are globally
+    /// consistent across the RNS basis: `Σ_j digit_j · B^j = coeff` as
+    /// integers. Each digit polynomial is returned as an [`RnsPoly`] at
+    /// the same level, with digit magnitudes `< B`.
+    ///
+    /// This is the decomposition key switching needs — per-prime digit
+    /// extraction would yield residues of *different* integers per prime
+    /// and break CRT reconstruction of the switched ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digits cannot cover `Q/2` (i.e.
+    /// `num_digits · log_base` is too small).
+    pub fn to_signed_digits(
+        &self,
+        primes: &[u64],
+        log_base: u32,
+        num_digits: usize,
+    ) -> Vec<RnsPoly> {
+        let levels = self.levels();
+        let active = &primes[..levels];
+        let total_bits: u32 = active.iter().map(|&q| 64 - (q - 1).leading_zeros()).sum();
+        assert!(
+            num_digits as u32 * log_base >= total_bits,
+            "{num_digits} digits of 2^{log_base} cannot cover a {total_bits}-bit modulus"
+        );
+        let n = self.degree();
+        let crt = CrtReconstructor::new(active);
+        let mut out = vec![RnsPoly::zero(n, levels); num_digits];
+        let base_mask = (1u64 << log_base) - 1;
+        for j in 0..n {
+            let rs: Vec<u64> = (0..levels).map(|i| self.residues[i][j]).collect();
+            let (negative, mut mag) = crt.centered_parts(&rs);
+            for digit_poly in out.iter_mut() {
+                let limb = mag.limbs().first().copied().unwrap_or(0) & base_mask;
+                mag = mag >> (log_base as usize);
+                for (i, &q) in active.iter().enumerate() {
+                    let r = limb % q;
+                    digit_poly.residues_mut(i)[j] = if negative && r != 0 { q - r } else { r };
+                }
+            }
+            debug_assert!(mag.is_zero(), "digits must cover the centered value");
+        }
+        out
+    }
+
+    /// CRT-reconstructs each coefficient to a centered `f64` value.
+    ///
+    /// Coefficients are lifted to `[0, Q)`, re-centered into
+    /// `(-Q/2, Q/2]`, and converted to `f64`. The message magnitude in
+    /// CKKS is far below `Q/2`, so the conversion is exact enough for
+    /// decoding.
+    pub fn to_centered_f64(&self, primes: &[u64]) -> Vec<f64> {
+        let l = self.levels();
+        let active = &primes[..l];
+        if l == 1 {
+            let q = active[0];
+            return self.residues[0]
+                .iter()
+                .map(|&x| if x > q / 2 { x as f64 - q as f64 } else { x as f64 })
+                .collect();
+        }
+        let crt = CrtReconstructor::new(active);
+        (0..self.degree())
+            .map(|j| {
+                let rs: Vec<u64> = (0..l).map(|i| self.residues[i][j]).collect();
+                crt.centered_f64(&rs)
+            })
+            .collect()
+    }
+}
+
+/// Precomputed Chinese-remainder reconstruction for a prime basis.
+pub struct CrtReconstructor {
+    primes: Vec<u64>,
+    q: BigUint,
+    half_q: BigUint,
+    /// `(Q/q_i)` as big integers.
+    q_hat: Vec<BigUint>,
+    /// `(Q/q_i)^{-1} mod q_i`.
+    q_hat_inv: Vec<u64>,
+}
+
+impl CrtReconstructor {
+    /// Builds a reconstructor for the given coprime basis.
+    pub fn new(primes: &[u64]) -> Self {
+        let q = primes.iter().fold(BigUint::one(), |acc, &p| acc.mul_u64(p));
+        let half_q = &q >> 1;
+        let q_hat: Vec<BigUint> = primes.iter().map(|&p| q.div_rem_u64(p).0).collect();
+        let q_hat_inv = primes
+            .iter()
+            .zip(&q_hat)
+            .map(|(&p, h)| {
+                let h_mod_p = h.rem_of(&BigUint::from(p));
+                let inv = mod_inv(&h_mod_p, &BigUint::from(p)).expect("primes are coprime");
+                u64::try_from(&inv).expect("inverse fits in u64")
+            })
+            .collect();
+        CrtReconstructor { primes: primes.to_vec(), q, half_q, q_hat, q_hat_inv }
+    }
+
+    /// Reconstructs residues to the centered representative as `f64`.
+    pub fn centered_f64(&self, residues: &[u64]) -> f64 {
+        let (negative, magnitude) = self.centered_parts(residues);
+        let v = biguint_to_f64(&magnitude);
+        if negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Reconstructs residues to `(is_negative, |value|)` of the centered
+    /// representative in `(−Q/2, Q/2]`.
+    pub fn centered_parts(&self, residues: &[u64]) -> (bool, BigUint) {
+        let mut acc = BigUint::zero();
+        for ((&r, &p), (hat, &hat_inv)) in self.residues_iter(residues) {
+            let t = mul_mod(r, hat_inv, p);
+            acc += &hat.mul_u64(t);
+        }
+        let v = acc.rem_of(&self.q);
+        if v > self.half_q {
+            (true, &self.q - &v)
+        } else {
+            (false, v)
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn residues_iter<'a>(
+        &'a self,
+        residues: &'a [u64],
+    ) -> impl Iterator<Item = ((&'a u64, &'a u64), (&'a BigUint, &'a u64))> {
+        residues
+            .iter()
+            .zip(&self.primes)
+            .zip(self.q_hat.iter().zip(&self.q_hat_inv))
+    }
+}
+
+/// Converts a non-negative big integer to `f64` (with rounding).
+fn biguint_to_f64(v: &BigUint) -> f64 {
+    let mut acc = 0.0f64;
+    for &limb in v.limbs().iter().rev() {
+        acc = acc * 1.8446744073709552e19 + limb as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PRIMES: [u64; 3] = [1125899906826241, 1125899906629633, 1125899905744897];
+
+    #[test]
+    fn signed_round_trip_through_crt() {
+        let coeffs = [0i64, 1, -1, 42, -12345, i32::MAX as i64, -(i32::MAX as i64)];
+        let p = RnsPoly::from_signed_coeffs(&coeffs, &PRIMES);
+        let back = p.to_centered_f64(&PRIMES);
+        for (c, b) in coeffs.iter().zip(&back) {
+            assert_eq!(*c as f64, *b);
+        }
+    }
+
+    #[test]
+    fn single_prime_fast_path() {
+        let coeffs = [7i64, -9, 0];
+        let p = RnsPoly::from_signed_coeffs(&coeffs, &PRIMES[..1]);
+        assert_eq!(p.to_centered_f64(&PRIMES[..1]), vec![7.0, -9.0, 0.0]);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = RnsPoly::from_signed_coeffs(&[5, -3, 100], &PRIMES);
+        let b = RnsPoly::from_signed_coeffs(&[2, 8, -50], &PRIMES);
+        let sum = a.add(&b, &PRIMES);
+        assert_eq!(sum.sub(&b, &PRIMES), a);
+        assert_eq!(sum.to_centered_f64(&PRIMES), vec![7.0, 5.0, 50.0]);
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let a = RnsPoly::from_signed_coeffs(&[5, -3, 0], &PRIMES);
+        let z = a.add(&a.neg(&PRIMES), &PRIMES);
+        assert_eq!(z.to_centered_f64(&PRIMES), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let a = RnsPoly::from_signed_coeffs(&[5, -3, 7], &PRIMES);
+        let b = a.mul_scalar_signed(-4, &PRIMES);
+        assert_eq!(b.to_centered_f64(&PRIMES), vec![-20.0, 12.0, -28.0]);
+    }
+
+    #[test]
+    fn rescale_divides_by_last_prime() {
+        // Value v encoded across 3 primes; rescale should give round(v / q2).
+        let q_last = PRIMES[2] as i64;
+        let v = q_last * 7 + 3; // rounds to 7
+        let p = RnsPoly::from_signed_coeffs(&[v, -v, 0], &PRIMES);
+        let r = p.rescale(&PRIMES);
+        assert_eq!(r.levels(), 2);
+        let back = r.to_centered_f64(&PRIMES[..2]);
+        assert_eq!(back[0], 7.0);
+        assert_eq!(back[1], -7.0);
+        assert_eq!(back[2], 0.0);
+    }
+
+    #[test]
+    fn rescale_rounding_error_is_bounded() {
+        let q_last = PRIMES[2] as i64;
+        for frac in [1i64, q_last / 3, q_last / 2, q_last - 1] {
+            let v = q_last * 11 + frac;
+            let p = RnsPoly::from_signed_coeffs(&[v], &PRIMES);
+            let r = p.rescale(&PRIMES).to_centered_f64(&PRIMES[..2])[0];
+            let exact = v as f64 / q_last as f64;
+            assert!((r - exact).abs() <= 1.0, "rescale error too large: {r} vs {exact}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rescale")]
+    fn rescale_at_bottom_level_panics() {
+        let p = RnsPoly::from_signed_coeffs(&[1], &PRIMES[..1]);
+        let _ = p.rescale(&PRIMES[..1]);
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = RnsPoly::from_signed_coeffs(&[1, 2, 3], &PRIMES);
+        let b = RnsPoly::from_signed_coeffs(&[10, -20, 30], &PRIMES);
+        let expected = a.add(&b, &PRIMES);
+        a.add_assign(&b, &PRIMES);
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn biguint_f64_conversion_accuracy() {
+        assert_eq!(biguint_to_f64(&BigUint::from(0u64)), 0.0);
+        assert_eq!(biguint_to_f64(&BigUint::from(1u64 << 52)), (1u64 << 52) as f64);
+        let big = BigUint::from(u128::MAX);
+        let expected = 2.0f64.powi(128);
+        assert!((biguint_to_f64(&big) - expected).abs() / expected < 1e-15);
+    }
+}

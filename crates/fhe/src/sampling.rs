@@ -1,0 +1,114 @@
+//! Randomness utilities shared by the FHE schemes: discrete Gaussians,
+//! ternary secrets, and uniform ring elements.
+//!
+//! Implemented in-crate (Box–Muller) to keep the dependency footprint to
+//! `rand` alone.
+
+use rand::Rng;
+
+/// Samples a standard normal deviate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a discrete Gaussian over Z with standard deviation `sigma`,
+/// truncated at ±6σ (standard practice in lattice implementations).
+pub fn discrete_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64 {
+    let bound = (6.0 * sigma).ceil();
+    loop {
+        let x = (standard_normal(rng) * sigma).round();
+        if x.abs() <= bound {
+            return x as i64;
+        }
+    }
+}
+
+/// Samples a vector of discrete Gaussian deviates.
+pub fn gaussian_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64) -> Vec<i64> {
+    (0..n).map(|_| discrete_gaussian(rng, sigma)).collect()
+}
+
+/// Samples a uniform ternary vector over {-1, 0, 1}.
+pub fn ternary_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
+    (0..n).map(|_| i64::from(rng.gen_range(-1i8..=1))).collect()
+}
+
+/// Samples a uniform binary vector over {0, 1}.
+pub fn binary_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<u64> {
+    (0..n).map(|_| u64::from(rng.gen::<bool>())).collect()
+}
+
+/// Samples a uniform residue vector modulo `q`.
+pub fn uniform_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, q: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn discrete_gaussian_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sigma = 3.2;
+        for _ in 0..10_000 {
+            let x = discrete_gaussian(&mut rng, sigma);
+            assert!(x.abs() as f64 <= (6.0 * sigma).ceil());
+        }
+    }
+
+    #[test]
+    fn discrete_gaussian_std_close_to_sigma() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sigma = 3.2;
+        let n = 50_000;
+        let var: f64 = (0..n)
+            .map(|_| discrete_gaussian(&mut rng, sigma) as f64)
+            .map(|x| x * x)
+            .sum::<f64>()
+            / n as f64;
+        assert!((var.sqrt() - sigma).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn ternary_values_in_range_and_balanced() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = ternary_vec(&mut rng, 30_000);
+        assert!(v.iter().all(|&x| (-1..=1).contains(&x)));
+        let zeros = v.iter().filter(|&&x| x == 0).count() as f64 / v.len() as f64;
+        assert!((zeros - 1.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_values_below_modulus() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = 12_289;
+        let v = uniform_vec(&mut rng, 10_000, q);
+        assert!(v.iter().all(|&x| x < q));
+        let mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!((mean - q as f64 / 2.0).abs() < q as f64 * 0.02);
+    }
+
+    #[test]
+    fn binary_vec_is_zero_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = binary_vec(&mut rng, 1000);
+        assert!(v.iter().all(|&x| x <= 1));
+        assert!(v.iter().any(|&x| x == 0) && v.iter().any(|&x| x == 1));
+    }
+}

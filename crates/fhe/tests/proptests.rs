@@ -1,0 +1,201 @@
+//! Property-based tests for homomorphic-encryption invariants.
+//!
+//! Uses small (insecure) parameter sets so each case runs in microseconds;
+//! the properties themselves are parameter-independent.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+use rhychee_fhe::ckks::{ntt::negacyclic_mul_naive, ntt::NttTable, CkksContext};
+use rhychee_fhe::lwe::LweContext;
+use rhychee_fhe::params::{CkksParams, LweParams};
+
+fn toy_ckks() -> CkksContext {
+    CkksContext::new(CkksParams { n: 64, prime_bits: vec![50, 40], scale_bits: 30, sigma: 3.2 })
+        .expect("valid params")
+}
+
+fn toy_lwe() -> LweContext {
+    LweContext::new(LweParams { dimension: 64, log_q: 12, plaintext_modulus: 16, sigma_int: 0.6 })
+        .expect("valid params")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ckks_decrypt_of_encrypt_is_close(
+        seed in any::<u64>(),
+        values in prop::collection::vec(-100.0f64..100.0, 1..32),
+    ) {
+        let ctx = toy_ckks();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let ct = ctx.encrypt(&pk, &values, &mut rng).unwrap();
+        let back = ctx.decrypt(&sk, &ct);
+        for (v, b) in values.iter().zip(&back) {
+            prop_assert!((v - b).abs() < 1e-2, "{v} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ckks_addition_homomorphism(
+        seed in any::<u64>(),
+        x in prop::collection::vec(-50.0f64..50.0, 8),
+        y in prop::collection::vec(-50.0f64..50.0, 8),
+    ) {
+        let ctx = toy_ckks();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let cx = ctx.encrypt(&pk, &x, &mut rng).unwrap();
+        let cy = ctx.encrypt(&pk, &y, &mut rng).unwrap();
+        let back = ctx.decrypt(&sk, &ctx.add(&cx, &cy).unwrap());
+        for i in 0..8 {
+            prop_assert!((back[i] - (x[i] + y[i])).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn ckks_scalar_mul_homomorphism(
+        seed in any::<u64>(),
+        x in prop::collection::vec(-10.0f64..10.0, 4),
+        k in -5.0f64..5.0,
+    ) {
+        let ctx = toy_ckks();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let cx = ctx.encrypt(&pk, &x, &mut rng).unwrap();
+        let back = ctx.decrypt(&sk, &ctx.mul_scalar(&cx, k));
+        for i in 0..4 {
+            prop_assert!((back[i] - k * x[i]).abs() < 2e-2, "{} vs {}", back[i], k * x[i]);
+        }
+    }
+
+    #[test]
+    fn ckks_serialization_preserves_plaintext(
+        seed in any::<u64>(),
+        x in prop::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let ctx = toy_ckks();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let ct = ctx.encrypt(&pk, &x, &mut rng).unwrap();
+        let back = ctx.deserialize(&ctx.serialize(&ct)).unwrap();
+        let dec = ctx.decrypt(&sk, &back);
+        for i in 0..4 {
+            prop_assert!((dec[i] - x[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn ntt_linear_in_first_argument(
+        a in prop::collection::vec(0u64..1000, 32),
+        b in prop::collection::vec(0u64..1000, 32),
+        c in prop::collection::vec(0u64..1000, 32),
+    ) {
+        // (a + b) * c == a*c + b*c in the negacyclic ring.
+        let q = rhychee_fhe::ckks::modarith::find_ntt_primes(40, 1, 64)[0];
+        let table = NttTable::new(32, q);
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) % q).collect();
+        let lhs = table.multiply(&sum, &c);
+        let ac = table.multiply(&a, &c);
+        let bc = table.multiply(&b, &c);
+        let rhs: Vec<u64> = ac.iter().zip(&bc).map(|(&x, &y)| (x + y) % q).collect();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ntt_matches_naive_product(
+        a in prop::collection::vec(0u64..100_000, 16),
+        b in prop::collection::vec(0u64..100_000, 16),
+    ) {
+        let q = rhychee_fhe::ckks::modarith::find_ntt_primes(40, 1, 32)[0];
+        let table = NttTable::new(16, q);
+        prop_assert_eq!(table.multiply(&a, &b), negacyclic_mul_naive(&a, &b, q));
+    }
+
+    #[test]
+    fn lwe_round_trip(seed in any::<u64>(), m in 0u64..16) {
+        let ctx = toy_lwe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = ctx.generate_key(&mut rng);
+        let ct = ctx.encrypt(&sk, m, &mut rng).unwrap();
+        prop_assert_eq!(ctx.decrypt(&sk, &ct), m);
+    }
+
+    #[test]
+    fn lwe_addition_homomorphism(seed in any::<u64>(), x in 0u64..16, y in 0u64..16) {
+        let ctx = toy_lwe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = ctx.generate_key(&mut rng);
+        let cx = ctx.encrypt(&sk, x, &mut rng).unwrap();
+        let cy = ctx.encrypt(&sk, y, &mut rng).unwrap();
+        let sum = ctx.add(&cx, &cy).unwrap();
+        prop_assert_eq!(ctx.decrypt(&sk, &sum), (x + y) % 16);
+    }
+
+    #[test]
+    fn lwe_serialization_round_trip(seed in any::<u64>(), m in 0u64..16) {
+        let ctx = toy_lwe();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = ctx.generate_key(&mut rng);
+        let ct = ctx.encrypt(&sk, m, &mut rng).unwrap();
+        let back = ctx.deserialize(&ctx.serialize(&ct)).unwrap();
+        prop_assert_eq!(back, ct);
+    }
+}
+
+// Paillier proptests use a fixed key (keygen dominates runtime) shared
+// across cases via a lazily-initialized static.
+mod paillier_props {
+    use super::*;
+    use rhychee_bigint::BigUint;
+    use rhychee_fhe::paillier::PaillierContext;
+    use std::sync::OnceLock;
+
+    fn shared_ctx() -> &'static PaillierContext {
+        static CTX: OnceLock<PaillierContext> = OnceLock::new();
+        CTX.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(123);
+            PaillierContext::generate(&mut rng, 256).expect("keygen")
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn paillier_round_trip(seed in any::<u64>(), m in any::<u64>()) {
+            let ctx = shared_ctx();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ct = ctx.encrypt_u64(m, &mut rng);
+            prop_assert_eq!(ctx.decrypt_u64(&ct).unwrap(), m);
+        }
+
+        #[test]
+        fn paillier_addition_homomorphism(seed in any::<u64>(), x in 0u64..u32::MAX as u64, y in 0u64..u32::MAX as u64) {
+            let ctx = shared_ctx();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cx = ctx.encrypt_u64(x, &mut rng);
+            let cy = ctx.encrypt_u64(y, &mut rng);
+            prop_assert_eq!(ctx.decrypt_u64(&ctx.add(&cx, &cy)).unwrap(), x + y);
+        }
+
+        #[test]
+        fn paillier_scalar_homomorphism(seed in any::<u64>(), m in 0u64..u32::MAX as u64, k in 0u64..1000) {
+            let ctx = shared_ctx();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let c = ctx.encrypt_u64(m, &mut rng);
+            let ck = ctx.mul_scalar(&c, &BigUint::from(k));
+            prop_assert_eq!(ctx.decrypt_u64(&ck).unwrap(), m * k);
+        }
+
+        #[test]
+        fn paillier_f64_signed_round_trip(seed in any::<u64>(), v in -1e6f64..1e6) {
+            let ctx = shared_ctx();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ct = ctx.encrypt_f64(v, &mut rng);
+            prop_assert!((ctx.decrypt_f64(&ct) - v).abs() < 1e-6);
+        }
+    }
+}

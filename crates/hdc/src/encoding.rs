@@ -1,0 +1,303 @@
+//! Feature-to-hypervector encoders (paper §II-B).
+//!
+//! Two encoders are provided, matching the paper's experimental setup:
+//! random projection (used for HAR) and RBF (used for MNIST). Both are
+//! deterministic given their base matrices, so every federated client can
+//! reconstruct the same encoder from a shared seed.
+
+use rand::Rng;
+use std::f32::consts::TAU;
+
+/// A feature encoder mapping raw `f`-dimensional inputs to `D`-dimensional
+/// hypervectors.
+///
+/// Implementations are [`Send`] + [`Sync`] so federated clients can encode
+/// in parallel.
+pub trait Encoder: Send + Sync {
+    /// Hypervector dimension D.
+    fn dim(&self) -> usize;
+
+    /// Expected input feature count f.
+    fn input_dim(&self) -> usize;
+
+    /// Encodes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != input_dim()`.
+    fn encode(&self, features: &[f32]) -> Vec<f32>;
+
+    /// Encodes a batch of feature vectors across `threads` worker threads.
+    fn encode_batch(&self, features: &[Vec<f32>], threads: usize) -> Vec<Vec<f32>>
+    where
+        Self: Sized,
+    {
+        if threads <= 1 || features.len() < 64 {
+            return features.iter().map(|f| self.encode(f)).collect();
+        }
+        let chunk = features.len().div_ceil(threads);
+        let mut out: Vec<Vec<f32>> = Vec::with_capacity(features.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = features
+                .chunks(chunk)
+                .map(|batch| scope.spawn(move || batch.iter().map(|f| self.encode(f)).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("encoder thread panicked"));
+            }
+        });
+        out
+    }
+}
+
+/// Random-projection encoding: `h_i = sign(B_i · F)` with `B_i ∈ {−1, 1}^f`.
+///
+/// Produces bipolar hypervectors in `{−1, 1}^D`. Used for the HAR dataset
+/// in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let enc = RandomProjectionEncoder::new(8, 128, &mut rng);
+/// let hv = enc.encode(&[0.2; 8]);
+/// assert_eq!(hv.len(), 128);
+/// assert!(hv.iter().all(|&h| h == 1.0 || h == -1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomProjectionEncoder {
+    input_dim: usize,
+    dim: usize,
+    /// Row-major D×f sign matrix (±1.0 stored as f32 so the projection
+    /// inner loop autovectorizes).
+    bases: Vec<f32>,
+}
+
+impl RandomProjectionEncoder {
+    /// Samples a random base matrix for `input_dim` features and dimension
+    /// `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, dim: usize, rng: &mut R) -> Self {
+        assert!(input_dim > 0 && dim > 0, "dimensions must be positive");
+        let bases = (0..input_dim * dim)
+            .map(|_| if rng.gen::<bool>() { 1.0f32 } else { -1.0f32 })
+            .collect();
+        RandomProjectionEncoder { input_dim, dim, bases }
+    }
+}
+
+impl Encoder for RandomProjectionEncoder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Vec<f32> {
+        assert_eq!(features.len(), self.input_dim, "feature length mismatch");
+        (0..self.dim)
+            .map(|i| {
+                let row = &self.bases[i * self.input_dim..(i + 1) * self.input_dim];
+                let dot: f32 = row.iter().zip(features).map(|(&b, &x)| b * x).sum();
+                if dot >= 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// RBF encoding: `h_i = cos(B_i · F + b_i)` with Gaussian `B_i` and
+/// uniform phase `b_i ∈ [0, 2π)`.
+///
+/// Produces dense hypervectors in `[−1, 1]^D`; the kernel-approximation
+/// view is due to ManiHD. Used for the MNIST dataset in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rhychee_hdc::encoding::{Encoder, RbfEncoder};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let enc = RbfEncoder::new(8, 128, &mut rng);
+/// let hv = enc.encode(&[0.2; 8]);
+/// assert!(hv.iter().all(|&h| (-1.0..=1.0).contains(&h)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbfEncoder {
+    input_dim: usize,
+    dim: usize,
+    /// Row-major D×f Gaussian projection matrix.
+    bases: Vec<f32>,
+    /// Per-dimension phase offsets in [0, 2π).
+    biases: Vec<f32>,
+    /// Bandwidth applied to the projection (1/√f keeps phases O(1)).
+    gamma: f32,
+}
+
+impl RbfEncoder {
+    /// Samples a random Gaussian base matrix with default bandwidth
+    /// `γ = 2/√f` (empirically the best operating point for pixel- and
+    /// feature-scale inputs in this repo's datasets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, dim: usize, rng: &mut R) -> Self {
+        Self::with_gamma(input_dim, dim, 2.0 / (input_dim as f32).sqrt(), rng)
+    }
+
+    /// Samples with an explicit kernel bandwidth γ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or γ is not positive.
+    pub fn with_gamma<R: Rng + ?Sized>(
+        input_dim: usize,
+        dim: usize,
+        gamma: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(input_dim > 0 && dim > 0, "dimensions must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        let bases = (0..input_dim * dim).map(|_| gaussian_f32(rng)).collect();
+        let biases = (0..dim).map(|_| rng.gen::<f32>() * TAU).collect();
+        RbfEncoder { input_dim, dim, bases, biases, gamma }
+    }
+}
+
+impl Encoder for RbfEncoder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Vec<f32> {
+        assert_eq!(features.len(), self.input_dim, "feature length mismatch");
+        (0..self.dim)
+            .map(|i| {
+                let row = &self.bases[i * self.input_dim..(i + 1) * self.input_dim];
+                let dot: f32 = row.iter().zip(features).map(|(&b, &x)| b * x).sum();
+                (self.gamma * dot + self.biases[i]).cos()
+            })
+            .collect()
+    }
+}
+
+/// Standard normal sample via Box–Muller (f32 output).
+fn gaussian_f32<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn random_projection_is_bipolar() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = RandomProjectionEncoder::new(10, 500, &mut rng);
+        let hv = enc.encode(&[0.5; 10]);
+        assert_eq!(hv.len(), 500);
+        assert!(hv.iter().all(|&h| h == 1.0 || h == -1.0));
+    }
+
+    #[test]
+    fn rbf_values_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = RbfEncoder::new(10, 500, &mut rng);
+        let hv = enc.encode(&[2.0; 10]);
+        assert!(hv.iter().all(|&h| (-1.0..=1.0).contains(&h)));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = RbfEncoder::new(6, 200, &mut rng);
+        let x = [0.1, -0.4, 2.0, 0.0, 1.0, -1.0];
+        assert_eq!(enc.encode(&x), enc.encode(&x));
+    }
+
+    #[test]
+    fn same_seed_gives_same_encoder() {
+        let enc1 = RandomProjectionEncoder::new(5, 100, &mut StdRng::seed_from_u64(9));
+        let enc2 = RandomProjectionEncoder::new(5, 100, &mut StdRng::seed_from_u64(9));
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(enc1.encode(&x), enc2.encode(&x));
+    }
+
+    #[test]
+    fn similar_inputs_give_similar_hypervectors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = RbfEncoder::new(20, 2000, &mut rng);
+        let x: Vec<f32> = (0..20).map(|i| i as f32 / 10.0).collect();
+        let mut y = x.clone();
+        y[0] += 0.01;
+        let z: Vec<f32> = x.iter().map(|v| -v).collect();
+        let hx = enc.encode(&x);
+        let hy = enc.encode(&y);
+        let hz = enc.encode(&z);
+        let cos = |a: &[f32], b: &[f32]| {
+            let dot: f32 = a.iter().zip(b).map(|(u, v)| u * v).sum();
+            let na: f32 = a.iter().map(|u| u * u).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|u| u * u).sum::<f32>().sqrt();
+            dot / (na * nb)
+        };
+        assert!(cos(&hx, &hy) > 0.99, "perturbed input should stay close");
+        assert!(cos(&hx, &hz) < cos(&hx, &hy), "distant input should be farther");
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = RandomProjectionEncoder::new(8, 64, &mut rng);
+        let data: Vec<Vec<f32>> = (0..100)
+            .map(|i| (0..8).map(|j| ((i * 8 + j) as f32).sin()).collect())
+            .collect();
+        let seq: Vec<Vec<f32>> = data.iter().map(|f| enc.encode(f)).collect();
+        let par = enc.encode_batch(&data, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length")]
+    fn wrong_input_length_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let enc = RbfEncoder::new(4, 16, &mut rng);
+        let _ = enc.encode(&[1.0; 5]);
+    }
+
+    #[test]
+    fn rbf_gamma_controls_sensitivity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Identical base seeds, different gamma.
+        let narrow = RbfEncoder::with_gamma(4, 4000, 0.01, &mut StdRng::seed_from_u64(8));
+        let wide = RbfEncoder::with_gamma(4, 4000, 5.0, &mut StdRng::seed_from_u64(8));
+        let _ = &mut rng;
+        let x = [0.0, 0.0, 0.0, 0.0];
+        let y = [0.5, 0.5, 0.5, 0.5];
+        let dist = |enc: &RbfEncoder| {
+            let hx = enc.encode(&x);
+            let hy = enc.encode(&y);
+            hx.iter().zip(&hy).map(|(a, b)| (a - b).powi(2)).sum::<f32>()
+        };
+        assert!(dist(&wide) > dist(&narrow), "larger gamma separates inputs more");
+    }
+}

@@ -1,0 +1,473 @@
+//! The HDC class-hypervector model: training (paper Eq. 1), inference,
+//! and the flatten/unflatten plumbing federated aggregation needs.
+
+/// A dataset already mapped to hypervector space.
+///
+/// Encoding is the expensive step of HDC, so federated clients encode
+/// once and train over the cached hypervectors for all epochs/rounds.
+#[derive(Debug, Clone, Default)]
+pub struct EncodedDataset {
+    hypervectors: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+}
+
+impl EncodedDataset {
+    /// Builds a dataset from pre-encoded hypervectors and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or hypervector dimensions are inconsistent.
+    pub fn new(hypervectors: Vec<Vec<f32>>, labels: Vec<usize>) -> Self {
+        assert_eq!(hypervectors.len(), labels.len(), "sample/label count mismatch");
+        if let Some(first) = hypervectors.first() {
+            assert!(
+                hypervectors.iter().all(|h| h.len() == first.len()),
+                "inconsistent hypervector dimensions"
+            );
+        }
+        EncodedDataset { hypervectors, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Hypervector dimension (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.hypervectors.first().map_or(0, Vec::len)
+    }
+
+    /// Iterates `(hypervector, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], usize)> {
+        self.hypervectors.iter().map(Vec::as_slice).zip(self.labels.iter().copied())
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
+/// An HDC classifier: one `D`-dimensional hypervector per class.
+///
+/// Implements the paper's adaptive training rule (Eq. 1):
+///
+/// ```text
+/// C_c ← C_c + lr · (1 − σ(C_c, H)) · H
+/// C_p ← C_p − lr · (1 − σ(C_p, H)) · H
+/// ```
+///
+/// applied when the model mispredicts class `p` for a sample of class `c`,
+/// with σ = cosine similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcModel {
+    class_vectors: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl HdcModel {
+    /// Creates a zero-initialized model for `classes` classes of dimension
+    /// `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(classes: usize, dim: usize) -> Self {
+        assert!(classes > 0 && dim > 0, "model shape must be positive");
+        HdcModel { class_vectors: vec![vec![0.0; dim]; classes], dim }
+    }
+
+    /// Reconstructs a model from a flat row-major parameter vector (the
+    /// inverse of [`HdcModel::flatten`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != classes * dim`.
+    pub fn from_flat(flat: &[f32], classes: usize, dim: usize) -> Self {
+        assert_eq!(flat.len(), classes * dim, "flat parameter length mismatch");
+        let class_vectors = flat.chunks(dim).map(<[f32]>::to_vec).collect();
+        HdcModel { class_vectors, dim }
+    }
+
+    /// Number of classes L.
+    pub fn classes(&self) -> usize {
+        self.class_vectors.len()
+    }
+
+    /// Hypervector dimension D.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total trainable parameters `D × L` (the paper's model-size metric).
+    pub fn num_parameters(&self) -> usize {
+        self.dim * self.class_vectors.len()
+    }
+
+    /// The class hypervectors.
+    pub fn class_vectors(&self) -> &[Vec<f32>] {
+        &self.class_vectors
+    }
+
+    /// Cosine similarity between class `l`'s hypervector and `hv`
+    /// (0 for a zero class vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range or `hv` has the wrong dimension.
+    pub fn similarity(&self, l: usize, hv: &[f32]) -> f32 {
+        cosine(&self.class_vectors[l], hv)
+    }
+
+    /// Predicts the class with maximal cosine similarity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hv.len() != dim`.
+    pub fn classify(&self, hv: &[f32]) -> usize {
+        assert_eq!(hv.len(), self.dim, "hypervector dimension mismatch");
+        self.class_vectors
+            .iter()
+            .enumerate()
+            .map(|(l, c)| (l, cosine(c, hv)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(l, _)| l)
+            .expect("at least one class")
+    }
+
+    /// Applies one adaptive update for a labelled sample (Eq. 1). Returns
+    /// `true` if the sample was already classified correctly (no update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range or `hv` has the wrong dimension.
+    pub fn train_sample(&mut self, hv: &[f32], label: usize, lr: f32) -> bool {
+        assert!(label < self.classes(), "label {label} out of range");
+        let predicted = self.classify(hv);
+        if predicted == label {
+            return true;
+        }
+        let sim_true = cosine(&self.class_vectors[label], hv);
+        let sim_pred = cosine(&self.class_vectors[predicted], hv);
+        let w_true = lr * (1.0 - sim_true);
+        let w_pred = lr * (1.0 - sim_pred);
+        for (c, &h) in self.class_vectors[label].iter_mut().zip(hv) {
+            *c += w_true * h;
+        }
+        for (c, &h) in self.class_vectors[predicted].iter_mut().zip(hv) {
+            *c -= w_pred * h;
+        }
+        false
+    }
+
+    /// One-shot bundling: adds every hypervector to its class vector
+    /// (`C_c ← C_c + H`), the standard OnlineHD/FedHD initialization pass
+    /// that the adaptive rule (Eq. 1) then refines.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or out-of-range labels.
+    pub fn bundle(&mut self, data: &EncodedDataset) {
+        for (hv, label) in data.iter() {
+            assert!(label < self.classes(), "label {label} out of range");
+            assert_eq!(hv.len(), self.dim, "hypervector dimension mismatch");
+            for (c, &h) in self.class_vectors[label].iter_mut().zip(hv) {
+                *c += h;
+            }
+        }
+    }
+
+    /// Trains one epoch over the dataset; returns the number of updates
+    /// (misclassified samples).
+    pub fn train_epoch(&mut self, data: &EncodedDataset, lr: f32) -> usize {
+        let mut errors = 0;
+        for (hv, label) in data.iter() {
+            if !self.train_sample(hv, label, lr) {
+                errors += 1;
+            }
+        }
+        errors
+    }
+
+    /// Classification accuracy over a dataset (1.0 for an empty dataset).
+    pub fn accuracy(&self, data: &EncodedDataset) -> f64 {
+        if data.is_empty() {
+            return 1.0;
+        }
+        let correct = data.iter().filter(|(hv, label)| self.classify(hv) == *label).count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Flattens to a row-major `L·D` parameter vector (the unit that gets
+    /// encrypted and aggregated in Rhychee-FL).
+    pub fn flatten(&self) -> Vec<f32> {
+        self.class_vectors.iter().flatten().copied().collect()
+    }
+
+    /// Replaces the parameters from a flat vector (global-model download).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != num_parameters()`.
+    pub fn load_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_parameters(), "flat parameter length mismatch");
+        for (row, chunk) in self.class_vectors.iter_mut().zip(flat.chunks(self.dim)) {
+            row.copy_from_slice(chunk);
+        }
+    }
+
+    /// L2-normalizes every class hypervector in place.
+    ///
+    /// Normalized models keep aggregation well-conditioned and bound the
+    /// dynamic range before fixed-point quantization / CKKS encoding.
+    pub fn normalize(&mut self) {
+        for row in &mut self.class_vectors {
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for x in row.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Largest absolute parameter value (dynamic range for quantization).
+    pub fn max_abs(&self) -> f32 {
+        self.class_vectors
+            .iter()
+            .flatten()
+            .map(|x| x.abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Cosine similarity (0.0 when either vector is zero).
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Builds a toy dataset of two noisy orthogonal-ish clusters.
+    fn toy_dataset(n_per_class: usize, dim: usize, seed: u64) -> EncodedDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prototypes: Vec<Vec<f32>> = (0..3)
+            .map(|_| (0..dim).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect())
+            .collect();
+        let mut hvs = Vec::new();
+        let mut labels = Vec::new();
+        for (c, proto) in prototypes.iter().enumerate() {
+            for _ in 0..n_per_class {
+                let hv = proto
+                    .iter()
+                    .map(|&p| if rng.gen::<f32>() < 0.1 { -p } else { p })
+                    .collect();
+                hvs.push(hv);
+                labels.push(c);
+            }
+        }
+        EncodedDataset::new(hvs, labels)
+    }
+
+    #[test]
+    fn zero_model_has_zero_similarity() {
+        let model = HdcModel::new(3, 64);
+        assert_eq!(model.similarity(0, &vec![1.0; 64]), 0.0);
+        assert_eq!(model.num_parameters(), 192);
+    }
+
+    #[test]
+    fn bundling_learns_in_one_shot() {
+        let data = toy_dataset(50, 256, 9);
+        let mut model = HdcModel::new(3, 256);
+        model.bundle(&data);
+        assert!(model.accuracy(&data) > 0.9, "bundled accuracy {}", model.accuracy(&data));
+        // Adaptive refinement on top only helps.
+        let before = model.accuracy(&data);
+        for _ in 0..3 {
+            model.train_epoch(&data, 5.0);
+        }
+        assert!(model.accuracy(&data) >= before - 1e-9);
+    }
+
+    #[test]
+    fn bundle_accumulates_class_sums() {
+        let data = EncodedDataset::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![10.0, 20.0]],
+            vec![0, 0, 1],
+        );
+        let mut model = HdcModel::new(2, 2);
+        model.bundle(&data);
+        assert_eq!(model.class_vectors()[0], vec![4.0, 6.0]);
+        assert_eq!(model.class_vectors()[1], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn training_learns_separable_clusters() {
+        let data = toy_dataset(50, 256, 1);
+        let mut model = HdcModel::new(3, 256);
+        for _ in 0..5 {
+            model.train_epoch(&data, 1.0);
+        }
+        assert!(model.accuracy(&data) > 0.95, "accuracy {}", model.accuracy(&data));
+    }
+
+    #[test]
+    fn errors_decrease_over_epochs() {
+        let data = toy_dataset(100, 512, 2);
+        let mut model = HdcModel::new(3, 512);
+        let e1 = model.train_epoch(&data, 1.0);
+        let mut last = e1;
+        for _ in 0..4 {
+            last = model.train_epoch(&data, 1.0);
+        }
+        assert!(last < e1, "errors should drop: {e1} -> {last}");
+    }
+
+    #[test]
+    fn correct_prediction_skips_update() {
+        let mut model = HdcModel::new(2, 8);
+        let hv = vec![1.0; 8];
+        model.train_sample(&hv, 0, 1.0);
+        let snapshot = model.clone();
+        // Now the sample is classified correctly; training again is a no-op.
+        assert!(model.train_sample(&hv, 0, 1.0));
+        assert_eq!(model, snapshot);
+    }
+
+    #[test]
+    fn eq1_update_directions() {
+        let mut model = HdcModel::new(2, 4);
+        // Force a misprediction: class 1 is partially aligned with hv,
+        // class 0 (the true class) is misaligned.
+        model.class_vectors[1] = vec![1.0, 1.0, 1.0, -1.0];
+        model.class_vectors[0] = vec![-1.0, -1.0, -1.0, -1.0];
+        let hv = vec![1.0, 1.0, 1.0, 1.0];
+        let sim0_before = model.similarity(0, &hv);
+        let sim1_before = model.similarity(1, &hv);
+        assert!(!model.train_sample(&hv, 0, 0.5));
+        assert!(model.similarity(0, &hv) > sim0_before, "true class moves toward hv");
+        assert!(model.similarity(1, &hv) < sim1_before, "wrong class moves away from hv");
+    }
+
+    #[test]
+    fn eq1_update_weight_vanishes_at_perfect_alignment() {
+        // The (1 − σ) factor makes the update a no-op for a class vector
+        // already perfectly aligned with the sample.
+        let mut model = HdcModel::new(2, 4);
+        model.class_vectors[1] = vec![1.0, 1.0, 1.0, 1.0];
+        model.class_vectors[0] = vec![-1.0, -1.0, -1.0, -1.0];
+        let hv = vec![1.0, 1.0, 1.0, 1.0];
+        assert!(!model.train_sample(&hv, 0, 0.5));
+        assert_eq!(model.class_vectors[1], vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let data = toy_dataset(20, 64, 3);
+        let mut model = HdcModel::new(3, 64);
+        model.train_epoch(&data, 1.0);
+        let flat = model.flatten();
+        assert_eq!(flat.len(), 192);
+        let restored = HdcModel::from_flat(&flat, 3, 64);
+        assert_eq!(restored, model);
+        let mut blank = HdcModel::new(3, 64);
+        blank.load_flat(&flat);
+        assert_eq!(blank, model);
+    }
+
+    #[test]
+    fn normalize_gives_unit_rows() {
+        let data = toy_dataset(20, 64, 4);
+        let mut model = HdcModel::new(3, 64);
+        model.train_epoch(&data, 1.0);
+        model.normalize();
+        for row in model.class_vectors() {
+            let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                assert!((norm - 1.0).abs() < 1e-5);
+            }
+        }
+        assert!(model.max_abs() <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn normalization_preserves_predictions() {
+        let data = toy_dataset(30, 128, 5);
+        let mut model = HdcModel::new(3, 128);
+        for _ in 0..3 {
+            model.train_epoch(&data, 1.0);
+        }
+        let before: Vec<usize> = data.iter().map(|(hv, _)| model.classify(hv)).collect();
+        model.normalize();
+        let after: Vec<usize> = data.iter().map(|(hv, _)| model.classify(hv)).collect();
+        assert_eq!(before, after, "cosine classification is scale-invariant");
+    }
+
+    #[test]
+    fn averaging_two_models_preserves_shared_structure() {
+        // The FedAvg sanity property: averaging models trained on the same
+        // distribution classifies at least as well as chance and keeps shape.
+        let d1 = toy_dataset(50, 256, 6);
+        let d2 = toy_dataset(50, 256, 7);
+        let mut m1 = HdcModel::new(3, 256);
+        let mut m2 = HdcModel::new(3, 256);
+        for _ in 0..3 {
+            m1.train_epoch(&d1, 1.0);
+            m2.train_epoch(&d2, 1.0);
+        }
+        let avg: Vec<f32> = m1
+            .flatten()
+            .iter()
+            .zip(m2.flatten().iter())
+            .map(|(a, b)| (a + b) / 2.0)
+            .collect();
+        let global = HdcModel::from_flat(&avg, 3, 256);
+        assert!(global.accuracy(&d1) > 0.9, "global on d1: {}", global.accuracy(&d1));
+        assert!(global.accuracy(&d2) > 0.9, "global on d2: {}", global.accuracy(&d2));
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let mut model = HdcModel::new(2, 4);
+        model.train_sample(&[1.0; 4], 5, 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_edge_cases() {
+        let data = EncodedDataset::default();
+        assert!(data.is_empty());
+        assert_eq!(data.dim(), 0);
+        let model = HdcModel::new(2, 4);
+        assert_eq!(model.accuracy(&data), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn inconsistent_dataset_rejected() {
+        let _ = EncodedDataset::new(vec![vec![1.0; 4]], vec![0, 1]);
+    }
+}

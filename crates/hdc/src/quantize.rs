@@ -1,0 +1,201 @@
+//! Fixed-point quantization of HDC models.
+//!
+//! The TFHE pipeline encrypts one small integer per ciphertext, so model
+//! parameters must be quantized to `b`-bit signed fixed point. CKKS
+//! ingests reals directly, but quantization is also exercised by the
+//! design-space experiments on precision (paper §IV-B2).
+
+use crate::model::HdcModel;
+
+/// A quantized model: signed integers plus the scale to undo them.
+///
+/// Values satisfy `|q| < 2^(bits-1)`, i.e. they fit the two's-complement
+/// range of the requested width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedModel {
+    values: Vec<i64>,
+    scale: f64,
+    bits: u32,
+    classes: usize,
+    dim: usize,
+}
+
+impl QuantizedModel {
+    /// Quantizes a model to `bits`-bit signed fixed point, choosing the
+    /// scale from the model's dynamic range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `[2, 32]`.
+    pub fn quantize(model: &HdcModel, bits: u32) -> Self {
+        assert!((2..=32).contains(&bits), "quantization width {bits} outside [2, 32]");
+        let max_abs = f64::from(model.max_abs());
+        let max_q = f64::from((1u32 << (bits - 1)) - 1);
+        let scale = if max_abs > 0.0 { max_q / max_abs } else { 1.0 };
+        let values = model
+            .flatten()
+            .iter()
+            .map(|&v| (f64::from(v) * scale).round() as i64)
+            .collect();
+        QuantizedModel { values, scale, bits, classes: model.classes(), dim: model.dim() }
+    }
+
+    /// Reconstructs the (lossy) floating-point model.
+    pub fn dequantize(&self) -> HdcModel {
+        let flat: Vec<f32> = self.values.iter().map(|&q| (q as f64 / self.scale) as f32).collect();
+        HdcModel::from_flat(&flat, self.classes, self.dim)
+    }
+
+    /// The quantized integer values (row-major `L·D`).
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The quantization scale (float = int / scale).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Bit width used for quantization.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Re-centers values into `[0, 2^bits)` for unsigned-only transports
+    /// (e.g. the LWE plaintext space), returning offset-encoded values.
+    ///
+    /// Adding `2^(bits-1)` maps the signed range onto the unsigned range;
+    /// [`QuantizedModel::from_offset_encoded`] undoes it.
+    pub fn to_offset_encoded(&self) -> Vec<u64> {
+        let offset = 1i64 << (self.bits - 1);
+        self.values.iter().map(|&q| (q + offset) as u64).collect()
+    }
+
+    /// Rebuilds a quantized model from offset-encoded unsigned values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoded.len() != classes * dim`.
+    pub fn from_offset_encoded(
+        encoded: &[u64],
+        scale: f64,
+        bits: u32,
+        classes: usize,
+        dim: usize,
+    ) -> Self {
+        assert_eq!(encoded.len(), classes * dim, "encoded length mismatch");
+        let offset = 1i64 << (bits - 1);
+        let values = encoded.iter().map(|&u| u as i64 - offset).collect();
+        QuantizedModel { values, scale, bits, classes, dim }
+    }
+
+    /// Worst-case quantization error in float units (half a step).
+    pub fn max_quantization_error(&self) -> f64 {
+        0.5 / self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn trained_model(seed: u64) -> HdcModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = HdcModel::new(4, 128);
+        let flat: Vec<f32> = (0..512).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        model.load_flat(&flat);
+        model
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded() {
+        let model = trained_model(1);
+        for bits in [4u32, 8, 16] {
+            let q = QuantizedModel::quantize(&model, bits);
+            let back = q.dequantize();
+            let max_err = model
+                .flatten()
+                .iter()
+                .zip(back.flatten().iter())
+                .map(|(a, b)| (a - b).abs() as f64)
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_err <= q.max_quantization_error() * 1.001,
+                "{bits}-bit error {max_err} > bound {}",
+                q.max_quantization_error()
+            );
+        }
+    }
+
+    #[test]
+    fn values_fit_bit_width() {
+        let model = trained_model(2);
+        for bits in [3u32, 8, 12] {
+            let q = QuantizedModel::quantize(&model, bits);
+            let limit = 1i64 << (bits - 1);
+            assert!(q.values().iter().all(|&v| v.abs() < limit));
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let model = trained_model(3);
+        let coarse = QuantizedModel::quantize(&model, 4);
+        let fine = QuantizedModel::quantize(&model, 12);
+        assert!(fine.max_quantization_error() < coarse.max_quantization_error());
+    }
+
+    #[test]
+    fn offset_encoding_round_trip() {
+        let model = trained_model(4);
+        let q = QuantizedModel::quantize(&model, 8);
+        let encoded = q.to_offset_encoded();
+        assert!(encoded.iter().all(|&u| u < 256));
+        let back = QuantizedModel::from_offset_encoded(&encoded, q.scale(), 8, 4, 128);
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn quantized_model_classifies_like_original() {
+        // 8-bit quantization should not change most predictions (the HDC
+        // noise-resilience claim the paper leans on, §I).
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut model = HdcModel::new(3, 512);
+        let protos: Vec<Vec<f32>> = (0..3)
+            .map(|_| (0..512).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        for (c, p) in protos.iter().enumerate() {
+            for _ in 0..10 {
+                let hv: Vec<f32> = p.iter().map(|&x| x + rng.gen_range(-0.1..0.1)).collect();
+                model.train_sample(&hv, c, 1.0);
+            }
+        }
+        let q = QuantizedModel::quantize(&model, 8).dequantize();
+        let mut agree = 0;
+        let total = 100;
+        for _ in 0..total {
+            let c = rng.gen_range(0..3usize);
+            let hv: Vec<f32> = protos[c].iter().map(|&x| x + rng.gen_range(-0.2..0.2)).collect();
+            if model.classify(&hv) == q.classify(&hv) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 98, "agreement {agree}/{total}");
+    }
+
+    #[test]
+    fn zero_model_quantizes_safely() {
+        let model = HdcModel::new(2, 16);
+        let q = QuantizedModel::quantize(&model, 8);
+        assert!(q.values().iter().all(|&v| v == 0));
+        assert_eq!(q.dequantize(), model);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn extreme_bit_width_rejected() {
+        let model = trained_model(6);
+        let _ = QuantizedModel::quantize(&model, 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for HDC invariants.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder, RbfEncoder};
+use rhychee_hdc::model::HdcModel;
+use rhychee_hdc::quantize::QuantizedModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rbf_outputs_bounded(
+        seed in any::<u64>(),
+        features in prop::collection::vec(-10.0f32..10.0, 4..16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = RbfEncoder::new(features.len(), 64, &mut rng);
+        let hv = enc.encode(&features);
+        prop_assert_eq!(hv.len(), 64);
+        prop_assert!(hv.iter().all(|&h| (-1.0..=1.0).contains(&h)));
+    }
+
+    #[test]
+    fn projection_outputs_bipolar(
+        seed in any::<u64>(),
+        features in prop::collection::vec(-10.0f32..10.0, 4..16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = RandomProjectionEncoder::new(features.len(), 64, &mut rng);
+        let hv = enc.encode(&features);
+        prop_assert!(hv.iter().all(|&h| h == 1.0 || h == -1.0));
+    }
+
+    #[test]
+    fn encoding_scale_invariance_of_projection(
+        seed in any::<u64>(),
+        features in prop::collection::vec(0.01f32..10.0, 8),
+        scale in 0.1f32..100.0,
+    ) {
+        // sign(B·(c·F)) = sign(B·F) for c > 0.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = RandomProjectionEncoder::new(8, 128, &mut rng);
+        let scaled: Vec<f32> = features.iter().map(|&x| x * scale).collect();
+        prop_assert_eq!(enc.encode(&features), enc.encode(&scaled));
+    }
+
+    #[test]
+    fn model_flatten_round_trip(
+        flat in prop::collection::vec(-100.0f32..100.0, 24),
+    ) {
+        let model = HdcModel::from_flat(&flat, 3, 8);
+        prop_assert_eq!(model.flatten(), flat);
+    }
+
+    #[test]
+    fn classification_is_scale_invariant(
+        flat in prop::collection::vec(-10.0f32..10.0, 32),
+        hv in prop::collection::vec(-1.0f32..1.0, 16),
+        scale in 0.001f32..1000.0,
+    ) {
+        // Cosine similarity ignores the model's global scale.
+        let m1 = HdcModel::from_flat(&flat, 2, 16);
+        let scaled: Vec<f32> = flat.iter().map(|&x| x * scale).collect();
+        let m2 = HdcModel::from_flat(&scaled, 2, 16);
+        prop_assert_eq!(m1.classify(&hv), m2.classify(&hv));
+    }
+
+    #[test]
+    fn training_on_one_sample_fixes_it(
+        seed in any::<u64>(),
+        label in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hv: Vec<f32> = (0..32).map(|_| rand::Rng::gen_range(&mut rng, -1.0f32..1.0)).collect();
+        let mut model = HdcModel::new(3, 32);
+        // Repeated adaptive updates converge on a single sample.
+        for _ in 0..10 {
+            if model.train_sample(&hv, label, 1.0) {
+                break;
+            }
+        }
+        prop_assert_eq!(model.classify(&hv), label);
+    }
+
+    #[test]
+    fn quantization_error_within_half_step(
+        flat in prop::collection::vec(-50.0f32..50.0, 16),
+        bits in 3u32..16,
+    ) {
+        let model = HdcModel::from_flat(&flat, 2, 8);
+        let q = QuantizedModel::quantize(&model, bits);
+        let back = q.dequantize();
+        let bound = q.max_quantization_error() * 1.001;
+        for (a, b) in model.flatten().iter().zip(back.flatten().iter()) {
+            prop_assert!(((a - b).abs() as f64) <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn offset_encoding_is_lossless(
+        flat in prop::collection::vec(-50.0f32..50.0, 16),
+        bits in 3u32..12,
+    ) {
+        let model = HdcModel::from_flat(&flat, 2, 8);
+        let q = QuantizedModel::quantize(&model, bits);
+        let restored = QuantizedModel::from_offset_encoded(
+            &q.to_offset_encoded(),
+            q.scale(),
+            bits,
+            2,
+            8,
+        );
+        prop_assert_eq!(restored, q);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(flat in prop::collection::vec(-10.0f32..10.0, 32)) {
+        let mut m = HdcModel::from_flat(&flat, 2, 16);
+        m.normalize();
+        let once = m.flatten();
+        m.normalize();
+        let twice = m.flatten();
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

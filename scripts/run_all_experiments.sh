@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure from the paper plus the extension
+# ablations. Full sweeps take tens of minutes on one core; pass --quick
+# to forward the reduced profile to the training-based binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+QUICK="${1:-}"
+
+analytic=(table1_comm_formulas table3_param_sets fig4_comm_overhead fig5_channel)
+training=(fig2_accuracy_sweep fig3_convergence table2_sota_comparison \
+          noise_robustness ablation_scale_factor ablation_aggregation \
+          latency_breakdown noise_fragility)
+
+for bin in "${analytic[@]}"; do
+  echo "=== $bin ==="
+  cargo run --release -p rhychee-bench --bin "$bin" | tee "results/$bin.txt"
+done
+
+for bin in "${training[@]}"; do
+  echo "=== $bin $QUICK ==="
+  cargo run --release -p rhychee-bench --bin "$bin" -- $QUICK | tee "results/$bin.txt"
+done
+
+echo "All experiment outputs written to results/."

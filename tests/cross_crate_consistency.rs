@@ -1,0 +1,145 @@
+//! Consistency checks spanning crates: the analytical communication
+//! formulas (Table I), the bit-exact wire format, HDC quantization
+//! through the LWE transport, and the baselines' parameter accounting.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use rhychee_fl::core::packing;
+use rhychee_fl::fhe::ckks::CkksContext;
+use rhychee_fl::fhe::lwe::LweContext;
+use rhychee_fl::fhe::params::{CkksParams, LweParams, ParamSet};
+use rhychee_fl::hdc::model::HdcModel;
+use rhychee_fl::hdc::quantize::QuantizedModel;
+use rhychee_fl::nn::Network;
+
+#[test]
+fn serialized_sizes_match_table1_within_header_overhead() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for (name, set) in ParamSet::table3() {
+        match set {
+            ParamSet::Ckks(p) => {
+                let formula = p.ciphertext_bits();
+                let ctx = CkksContext::new(p).expect("params");
+                let (_, pk) = ctx.generate_keys(&mut rng);
+                let ct = ctx.encrypt(&pk, &[0.5], &mut rng).expect("encrypt");
+                let actual = (ctx.serialize(&ct).len() * 8) as u64;
+                // 72-bit header + byte padding only.
+                assert!(actual >= formula, "{name}: {actual} < formula {formula}");
+                assert!(actual - formula <= 80, "{name}: overhead {}", actual - formula);
+            }
+            ParamSet::Tfhe(p) => {
+                let formula = p.ciphertext_bits();
+                let ctx = LweContext::new(p).expect("params");
+                let sk = ctx.generate_key(&mut rng);
+                let ct = ctx.encrypt(&sk, 1, &mut rng).expect("encrypt");
+                let actual = (ctx.serialize(&ct).len() * 8) as u64;
+                assert!(actual >= formula && actual - formula < 8, "{name}: {actual} vs {formula}");
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_headline_ciphertext_counts() {
+    // 20,000-parameter HDC model and 43,484-parameter CNN at N/2 = 4096.
+    assert_eq!(packing::ciphertexts_needed(20_000, 4096), 5);
+    assert_eq!(packing::ciphertexts_needed(43_484, 4096), 11);
+    // The 2.2x communication ratio follows directly.
+    let ratio: f64 = 11.0 / 5.0;
+    assert!((ratio - 2.2).abs() < 1e-9);
+}
+
+#[test]
+fn baseline_parameter_counts() {
+    let mut rng = StdRng::seed_from_u64(4);
+    assert_eq!(Network::cnn_mnist(&mut rng).num_params(), 43_484);
+    assert_eq!(Network::logistic_regression(784, 10, &mut rng).num_params(), 7_850);
+    // HDC at the paper's operating point.
+    assert_eq!(HdcModel::new(10, 2000).num_parameters(), 20_000);
+}
+
+#[test]
+fn quantized_model_survives_lwe_transport() {
+    // HDC model -> 6-bit quantization -> offset encoding -> LWE encrypt ->
+    // homomorphic sum of 3 clients -> decrypt -> average: the full TFHE
+    // pipeline in miniature, checked against the plaintext computation.
+    let mut rng = StdRng::seed_from_u64(5);
+    let clients = 3usize;
+    let bits = 6u32;
+    let dim = 32;
+    let models: Vec<HdcModel> = (0..clients)
+        .map(|c| {
+            let mut m = HdcModel::new(2, dim);
+            let flat: Vec<f32> =
+                (0..2 * dim).map(|i| ((c * 64 + i) as f32 * 0.17).sin()).collect();
+            m.load_flat(&flat);
+            m
+        })
+        .collect();
+
+    let params = LweParams {
+        dimension: 128,
+        log_q: 16,
+        plaintext_modulus: ((clients as u64) << bits).next_power_of_two(),
+        sigma_int: 0.6,
+    };
+    let ctx = LweContext::new(params).expect("params");
+    let sk = ctx.generate_key(&mut rng);
+
+    let quantized: Vec<QuantizedModel> =
+        models.iter().map(|m| QuantizedModel::quantize(m, bits)).collect();
+    let scale = quantized.iter().map(QuantizedModel::scale).fold(f64::MAX, f64::min);
+
+    // Encrypt, sum homomorphically.
+    let mut sums: Vec<_> = quantized[0]
+        .to_offset_encoded()
+        .iter()
+        .map(|&v| ctx.encrypt(&sk, v, &mut rng).expect("encrypt"))
+        .collect();
+    for q in &quantized[1..] {
+        for (acc, &v) in sums.iter_mut().zip(q.to_offset_encoded().iter()) {
+            let ct = ctx.encrypt(&sk, v, &mut rng).expect("encrypt");
+            ctx.add_assign(acc, &ct).expect("add");
+        }
+    }
+
+    // Decrypt and undo offset + scale.
+    let offset = (1i64 << (bits - 1)) * clients as i64;
+    let averaged: Vec<f32> = sums
+        .iter()
+        .map(|ct| {
+            let sum = ctx.decrypt(&sk, ct) as i64 - offset;
+            (sum as f64 / (clients as f64 * scale)) as f32
+        })
+        .collect();
+
+    // Plaintext reference (with the same per-client quantization).
+    let reference: Vec<f32> = (0..2 * dim)
+        .map(|i| {
+            quantized.iter().map(|q| q.values()[i] as f64 / q.scale()).sum::<f64>() as f32
+                / clients as f32
+        })
+        .collect();
+    let quant_step = (1.0 / scale) as f32;
+    for (a, r) in averaged.iter().zip(&reference) {
+        assert!((a - r).abs() <= 1.5 * quant_step, "{a} vs {r} (step {quant_step})");
+    }
+}
+
+#[test]
+fn ckks_packed_model_round_trip_at_scale() {
+    // A full 20,000-parameter model through the real CKKS-4 set.
+    let ctx = CkksContext::new(CkksParams::ckks4()).expect("params");
+    let mut rng = StdRng::seed_from_u64(6);
+    let (sk, pk) = ctx.generate_keys(&mut rng);
+    let model: Vec<f32> = (0..20_000).map(|i| ((i as f32) * 0.001).cos() * 10.0).collect();
+    let cts = packing::encrypt_model(&ctx, &pk, &model, &mut rng).expect("encrypt");
+    assert_eq!(cts.len(), 5);
+    let back = packing::decrypt_model(&ctx, &sk, &cts, 20_000);
+    let max_err = model
+        .iter()
+        .zip(&back)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_err < 0.05, "CKKS-4 round-trip error {max_err}");
+}

@@ -1,0 +1,47 @@
+//! Pins the synthetic-MNIST difficulty calibration.
+//!
+//! Table II's accuracy ordering (HDC ≥ MLP > LR) only reproduces if the
+//! dataset is hard enough that a linear pixel classifier cannot
+//! saturate, yet easy enough that kernel methods stay accurate. This
+//! test guards that calibration against generator changes.
+
+use rand::{rngs::StdRng, SeedableRng};
+use rhychee_fl::data::{DatasetKind, SyntheticConfig};
+use rhychee_fl::hdc::encoding::{Encoder, RbfEncoder};
+use rhychee_fl::hdc::model::{EncodedDataset, HdcModel};
+use rhychee_fl::nn::Network;
+
+#[test]
+fn synthetic_mnist_separates_model_classes() {
+    let split =
+        SyntheticConfig { kind: DatasetKind::Mnist, train_samples: 1_200, test_samples: 400 }
+            .generate(17)
+            .expect("dataset generation");
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Linear classifier: must clear chance comfortably but NOT saturate.
+    let mut lr = Network::logistic_regression(784, 10, &mut rng);
+    for _ in 0..10 {
+        lr.train_epoch(split.train.features(), split.train.labels(), 32, 0.1, 0.9, &mut rng);
+    }
+    let lr_acc = lr.accuracy(split.test.features(), split.test.labels());
+    assert!(lr_acc > 0.5, "LR should learn something: {lr_acc}");
+    assert!(lr_acc < 0.97, "LR must not saturate (dataset too easy): {lr_acc}");
+
+    // HDC-RBF at the paper's D = 2000: competitive with or above LR.
+    let enc = RbfEncoder::new(784, 2000, &mut StdRng::seed_from_u64(9));
+    let train =
+        EncodedDataset::new(enc.encode_batch(split.train.features(), 1), split.train.labels().to_vec());
+    let test =
+        EncodedDataset::new(enc.encode_batch(split.test.features(), 1), split.test.labels().to_vec());
+    let mut model = HdcModel::new(10, 2000);
+    for _ in 0..10 {
+        model.train_epoch(&train, 1.0);
+    }
+    let hdc_acc = model.accuracy(&test);
+    assert!(hdc_acc > 0.85, "HDC-RBF should stay strong: {hdc_acc}");
+    assert!(
+        hdc_acc > lr_acc - 0.05,
+        "HDC ({hdc_acc}) must be at least competitive with LR ({lr_acc})"
+    );
+}

@@ -1,0 +1,83 @@
+//! Integration tests for the noisy-channel path: empirical packet
+//! statistics against the analytical model, and end-to-end encrypted FL
+//! convergence under noise (paper §V-E).
+
+use rhychee_fl::channel::crc::Detector;
+use rhychee_fl::channel::failure::ChannelModel;
+use rhychee_fl::channel::packet::{BitFlipChannel, PacketLink, PACKET_BITS};
+use rhychee_fl::core::{FlConfig, NoisyChannelConfig, NoisyFederation};
+use rhychee_fl::data::{DatasetKind, SyntheticConfig};
+use rhychee_fl::fhe::params::CkksParams;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn empirical_retransmissions_match_analytical_model() {
+    // Push 300 packets through BER 1e-3 and compare the measured
+    // retransmission factor to 1/(1 - p_pkt) with the tag bits included.
+    let ber = 1e-3;
+    let link = PacketLink::new(BitFlipChannel::new(ber), Detector::Crc32, PACKET_BITS);
+    let payload = vec![0x3Cu8; 175 * 300];
+    let mut rng = StdRng::seed_from_u64(1);
+    let (_, stats) = link.transfer(&payload, &mut rng);
+    let measured = stats.transmissions as f64 / stats.packets as f64;
+    let p = 1.0 - (1.0 - ber).powi(1400 + 32);
+    let theory = 1.0 / (1.0 - p);
+    assert!(
+        (measured - theory).abs() / theory < 0.12,
+        "measured {measured:.3} vs theory {theory:.3}"
+    );
+}
+
+#[test]
+fn paper_operating_point_constants() {
+    let model = ChannelModel::default();
+    // E[T] = 1 / (1400 * 1e-3 * 2^-32) ≈ 3.07e9 (paper: 3.039e9).
+    let et = model.expected_transmissions_to_failure();
+    assert!((et - 3.068e9).abs() / et < 0.01, "E[T] = {et:.3e}");
+    // E[R] at the HDC/CKKS-4 point, 10 clients ≈ 43k rounds (paper Fig 5b).
+    let er = model.expected_rounds_to_failure(10, 5 * 2 * 8192 * 61);
+    assert!((er - 42_970.0).abs() < 500.0, "E[R] = {er}");
+}
+
+#[test]
+fn encrypted_fl_converges_through_noise_with_crc() {
+    let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 300, test_samples: 120 }
+        .generate(31)
+        .expect("dataset generation");
+    let config =
+        FlConfig::builder().clients(3).rounds(3).hd_dim(256).seed(2).build().expect("valid");
+
+    // Reference: clean channel.
+    let clean_cfg = NoisyChannelConfig { ber: 0.0, ..Default::default() };
+    let mut clean =
+        NoisyFederation::new(config.clone(), &data, CkksParams::toy(), clean_cfg).expect("build");
+    let (clean_report, _) = clean.run().expect("run");
+
+    // Paper operating point: BER 1e-3 with CRC-32.
+    let noisy_cfg = NoisyChannelConfig::default();
+    let mut noisy =
+        NoisyFederation::new(config, &data, CkksParams::toy(), noisy_cfg).expect("build");
+    let (noisy_report, stats) = noisy.run().expect("run");
+
+    assert!(stats.retransmissions > 0, "BER 1e-3 must trigger retransmissions");
+    assert_eq!(stats.undetected_errors, 0, "CRC-32 must catch every corruption at this scale");
+    assert!(
+        (clean_report.final_accuracy - noisy_report.final_accuracy).abs() < 0.08,
+        "noise behind CRC must not affect convergence: clean {} vs noisy {}",
+        clean_report.final_accuracy,
+        noisy_report.final_accuracy
+    );
+}
+
+#[test]
+fn detector_strength_ordering_checksum_vs_crc() {
+    // The analytical failure chain must make CRC-32 survive ~2^16 times
+    // longer than the 16-bit checksum at equal traffic.
+    let crc = ChannelModel::default();
+    let checksum = ChannelModel { detector: Detector::Checksum16, ..crc };
+    let bits = 5 * 2 * 8192 * 61u64;
+    let ratio = crc.expected_rounds_to_failure(10, bits)
+        / checksum.expected_rounds_to_failure(10, bits);
+    assert!((ratio - 65_536.0).abs() / 65_536.0 < 1e-6, "ratio {ratio}");
+}
