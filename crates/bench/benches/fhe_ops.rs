@@ -36,9 +36,8 @@ fn bench_ckks(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("mul_scalar", name), |b| {
             b.iter(|| ctx.mul_scalar(&ct, 0.1))
         });
-        group.bench_function(BenchmarkId::new("serialize", name), |b| {
-            b.iter(|| ctx.serialize(&ct))
-        });
+        group
+            .bench_function(BenchmarkId::new("serialize", name), |b| b.iter(|| ctx.serialize(&ct)));
     }
     group.finish();
 }

@@ -16,6 +16,7 @@ use rhychee_core::{Aggregation, FlConfig, Framework};
 use rhychee_data::{DatasetKind, SyntheticConfig};
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     let (samples, rounds, hd_dim, clients) =
         if quick { (800, 4, 512, 5) } else { (2_000, 8, 1_000, 10) };
@@ -28,9 +29,7 @@ fn main() {
     .generate(61)
     .expect("dataset generation");
 
-    let base = || {
-        FlConfig::builder().clients(clients).rounds(rounds).hd_dim(hd_dim).seed(29)
-    };
+    let base = || FlConfig::builder().clients(clients).rounds(rounds).hd_dim(hd_dim).seed(29);
 
     banner("Ablation: aggregation strategy (alpha = 0.5)");
     let mut agg_table = Table::new(vec!["strategy", "final acc", "rounds to 90%"]);
@@ -72,11 +71,7 @@ fn main() {
         ("L2-normalized uploads", true, 1.0),
         ("20% participation per round", false, 0.2),
     ] {
-        let cfg = base()
-            .normalize(normalize)
-            .participation(participation)
-            .build()
-            .expect("valid");
+        let cfg = base().normalize(normalize).participation(participation).build().expect("valid");
         let report = Framework::hdc_plaintext(cfg, &data).expect("build").run().expect("run");
         misc_table.row(vec![name.into(), format!("{:.4}", report.final_accuracy)]);
         eprintln!("  [{name}] acc {:.4}", report.final_accuracy);
@@ -89,4 +84,5 @@ fn main() {
          global knowledge and fresh local updates (see rhychee-core docs);\n\
          partial participation trades rounds for per-round traffic."
     );
+    rhychee_bench::emit_metrics_json("ablation_aggregation");
 }

@@ -16,6 +16,7 @@ use rhychee_data::{DatasetKind, SyntheticConfig};
 use rhychee_fhe::params::CkksParams;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     let (samples, rounds, hd_dim) = if quick { (600, 3, 512) } else { (1_500, 5, 2_000) };
 
@@ -27,7 +28,12 @@ fn main() {
     .generate(51)
     .expect("dataset generation");
     let config = || {
-        FlConfig::builder().clients(5).rounds(rounds).hd_dim(hd_dim).seed(19).build()
+        FlConfig::builder()
+            .clients(5)
+            .rounds(rounds)
+            .hd_dim(hd_dim)
+            .seed(19)
+            .build()
             .expect("valid config")
     };
 
@@ -81,9 +87,8 @@ fn main() {
 
     let spread = accs.iter().cloned().fold(f64::MIN, f64::max)
         - accs.iter().cloned().fold(f64::MAX, f64::min);
-    let vs_plain = (plain_report.final_accuracy
-        - accs.iter().cloned().fold(f64::MAX, f64::min))
-    .abs();
+    let vs_plain =
+        (plain_report.final_accuracy - accs.iter().cloned().fold(f64::MAX, f64::min)).abs();
     println!(
         "\naccuracy spread across CKKS sets: {spread:.4}; worst gap to plaintext: {vs_plain:.4}"
     );
@@ -91,4 +96,5 @@ fn main() {
         "paper claim: lowering Q to 61 bits (scale 2^26) does not degrade accuracy\n\
          while cutting communication by 39% vs CKKS-3."
     );
+    rhychee_bench::emit_metrics_json("ablation_scale_factor");
 }

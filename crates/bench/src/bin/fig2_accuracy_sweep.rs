@@ -16,6 +16,7 @@ use rhychee_core::{FlConfig, Framework};
 use rhychee_data::{DatasetKind, SyntheticConfig};
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     let (dims, client_counts, samples, rounds): (&[usize], &[usize], usize, usize) = if quick {
         (&[1000, 2000], &[10, 50], 1_500, 6)
@@ -69,4 +70,5 @@ fn main() {
          accuracy is stable across client counts — so the smallest D can be\n\
          chosen to minimize communication."
     );
+    rhychee_bench::emit_metrics_json("fig2_accuracy_sweep");
 }

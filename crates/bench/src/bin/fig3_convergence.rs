@@ -14,6 +14,7 @@ use rhychee_core::{FlConfig, Framework, NnFederation, NnModelKind, SgdConfig};
 use rhychee_data::{DatasetKind, SyntheticConfig};
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     let (client_counts, rounds, samples): (&[usize], usize, usize) =
         if quick { (&[10], 6, 1_000) } else { (&[10, 50, 100], 12, 3_000) };
@@ -88,4 +89,5 @@ fn main() {
         "\nPaper shape: HDC reaches 90% within 5 rounds at every client count\n\
          and converges several times faster than the CNN (6x at 100 clients)."
     );
+    rhychee_bench::emit_metrics_json("fig3_convergence");
 }

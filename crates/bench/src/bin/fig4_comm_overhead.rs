@@ -22,6 +22,7 @@ const HDC_PARAMS: u64 = 20_000;
 const CNN_PARAMS: u64 = 43_484;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     banner("Fig. 4a: Communication size vs model size (bits per upload)");
     let sets = ParamSet::table3();
     let mut header: Vec<String> = vec!["params".into()];
@@ -58,8 +59,7 @@ fn main() {
     println!("HDC vs CNN at CKKS-4:      {ratio_cnn:.2}x smaller   (paper: 2.2x)");
     let ratio_tfhe = tfhe1.comm_bits(HDC_PARAMS) as f64 / ckks4.comm_bits(HDC_PARAMS) as f64;
     println!("CKKS-4 vs TFHE-1 (HDC):    {ratio_tfhe:.1}x smaller   (paper: 21.4x)");
-    let reduction =
-        1.0 - ckks4.comm_bits(HDC_PARAMS) as f64 / ckks3.comm_bits(HDC_PARAMS) as f64;
+    let reduction = 1.0 - ckks4.comm_bits(HDC_PARAMS) as f64 / ckks3.comm_bits(HDC_PARAMS) as f64;
     println!("CKKS-3 -> CKKS-4 saving:   {:.0}%            (paper: 39%)", reduction * 100.0);
 
     // TFHE advantage at small model sizes (paper Fig. 4b discussion).
@@ -77,4 +77,5 @@ fn main() {
         ]);
     }
     cross.print();
+    rhychee_bench::emit_metrics_json("fig4_comm_overhead");
 }

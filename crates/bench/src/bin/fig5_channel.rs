@@ -23,6 +23,7 @@ const CNN_PARAMS: u64 = 43_484;
 const ROUND_PERIOD: f64 = 75.0;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let model = ChannelModel::default();
     banner("Channel setup");
     println!("BER = {}, packet = {} bits, detector = CRC-32", model.ber, model.packet_bits);
@@ -71,10 +72,16 @@ fn main() {
     banner("Fig. 5c: Expected time to first error (fixed 75 s round period)");
     let mut ttf = Table::new(vec!["Set", "HDC", "CNN", "HDC/CNN"]);
     for (name, set) in &sets {
-        let hdc =
-            model.expected_time_to_failure_fixed_period(CLIENTS, set.comm_bits(HDC_PARAMS), ROUND_PERIOD);
-        let cnn =
-            model.expected_time_to_failure_fixed_period(CLIENTS, set.comm_bits(CNN_PARAMS), ROUND_PERIOD);
+        let hdc = model.expected_time_to_failure_fixed_period(
+            CLIENTS,
+            set.comm_bits(HDC_PARAMS),
+            ROUND_PERIOD,
+        );
+        let cnn = model.expected_time_to_failure_fixed_period(
+            CLIENTS,
+            set.comm_bits(CNN_PARAMS),
+            ROUND_PERIOD,
+        );
         ttf.row(vec![
             name.to_string(),
             format!("{:.1} days", seconds_to_days(hdc)),
@@ -90,8 +97,7 @@ fn main() {
 
     banner("Extension: BER sensitivity at the HDC/CKKS-4 point");
     let ckks4_bits = sets[3].1.comm_bits(HDC_PARAMS);
-    let mut ber_table =
-        Table::new(vec!["BER", "N_re", "round latency", "E[R]", "time to failure"]);
+    let mut ber_table = Table::new(vec!["BER", "N_re", "round latency", "E[R]", "time to failure"]);
     for ber in [1e-5f64, 1e-4, 5e-4, 1e-3, 2e-3] {
         let m = ChannelModel { ber, ..ChannelModel::default() };
         ber_table.row(vec![
@@ -139,4 +145,5 @@ fn main() {
          <= 5 rounds (Fig. 3), the global model converges long before channel\n\
          noise can interrupt training."
     );
+    rhychee_bench::emit_metrics_json("fig5_channel");
 }

@@ -12,6 +12,7 @@ use rhychee_data::{DatasetKind, SyntheticConfig};
 use rhychee_fhe::params::CkksParams;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     let (samples, hd_dim, clients) = if quick { (400, 512, 3) } else { (1_000, 2_000, 10) };
 
@@ -23,7 +24,12 @@ fn main() {
     .generate(71)
     .expect("dataset generation");
     let config = || {
-        FlConfig::builder().clients(clients).rounds(1).hd_dim(hd_dim).seed(37).build()
+        FlConfig::builder()
+            .clients(clients)
+            .rounds(1)
+            .hd_dim(hd_dim)
+            .seed(37)
+            .build()
             .expect("valid config")
     };
 
@@ -84,4 +90,5 @@ fn main() {
          and the SIMD-packed CKKS pipelines dwarf the per-parameter LWE path,\n\
          matching the paper's scheme-selection guidance (S IV-B2)."
     );
+    rhychee_bench::emit_metrics_json("latency_breakdown");
 }

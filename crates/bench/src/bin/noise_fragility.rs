@@ -32,6 +32,7 @@ use rhychee_data::partition::dirichlet_partition_indices;
 const QUANT_BITS: u32 = 8;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     let (samples, rounds, hd_dim, clients) =
         if quick { (600, 3, 256, 3) } else { (1_200, 4, 512, 5) };
@@ -56,15 +57,18 @@ fn main() {
             .build()
             .expect("valid config");
         let channel = NoisyChannelConfig { ber, detector: None, ..Default::default() };
-        let mut enc = NoisyFederation::new(cfg, &data, CkksParams::ckks4(), channel)
-            .expect("federation");
+        let mut enc =
+            NoisyFederation::new(cfg, &data, CkksParams::ckks4(), channel).expect("federation");
         let (enc_report, _) = enc.run().expect("run");
         table.row(vec![
             format!("{ber:.0e}"),
             format!("{plain:.4}"),
             format!("{:.4}", enc_report.final_accuracy),
         ]);
-        eprintln!("  [BER {ber:.0e}] plaintext {plain:.4}, encrypted {:.4}", enc_report.final_accuracy);
+        eprintln!(
+            "  [BER {ber:.0e}] plaintext {plain:.4}, encrypted {:.4}",
+            enc_report.final_accuracy
+        );
     }
     table.print();
     println!(
@@ -73,6 +77,7 @@ fn main() {
          with CRC-32 detect-and-retransmit (S IV-C), after which noise has no\n\
          effect on convergence (see the noise_robustness experiment)."
     );
+    rhychee_bench::emit_metrics_json("noise_fragility");
 }
 
 /// Plaintext federated HDC where every model crosses the raw bit-flip
@@ -139,9 +144,10 @@ fn plaintext_noisy_run(
         let bytes: Vec<u8> = q.to_offset_encoded().iter().map(|&v| v as u8).collect();
         let (received, _) = channel.transmit(&bytes, &mut rng);
         let values: Vec<u64> = received.iter().map(|&b| u64::from(b)).collect();
-        global = QuantizedModel::from_offset_encoded(&values, q.scale(), QUANT_BITS, classes, hd_dim)
-            .dequantize()
-            .flatten();
+        global =
+            QuantizedModel::from_offset_encoded(&values, q.scale(), QUANT_BITS, classes, hd_dim)
+                .dequantize()
+                .flatten();
     }
     HdcModel::from_flat(&global, classes, hd_dim).accuracy(&test)
 }

@@ -20,6 +20,7 @@ use rhychee_data::{DatasetKind, SyntheticConfig};
 use rhychee_fhe::params::CkksParams;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     // CKKS-4 at D=2000 moves ~5 Mb per model copy; the bit-level channel
     // simulation is the bottleneck, so the default run uses a reduced
@@ -44,9 +45,15 @@ fn main() {
         .expect("valid config");
 
     let conditions: [(&str, NoisyChannelConfig); 3] = [
-        ("clean", NoisyChannelConfig { ber: 0.0, detector: Some(Detector::Crc32), ..Default::default() }),
+        (
+            "clean",
+            NoisyChannelConfig { ber: 0.0, detector: Some(Detector::Crc32), ..Default::default() },
+        ),
         ("BER 1e-3 + CRC-32", NoisyChannelConfig::default()),
-        ("BER 2e-5, no detection", NoisyChannelConfig { ber: 2e-5, detector: None, ..Default::default() }),
+        (
+            "BER 2e-5, no detection",
+            NoisyChannelConfig { ber: 2e-5, detector: None, ..Default::default() },
+        ),
     ];
 
     let mut summary = Table::new(vec![
@@ -93,4 +100,5 @@ fn main() {
          run used orders of magnitude fewer). Without error detection even a\n\
          tiny BER corrupts ciphertexts and the homomorphic aggregate."
     );
+    rhychee_bench::emit_metrics_json("noise_robustness");
 }

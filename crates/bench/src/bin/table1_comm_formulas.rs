@@ -12,30 +12,28 @@ use rhychee_fhe::lwe::LweContext;
 use rhychee_fhe::params::ParamSet;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     banner("Table I: Design Space and Communication Size");
     println!("Model size DL = 2000 x 10 = 20,000 trainable parameters\n");
 
     let dl: u64 = 20_000;
-    let mut table = Table::new(vec![
-        "Set",
-        "Scheme",
-        "Formula",
-        "Ciphertexts",
-        "Size (bits)",
-        "Size",
-    ]);
+    let mut table =
+        Table::new(vec!["Set", "Scheme", "Formula", "Ciphertexts", "Size (bits)", "Size"]);
     for (name, set) in ParamSet::table3() {
         let (scheme, formula, cts) = match &set {
             ParamSet::Ckks(p) => (
                 "CKKS",
-                format!("ceil(DL/(N/2)) * 2N log Q = ceil({dl}/{}) * 2*{}*{}", p.slot_count(), p.n, p.log_q()),
+                format!(
+                    "ceil(DL/(N/2)) * 2N log Q = ceil({dl}/{}) * 2*{}*{}",
+                    p.slot_count(),
+                    p.n,
+                    p.log_q()
+                ),
                 dl.div_ceil(p.slot_count() as u64),
             ),
-            ParamSet::Tfhe(p) => (
-                "TFHE",
-                format!("DL (n+1) log q = {dl} * {} * {}", p.dimension + 1, p.log_q),
-                dl,
-            ),
+            ParamSet::Tfhe(p) => {
+                ("TFHE", format!("DL (n+1) log q = {dl} * {} * {}", p.dimension + 1, p.log_q), dl)
+            }
         };
         let bits = set.comm_bits(dl);
         table.row(vec![
@@ -85,4 +83,5 @@ fn main() {
         }
     }
     check.print();
+    rhychee_bench::emit_metrics_json("table1_comm_formulas");
 }

@@ -33,6 +33,7 @@ const HDC_PARAMS: usize = 20_000;
 const PAILLIER_SAMPLE: usize = 256;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     let quick = std::env::args().any(|a| a == "--quick");
     let (samples, rounds) = if quick { (1_000, 4) } else { (3_000, 10) };
     let data = SyntheticConfig {
@@ -42,7 +43,12 @@ fn main() {
     }
     .generate(17)
     .expect("dataset generation");
-    let config = FlConfig::builder().clients(10).rounds(rounds).hd_dim(2000).seed(13).build()
+    let config = FlConfig::builder()
+        .clients(10)
+        .rounds(rounds)
+        .hd_dim(2000)
+        .seed(13)
+        .build()
         .expect("valid config");
 
     // --- Accuracy: federated training of each model class. ---
@@ -154,4 +160,5 @@ fn main() {
         format_seconds(ours_latency),
         format_seconds(xmk_latency),
     );
+    rhychee_bench::emit_metrics_json("table2_sota_comparison");
 }

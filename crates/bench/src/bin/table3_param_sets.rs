@@ -7,15 +7,10 @@ use rhychee_fhe::ckks::CkksContext;
 use rhychee_fhe::params::ParamSet;
 
 fn main() {
+    rhychee_bench::init_telemetry();
     banner("Table III: FHE Parameter Sets");
-    let mut table = Table::new(vec![
-        "Set",
-        "Scheme",
-        "N (n)",
-        "log Q (log q)",
-        "Slots",
-        "Bits/ciphertext",
-    ]);
+    let mut table =
+        Table::new(vec!["Set", "Scheme", "N (n)", "log Q (log q)", "Slots", "Bits/ciphertext"]);
     for (name, set) in ParamSet::table3() {
         match set {
             ParamSet::Ckks(p) => {
@@ -49,12 +44,8 @@ fn main() {
             let scale = format!("2^{}", p.scale_bits);
             let bits = format!("{:?}", p.prime_bits);
             let ctx = CkksContext::new(p).expect("valid params");
-            let primes = ctx
-                .primes()
-                .iter()
-                .map(|q| format!("{q:#x}"))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let primes =
+                ctx.primes().iter().map(|q| format!("{q:#x}")).collect::<Vec<_>>().join(", ");
             chains.row(vec![name.to_string(), bits, primes, scale]);
         }
     }
@@ -64,4 +55,5 @@ fn main() {
          homomorphicencryption.org tables for their (N, log Q) / (n, log q)\n\
          combinations (parameter-faithful; see DESIGN.md security note)."
     );
+    rhychee_bench::emit_metrics_json("table3_param_sets");
 }

@@ -18,7 +18,13 @@
 //! primitives (FHE operations, HDC encoding/training, CRC throughput).
 //!
 //! This library crate carries the shared plumbing: an ASCII table
-//! printer and human-unit formatting.
+//! printer, human-unit formatting, and the telemetry export every
+//! experiment binary routes through ([`init_telemetry`] /
+//! [`emit_metrics_json`]).
+
+use std::path::PathBuf;
+
+use rhychee_telemetry as telemetry;
 
 /// A simple left-aligned ASCII table for experiment output.
 ///
@@ -123,6 +129,39 @@ pub fn format_seconds(s: f64) -> String {
 pub fn banner(title: &str) {
     let line = "=".repeat(title.len() + 4);
     println!("\n{line}\n| {title} |\n{line}");
+}
+
+/// Turns on telemetry recording. Every experiment binary calls this
+/// first so its run produces a trace.
+pub fn init_telemetry() {
+    telemetry::set_enabled(true);
+}
+
+/// Directory where experiment metric traces land: `$RHYCHEE_METRICS_DIR`
+/// if set, else `target/metrics`.
+pub fn metrics_dir() -> PathBuf {
+    std::env::var_os("RHYCHEE_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"))
+}
+
+/// Drains the trace buffer and metrics registry into
+/// `metrics_dir()/<experiment>.jsonl` and prints the human-readable
+/// summary table. Every experiment binary calls this last.
+///
+/// Export failures (e.g. an unwritable metrics directory) are reported on
+/// stderr but never fail the experiment itself.
+pub fn emit_metrics_json(experiment: &str) {
+    let path = metrics_dir().join(format!("{experiment}.jsonl"));
+    let summary = telemetry::trace::summary_table(&telemetry::metrics::global().snapshot());
+    if !summary.is_empty() {
+        banner(&format!("telemetry: {experiment}"));
+        print!("{summary}");
+    }
+    match telemetry::trace::export_jsonl(&path) {
+        Ok(()) => println!("telemetry trace written to {}", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
 }
 
 #[cfg(test)]

@@ -135,11 +135,7 @@ impl BigUint {
         assert!(!bound.is_zero(), "random_below bound must be non-zero");
         let bits = bound.bits();
         let limbs = bits.div_ceil(64);
-        let top_mask = if bits % 64 == 0 {
-            u64::MAX
-        } else {
-            (1u64 << (bits % 64)) - 1
-        };
+        let top_mask = if bits.is_multiple_of(64) { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
         loop {
             let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
             if let Some(last) = v.last_mut() {

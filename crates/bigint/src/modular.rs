@@ -175,10 +175,10 @@ impl Montgomery {
             let ai = a_limbs.get(i).copied().unwrap_or(0);
             // t += ai * b
             let mut carry: u128 = 0;
-            for j in 0..k {
+            for (j, tj) in t.iter_mut().enumerate().take(k) {
                 let bj = b_limbs.get(j).copied().unwrap_or(0);
-                let s = u128::from(t[j]) + u128::from(ai) * u128::from(bj) + carry;
-                t[j] = s as u64;
+                let s = u128::from(*tj) + u128::from(ai) * u128::from(bj) + carry;
+                *tj = s as u64;
                 carry = s >> 64;
             }
             let s = u128::from(t[k]) + carry;
@@ -209,20 +209,20 @@ impl Montgomery {
     }
 
     /// Converts into Montgomery form: `a · R mod n`.
-    fn to_mont(&self, a: &BigUint) -> BigUint {
+    fn mont_encode(&self, a: &BigUint) -> BigUint {
         self.mont_mul(&a.rem_of(&self.n), &self.r2)
     }
 
     /// Converts out of Montgomery form.
-    fn from_mont(&self, a: &BigUint) -> BigUint {
+    fn mont_decode(&self, a: &BigUint) -> BigUint {
         self.mont_mul(a, &BigUint::one())
     }
 
     /// Computes `a * b mod n`.
     pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        let am = self.to_mont(a);
-        let bm = self.to_mont(b);
-        self.from_mont(&self.mont_mul(&am, &bm))
+        let am = self.mont_encode(a);
+        let bm = self.mont_encode(b);
+        self.mont_decode(&self.mont_mul(&am, &bm))
     }
 
     /// Computes `base^exp mod n` with a left-to-right binary ladder.
@@ -230,7 +230,7 @@ impl Montgomery {
         if exp.is_zero() {
             return BigUint::one().rem_of(&self.n);
         }
-        let base_m = self.to_mont(base);
+        let base_m = self.mont_encode(base);
         let mut acc = base_m.clone();
         for i in (0..exp.bits() - 1).rev() {
             acc = self.mont_mul(&acc, &acc);
@@ -238,7 +238,7 @@ impl Montgomery {
                 acc = self.mont_mul(&acc, &base_m);
             }
         }
-        self.from_mont(&acc)
+        self.mont_decode(&acc)
     }
 }
 

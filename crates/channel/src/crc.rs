@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn undetected_probabilities() {
-        assert!(Detector::Crc32.undetected_probability() < Detector::Checksum16.undetected_probability());
+        assert!(
+            Detector::Crc32.undetected_probability()
+                < Detector::Checksum16.undetected_probability()
+        );
         assert_eq!(Detector::Crc32.tag_bits(), 32);
         assert_eq!(Detector::Checksum16.tag_bits(), 16);
         let p = Detector::Crc32.undetected_probability();

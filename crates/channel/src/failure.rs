@@ -123,7 +123,8 @@ impl ChannelModel {
     /// [`ChannelModel::expected_time_to_failure_fixed_period`] for the
     /// paper's Fig. 5c, where rounds run on a fixed schedule.
     pub fn expected_time_to_failure(&self, clients: usize, payload_bits: u64) -> f64 {
-        self.expected_rounds_to_failure(clients, payload_bits) * self.round_latency(clients, payload_bits)
+        self.expected_rounds_to_failure(clients, payload_bits)
+            * self.round_latency(clients, payload_bits)
     }
 
     /// Expected time until the first undetected error with a fixed
@@ -208,16 +209,10 @@ mod tests {
         // Paper Fig. 5c: ~37 days for HDC vs ~17 for CNN with CKKS-4 at a
         // fixed ≈75 s round period.
         let m = paper_model();
-        let hdc_days = seconds_to_days(m.expected_time_to_failure_fixed_period(
-            10,
-            5 * 2 * 8192 * 61,
-            75.0,
-        ));
-        let cnn_days = seconds_to_days(m.expected_time_to_failure_fixed_period(
-            10,
-            11 * 2 * 8192 * 61,
-            75.0,
-        ));
+        let hdc_days =
+            seconds_to_days(m.expected_time_to_failure_fixed_period(10, 5 * 2 * 8192 * 61, 75.0));
+        let cnn_days =
+            seconds_to_days(m.expected_time_to_failure_fixed_period(10, 11 * 2 * 8192 * 61, 75.0));
         assert!((hdc_days - 37.0).abs() < 2.0, "HDC {hdc_days} days (paper: 37)");
         assert!((cnn_days - 17.0).abs() < 1.5, "CNN {cnn_days} days (paper: 17)");
         let ratio = hdc_days / cnn_days;
@@ -248,7 +243,8 @@ mod tests {
         let sum = ChannelModel { detector: Detector::Checksum16, ..crc };
         let bits = 5 * 2 * 8192 * 61u64;
         assert!(
-            crc.expected_rounds_to_failure(10, bits) > 1000.0 * sum.expected_rounds_to_failure(10, bits),
+            crc.expected_rounds_to_failure(10, bits)
+                > 1000.0 * sum.expected_rounds_to_failure(10, bits),
             "CRC-32 should survive ~2^16 times longer"
         );
     }

@@ -9,6 +9,7 @@
 //! §IV-C analyzes.
 
 use rand::Rng;
+use rhychee_telemetry as telemetry;
 
 use crate::crc::Detector;
 
@@ -84,7 +85,10 @@ impl PacketLink {
     ///
     /// Panics if `packet_bits` is not a positive multiple of 8.
     pub fn new(channel: BitFlipChannel, detector: Detector, packet_bits: usize) -> Self {
-        assert!(packet_bits > 0 && packet_bits % 8 == 0, "packet size must be a multiple of 8 bits");
+        assert!(
+            packet_bits > 0 && packet_bits.is_multiple_of(8),
+            "packet size must be a multiple of 8 bits"
+        );
         PacketLink { channel, detector, packet_bits, max_retries: 100_000 }
     }
 
@@ -110,7 +114,11 @@ impl PacketLink {
     /// Transfers a payload: splits into packets, sends each until the
     /// detector accepts it, and reassembles. The returned payload differs
     /// from the input only where an undetected error slipped through.
-    pub fn transfer<R: Rng + ?Sized>(&self, payload: &[u8], rng: &mut R) -> (Vec<u8>, TransferStats) {
+    pub fn transfer<R: Rng + ?Sized>(
+        &self,
+        payload: &[u8],
+        rng: &mut R,
+    ) -> (Vec<u8>, TransferStats) {
         let mut out = Vec::with_capacity(payload.len());
         let mut stats = TransferStats::default();
         for chunk in payload.chunks(self.packet_payload_bytes()) {
@@ -119,6 +127,7 @@ impl PacketLink {
             let mut delivered: Option<Vec<u8>> = None;
             for attempt in 0..self.max_retries {
                 stats.transmissions += 1;
+                telemetry::count("channel.packet.sent", 1);
                 let (received, flips) = self.channel.transmit(chunk, rng);
                 // The tag itself travels over the channel too; model a
                 // corrupted tag as a detected error (forces retransmit).
@@ -128,12 +137,17 @@ impl PacketLink {
                 if tag_ok && self.detector.verify(&received, tag) {
                     if flips > 0 {
                         stats.undetected_errors += 1;
+                        telemetry::count("channel.packet.undetected_error", 1);
                     }
                     delivered = Some(received);
                     break;
                 }
                 stats.retransmissions += 1;
+                telemetry::count("channel.packet.crc_failure", 1);
                 let _ = attempt;
+            }
+            if delivered.is_none() {
+                telemetry::count("channel.packet.dropped", 1);
             }
             // Retry budget exhausted: deliver the original (counts as if
             // the link eventually succeeded; unreachable at realistic BER).

@@ -127,8 +127,7 @@ mod tests {
 
     #[test]
     fn slot_durations_follow_numerology() {
-        let mut cfg = PhyConfig::default();
-        cfg.subcarrier_spacing_khz = 15;
+        let mut cfg = PhyConfig { subcarrier_spacing_khz: 15, ..PhyConfig::default() };
         assert!((cfg.slot_duration() - 1e-3).abs() < 1e-12);
         cfg.subcarrier_spacing_khz = 30;
         assert!((cfg.slot_duration() - 0.5e-3).abs() < 1e-12);
@@ -176,8 +175,7 @@ mod tests {
 
     #[test]
     fn throughput_is_plausible_5g() {
-        let mut cfg = PhyConfig::default();
-        cfg.prbs = 50;
+        let cfg = PhyConfig { prbs: 50, ..PhyConfig::default() };
         let gbps = cfg.throughput_bps() / 1e9;
         // ~0.4 Gbps with 50 PRB, 4 layers, QAM-16 at 60 kHz SCS.
         assert!(gbps > 0.1 && gbps < 2.0, "throughput {gbps} Gbps");

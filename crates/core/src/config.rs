@@ -108,10 +108,10 @@ impl FlConfig {
         if self.hd_dim == 0 {
             return Err(FlError::InvalidConfig("hd_dim must be positive".into()));
         }
-        if !(self.lr > 0.0) {
+        if self.lr <= 0.0 || self.lr.is_nan() {
             return Err(FlError::InvalidConfig("learning rate must be positive".into()));
         }
-        if !(self.dirichlet_alpha > 0.0) {
+        if self.dirichlet_alpha <= 0.0 || self.dirichlet_alpha.is_nan() {
             return Err(FlError::InvalidConfig("dirichlet_alpha must be positive".into()));
         }
         if !(0.0 < self.participation && self.participation <= 1.0) {

@@ -9,11 +9,12 @@
 //! * **LWE/TFHE** — per-parameter ciphertexts with fixed-point
 //!   quantization (the design-space alternative of Table I).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rhychee_telemetry as telemetry;
 
 use rhychee_data::partition::dirichlet_partition_indices;
 use rhychee_data::TrainTest;
@@ -188,12 +189,7 @@ impl Framework {
         let t = ((clients as u64) << quant_bits).next_power_of_two();
         // Keep Δ = q/t at 128 for comfortable noise margin.
         let q_bits = t.trailing_zeros() + 7;
-        LweParams {
-            dimension: 534,
-            log_q: q_bits,
-            plaintext_modulus: t,
-            sigma_int: 0.6,
-        }
+        LweParams { dimension: 534, log_q: q_bits, plaintext_modulus: t, sigma_int: 0.6 }
     }
 
     fn build(config: FlConfig, data: &TrainTest, pipeline: Pipeline) -> Result<Self, FlError> {
@@ -303,47 +299,48 @@ impl Framework {
         let round = self.next_round;
         self.next_round += 1;
         let mut report = RoundReport { round, ..RoundReport::default() };
+        let round_span = telemetry::span("round");
 
         // Client sampling (participation < 1.0 is an extension; the paper
         // aggregates all clients every round).
         let participants = self.sample_participants();
 
         // 1. Local training.
-        let t0 = Instant::now();
+        let span = telemetry::span("local_train");
         let local_models = self.train_locals(&participants);
-        report.train_time = t0.elapsed();
+        report.train_time = span.finish();
 
         // 2–4. Collection, aggregation, distribution.
         let new_global = match &self.pipeline {
             Pipeline::Plaintext => {
-                let t0 = Instant::now();
+                let span = telemetry::span("aggregate");
                 let weights = self.aggregation_weights(&participants);
                 let global = weighted_average(&local_models, &weights);
-                report.aggregate_time = t0.elapsed();
+                report.aggregate_time = span.finish();
                 global
             }
             Pipeline::Ckks { ctx, sk, pk } => {
-                let t0 = Instant::now();
+                let span = telemetry::span("encrypt");
                 let encrypted: Result<Vec<_>, _> = local_models
                     .iter()
                     .map(|m| packing::encrypt_model(ctx, pk, m, &mut self.rng))
                     .collect();
                 let encrypted = encrypted?;
-                report.encrypt_time = t0.elapsed();
+                report.encrypt_time = span.finish();
 
-                let t0 = Instant::now();
+                let span = telemetry::span("aggregate");
                 let global_ct = packing::homomorphic_average(ctx, &encrypted)?;
-                report.aggregate_time = t0.elapsed();
+                report.aggregate_time = span.finish();
 
-                let t0 = Instant::now();
+                let span = telemetry::span("decrypt");
                 let global = packing::decrypt_model(ctx, sk, &global_ct, self.global.len());
-                report.decrypt_time = t0.elapsed();
+                report.decrypt_time = span.finish();
                 global
             }
             Pipeline::Lwe { ctx, sk, quant_bits } => {
                 let bits = *quant_bits;
                 let p = local_models.len() as u64;
-                let t0 = Instant::now();
+                let span = telemetry::span("encrypt");
                 // Quantize every client model with a common scale so sums
                 // are meaningful: use the max dynamic range.
                 let quantized: Vec<QuantizedModel> = local_models
@@ -364,9 +361,9 @@ impl Framework {
                     })
                     .collect();
                 let encrypted = encrypted?;
-                report.encrypt_time = t0.elapsed();
+                report.encrypt_time = span.finish();
 
-                let t0 = Instant::now();
+                let span = telemetry::span("aggregate");
                 let n = self.global.len();
                 let mut sums = encrypted[0].clone();
                 for client in &encrypted[1..] {
@@ -374,9 +371,9 @@ impl Framework {
                         ctx.add_assign(acc, ct)?;
                     }
                 }
-                report.aggregate_time = t0.elapsed();
+                report.aggregate_time = span.finish();
 
-                let t0 = Instant::now();
+                let span = telemetry::span("decrypt");
                 let offset = (1i64 << (bits - 1)) * p as i64;
                 let global: Vec<f32> = (0..n)
                     .map(|i| {
@@ -384,7 +381,7 @@ impl Framework {
                         (sum as f64 / (p as f64 * scale)) as f32
                     })
                     .collect();
-                report.decrypt_time = t0.elapsed();
+                report.decrypt_time = span.finish();
                 global
             }
         };
@@ -395,6 +392,7 @@ impl Framework {
         report.upload_bits_per_client = self.upload_bits_per_round();
         report.download_bits_per_client = report.upload_bits_per_client;
         report.accuracy = self.global_accuracy();
+        round_span.finish();
         Ok(report)
     }
 

@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rhychee_telemetry as telemetry;
 
 use rhychee_data::partition::dirichlet_partition_indices;
 use rhychee_data::TrainTest;
@@ -154,7 +155,10 @@ impl NnFederation {
     pub fn run_round(&mut self) -> Result<RoundReport, FlError> {
         let round = self.next_round;
         self.next_round += 1;
-        let t0 = std::time::Instant::now();
+        // Same span taxonomy as the HDC `Framework` round loop, so NN
+        // baseline traces line up column-for-column in comparisons.
+        let round_span = telemetry::span("round");
+        let train_span = telemetry::span("local_train");
         let mut sum = vec![0.0f32; self.global.len()];
         let clients = self.shards.len();
         for c in 0..clients {
@@ -175,18 +179,22 @@ impl NnFederation {
                 *s += p;
             }
         }
+        let train_time = train_span.finish();
+        let aggregate_span = telemetry::span("aggregate");
         for s in sum.iter_mut() {
             *s /= clients as f32;
         }
         self.global = sum;
-        let train_time = t0.elapsed();
+        let aggregate_time = aggregate_span.finish();
         let accuracy = self.global_accuracy();
+        round_span.finish();
         Ok(RoundReport {
             round,
             accuracy,
             upload_bits_per_client: self.global.len() as u64 * 32,
             download_bits_per_client: self.global.len() as u64 * 32,
             train_time,
+            aggregate_time,
             ..RoundReport::default()
         })
     }
@@ -217,13 +225,13 @@ mod tests {
 
     #[test]
     fn lr_federation_learns_har() {
-        let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 300, test_samples: 120 }
-            .generate(2)
-            .expect("generate");
+        let data =
+            SyntheticConfig { kind: DatasetKind::Har, train_samples: 300, test_samples: 120 }
+                .generate(2)
+                .expect("generate");
         let sgd = SgdConfig { lr: 0.1, momentum: 0.0, batch_size: 16 };
-        let mut fed =
-            NnFederation::new(&config(4, 5), &data, NnModelKind::LogisticRegression, sgd)
-                .expect("build");
+        let mut fed = NnFederation::new(&config(4, 5), &data, NnModelKind::LogisticRegression, sgd)
+            .expect("build");
         assert_eq!(fed.num_parameters(), 561 * 6 + 6);
         let report = fed.run().expect("run");
         assert!(report.final_accuracy > 0.6, "accuracy {}", report.final_accuracy);
@@ -236,7 +244,8 @@ mod tests {
                 .generate(3)
                 .expect("generate");
         let sgd = SgdConfig { lr: 0.1, momentum: 0.5, batch_size: 16 };
-        let mut fed = NnFederation::new(&config(3, 4), &data, NnModelKind::Mlp, sgd).expect("build");
+        let mut fed =
+            NnFederation::new(&config(3, 4), &data, NnModelKind::Mlp, sgd).expect("build");
         let report = fed.run().expect("run");
         assert!(report.final_accuracy > 0.5, "accuracy {}", report.final_accuracy);
     }

@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rhychee_telemetry as telemetry;
 
 use rhychee_channel::crc::Detector;
 use rhychee_channel::packet::{BitFlipChannel, PacketLink, TransferStats, PACKET_BITS};
@@ -196,6 +197,7 @@ impl NoisyFederation {
     /// retransmit when a detector is configured, raw corruption
     /// otherwise).
     fn send(&mut self, bytes: &[u8]) -> Vec<u8> {
+        let _span = telemetry::span("channel_tx");
         match self.channel.detector {
             Some(det) => {
                 let link = PacketLink::new(
@@ -234,8 +236,7 @@ impl NoisyFederation {
         let delivered = self.send(&bytes);
         match self.ctx.deserialize(&delivered) {
             Ok(received) => {
-                let scale_ok = (received.scale() - ct.scale()).abs()
-                    <= ct.scale() * 1e-9;
+                let scale_ok = (received.scale() - ct.scale()).abs() <= ct.scale() * 1e-9;
                 if received.levels() == ct.levels() && scale_ok {
                     return received;
                 }
@@ -257,9 +258,11 @@ impl NoisyFederation {
     pub fn run_round(&mut self) -> Result<RoundReport, FlError> {
         let round = self.next_round;
         self.next_round += 1;
+        let round_span = telemetry::span("round");
 
         // Local training (first round starts from the OnlineHD bundling
         // pass, as in the main Framework).
+        let train_span = telemetry::span("local_train");
         let global = self.global.clone();
         let first_round = global.iter().all(|&v| v == 0.0);
         let mut local_models = Vec::with_capacity(self.clients.len());
@@ -277,11 +280,17 @@ impl NoisyFederation {
             }
             local_models.push(out.flatten());
         }
+        let train_time = train_span.finish();
 
-        // Upload: encrypt, serialize, transmit, deserialize at the server.
+        // Upload: encrypt, serialize, transmit, deserialize at the
+        // server. Encryption gets its own span per client so its time is
+        // separable from the interleaved channel transfers.
+        let mut encrypt_time = std::time::Duration::ZERO;
         let mut received: Vec<Vec<rhychee_fhe::ckks::CkksCiphertext>> = Vec::new();
         for flat in &local_models {
+            let span = telemetry::span("encrypt");
             let cts = packing::encrypt_model(&self.ctx, &self.pk, flat, &mut self.rng)?;
+            encrypt_time += span.finish();
             let mut client_cts = Vec::with_capacity(cts.len());
             for ct in &cts {
                 let received_ct = self.send_ciphertext(ct);
@@ -291,7 +300,9 @@ impl NoisyFederation {
         }
 
         // Homomorphic aggregation on the (possibly corrupted) uploads.
+        let aggregate_span = telemetry::span("aggregate");
         let global_cts = packing::homomorphic_average(&self.ctx, &received)?;
+        let aggregate_time = aggregate_span.finish();
 
         // Download: the encrypted global model crosses the channel once
         // per client; one representative client's copy becomes the new
@@ -305,15 +316,21 @@ impl NoisyFederation {
             }
             downloaded.push(self.send_ciphertext(ct));
         }
+        let decrypt_span = telemetry::span("decrypt");
         self.global = packing::decrypt_model(&self.ctx, &self.sk, &downloaded, self.global.len());
+        let decrypt_time = decrypt_span.finish();
 
         let payload_bits = (self.ctx.serialize(&global_cts[0]).len() * 8 * global_cts.len()) as u64;
+        round_span.finish();
         Ok(RoundReport {
             round,
             accuracy: self.global_accuracy(),
             upload_bits_per_client: payload_bits,
             download_bits_per_client: payload_bits,
-            ..RoundReport::default()
+            train_time,
+            encrypt_time,
+            aggregate_time,
+            decrypt_time,
         })
     }
 

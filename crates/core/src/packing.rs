@@ -15,9 +15,7 @@ use rhychee_fhe::FheError;
 /// zero-padded implicitly by the encoder).
 pub fn chunk_params(flat: &[f32], slots: usize) -> Vec<Vec<f64>> {
     assert!(slots > 0, "slot count must be positive");
-    flat.chunks(slots)
-        .map(|c| c.iter().map(|&v| f64::from(v)).collect())
-        .collect()
+    flat.chunks(slots).map(|c| c.iter().map(|&v| f64::from(v)).collect()).collect()
 }
 
 /// Number of ciphertexts required for `num_params` parameters:
@@ -37,10 +35,7 @@ pub fn encrypt_model<R: Rng + ?Sized>(
     flat: &[f32],
     rng: &mut R,
 ) -> Result<Vec<CkksCiphertext>, FheError> {
-    chunk_params(flat, ctx.slot_count())
-        .iter()
-        .map(|chunk| ctx.encrypt(pk, chunk, rng))
-        .collect()
+    chunk_params(flat, ctx.slot_count()).iter().map(|chunk| ctx.encrypt(pk, chunk, rng)).collect()
 }
 
 /// Decrypts a packed model back to a flat parameter vector of length
@@ -201,8 +196,7 @@ mod tests {
             .iter()
             .map(|m| encrypt_model(&ctx, &pk, m, &mut rng).expect("encrypt"))
             .collect();
-        let global =
-            homomorphic_weighted_average(&ctx, &encrypted, &weights).expect("aggregate");
+        let global = homomorphic_weighted_average(&ctx, &encrypted, &weights).expect("aggregate");
         let back = decrypt_model(&ctx, &sk, &global, 100);
         let expected = 0.5 * 1.0 + 0.3 * 5.0 + 0.2 * 9.0;
         for v in &back {
@@ -213,7 +207,7 @@ mod tests {
     #[test]
     fn weighted_average_rejects_mismatched_weights() {
         let (ctx, _, pk, mut rng) = setup();
-        let a = encrypt_model(&ctx, &pk, &vec![1.0; 10], &mut rng).expect("encrypt");
+        let a = encrypt_model(&ctx, &pk, &[1.0; 10], &mut rng).expect("encrypt");
         assert!(homomorphic_weighted_average(&ctx, &[a], &[0.5, 0.5]).is_err());
     }
 

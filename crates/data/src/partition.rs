@@ -94,10 +94,7 @@ pub fn dirichlet_partition_indices<R: Rng + ?Sized>(
     }
 
     // Guarantee non-empty shards: move one sample from the largest shard.
-    loop {
-        let Some(empty) = assignment.iter().position(Vec::is_empty) else {
-            break;
-        };
+    while let Some(empty) = assignment.iter().position(Vec::is_empty) {
         let largest = assignment
             .iter()
             .enumerate()
@@ -180,12 +177,9 @@ pub fn label_skew(shards: &[Dataset], global: &Dataset) -> f64 {
     for shard in shards {
         let counts = shard.class_counts();
         let total = shard.len().max(1) as f64;
-        let tv: f64 = counts
-            .iter()
-            .zip(&g_dist)
-            .map(|(&c, &g)| (c as f64 / total - g).abs())
-            .sum::<f64>()
-            / 2.0;
+        let tv: f64 =
+            counts.iter().zip(&g_dist).map(|(&c, &g)| (c as f64 / total - g).abs()).sum::<f64>()
+                / 2.0;
         acc += tv;
     }
     acc / shards.len() as f64
@@ -221,10 +215,8 @@ mod tests {
         let ds = dataset(200, 5);
         let mut rng = StdRng::seed_from_u64(2);
         let shards = dirichlet_partition(&ds, 7, 0.3, &mut rng);
-        let mut seen: Vec<f32> = shards
-            .iter()
-            .flat_map(|s| s.features().iter().map(|f| f[0]))
-            .collect();
+        let mut seen: Vec<f32> =
+            shards.iter().flat_map(|s| s.features().iter().map(|f| f[0])).collect();
         seen.sort_by(f32::total_cmp);
         let expected: Vec<f32> = (0..200).map(|i| i as f32).collect();
         assert_eq!(seen, expected);

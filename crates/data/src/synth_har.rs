@@ -102,6 +102,8 @@ pub fn simulate_window<R: Rng + ?Sized>(activity: Activity, rng: &mut R) -> Vec<
     let tilt = rng.gen_range(-0.08..0.08f32);
     let mut out = vec![vec![0.0f32; WINDOW]; CHANNELS];
     let dt = 1.0 / 50.0;
+    // Indexing: each sample writes one column across all six channel rows.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..WINDOW {
         let t = i as f32 * dt;
         let w = std::f32::consts::TAU * freq * t + phase;
@@ -190,9 +192,8 @@ fn signal_features(s: &[f32]) -> Vec<f32> {
     } else {
         0.0
     };
-    let mut out = vec![
-        mean, std, min, max, energy, rms, mad, range, zc, ac(1), ac(2), ac(4), skew, kurt,
-    ];
+    let mut out =
+        vec![mean, std, min, max, energy, rms, mad, range, zc, ac(1), ac(2), ac(4), skew, kurt];
 
     // Frequency domain: 16 log band energies from a 64-point DFT magnitude
     // (grouped into 16 bands of 2 bins over the first 32 bins), dominant
@@ -210,12 +211,7 @@ fn signal_features(s: &[f32]) -> Vec<f32> {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i as f32)
         .unwrap_or(0.0);
-    let centroid = half
-        .iter()
-        .enumerate()
-        .map(|(i, m)| i as f32 * m * m)
-        .sum::<f32>()
-        / total;
+    let centroid = half.iter().enumerate().map(|(i, m)| i as f32 * m * m).sum::<f32>() / total;
     let entropy = -half
         .iter()
         .map(|m| {
@@ -244,11 +240,7 @@ fn jerk(s: &[f32]) -> Vec<f32> {
 
 /// Euclidean magnitude of a 3-axis signal.
 fn magnitude(x: &[f32], y: &[f32], z: &[f32]) -> Vec<f32> {
-    x.iter()
-        .zip(y)
-        .zip(z)
-        .map(|((&a, &b), &c)| (a * a + b * b + c * c).sqrt())
-        .collect()
+    x.iter().zip(y).zip(z).map(|((&a, &b), &c)| (a * a + b * b + c * c).sqrt()).collect()
 }
 
 /// Magnitudes of the first `bins` DFT coefficients (naive O(n·bins) DFT —

@@ -304,7 +304,8 @@ mod tests {
         // segment geometry.
         let ends = |segs: &[Segment]| -> Vec<(i32, i32, i32, i32)> {
             let q = |v: f32| (v * 100.0).round() as i32;
-            let mut out: Vec<_> = segs.iter().map(|s| (q(s.x0), q(s.y0), q(s.x1), q(s.y1))).collect();
+            let mut out: Vec<_> =
+                segs.iter().map(|s| (q(s.x0), q(s.y0), q(s.x1), q(s.y1))).collect();
             out.sort_unstable();
             out
         };

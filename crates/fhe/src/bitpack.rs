@@ -27,10 +27,7 @@ impl BitWriter {
     /// Panics if `bits > 64` or if `value` has bits set above `bits`.
     pub fn write_bits(&mut self, value: u64, bits: u32) {
         assert!(bits <= 64, "cannot write more than 64 bits at once");
-        assert!(
-            bits == 64 || value < (1u64 << bits),
-            "value {value} does not fit in {bits} bits"
-        );
+        assert!(bits == 64 || value < (1u64 << bits), "value {value} does not fit in {bits} bits");
         for i in 0..bits {
             let byte = self.bit_pos / 8;
             let off = self.bit_pos % 8;

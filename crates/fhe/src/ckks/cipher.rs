@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use rand::Rng;
+use rhychee_telemetry as telemetry;
 
 use crate::bitpack::{bits_for, BitReader, BitWriter};
 use crate::error::FheError;
@@ -77,6 +78,13 @@ impl CkksCiphertext {
     /// Remaining modulus levels (number of active primes).
     pub fn levels(&self) -> usize {
         self.c0.levels()
+    }
+
+    /// Publishes this ciphertext's level and scale to the telemetry
+    /// gauges `fhe.ckks.ct.level` / `fhe.ckks.ct.scale_log2`.
+    fn record_gauges(&self) {
+        telemetry::gauge("fhe.ckks.ct.level", self.levels() as f64);
+        telemetry::gauge("fhe.ckks.ct.scale_log2", self.scale.log2());
     }
 }
 
@@ -155,15 +163,21 @@ impl CkksContext {
         values: &[f64],
         rng: &mut R,
     ) -> Result<CkksCiphertext, FheError> {
+        let _t = telemetry::timer("fhe.ckks.encrypt");
         let m = self.encode_poly(values)?;
         let n = self.params.n;
         let v_coeffs = ternary_vec(rng, n);
         let v = RnsPoly::from_signed_coeffs(&v_coeffs, &self.primes);
-        let e0 = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
-        let e1 = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
+        let e0 =
+            RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
+        let e1 =
+            RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
         let c0 = self.poly_mul(&pk.b, &v).add(&e0, &self.primes).add(&m, &self.primes);
         let c1 = self.poly_mul(&pk.a, &v).add(&e1, &self.primes);
-        Ok(CkksCiphertext { c0, c1, scale: self.encoder.scale() })
+        telemetry::count("fhe.ckks.encrypt.count", 1);
+        let ct = CkksCiphertext { c0, c1, scale: self.encoder.scale() };
+        ct.record_gauges();
+        Ok(ct)
     }
 
     /// Encrypts a slot vector under the secret key (symmetric mode).
@@ -182,21 +196,24 @@ impl CkksContext {
         values: &[f64],
         rng: &mut R,
     ) -> Result<CkksCiphertext, FheError> {
+        let _t = telemetry::timer("fhe.ckks.encrypt");
         let m = self.encode_poly(values)?;
         let n = self.params.n;
         let a = self.uniform_poly(rng);
         let e = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
         // c0 = -(a·s) + e + m, c1 = a
-        let c0 = self
-            .poly_mul(&a, &sk.s)
-            .neg(&self.primes)
-            .add(&e, &self.primes)
-            .add(&m, &self.primes);
-        Ok(CkksCiphertext { c0, c1: a, scale: self.encoder.scale() })
+        let c0 =
+            self.poly_mul(&a, &sk.s).neg(&self.primes).add(&e, &self.primes).add(&m, &self.primes);
+        telemetry::count("fhe.ckks.encrypt.count", 1);
+        let ct = CkksCiphertext { c0, c1: a, scale: self.encoder.scale() };
+        ct.record_gauges();
+        Ok(ct)
     }
 
     /// Decrypts a ciphertext to its slot values.
     pub fn decrypt(&self, sk: &CkksSecretKey, ct: &CkksCiphertext) -> Vec<f64> {
+        let _t = telemetry::timer("fhe.ckks.decrypt");
+        telemetry::count("fhe.ckks.decrypt.count", 1);
         let levels = ct.levels();
         let active = &self.primes[..levels];
         let s = self.at_level(&sk.s, levels);
@@ -214,6 +231,7 @@ impl CkksContext {
     /// if the operands are incompatible.
     pub fn add(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, FheError> {
         self.check_compatible(a, b)?;
+        telemetry::count("fhe.ckks.add", 1);
         let active = &self.primes[..a.levels()];
         Ok(CkksCiphertext {
             c0: a.c0.add(&b.c0, active),
@@ -229,8 +247,13 @@ impl CkksContext {
     ///
     /// Returns [`FheError::LevelMismatch`] or [`FheError::ScaleMismatch`]
     /// if the operands are incompatible.
-    pub fn add_assign(&self, acc: &mut CkksCiphertext, ct: &CkksCiphertext) -> Result<(), FheError> {
+    pub fn add_assign(
+        &self,
+        acc: &mut CkksCiphertext,
+        ct: &CkksCiphertext,
+    ) -> Result<(), FheError> {
         self.check_compatible(acc, ct)?;
+        telemetry::count("fhe.ckks.add", 1);
         let levels = acc.levels();
         acc.c0.add_assign(&ct.c0, &self.primes[..levels]);
         acc.c1.add_assign(&ct.c1, &self.primes[..levels]);
@@ -245,6 +268,7 @@ impl CkksContext {
     /// if the operands are incompatible.
     pub fn sub(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<CkksCiphertext, FheError> {
         self.check_compatible(a, b)?;
+        telemetry::count("fhe.ckks.sub", 1);
         let active = &self.primes[..a.levels()];
         Ok(CkksCiphertext {
             c0: a.c0.sub(&b.c0, active),
@@ -261,6 +285,7 @@ impl CkksContext {
     /// a modulus level is available; decoding also works at the squared
     /// scale as long as the message magnitude stays within the modulus.
     pub fn mul_scalar(&self, ct: &CkksCiphertext, scalar: f64) -> CkksCiphertext {
+        telemetry::count("fhe.ckks.mul_scalar", 1);
         let delta = self.encoder.scale();
         let encoded = (scalar * delta).round() as i64;
         let active = &self.primes[..ct.levels()];
@@ -292,6 +317,7 @@ impl CkksContext {
                 capacity: self.slot_count(),
             });
         }
+        let _t = telemetry::timer("fhe.ckks.mul_plain_vec");
         let coeffs = self.encoder.encode(values);
         let levels = ct.levels();
         let m = RnsPoly::from_signed_coeffs(&coeffs, &self.primes[..levels]);
@@ -313,13 +339,17 @@ impl CkksContext {
         if levels < 2 {
             return Err(FheError::LevelExhausted);
         }
+        let _t = telemetry::timer("fhe.ckks.rescale");
+        telemetry::count("fhe.ckks.rescale.count", 1);
         let q_last = self.primes[levels - 1] as f64;
         let active = &self.primes[..levels];
-        Ok(CkksCiphertext {
+        let out = CkksCiphertext {
             c0: ct.c0.rescale(active),
             c1: ct.c1.rescale(active),
             scale: ct.scale / q_last,
-        })
+        };
+        out.record_gauges();
+        Ok(out)
     }
 
     /// Serializes a ciphertext with exact-width residue packing, so the
@@ -535,9 +565,8 @@ mod tests {
         // HomAvg = HomMul(Σ ct_i, 1/P): the exact Eq. 2 pipeline.
         let (ctx, sk, pk, mut rng) = toy_setup();
         let p = 5usize;
-        let models: Vec<Vec<f64>> = (0..p)
-            .map(|c| (0..8).map(|j| (c * 8 + j) as f64 / 10.0).collect())
-            .collect();
+        let models: Vec<Vec<f64>> =
+            (0..p).map(|c| (0..8).map(|j| (c * 8 + j) as f64 / 10.0).collect()).collect();
         let mut acc = ctx.encrypt(&pk, &models[0], &mut rng).expect("encrypt");
         for m in &models[1..] {
             let ct = ctx.encrypt(&pk, m, &mut rng).expect("encrypt");
@@ -545,9 +574,8 @@ mod tests {
         }
         let avg_ct = ctx.mul_scalar(&acc, 1.0 / p as f64);
         let back = ctx.decrypt(&sk, &avg_ct);
-        let expected: Vec<f64> = (0..8)
-            .map(|j| models.iter().map(|m| m[j]).sum::<f64>() / p as f64)
-            .collect();
+        let expected: Vec<f64> =
+            (0..8).map(|j| models.iter().map(|m| m[j]).sum::<f64>() / p as f64).collect();
         assert_close(&back[..8], &expected, 1e-3);
     }
 
@@ -625,11 +653,8 @@ mod tests {
         bytes[target] ^= 0x10;
         let corrupted = ctx.deserialize(&bytes).expect("still parseable");
         let dec = ctx.decrypt(&sk, &corrupted);
-        let max_err = dec[..16]
-            .iter()
-            .zip(&values)
-            .map(|(d, v)| (d - v).abs())
-            .fold(0.0f64, f64::max);
+        let max_err =
+            dec[..16].iter().zip(&values).map(|(d, v)| (d - v).abs()).fold(0.0f64, f64::max);
         assert!(max_err > 1.0, "bit flip should corrupt decryption, err = {max_err}");
     }
 

@@ -11,6 +11,8 @@
 
 use std::f64::consts::PI;
 
+use rhychee_telemetry as telemetry;
+
 /// Minimal complex number (the crate avoids external numeric deps).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
@@ -45,10 +47,7 @@ impl Complex {
     }
 
     fn mul(self, o: Complex) -> Self {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
@@ -160,6 +159,7 @@ impl CkksEncoder {
     pub fn encode(&self, values: &[f64]) -> Vec<i64> {
         let half = self.n / 2;
         assert!(values.len() <= half, "too many values for {} slots", half);
+        let _t = telemetry::timer("fhe.ckks.encode");
         let mut z: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
         z.resize(half, Complex::default());
         // Inverse FFT recovers the folded, twisted coefficient vector d.
@@ -195,6 +195,7 @@ impl CkksEncoder {
     /// Panics if `coeffs.len() != N`.
     pub fn decode_with_scale(&self, coeffs: &[f64], scale: f64) -> Vec<f64> {
         assert_eq!(coeffs.len(), self.n, "coefficient vector must have length N");
+        let _t = telemetry::timer("fhe.ckks.decode");
         let half = self.n / 2;
         // Twist and fold: d_l = (c_l + i c_{l+N/2}) ξ^l.
         let mut z: Vec<Complex> = (0..half)
@@ -219,8 +220,9 @@ mod tests {
     #[test]
     fn fft_round_trip() {
         let mut rng = StdRng::seed_from_u64(1);
-        let original: Vec<Complex> =
-            (0..64).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let original: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
         let mut a = original.clone();
         fft(&mut a, false);
         fft(&mut a, true);

@@ -62,7 +62,7 @@ pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
 ///
 /// Panics if `a` is zero (no inverse exists).
 pub fn inv_mod(a: u64, q: u64) -> u64 {
-    assert!(a % q != 0, "zero has no modular inverse");
+    assert!(!a.is_multiple_of(q), "zero has no modular inverse");
     pow_mod(a, q - 2, q)
 }
 
@@ -78,7 +78,7 @@ pub fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -125,10 +125,7 @@ pub fn find_ntt_primes(bits: u32, count: usize, m: u64) -> Vec<u64> {
         }
         candidate -= m;
     }
-    assert!(
-        out.len() == count,
-        "could not find {count} NTT primes of {bits} bits (mod {m})"
-    );
+    assert!(out.len() == count, "could not find {count} NTT primes of {bits} bits (mod {m})");
     out
 }
 

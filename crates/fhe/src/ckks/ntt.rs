@@ -6,6 +6,7 @@
 //! pre-/post-scaling passes.
 
 use super::modarith::{add_mod, inv_mod, mul_mod, primitive_root, sub_mod};
+use rhychee_telemetry as telemetry;
 
 /// Precomputed NTT tables for one prime modulus.
 ///
@@ -74,6 +75,7 @@ impl NttTable {
     /// Panics if `a.len() != N`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let _t = telemetry::timer("fhe.ckks.ntt.forward");
         let q = self.q;
         let mut t = self.n;
         let mut m = 1;
@@ -100,6 +102,7 @@ impl NttTable {
     /// Panics if `a.len() != N`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        let _t = telemetry::timer("fhe.ckks.ntt.inverse");
         let q = self.q;
         let mut t = 1;
         let mut m = self.n;

@@ -16,11 +16,12 @@
 //! added noise is far below the scale.
 
 use rand::Rng;
+use rhychee_telemetry as telemetry;
 
 use crate::error::FheError;
 use crate::sampling::gaussian_vec;
 
-use super::cipher::{CkksCiphertext, CkksContext, CkksPublicKey, CkksSecretKey};
+use super::cipher::{CkksCiphertext, CkksContext, CkksSecretKey};
 use super::modarith::{mul_mod, pow_mod};
 use super::rns::RnsPoly;
 
@@ -43,10 +44,8 @@ pub struct EvalKey {
 impl EvalKey {
     /// Digits needed to cover the first `levels` primes.
     fn digits_for(ctx: &CkksContext, levels: usize) -> usize {
-        let total_bits: u32 = ctx.primes()[..levels]
-            .iter()
-            .map(|&q| 64 - (q - 1).leading_zeros())
-            .sum();
+        let total_bits: u32 =
+            ctx.primes()[..levels].iter().map(|&q| 64 - (q - 1).leading_zeros()).sum();
         total_bits.div_ceil(EVAL_LOG_BASE) as usize
     }
 
@@ -63,15 +62,9 @@ impl EvalKey {
         let mut rows = Vec::with_capacity(num_digits);
         for j in 0..num_digits {
             let a = ctx.uniform_poly(rng);
-            let e = RnsPoly::from_signed_coeffs(
-                &gaussian_vec(rng, n, ctx.params().sigma),
-                primes,
-            );
+            let e = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, ctx.params().sigma), primes);
             // b = −a·s + e + B^j·f(s), with B^j reduced per prime.
-            let mut b = ctx
-                .poly_mul_at(&a, s, primes.len())
-                .neg(primes)
-                .add(&e, primes);
+            let mut b = ctx.poly_mul_at(&a, s, primes.len()).neg(primes).add(&e, primes);
             for (i, &q) in primes.iter().enumerate() {
                 let factor = pow_mod(2, u64::from(EVAL_LOG_BASE) * j as u64, q);
                 let scaled: Vec<u64> =
@@ -117,11 +110,7 @@ pub struct GaloisKey {
 
 impl CkksContext {
     /// Generates a relinearization key for ct×ct multiplication.
-    pub fn generate_relin_key<R: Rng + ?Sized>(
-        &self,
-        sk: &CkksSecretKey,
-        rng: &mut R,
-    ) -> RelinKey {
+    pub fn generate_relin_key<R: Rng + ?Sized>(&self, sk: &CkksSecretKey, rng: &mut R) -> RelinKey {
         let s2 = self.poly_mul_at(&sk.s, &sk.s, self.primes().len());
         RelinKey(EvalKey::generate(self, &sk.s, &s2, rng))
     }
@@ -163,6 +152,7 @@ impl CkksContext {
         if a.levels() != b.levels() {
             return Err(FheError::LevelMismatch { lhs: a.levels(), rhs: b.levels() });
         }
+        let _t = telemetry::timer("fhe.ckks.relin.mul");
         let levels = a.levels();
         let primes = &self.primes()[..levels];
         // Tensor product: (d0, d1, d2) = (a0·b0, a0·b1 + a1·b0, a1·b1).
@@ -210,6 +200,7 @@ impl CkksContext {
     /// Rotates the slot vector by the key's Galois permutation (see
     /// [`CkksContext::rotation_permutation`]).
     pub fn rotate(&self, ct: &CkksCiphertext, gk: &GaloisKey) -> CkksCiphertext {
+        let _t = telemetry::timer("fhe.ckks.relin.rotate");
         let levels = ct.levels();
         let primes = &self.primes()[..levels];
         // Apply the automorphism to both components, then key-switch the
@@ -217,11 +208,7 @@ impl CkksContext {
         let c0_rot = apply_automorphism_poly(&ct.c0, gk.galois, primes);
         let c1_rot = apply_automorphism_poly(&ct.c1, gk.galois, primes);
         let (ks0, ks1) = gk.key.apply(self, &c1_rot, levels);
-        CkksCiphertext {
-            c0: c0_rot.add(&ks0, primes),
-            c1: ks1,
-            scale: ct.scale(),
-        }
+        CkksCiphertext { c0: c0_rot.add(&ks0, primes), c1: ks1, scale: ct.scale() }
     }
 
     /// Sums all slots into every slot via log₂(N/2) rotations (requires a
@@ -284,13 +271,15 @@ fn apply_automorphism_poly(p: &RnsPoly, g: usize, primes: &[u64]) -> RnsPoly {
 
 #[cfg(test)]
 mod tests {
+    use super::super::cipher::CkksPublicKey;
     use super::*;
     use crate::params::CkksParams;
     use rand::{rngs::StdRng, SeedableRng};
 
     fn setup() -> (CkksContext, CkksSecretKey, CkksPublicKey, StdRng) {
         // Three primes leave room for a multiply + rescale.
-        let params = CkksParams { n: 512, prime_bits: vec![50, 40, 40], scale_bits: 30, sigma: 3.2 };
+        let params =
+            CkksParams { n: 512, prime_bits: vec![50, 40, 40], scale_bits: 30, sigma: 3.2 };
         let ctx = CkksContext::new(params).expect("params");
         let mut rng = StdRng::seed_from_u64(11);
         let (sk, pk) = ctx.generate_keys(&mut rng);
@@ -308,7 +297,12 @@ mod tests {
         let prod = ctx.mul(&cx, &cy, &rk).expect("mul");
         let back = ctx.decrypt(&sk, &prod);
         for i in 0..4 {
-            assert!((back[i] - x[i] * y[i]).abs() < 1e-2, "slot {i}: {} vs {}", back[i], x[i] * y[i]);
+            assert!(
+                (back[i] - x[i] * y[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                back[i],
+                x[i] * y[i]
+            );
         }
         // And after rescaling.
         let rescaled = ctx.rescale(&prod).expect("rescale");

@@ -301,10 +301,7 @@ impl CrtReconstructor {
         &'a self,
         residues: &'a [u64],
     ) -> impl Iterator<Item = ((&'a u64, &'a u64), (&'a BigUint, &'a u64))> {
-        residues
-            .iter()
-            .zip(&self.primes)
-            .zip(self.q_hat.iter().zip(&self.q_hat_inv))
+        residues.iter().zip(&self.primes).zip(self.q_hat.iter().zip(&self.q_hat_inv))
     }
 }
 

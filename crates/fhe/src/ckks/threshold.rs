@@ -95,10 +95,8 @@ impl ThresholdGroup {
         let mut b_sum: Option<RnsPoly> = None;
         for _ in 0..parties {
             let s_i = RnsPoly::from_signed_coeffs(&ternary_vec(rng, n), primes);
-            let e_i = RnsPoly::from_signed_coeffs(
-                &gaussian_vec(rng, n, ctx.params().sigma),
-                primes,
-            );
+            let e_i =
+                RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, ctx.params().sigma), primes);
             // b_i = -(a · s_i) + e_i
             let b_i = ctx.poly_mul_at(&a, &s_i, primes.len()).neg(primes).add(&e_i, primes);
             b_sum = Some(match b_sum {
@@ -136,10 +134,8 @@ impl ThresholdGroup {
         let levels = ct.levels();
         let primes = &ctx.primes()[..levels];
         let share = ctx.at_level(&self.shares[party].share, levels);
-        let smudge = RnsPoly::from_signed_coeffs(
-            &gaussian_vec(rng, ctx.params().n, SMUDGING_SIGMA),
-            primes,
-        );
+        let smudge =
+            RnsPoly::from_signed_coeffs(&gaussian_vec(rng, ctx.params().n, SMUDGING_SIGMA), primes);
         let poly = ctx.poly_mul_at(&ct.c1, &share, levels).add(&smudge, primes);
         PartialDecryption { poly }
     }
@@ -212,8 +208,7 @@ mod tests {
         let partials: Vec<_> =
             (0..2).map(|i| group.partial_decrypt(&ctx, i, &ct, &mut rng)).collect();
         let broken = ThresholdGroup::combine(&ctx, &ct, &partials);
-        let max_err =
-            broken[..8].iter().map(|b| (b - 42.0).abs()).fold(0.0f64, f64::max);
+        let max_err = broken[..8].iter().map(|b| (b - 42.0).abs()).fold(0.0f64, f64::max);
         assert!(max_err > 1.0, "partial coalition must not learn the plaintext (err {max_err})");
     }
 

@@ -23,6 +23,7 @@
 //! ```
 
 use rand::Rng;
+use rhychee_telemetry as telemetry;
 
 use crate::bitpack::{BitReader, BitWriter};
 use crate::error::FheError;
@@ -104,14 +105,13 @@ impl LweContext {
         if m >= t {
             return Err(FheError::MessageOutOfRange { value: m as i64, modulus: t });
         }
+        let _t = telemetry::timer("fhe.lwe.encrypt");
+        telemetry::count("fhe.lwe.encrypt.count", 1);
         let q = self.params.q();
         let a: Vec<u64> = (0..self.params.dimension).map(|_| rng.gen_range(0..q)).collect();
-        let inner: u64 = a
-            .iter()
-            .zip(&sk.s)
-            .map(|(&ai, &si)| ai.wrapping_mul(si))
-            .fold(0u64, u64::wrapping_add)
-            % q;
+        let inner: u64 =
+            a.iter().zip(&sk.s).map(|(&ai, &si)| ai.wrapping_mul(si)).fold(0u64, u64::wrapping_add)
+                % q;
         let e = discrete_gaussian(rng, self.params.sigma_int);
         let e_mod = e.rem_euclid(q as i64) as u64;
         let b = (inner + self.params.delta() * m + e_mod) % q;
@@ -120,15 +120,16 @@ impl LweContext {
 
     /// Decrypts to the message in `[0, t)`, rounding away the noise.
     pub fn decrypt(&self, sk: &LweSecretKey, ct: &LweCiphertext) -> u64 {
+        let _t = telemetry::timer("fhe.lwe.decrypt");
+        telemetry::count("fhe.lwe.decrypt.count", 1);
         let q = self.params.q();
         let t = self.params.plaintext_modulus;
-        let inner: u64 = ct
-            .a
-            .iter()
-            .zip(&sk.s)
-            .map(|(&ai, &si)| ai.wrapping_mul(si))
-            .fold(0u64, u64::wrapping_add)
-            % q;
+        let inner: u64 =
+            ct.a.iter()
+                .zip(&sk.s)
+                .map(|(&ai, &si)| ai.wrapping_mul(si))
+                .fold(0u64, u64::wrapping_add)
+                % q;
         let phase = (ct.b + q - inner) % q;
         // Round to the nearest multiple of Δ.
         let delta = self.params.delta();
@@ -144,6 +145,7 @@ impl LweContext {
         if x.a.len() != y.a.len() {
             return Err(FheError::InvalidParams("ciphertext dimension mismatch".into()));
         }
+        telemetry::count("fhe.lwe.add", 1);
         let q = self.params.q();
         let a = x.a.iter().zip(&y.a).map(|(&u, &v)| (u + v) % q).collect();
         Ok(LweCiphertext { a, b: (x.b + y.b) % q })
@@ -158,6 +160,7 @@ impl LweContext {
         if acc.a.len() != ct.a.len() {
             return Err(FheError::InvalidParams("ciphertext dimension mismatch".into()));
         }
+        telemetry::count("fhe.lwe.add", 1);
         let q = self.params.q();
         for (u, &v) in acc.a.iter_mut().zip(&ct.a) {
             *u = (*u + v) % q;
@@ -170,9 +173,13 @@ impl LweContext {
     ///
     /// Noise grows linearly in `k`; callers must keep `k · m < t`.
     pub fn mul_scalar(&self, ct: &LweCiphertext, k: u64) -> LweCiphertext {
+        telemetry::count("fhe.lwe.mul_scalar", 1);
         let q = self.params.q();
         let kq = k % q;
-        let a = ct.a.iter().map(|&ai| (u128::from(ai) * u128::from(kq) % u128::from(q)) as u64).collect();
+        let a =
+            ct.a.iter()
+                .map(|&ai| (u128::from(ai) * u128::from(kq) % u128::from(q)) as u64)
+                .collect();
         let b = (u128::from(ct.b) * u128::from(kq) % u128::from(q)) as u64;
         LweCiphertext { a, b }
     }
@@ -266,10 +273,7 @@ mod tests {
     fn message_out_of_range_rejected() {
         let (ctx, sk, mut rng) = setup();
         let t = ctx.params().plaintext_modulus;
-        assert!(matches!(
-            ctx.encrypt(&sk, t, &mut rng),
-            Err(FheError::MessageOutOfRange { .. })
-        ));
+        assert!(matches!(ctx.encrypt(&sk, t, &mut rng), Err(FheError::MessageOutOfRange { .. })));
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl PaillierContext {
     ///
     /// Returns [`FheError::InvalidParams`] if `modulus_bits < 64` or odd.
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, modulus_bits: usize) -> Result<Self, FheError> {
-        if modulus_bits < 64 || modulus_bits % 2 != 0 {
+        if modulus_bits < 64 || !modulus_bits.is_multiple_of(2) {
             return Err(FheError::InvalidParams(format!(
                 "Paillier modulus must be an even bit count >= 64, got {modulus_bits}"
             )));
@@ -219,10 +219,8 @@ impl PaillierContext {
     /// `u64::MAX`.
     pub fn decrypt_u64(&self, ct: &PaillierCiphertext) -> Result<u64, FheError> {
         let m = self.decrypt(ct);
-        u64::try_from(&m).map_err(|()| FheError::MessageOutOfRange {
-            value: i64::MAX,
-            modulus: u64::MAX,
-        })
+        u64::try_from(&m)
+            .map_err(|()| FheError::MessageOutOfRange { value: i64::MAX, modulus: u64::MAX })
     }
 
     /// Encrypts a real value at fixed-point scale 2^32.

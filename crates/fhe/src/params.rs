@@ -194,7 +194,7 @@ impl LweParams {
                 self.log_q
             )));
         }
-        if self.plaintext_modulus < 2 || self.q() % self.plaintext_modulus != 0 {
+        if self.plaintext_modulus < 2 || !self.q().is_multiple_of(self.plaintext_modulus) {
             return Err(FheError::InvalidParams(format!(
                 "plaintext modulus {} must be >= 2 and divide q = {}",
                 self.plaintext_modulus,
@@ -330,7 +330,7 @@ mod tests {
         let p = LweParams::tfhe1();
         // delta = 64, margin 32, sigma 0.6 → (32/3.6)^2 ≈ 79.
         let k = p.max_additions();
-        assert!(k >= 50 && k <= 120, "k = {k}");
+        assert!((50..=120).contains(&k), "k = {k}");
     }
 
     #[test]

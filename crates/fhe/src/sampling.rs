@@ -77,11 +77,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let sigma = 3.2;
         let n = 50_000;
-        let var: f64 = (0..n)
-            .map(|_| discrete_gaussian(&mut rng, sigma) as f64)
-            .map(|x| x * x)
-            .sum::<f64>()
-            / n as f64;
+        let var: f64 =
+            (0..n).map(|_| discrete_gaussian(&mut rng, sigma) as f64).map(|x| x * x).sum::<f64>()
+                / n as f64;
         assert!((var.sqrt() - sigma).abs() < 0.1, "std {}", var.sqrt());
     }
 
@@ -109,6 +107,6 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let v = binary_vec(&mut rng, 1000);
         assert!(v.iter().all(|&x| x <= 1));
-        assert!(v.iter().any(|&x| x == 0) && v.iter().any(|&x| x == 1));
+        assert!(v.contains(&0) && v.contains(&1));
     }
 }

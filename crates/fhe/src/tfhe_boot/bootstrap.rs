@@ -131,7 +131,8 @@ impl BootstrapContext {
         let n_ring = params.ring_degree;
         let ring_q = find_ntt_primes(params.ring_modulus_bits, 1, 2 * n_ring as u64)[0];
         let table = NttTable::new(n_ring, ring_q);
-        let decomposer = GadgetDecomposer::new(ring_q, params.gadget_log_base, params.gadget_levels);
+        let decomposer =
+            GadgetDecomposer::new(ring_q, params.gadget_log_base, params.gadget_levels);
         let ks_decomposer = GadgetDecomposer::new(ring_q, params.ks_log_base, params.ks_levels);
 
         // Accumulator (RLWE) key.
@@ -141,7 +142,9 @@ impl BootstrapContext {
         let s_bits = sk.bits();
         let blind_rotation_key = s_bits
             .iter()
-            .map(|&bit| RgswCiphertext::encrypt(bit, &z, &table, &decomposer, params.rlwe_sigma, rng))
+            .map(|&bit| {
+                RgswCiphertext::encrypt(bit, &z, &table, &decomposer, params.rlwe_sigma, rng)
+            })
             .collect();
 
         // Key-switching key: LWE_s^{(Q)}(z_i · B^j).
@@ -239,8 +242,8 @@ impl BootstrapContext {
         let b_out = acc.b[0];
         let mut a_out = vec![0u64; n_ring];
         a_out[0] = acc.a[0];
-        for i in 1..n_ring {
-            a_out[i] = neg_mod(acc.a[n_ring - i], big_q);
+        for (i, ai) in a_out.iter_mut().enumerate().skip(1) {
+            *ai = neg_mod(acc.a[n_ring - i], big_q);
         }
 
         // Key switch to the base dimension (still mod Q).

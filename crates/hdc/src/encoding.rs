@@ -40,7 +40,9 @@ pub trait Encoder: Send + Sync {
         std::thread::scope(|scope| {
             let handles: Vec<_> = features
                 .chunks(chunk)
-                .map(|batch| scope.spawn(move || batch.iter().map(|f| self.encode(f)).collect::<Vec<_>>()))
+                .map(|batch| {
+                    scope.spawn(move || batch.iter().map(|f| self.encode(f)).collect::<Vec<_>>())
+                })
                 .collect();
             for h in handles {
                 out.extend(h.join().expect("encoder thread panicked"));
@@ -268,9 +270,8 @@ mod tests {
     fn batch_matches_sequential() {
         let mut rng = StdRng::seed_from_u64(5);
         let enc = RandomProjectionEncoder::new(8, 64, &mut rng);
-        let data: Vec<Vec<f32>> = (0..100)
-            .map(|i| (0..8).map(|j| ((i * 8 + j) as f32).sin()).collect())
-            .collect();
+        let data: Vec<Vec<f32>> =
+            (0..100).map(|i| (0..8).map(|j| ((i * 8 + j) as f32).sin()).collect()).collect();
         let seq: Vec<Vec<f32>> = data.iter().map(|f| enc.encode(f)).collect();
         let par = enc.encode_batch(&data, 4);
         assert_eq!(seq, par);

@@ -239,11 +239,7 @@ impl HdcModel {
 
     /// Largest absolute parameter value (dynamic range for quantization).
     pub fn max_abs(&self) -> f32 {
-        self.class_vectors
-            .iter()
-            .flatten()
-            .map(|x| x.abs())
-            .fold(0.0, f32::max)
+        self.class_vectors.iter().flatten().map(|x| x.abs()).fold(0.0, f32::max)
     }
 }
 
@@ -280,10 +276,8 @@ mod tests {
         let mut labels = Vec::new();
         for (c, proto) in prototypes.iter().enumerate() {
             for _ in 0..n_per_class {
-                let hv = proto
-                    .iter()
-                    .map(|&p| if rng.gen::<f32>() < 0.1 { -p } else { p })
-                    .collect();
+                let hv =
+                    proto.iter().map(|&p| if rng.gen::<f32>() < 0.1 { -p } else { p }).collect();
                 hvs.push(hv);
                 labels.push(c);
             }
@@ -438,12 +432,8 @@ mod tests {
             m1.train_epoch(&d1, 1.0);
             m2.train_epoch(&d2, 1.0);
         }
-        let avg: Vec<f32> = m1
-            .flatten()
-            .iter()
-            .zip(m2.flatten().iter())
-            .map(|(a, b)| (a + b) / 2.0)
-            .collect();
+        let avg: Vec<f32> =
+            m1.flatten().iter().zip(m2.flatten().iter()).map(|(a, b)| (a + b) / 2.0).collect();
         let global = HdcModel::from_flat(&avg, 3, 256);
         assert!(global.accuracy(&d1) > 0.9, "global on d1: {}", global.accuracy(&d1));
         assert!(global.accuracy(&d2) > 0.9, "global on d2: {}", global.accuracy(&d2));

@@ -32,11 +32,8 @@ impl QuantizedModel {
         let max_abs = f64::from(model.max_abs());
         let max_q = f64::from((1u32 << (bits - 1)) - 1);
         let scale = if max_abs > 0.0 { max_q / max_abs } else { 1.0 };
-        let values = model
-            .flatten()
-            .iter()
-            .map(|&v| (f64::from(v) * scale).round() as i64)
-            .collect();
+        let values =
+            model.flatten().iter().map(|&v| (f64::from(v) * scale).round() as i64).collect();
         QuantizedModel { values, scale, bits, classes: model.classes(), dim: model.dim() }
     }
 
@@ -162,9 +159,8 @@ mod tests {
         // noise-resilience claim the paper leans on, §I).
         let mut rng = StdRng::seed_from_u64(5);
         let mut model = HdcModel::new(3, 512);
-        let protos: Vec<Vec<f32>> = (0..3)
-            .map(|_| (0..512).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-            .collect();
+        let protos: Vec<Vec<f32>> =
+            (0..3).map(|_| (0..512).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect();
         for (c, p) in protos.iter().enumerate() {
             for _ in 0..10 {
                 let hv: Vec<f32> = p.iter().map(|&x| x + rng.gen_range(-0.1..0.1)).collect();

@@ -119,10 +119,7 @@ impl Layer for Dense {
     }
 
     fn params_grads_mut(&mut self) -> Vec<(&mut [f32], &mut [f32])> {
-        vec![
-            (&mut self.weights, &mut self.grad_weights),
-            (&mut self.bias, &mut self.grad_bias),
-        ]
+        vec![(&mut self.weights, &mut self.grad_weights), (&mut self.bias, &mut self.grad_bias)]
     }
 
     fn zero_grad(&mut self) {
@@ -202,7 +199,8 @@ impl Layer for Conv2d {
                             let x_base = ic * h * w;
                             for ky in 0..k {
                                 let wrow = &self.weights[w_base + ky * k..w_base + ky * k + k];
-                                let xrow = &x[x_base + (oy + ky) * w + ox..x_base + (oy + ky) * w + ox + k];
+                                let xrow = &x
+                                    [x_base + (oy + ky) * w + ox..x_base + (oy + ky) * w + ox + k];
                                 acc += dot(wrow, xrow);
                             }
                         }
@@ -258,10 +256,7 @@ impl Layer for Conv2d {
     }
 
     fn params_grads_mut(&mut self) -> Vec<(&mut [f32], &mut [f32])> {
-        vec![
-            (&mut self.weights, &mut self.grad_weights),
-            (&mut self.bias, &mut self.grad_bias),
-        ]
+        vec![(&mut self.weights, &mut self.grad_weights), (&mut self.bias, &mut self.grad_bias)]
     }
 
     fn zero_grad(&mut self) {
@@ -454,7 +449,7 @@ mod tests {
         let _ = layer.backward(&ones);
         let analytic = layer.grad_weights.clone();
         let eps = 1e-3;
-        for i in 0..6 {
+        for (i, &grad) in analytic.iter().enumerate() {
             let orig = layer.weights[i];
             layer.weights[i] = orig + eps;
             let f_plus: f32 = layer.forward(&input).data().iter().sum();
@@ -462,7 +457,7 @@ mod tests {
             let f_minus: f32 = layer.forward(&input).data().iter().sum();
             layer.weights[i] = orig;
             let numeric = (f_plus - f_minus) / (2.0 * eps);
-            assert!((analytic[i] - numeric).abs() < 1e-2, "w[{i}]: {} vs {numeric}", analytic[i]);
+            assert!((grad - numeric).abs() < 1e-2, "w[{i}]: {grad} vs {numeric}");
         }
     }
 
@@ -479,10 +474,8 @@ mod tests {
     fn conv_gradient_check() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut conv = Conv2d::new(2, 3, 3, &mut rng);
-        let input = Tensor::from_vec(
-            &[1, 2, 6, 6],
-            (0..72).map(|i| ((i as f32) * 0.13).cos()).collect(),
-        );
+        let input =
+            Tensor::from_vec(&[1, 2, 6, 6], (0..72).map(|i| ((i as f32) * 0.13).cos()).collect());
         check_input_gradient(&mut conv, &input, 1e-2);
     }
 
@@ -490,17 +483,15 @@ mod tests {
     fn conv_weight_gradient_check() {
         let mut rng = StdRng::seed_from_u64(15);
         let mut conv = Conv2d::new(1, 2, 3, &mut rng);
-        let input = Tensor::from_vec(
-            &[1, 1, 5, 5],
-            (0..25).map(|i| ((i as f32) * 0.31).sin()).collect(),
-        );
+        let input =
+            Tensor::from_vec(&[1, 1, 5, 5], (0..25).map(|i| ((i as f32) * 0.31).sin()).collect());
         let out = conv.forward(&input);
         let ones = Tensor::from_vec(out.shape(), vec![1.0; out.len()]);
         conv.zero_grad();
         let _ = conv.backward(&ones);
         let analytic = conv.grad_weights.clone();
         let eps = 1e-3;
-        for i in 0..conv.weights.len() {
+        for (i, &grad) in analytic.iter().enumerate() {
             let orig = conv.weights[i];
             conv.weights[i] = orig + eps;
             let f_plus: f32 = conv.forward(&input).data().iter().sum();
@@ -508,11 +499,7 @@ mod tests {
             let f_minus: f32 = conv.forward(&input).data().iter().sum();
             conv.weights[i] = orig;
             let numeric = (f_plus - f_minus) / (2.0 * eps);
-            assert!(
-                (analytic[i] - numeric).abs() < 1e-2,
-                "w[{i}]: analytic {} vs numeric {numeric}",
-                analytic[i]
-            );
+            assert!((grad - numeric).abs() < 1e-2, "w[{i}]: analytic {grad} vs numeric {numeric}");
         }
     }
 

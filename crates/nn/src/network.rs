@@ -117,13 +117,7 @@ impl Network {
     /// # Panics
     ///
     /// Panics on label/batch mismatches.
-    pub fn train_batch(
-        &mut self,
-        input: &Tensor,
-        labels: &[usize],
-        lr: f32,
-        momentum: f32,
-    ) -> f32 {
+    pub fn train_batch(&mut self, input: &Tensor, labels: &[usize], lr: f32, momentum: f32) -> f32 {
         for layer in &mut self.layers {
             layer.zero_grad();
         }
@@ -189,9 +183,7 @@ impl Network {
             return 1.0;
         }
         let mut correct = 0;
-        for (chunk_feats, chunk_labels) in
-            features.chunks(256).zip(labels.chunks(256))
-        {
+        for (chunk_feats, chunk_labels) in features.chunks(256).zip(labels.chunks(256)) {
             let idx: Vec<usize> = (0..chunk_feats.len()).collect();
             let batch = self.stack(chunk_feats, &idx);
             let logits = self.forward(&batch);
@@ -303,12 +295,8 @@ mod tests {
     #[test]
     fn mlp_learns_xor() {
         // XOR is not linearly separable: requires the hidden layer.
-        let feats: Vec<Vec<f32>> = vec![
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ];
+        let feats: Vec<Vec<f32>> =
+            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
         let labels = vec![0usize, 1, 1, 0];
         let mut rng = StdRng::seed_from_u64(4);
         let mut net = Network::mlp(2, &[8], 2, &mut rng);

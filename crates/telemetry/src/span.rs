@@ -1,0 +1,174 @@
+//! Hierarchical spans with thread-local nesting and monotonic timing.
+//!
+//! A [`Span`] always measures wall time (so callers can populate existing
+//! report structs from it even with telemetry disabled); when telemetry is
+//! enabled it additionally pushes itself onto a thread-local stack — giving
+//! every span a `parent/child` path — and, on completion, records a
+//! [`SpanEvent`](crate::trace::SpanEvent) into the global trace buffer and
+//! its duration into the histogram named after the span.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::trace;
+
+thread_local! {
+    /// Paths of the currently open spans on this thread.
+    static SPAN_PATHS: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Dense per-thread id for trace attribution (ThreadId lacks a stable
+    /// integer form).
+    static THREAD_SEQ: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+/// The dense trace id of the calling thread.
+pub(crate) fn thread_seq() -> u64 {
+    THREAD_SEQ.with(|&id| id)
+}
+
+/// An open span. Close it with [`Span::finish`] to obtain the measured
+/// duration, or let it drop (the trace still records it).
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    /// `Some(depth)` when this span was pushed onto the thread stack
+    /// (telemetry was enabled at creation).
+    tracked_depth: Option<usize>,
+    finished: bool,
+}
+
+/// Opens a span. Prefer [`crate::span`].
+pub(crate) fn open(name: &'static str) -> Span {
+    let tracked_depth = if crate::enabled() {
+        SPAN_PATHS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_owned(),
+            };
+            stack.push(path);
+            Some(stack.len() - 1)
+        })
+    } else {
+        None
+    };
+    Span { name, start: Instant::now(), tracked_depth, finished: false }
+}
+
+impl Span {
+    /// The span name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Wall time since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span and returns its duration. Recording (trace event +
+    /// duration histogram) happens only if telemetry was enabled when the
+    /// span opened.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        let dur = self.start.elapsed();
+        if self.finished {
+            return dur;
+        }
+        self.finished = true;
+        if let Some(depth) = self.tracked_depth.take() {
+            let path = SPAN_PATHS.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // RAII guarantees LIFO order on a given thread; truncate
+                // defensively in case an inner span leaked.
+                stack.truncate(depth + 1);
+                stack.pop().unwrap_or_else(|| self.name.to_owned())
+            });
+            crate::metrics::global().histogram(self.name).record(dur.as_nanos() as u64);
+            trace::record_span(self.name, path, depth as u32, thread_seq(), self.start, dur);
+        }
+        dur
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_measures_without_telemetry() {
+        // Enabled state is global; this test only relies on elapsed time
+        // being measured regardless.
+        let s = open("span_test_untracked");
+        std::thread::sleep(Duration::from_millis(2));
+        let d = s.finish();
+        assert!(d >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn nesting_produces_paths() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        {
+            let _outer = open("span_test_outer");
+            let inner = open("span_test_inner");
+            inner.finish();
+        }
+        crate::set_enabled(false);
+        let events = trace::drain_events();
+        let inner =
+            events.iter().find(|e| e.name == "span_test_inner").expect("inner event recorded");
+        assert_eq!(inner.path, "span_test_outer/span_test_inner");
+        assert_eq!(inner.depth, 1);
+        let outer =
+            events.iter().find(|e| e.name == "span_test_outer").expect("outer event recorded");
+        assert_eq!(outer.path, "span_test_outer");
+        assert_eq!(outer.depth, 0);
+        assert!(outer.dur_ns >= inner.dur_ns, "outer encloses inner");
+        // The duration histogram under the span name saw the same sample.
+        assert!(crate::metrics::global().histogram("span_test_inner").count() >= 1);
+    }
+
+    #[test]
+    fn concurrent_span_stacks_are_independent() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let _a = open("span_race_a");
+                        let b = open("span_race_b");
+                        b.finish();
+                    }
+                });
+            }
+        });
+        crate::set_enabled(false);
+        let events = trace::drain_events();
+        let bs: Vec<_> = events.iter().filter(|e| e.name == "span_race_b").collect();
+        assert_eq!(bs.len(), 8 * 50);
+        // Every b nests under exactly its own thread's a — never deeper,
+        // never orphaned — proving the stacks are thread-local.
+        for e in &bs {
+            assert_eq!(e.path, "span_race_a/span_race_b");
+            assert_eq!(e.depth, 1);
+        }
+        let a_threads: std::collections::BTreeSet<u64> =
+            events.iter().filter(|e| e.name == "span_race_a").map(|e| e.thread).collect();
+        assert_eq!(a_threads.len(), 8, "eight distinct threads recorded");
+    }
+}

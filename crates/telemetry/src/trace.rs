@@ -1,0 +1,311 @@
+//! Trace buffering, JSONL export and the human-readable summary table.
+//!
+//! Completed spans land in a bounded global buffer ([`drain_events`]).
+//! [`TraceWriter`] serializes span events and metric snapshots as JSON
+//! Lines — one self-describing object per line, distinguished by a
+//! `"type"` field (`span`, `counter`, `gauge`, `histogram`) — so traces
+//! from different runs can be concatenated and grepped.
+
+use std::io::{self, Write};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::json::JsonObject;
+use crate::metrics::MetricsSnapshot;
+
+/// Hard cap on buffered span events; beyond it events are counted in
+/// `telemetry.trace.dropped` instead of stored, bounding memory on
+/// unbounded runs.
+const MAX_EVENTS: usize = 1 << 20;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (the leaf).
+    pub name: &'static str,
+    /// `/`-joined path from the thread's outermost open span.
+    pub path: String,
+    /// Nesting depth (0 = outermost).
+    pub depth: u32,
+    /// Dense id of the recording thread.
+    pub thread: u64,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Pins the trace epoch to now-or-earlier. Called when recording is
+/// switched on, so spans opened afterwards never start before the epoch
+/// (their `start_ns` would otherwise saturate to zero and misorder the
+/// timeline).
+pub(crate) fn init_epoch() {
+    let _ = epoch();
+}
+
+fn buffer() -> &'static Mutex<Vec<SpanEvent>> {
+    static BUF: OnceLock<Mutex<Vec<SpanEvent>>> = OnceLock::new();
+    BUF.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Appends a completed span to the trace buffer (called by `Span`).
+pub(crate) fn record_span(
+    name: &'static str,
+    path: String,
+    depth: u32,
+    thread: u64,
+    start: Instant,
+    dur: Duration,
+) {
+    let start_ns = start.saturating_duration_since(epoch()).as_nanos() as u64;
+    let mut buf = buffer().lock().expect("trace buffer lock");
+    if buf.len() >= MAX_EVENTS {
+        drop(buf);
+        crate::metrics::global().counter("telemetry.trace.dropped").inc();
+        return;
+    }
+    buf.push(SpanEvent { name, path, depth, thread, start_ns, dur_ns: dur.as_nanos() as u64 });
+}
+
+/// Removes and returns all buffered span events, oldest first.
+pub fn drain_events() -> Vec<SpanEvent> {
+    std::mem::take(&mut *buffer().lock().expect("trace buffer lock"))
+}
+
+/// Serializes span events and metric snapshots as JSON Lines.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        TraceWriter { w }
+    }
+
+    /// Writes one span event as a JSONL record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_event(&mut self, e: &SpanEvent) -> io::Result<()> {
+        let line = JsonObject::new()
+            .str("type", "span")
+            .str("name", e.name)
+            .str("path", &e.path)
+            .u64("depth", u64::from(e.depth))
+            .u64("thread", e.thread)
+            .u64("start_ns", e.start_ns)
+            .u64("dur_ns", e.dur_ns)
+            .finish();
+        writeln!(self.w, "{line}")
+    }
+
+    /// Writes a batch of span events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_events(&mut self, events: &[SpanEvent]) -> io::Result<()> {
+        events.iter().try_for_each(|e| self.write_event(e))
+    }
+
+    /// Writes every instrument in a snapshot, one JSONL record each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_snapshot(&mut self, snap: &MetricsSnapshot) -> io::Result<()> {
+        for (name, value) in &snap.counters {
+            let line = JsonObject::new()
+                .str("type", "counter")
+                .str("name", name)
+                .u64("value", *value)
+                .finish();
+            writeln!(self.w, "{line}")?;
+        }
+        for (name, value) in &snap.gauges {
+            let line = JsonObject::new()
+                .str("type", "gauge")
+                .str("name", name)
+                .f64("value", *value)
+                .finish();
+            writeln!(self.w, "{line}")?;
+        }
+        for h in &snap.histograms {
+            let line = JsonObject::new()
+                .str("type", "histogram")
+                .str("name", &h.name)
+                .u64("count", h.count)
+                .u64("sum", h.sum)
+                .u64("min", h.min)
+                .u64("max", h.max)
+                .u64("p50", h.p50)
+                .u64("p90", h.p90)
+                .u64("p99", h.p99)
+                .finish();
+            writeln!(self.w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Drains the trace buffer and snapshots the global registry into a JSONL
+/// file at `path` (created or truncated).
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn export_jsonl(path: &std::path::Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let file = std::fs::File::create(path)?;
+    let mut w = TraceWriter::new(io::BufWriter::new(file));
+    w.write_events(&drain_events())?;
+    w.write_snapshot(&crate::metrics::global().snapshot())?;
+    w.into_inner()?;
+    Ok(())
+}
+
+fn format_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}µs", s * 1e6)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a snapshot as an aligned, human-readable summary table:
+/// counters and gauges first, then histograms with count/mean/p50/p90/
+/// p99/max (durations pretty-printed from nanoseconds).
+pub fn summary_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        let width = snap
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(snap.gauges.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        out.push_str("counters/gauges:\n");
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("  {name:<width$}  {v}\n"));
+        }
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("  {name:<width$}  {v}\n"));
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let width = snap.histograms.iter().map(|h| h.name.len()).max().unwrap_or(0).max(4);
+        out.push_str(&format!(
+            "{:<width$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "histogram", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for h in &snap.histograms {
+            let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            out.push_str(&format!(
+                "{:<width$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+                h.name,
+                h.count,
+                format_ns(mean),
+                format_ns(h.p50),
+                format_ns(h.p90),
+                format_ns(h.p99),
+                format_ns(h.max),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSummary;
+
+    fn snap() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("a.sent".into(), 12)],
+            gauges: vec![("b.level".into(), 3.0)],
+            histograms: vec![HistogramSummary {
+                name: "c.encrypt".into(),
+                count: 2,
+                sum: 3_000_000,
+                min: 1_000_000,
+                max: 2_000_000,
+                p50: 1_000_000,
+                p90: 2_000_000,
+                p99: 2_000_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn writer_emits_one_json_object_per_line() {
+        let event = SpanEvent {
+            name: "round",
+            path: "round".into(),
+            depth: 0,
+            thread: 0,
+            start_ns: 5,
+            dur_ns: 100,
+        };
+        let mut w = TraceWriter::new(Vec::new());
+        w.write_event(&event).expect("write");
+        w.write_snapshot(&snap()).expect("write");
+        let bytes = w.into_inner().expect("flush");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // 1 span + 1 counter + 1 gauge + 1 histogram
+        assert!(lines[0].contains(r#""type":"span""#) && lines[0].contains(r#""dur_ns":100"#));
+        assert!(lines[1].contains(r#""type":"counter""#) && lines[1].contains(r#""value":12"#));
+        assert!(lines[2].contains(r#""type":"gauge""#));
+        assert!(
+            lines[3].contains(r#""type":"histogram""#) && lines[3].contains(r#""p99":2000000"#)
+        );
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "JSONL shape: {line}");
+        }
+    }
+
+    #[test]
+    fn summary_table_renders_all_sections() {
+        let table = summary_table(&snap());
+        assert!(table.contains("a.sent"));
+        assert!(table.contains("b.level"));
+        assert!(table.contains("c.encrypt"));
+        assert!(table.contains("1.000ms"), "p50 pretty-printed: {table}");
+        assert!(summary_table(&MetricsSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(500), "500ns");
+        assert_eq!(format_ns(2_500), "2.500µs");
+        assert_eq!(format_ns(3_000_000), "3.000ms");
+        assert_eq!(format_ns(1_500_000_000), "1.500s");
+    }
+}

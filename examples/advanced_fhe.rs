@@ -34,10 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ctx.add_assign(&mut acc, &ct)?;
     }
     let avg = ctx.mul_scalar(&acc, 1.0 / 3.0);
-    let partials: Vec<_> =
-        (0..3).map(|i| group.partial_decrypt(&ctx, i, &avg, &mut rng)).collect();
+    let partials: Vec<_> = (0..3).map(|i| group.partial_decrypt(&ctx, i, &avg, &mut rng)).collect();
     let global = ThresholdGroup::combine(&ctx, &avg, &partials);
-    println!("   jointly decrypted average: [{:.3}, {:.3}] (expected [1.0, 0.1])", global[0], global[1]);
+    println!(
+        "   jointly decrypted average: [{:.3}, {:.3}] (expected [1.0, 0.1])",
+        global[0], global[1]
+    );
 
     // --- 2. Encrypted dot product (similarity under encryption). ---
     println!("== encrypted dot product via mul + rotations ==");

@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // BER 1e-3 — the paper's harsh operating point.
     let channel = NoisyChannelConfig::default();
-    let mut federation =
-        NoisyFederation::new(config, &data, CkksParams::ckks4(), channel)?;
+    let mut federation = NoisyFederation::new(config, &data, CkksParams::ckks4(), channel)?;
     let (report, stats) = federation.run()?;
 
     println!("accuracy by round:");

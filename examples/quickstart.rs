@@ -16,17 +16,13 @@ use rhychee_fl::fhe::params::CkksParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A dataset. (Synthetic MNIST stand-in: 10 classes, 28x28 images.)
-    let data = SyntheticConfig { kind: DatasetKind::Mnist, train_samples: 1_500, test_samples: 400 }
-        .generate(42)?;
+    let data =
+        SyntheticConfig { kind: DatasetKind::Mnist, train_samples: 1_500, test_samples: 400 }
+            .generate(42)?;
 
     // 2. A federation: 10 clients, non-IID shards (Dirichlet alpha = 0.5),
     //    HDC dimension 1000.
-    let config = FlConfig::builder()
-        .clients(10)
-        .rounds(5)
-        .hd_dim(1000)
-        .seed(42)
-        .build()?;
+    let config = FlConfig::builder().clients(10).rounds(5).hd_dim(1000).seed(42).build()?;
 
     // 3. The encrypted pipeline with the paper's most communication-
     //    efficient parameter set (CKKS-4: N = 8192, log Q = 61).

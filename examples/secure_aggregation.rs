@@ -67,11 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let expected: Vec<f32> = (0..num_params)
         .map(|i| local_models.iter().map(|m| m[i]).sum::<f32>() / clients as f32)
         .collect();
-    let max_err = global
-        .iter()
-        .zip(&expected)
-        .map(|(g, e)| (g - e).abs())
-        .fold(0.0f32, f32::max);
+    let max_err = global.iter().zip(&expected).map(|(g, e)| (g - e).abs()).fold(0.0f32, f32::max);
     println!("client decrypted the averaged model; max error vs plaintext average: {max_err:.2e}");
     assert!(max_err < 1e-2, "homomorphic average must match the plaintext average");
     Ok(())

@@ -6,6 +6,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
 
+# Each binary also drops a telemetry trace (spans + counters/histograms)
+# as JSONL into $RHYCHEE_METRICS_DIR; collect them under target/metrics.
+export RHYCHEE_METRICS_DIR="${RHYCHEE_METRICS_DIR:-target/metrics}"
+mkdir -p "$RHYCHEE_METRICS_DIR"
+
 QUICK="${1:-}"
 
 analytic=(table1_comm_formulas table3_param_sets fig4_comm_overhead fig5_channel)
@@ -24,3 +29,4 @@ for bin in "${training[@]}"; do
 done
 
 echo "All experiment outputs written to results/."
+echo "Telemetry traces written to $RHYCHEE_METRICS_DIR/."

@@ -14,6 +14,8 @@
 //! * [`data`] — synthetic MNIST/HAR datasets and non-IID partitioning
 //! * [`channel`] — noisy-communication models (CRC, BER, 5G latency)
 //! * [`core`] — the Rhychee-FL federated-learning framework itself
+//! * [`telemetry`] — tracing spans and metrics over the round loop and
+//!   FHE hot paths (disabled by default; see DESIGN.md §7)
 //!
 //! # Quickstart
 //!
@@ -43,3 +45,4 @@ pub use rhychee_data as data;
 pub use rhychee_fhe as fhe;
 pub use rhychee_hdc as hdc;
 pub use rhychee_nn as nn;
+pub use rhychee_telemetry as telemetry;

@@ -70,8 +70,7 @@ fn quantized_model_survives_lwe_transport() {
     let models: Vec<HdcModel> = (0..clients)
         .map(|c| {
             let mut m = HdcModel::new(2, dim);
-            let flat: Vec<f32> =
-                (0..2 * dim).map(|i| ((c * 64 + i) as f32 * 0.17).sin()).collect();
+            let flat: Vec<f32> = (0..2 * dim).map(|i| ((c * 64 + i) as f32 * 0.17).sin()).collect();
             m.load_flat(&flat);
             m
         })
@@ -136,10 +135,6 @@ fn ckks_packed_model_round_trip_at_scale() {
     let cts = packing::encrypt_model(&ctx, &pk, &model, &mut rng).expect("encrypt");
     assert_eq!(cts.len(), 5);
     let back = packing::decrypt_model(&ctx, &sk, &cts, 20_000);
-    let max_err = model
-        .iter()
-        .zip(&back)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f32, f32::max);
+    let max_err = model.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(max_err < 0.05, "CKKS-4 round-trip error {max_err}");
 }

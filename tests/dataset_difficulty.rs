@@ -30,10 +30,14 @@ fn synthetic_mnist_separates_model_classes() {
 
     // HDC-RBF at the paper's D = 2000: competitive with or above LR.
     let enc = RbfEncoder::new(784, 2000, &mut StdRng::seed_from_u64(9));
-    let train =
-        EncodedDataset::new(enc.encode_batch(split.train.features(), 1), split.train.labels().to_vec());
-    let test =
-        EncodedDataset::new(enc.encode_batch(split.test.features(), 1), split.test.labels().to_vec());
+    let train = EncodedDataset::new(
+        enc.encode_batch(split.train.features(), 1),
+        split.train.labels().to_vec(),
+    );
+    let test = EncodedDataset::new(
+        enc.encode_batch(split.test.features(), 1),
+        split.test.labels().to_vec(),
+    );
     let mut model = HdcModel::new(10, 2000);
     for _ in 0..10 {
         model.train_epoch(&train, 1.0);

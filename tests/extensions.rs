@@ -33,9 +33,8 @@ fn federated_round_under_threshold_keys() {
     // Distributed decryption of every chunk.
     let mut global = Vec::new();
     for ct in &global_cts {
-        let partials: Vec<_> = (0..clients)
-            .map(|i| group.partial_decrypt(&ctx, i, ct, &mut rng))
-            .collect();
+        let partials: Vec<_> =
+            (0..clients).map(|i| group.partial_decrypt(&ctx, i, ct, &mut rng)).collect();
         global.extend(ThresholdGroup::combine(&ctx, ct, &partials));
     }
     for i in 0..300 {

@@ -77,7 +77,7 @@ fn detector_strength_ordering_checksum_vs_crc() {
     let crc = ChannelModel::default();
     let checksum = ChannelModel { detector: Detector::Checksum16, ..crc };
     let bits = 5 * 2 * 8192 * 61u64;
-    let ratio = crc.expected_rounds_to_failure(10, bits)
-        / checksum.expected_rounds_to_failure(10, bits);
+    let ratio =
+        crc.expected_rounds_to_failure(10, bits) / checksum.expected_rounds_to_failure(10, bits);
     assert!((ratio - 65_536.0).abs() / 65_536.0 < 1e-6, "ratio {ratio}");
 }

@@ -1,0 +1,487 @@
+//! Offline stand-in for the `proptest` crate (see DESIGN.md §5: vendored
+//! shims).
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(..)]`), range and
+//! `any::<T>()` strategies, `prop::collection::vec`,
+//! `prop::sample::Index`, `prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros. Cases are generated from a deterministic
+//! per-test seed; there is **no shrinking** — a failure reports the case
+//! number and the failed assertion instead of a minimized input.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Runner configuration and error types (mirrors `proptest::test_runner`).
+pub mod test_runner {
+    /// How a single generated case failed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An explicit `prop_assert*` failure.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` and should be skipped.
+        Reject(String),
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => write!(f, "assertion failed: {msg}"),
+                TestCaseError::Reject(msg) => write!(f, "input rejected: {msg}"),
+            }
+        }
+    }
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// A source of test values (the shim keeps only generation, no shrink
+/// tree).
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_prim {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64);
+
+/// Strategy for any value of `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Sub-modules namespaced as `prop::…` in the prelude.
+pub mod strategy_mods {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// Strategy producing `Vec`s of values from `element`, with a
+        /// length drawn from `size` (a `usize` or a range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::{Arbitrary, StdRng};
+        use rand::Rng as _;
+
+        /// An index into a collection whose length is unknown at
+        /// generation time; resolve with [`Index::index`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(pub(crate) usize);
+
+        impl Index {
+            /// Maps this abstract index onto a collection of `len`
+            /// elements.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len == 0`.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                Index(rng.gen_range(0..usize::MAX))
+            }
+        }
+    }
+}
+
+/// A vector length specification: fixed or ranged.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_exclusive: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_exclusive: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_exclusive: r.end() + 1 }
+    }
+}
+
+/// Strategy returned by [`strategy_mods::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Derives a deterministic per-test seed from the test's module path and
+/// name, so failures reproduce across runs without an env-var protocol.
+pub fn seed_for(test_path: &str) -> u64 {
+    // FNV-1a, good enough for seed spreading.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property test: generates cases, skips rejections, panics
+/// on the first failure. Called from [`proptest!`] expansions.
+pub fn run_cases(
+    test_path: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    let seed = seed_for(test_path);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut executed = 0u32;
+    let mut attempts = 0u32;
+    // Mirror proptest's global rejection cap so a too-strict
+    // `prop_assume!` fails loudly instead of looping forever.
+    let max_attempts = config.cases.saturating_mul(16).max(1024);
+    while executed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "{test_path}: too many rejected inputs ({attempts} attempts for \
+             {executed}/{} cases)",
+            config.cases
+        );
+        // Decorrelate cases while keeping the whole run a pure function
+        // of the test path.
+        let mut case_rng = StdRng::seed_from_u64(seed ^ rng.next_u64());
+        match case(&mut case_rng) {
+            Ok(()) => executed += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {}
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("{test_path}: case {executed} (seed {seed:#x}) failed: {msg}");
+            }
+        }
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy_mods as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("prop_assert!({})", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "prop_assert_eq!({}, {}): {:?} != {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "prop_assert_ne!({}, {}): both {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(::std::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Supports the upstream surface this workspace
+/// uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_name(a in strategy_a(), b in 0u64..100) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(
+                ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                &config,
+                |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), __proptest_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = Strategy::new_value(&(5u64..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let xs = prop::collection::vec(-1.0f64..1.0, 3..7).new_value(&mut rng);
+            assert!((3..7).contains(&xs.len()));
+            assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+            let fixed = prop::collection::vec(any::<u8>(), 8).new_value(&mut rng);
+            assert_eq!(fixed.len(), 8);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let doubled = (1u32..100).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn index_resolves_within_len() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let idx = any::<prop::sample::Index>().new_value(&mut rng);
+            assert!(idx.index(17) < 17);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_test_path() {
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_roundtrip(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(a < 1000 && b < 1000);
+        }
+
+        #[test]
+        fn macro_assume_skips(n in 0u32..100) {
+            prop_assume!(n >= 50);
+            prop_assert!(n >= 50, "assume should have filtered n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        crate::run_cases("shim::failing", &ProptestConfig::with_cases(8), |rng| {
+            let v = Strategy::new_value(&(0u32..10), rng);
+            prop_assert!(v >= 10, "v={v} is below 10");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline stand-in for the `rand` crate (see DESIGN.md §5: vendored
+//! shims).
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the *API subset it actually uses* — `RngCore`, `SeedableRng`,
+//! the `Rng` extension trait (`gen`, `gen_range`, `gen_bool`, `fill`),
+//! and `rngs::StdRng` — backed by xoshiro256++ seeded through SplitMix64.
+//! The generator is deterministic per seed and statistically strong for
+//! simulation purposes; it is **not** the ChaCha12 generator of upstream
+//! `rand 0.8`, so seeded streams differ from upstream (nothing in this
+//! repo depends on the exact upstream stream).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core source-of-randomness trait, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a fixed byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like upstream `rand`'s default implementation.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut chunks = bytes.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&sm.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = sm.next().to_le_bytes();
+            let len = rem.len();
+            rem.copy_from_slice(&b[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types producible uniformly at random by [`Rng::gen`] (the shim's
+/// analogue of `Distribution<T> for Standard`).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+              usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              i64 => next_u64, isize => next_u64);
+
+impl StandardSample for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1), matching upstream's Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types drawable uniformly from a range by [`Rng::gen_range`].
+pub trait UniformSample: Sized + PartialOrd + Copy {
+    /// Draws from `[lo, hi)`.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Draws from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let span = (hi as i128 - lo as i128) as u64;
+                // Widening-multiply range reduction; the bias over a u64
+                // source is < 2^-64 per draw, immaterial for simulation.
+                let offset = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Full u64/i64 domain: every bit pattern is valid.
+                    return <$t as StandardSample>::sample(rng);
+                }
+                let offset = ((u128::from(rng.next_u64()) * span) >> 64) as u64;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range {lo}..{hi}");
+                let u = <$t as StandardSample>::sample(rng);
+                let v = lo + (hi - lo) * u;
+                // Guard against rounding up to `hi` at the top of the range.
+                if v < hi { v } else { <$t>::max(lo, <$t>::min(v, hi - (hi - lo) * <$t>::EPSILON)) }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range {lo}..={hi}");
+                let u = <$t as StandardSample>::sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`], mirroring
+/// `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        <f64 as StandardSample>::sample(self) < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extensions: in-place shuffling and element choice.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seedable generator: xoshiro256++.
+    ///
+    /// Not the ChaCha12 of upstream `rand 0.8` — streams differ from
+    /// upstream for identical seeds (see the crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro requires a nonzero state.
+            if s == [0; 4] {
+                s = [0x9e37_79b9_7f4a_7c15, 0xbf58_476d_1ce4_e5b9, 0x94d0_49bb_1331_11eb, 1];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias of [`StdRng`]: one generator serves both roles in the shim.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-1.5f64..1.5);
+            assert!((-1.5..1.5).contains(&f));
+            let i = rng.gen_range(-3i8..=3);
+            assert!((-3..=3).contains(&i));
+            let x = rng.gen_range(0.85f32..=1.0);
+            assert!((0.85..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_full_span() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all 10 buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn standard_floats_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+            let w: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&w));
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean ≈ 0.5, got {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_tails() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 11]);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_100..2_900).contains(&hits), "≈2500 expected, got {hits}");
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(19);
+        // Must not overflow or panic.
+        let _ = rng.gen_range(u64::MIN..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+}
