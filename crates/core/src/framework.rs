@@ -8,6 +8,13 @@
 //! * **CKKS** — packed RLWE ciphertexts, homomorphic averaging (Eq. 2);
 //! * **LWE/TFHE** — per-parameter ciphertexts with fixed-point
 //!   quantization (the design-space alternative of Table I).
+//!
+//! The per-round mechanics live in [`crate::round`]
+//! ([`ClientLocal`]/[`ServerRound`]) and are shared with the networked
+//! runtime in `rhychee-net`; this type wires them together in a single
+//! process. Because every randomness stream is salted off the run seed
+//! (see [`crate::round`]), a networked run reproduces this framework's
+//! global model bit for bit.
 
 use std::time::Duration;
 
@@ -16,18 +23,21 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rhychee_telemetry as telemetry;
 
-use rhychee_data::partition::dirichlet_partition_indices;
 use rhychee_data::TrainTest;
 use rhychee_fhe::ckks::{CkksContext, CkksPublicKey, CkksSecretKey};
 use rhychee_fhe::lwe::{LweContext, LweSecretKey};
 use rhychee_fhe::params::{CkksParams, LweParams};
-use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder, RbfEncoder};
 use rhychee_hdc::model::{EncodedDataset, HdcModel};
 use rhychee_hdc::quantize::QuantizedModel;
 
-use crate::config::{Aggregation, EncoderKind, FlConfig};
+use crate::config::FlConfig;
 use crate::error::FlError;
 use crate::packing;
+use crate::round::{self, ClientLocal, ClientUpdate, ServerRound};
+
+/// Salt for the participant-sampling stream (kept apart from setup and
+/// key material so pipelines can be compared round for round).
+const SAMPLING_SALT: u64 = 0xA076_1D64_78BD_642F;
 
 /// Measurements from one aggregation round.
 #[derive(Debug, Clone, Default)]
@@ -82,14 +92,6 @@ enum Pipeline {
     Lwe { ctx: LweContext, sk: LweSecretKey, quant_bits: u32 },
 }
 
-/// One federated client: a local encoded shard and an HDC model.
-struct Client {
-    data: EncodedDataset,
-    model: HdcModel,
-    /// Adaptive updates applied in the last local phase (FedNova τ).
-    last_steps: usize,
-}
-
 /// The Rhychee-FL federated system (server + clients simulation).
 ///
 /// # Examples
@@ -109,7 +111,7 @@ struct Client {
 /// ```
 pub struct Framework {
     config: FlConfig,
-    clients: Vec<Client>,
+    clients: Vec<ClientLocal>,
     test: EncodedDataset,
     global: Vec<f32>,
     classes: usize,
@@ -144,8 +146,7 @@ impl Framework {
         params: CkksParams,
     ) -> Result<Self, FlError> {
         let ctx = CkksContext::new(params)?;
-        let mut key_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
-        let (sk, pk) = ctx.generate_keys(&mut key_rng);
+        let (sk, pk) = round::derive_ckks_keys(&ctx, config.seed);
         Self::build(config, data, Pipeline::Ckks { ctx: Box::new(ctx), sk, pk })
     }
 
@@ -178,7 +179,7 @@ impl Framework {
             });
         }
         let ctx = LweContext::new(params)?;
-        let mut key_rng = StdRng::seed_from_u64(config.seed ^ 0x517C_C1B7_2722_0A95);
+        let mut key_rng = StdRng::seed_from_u64(config.seed ^ round::LWE_KEY_SALT);
         let sk = ctx.generate_key(&mut key_rng);
         Self::build(config, data, Pipeline::Lwe { ctx, sk, quant_bits })
     }
@@ -193,67 +194,14 @@ impl Framework {
     }
 
     fn build(config: FlConfig, data: &TrainTest, pipeline: Pipeline) -> Result<Self, FlError> {
-        config.validate()?;
-        if data.train.len() < config.clients {
-            return Err(FlError::DataError(format!(
-                "{} training samples cannot serve {} clients",
-                data.train.len(),
-                config.clients
-            )));
-        }
-        if data.train.is_empty() || data.test.is_empty() {
-            return Err(FlError::DataError("train and test sets must be non-empty".into()));
-        }
-        let classes = data.train.num_classes();
-        let feature_dim = data.train.feature_dim();
-        let mut rng = StdRng::seed_from_u64(config.seed);
-
-        // Shared encoder: all clients derive identical bases from the
-        // common seed (the HDC analogue of the shared model architecture).
-        let use_rbf = match config.encoder {
-            EncoderKind::Rbf => true,
-            EncoderKind::RandomProjection => false,
-            // The paper uses RBF for MNIST (pixel images) and random
-            // projection for HAR (dense statistical features).
-            EncoderKind::Auto => feature_dim == 784,
-        };
-        let (train_hv, test_hv) = if use_rbf {
-            let encoder = RbfEncoder::new(feature_dim, config.hd_dim, &mut rng);
-            (
-                encoder.encode_batch(data.train.features(), config.threads),
-                encoder.encode_batch(data.test.features(), config.threads),
-            )
-        } else {
-            let encoder = RandomProjectionEncoder::new(feature_dim, config.hd_dim, &mut rng);
-            (
-                encoder.encode_batch(data.train.features(), config.threads),
-                encoder.encode_batch(data.test.features(), config.threads),
-            )
-        };
-        let test = EncodedDataset::new(test_hv, data.test.labels().to_vec());
-
-        // Non-IID shards via Dirichlet label skew (Li et al., α = 0.5).
-        let shards = dirichlet_partition_indices(
-            data.train.labels(),
-            classes,
-            config.clients,
-            config.dirichlet_alpha,
-            &mut rng,
-        );
-        let clients = shards
-            .iter()
-            .map(|idx| {
-                let hvs = idx.iter().map(|&i| train_hv[i].clone()).collect();
-                let labels = idx.iter().map(|&i| data.train.labels()[i]).collect();
-                Client {
-                    data: EncodedDataset::new(hvs, labels),
-                    model: HdcModel::new(classes, config.hd_dim),
-                    last_steps: 0,
-                }
-            })
+        let round::FedSetup { shards, test, classes } = round::prepare(&config, data)?;
+        let clients: Vec<ClientLocal> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, data)| ClientLocal::new(id, data, classes, &config))
             .collect();
-
         let global = vec![0.0; classes * config.hd_dim];
+        let rng = StdRng::seed_from_u64(config.seed ^ SAMPLING_SALT);
         Ok(Framework { config, clients, test, global, classes, pipeline, rng, next_round: 0 })
     }
 
@@ -307,57 +255,70 @@ impl Framework {
 
         // 1. Local training.
         let span = telemetry::span("local_train");
-        let local_models = self.train_locals(&participants);
+        let trained = self.train_locals(round, &participants);
         report.train_time = span.finish();
 
         // 2–4. Collection, aggregation, distribution.
         let new_global = match &self.pipeline {
             Pipeline::Plaintext => {
                 let span = telemetry::span("aggregate");
-                let weights = self.aggregation_weights(&participants);
-                let global = weighted_average(&local_models, &weights);
+                let mut sr = ServerRound::new(round, self.config.aggregation);
+                for u in trained {
+                    sr.accept(u);
+                }
+                let global = sr.aggregate()?;
                 report.aggregate_time = span.finish();
                 global
             }
             Pipeline::Ckks { ctx, sk, pk } => {
                 let span = telemetry::span("encrypt");
-                let encrypted: Result<Vec<_>, _> = local_models
-                    .iter()
-                    .map(|m| packing::encrypt_model(ctx, pk, m, &mut self.rng))
-                    .collect();
-                let encrypted = encrypted?;
+                let mut sr = ServerRound::new(round, self.config.aggregation);
+                for u in trained {
+                    let cts = packing::encrypt_model(
+                        ctx,
+                        pk,
+                        &u.payload,
+                        self.clients[u.client_id].rng_mut(),
+                    )?;
+                    sr.accept(ClientUpdate {
+                        client_id: u.client_id,
+                        round: u.round,
+                        steps: u.steps,
+                        payload: cts,
+                    });
+                }
                 report.encrypt_time = span.finish();
 
                 let span = telemetry::span("aggregate");
-                let global_ct = packing::homomorphic_average(ctx, &encrypted)?;
+                let global_ct = sr.aggregate_ckks(ctx)?;
                 report.aggregate_time = span.finish();
 
                 let span = telemetry::span("decrypt");
-                let global = packing::decrypt_model(ctx, sk, &global_ct, self.global.len());
+                let global = packing::decrypt_model(ctx, sk, &global_ct, self.global.len())?;
                 report.decrypt_time = span.finish();
                 global
             }
             Pipeline::Lwe { ctx, sk, quant_bits } => {
                 let bits = *quant_bits;
-                let p = local_models.len() as u64;
+                let p = trained.len() as u64;
                 let span = telemetry::span("encrypt");
                 // Quantize every client model with a common scale so sums
                 // are meaningful: use the max dynamic range.
-                let quantized: Vec<QuantizedModel> = local_models
+                let quantized: Vec<QuantizedModel> = trained
                     .iter()
-                    .map(|m| {
-                        let model = HdcModel::from_flat(m, self.classes, self.config.hd_dim);
+                    .map(|u| {
+                        let model =
+                            HdcModel::from_flat(&u.payload, self.classes, self.config.hd_dim);
                         QuantizedModel::quantize(&model, bits)
                     })
                     .collect();
                 let scale = quantized.iter().map(QuantizedModel::scale).fold(f64::MAX, f64::min);
                 let encrypted: Result<Vec<Vec<_>>, _> = quantized
                     .iter()
-                    .map(|q| {
-                        q.to_offset_encoded()
-                            .iter()
-                            .map(|&v| ctx.encrypt(sk, v, &mut self.rng))
-                            .collect()
+                    .zip(&trained)
+                    .map(|(q, u)| {
+                        let rng = self.clients[u.client_id].rng_mut();
+                        q.to_offset_encoded().iter().map(|&v| ctx.encrypt(sk, v, rng)).collect()
                     })
                     .collect();
                 let encrypted = encrypted?;
@@ -422,93 +383,36 @@ impl Framework {
         ids
     }
 
-    /// Runs local training on the selected clients; returns their flat
-    /// (optionally normalized) models.
-    fn train_locals(&mut self, participants: &[usize]) -> Vec<Vec<f32>> {
+    /// Runs local training on the selected clients; returns their
+    /// updates as the server would receive them.
+    fn train_locals(
+        &mut self,
+        round: usize,
+        participants: &[usize],
+    ) -> Vec<ClientUpdate<Vec<f32>>> {
         let cfg = self.config.clone();
         let global = self.global.clone();
-        // A zero global model marks the first round: clients start with
-        // the standard OnlineHD/FedHD one-shot bundling pass, which the
-        // adaptive Eq. 1 epochs then refine.
-        let first_round = global.iter().all(|&v| v == 0.0);
         participants
             .iter()
             .map(|&id| {
                 let client = &mut self.clients[id];
-                client.model.load_flat(&global);
-                if first_round {
-                    client.model.bundle(&client.data);
-                }
-                let mut steps = 0;
-                for _ in 0..cfg.local_epochs {
-                    steps += client.model.train_epoch(&client.data, cfg.lr);
-                    if let Aggregation::FedProx { mu } = cfg.aggregation {
-                        proximal_pull(&mut client.model, &global, mu);
-                    }
-                }
-                client.last_steps = steps.max(1);
-                let mut out = client.model.clone();
-                if cfg.normalize {
-                    out.normalize();
-                }
-                out.flatten()
+                let flat = client.train(&global, &cfg);
+                ClientUpdate { client_id: id, round, steps: client.last_steps(), payload: flat }
             })
             .collect()
     }
 
-    /// Aggregation weights per participant (uniform for FedAvg, step-
-    /// normalized for FedNova).
-    fn aggregation_weights(&self, participants: &[usize]) -> Vec<f64> {
-        match self.config.aggregation {
-            Aggregation::FedAvg | Aggregation::FedProx { .. } => {
-                vec![1.0 / participants.len() as f64; participants.len()]
-            }
-            Aggregation::FedNova => {
-                // Weight clients inversely to their local step count so
-                // heavy local updaters do not dominate the average.
-                let inv: Vec<f64> = participants
-                    .iter()
-                    .map(|&id| 1.0 / self.clients[id].last_steps as f64)
-                    .collect();
-                let total: f64 = inv.iter().sum();
-                inv.into_iter().map(|w| w / total).collect()
-            }
-        }
-    }
-
     fn distribute_global(&mut self, participants: &[usize]) {
         for &id in participants {
-            self.clients[id].model.load_flat(&self.global);
+            self.clients[id].load_global(&self.global);
         }
     }
-}
-
-/// Pulls a model toward the global parameters: `w ← w − μ(w − g)`.
-fn proximal_pull(model: &mut HdcModel, global: &[f32], mu: f32) {
-    let mut flat = model.flatten();
-    for (w, &g) in flat.iter_mut().zip(global) {
-        *w -= mu * (*w - g);
-    }
-    model.load_flat(&flat);
-}
-
-/// Weighted element-wise average of flat models.
-fn weighted_average(models: &[Vec<f32>], weights: &[f64]) -> Vec<f32> {
-    assert_eq!(models.len(), weights.len());
-    assert!(!models.is_empty(), "cannot average zero models");
-    let n = models[0].len();
-    let mut out = vec![0.0f32; n];
-    for (m, &w) in models.iter().zip(weights) {
-        for (o, &v) in out.iter_mut().zip(m) {
-            *o += (w as f32) * v;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{Aggregation, EncoderKind};
     use rhychee_data::{DatasetKind, SyntheticConfig};
 
     fn small_data(kind: DatasetKind) -> TrainTest {
@@ -646,11 +550,12 @@ mod tests {
     }
 
     #[test]
-    fn weighted_average_basics() {
-        let models = vec![vec![1.0f32, 2.0], vec![3.0, 6.0]];
-        let avg = weighted_average(&models, &[0.5, 0.5]);
-        assert_eq!(avg, vec![2.0, 4.0]);
-        let weighted = weighted_average(&models, &[0.25, 0.75]);
-        assert_eq!(weighted, vec![2.5, 5.0]);
+    fn auto_encoder_picks_rbf_for_mnist() {
+        let data = small_data(DatasetKind::Mnist);
+        let mut cfg = small_config(3, 1);
+        cfg.encoder = EncoderKind::Auto;
+        let mut fw = Framework::hdc_plaintext(cfg, &data).expect("build");
+        let report = fw.run().expect("run");
+        assert!(report.final_accuracy > 0.3);
     }
 }

@@ -21,6 +21,8 @@
 //! * [`framework`] — the orchestrator with plaintext / CKKS / LWE
 //!   pipelines
 //! * [`packing`] — maximum ciphertext packing (⌈DL/(N/2)⌉ ciphertexts)
+//! * [`round`] — reusable `ClientLocal`/`ServerRound` building blocks
+//!   (shared with the networked `rhychee-net` runtime)
 //! * [`nn_fl`] — CNN / MLP / logistic-regression FedAvg baselines
 //! * [`noisy`] — end-to-end encrypted FL across a noisy packet channel
 //! * [`error`] — framework errors
@@ -49,9 +51,13 @@ pub mod framework;
 pub mod nn_fl;
 pub mod noisy;
 pub mod packing;
+pub mod round;
 
 pub use config::{Aggregation, EncoderKind, FlConfig, FlConfigBuilder};
 pub use error::FlError;
 pub use framework::{Framework, RoundReport, RunReport};
 pub use nn_fl::{NnFederation, NnModelKind, SgdConfig};
 pub use noisy::{ChannelStats, NoisyChannelConfig, NoisyFederation};
+pub use round::{
+    client_rng, derive_ckks_keys, prepare, ClientLocal, ClientUpdate, FedSetup, ServerRound,
+};

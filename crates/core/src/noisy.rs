@@ -317,7 +317,7 @@ impl NoisyFederation {
             downloaded.push(self.send_ciphertext(ct));
         }
         let decrypt_span = telemetry::span("decrypt");
-        self.global = packing::decrypt_model(&self.ctx, &self.sk, &downloaded, self.global.len());
+        self.global = packing::decrypt_model(&self.ctx, &self.sk, &downloaded, self.global.len())?;
         let decrypt_time = decrypt_span.finish();
 
         let payload_bits = (self.ctx.serialize(&global_cts[0]).len() * 8 * global_cts.len()) as u64;

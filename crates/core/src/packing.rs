@@ -40,12 +40,18 @@ pub fn encrypt_model<R: Rng + ?Sized>(
 
 /// Decrypts a packed model back to a flat parameter vector of length
 /// `num_params`.
+///
+/// # Errors
+///
+/// Returns [`FheError::Deserialize`] if the ciphertexts carry fewer
+/// than `num_params` slots — e.g. a truncated or mismatched payload
+/// received over the wire.
 pub fn decrypt_model(
     ctx: &CkksContext,
     sk: &CkksSecretKey,
     cts: &[CkksCiphertext],
     num_params: usize,
-) -> Vec<f32> {
+) -> Result<Vec<f32>, FheError> {
     let mut flat = Vec::with_capacity(num_params);
     for ct in cts {
         let values = ctx.decrypt(sk, ct);
@@ -56,8 +62,13 @@ pub fn decrypt_model(
             flat.push(v as f32);
         }
     }
-    assert_eq!(flat.len(), num_params, "ciphertexts carry too few parameters");
-    flat
+    if flat.len() != num_params {
+        return Err(FheError::Deserialize(format!(
+            "ciphertexts carry {} parameters, expected {num_params}",
+            flat.len()
+        )));
+    }
+    Ok(flat)
 }
 
 /// Homomorphically averages packed models from several clients:
@@ -162,7 +173,7 @@ mod tests {
         let flat: Vec<f32> = (0..700).map(|i| (i as f32 * 0.01).sin()).collect();
         let cts = encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt");
         assert_eq!(cts.len(), ciphertexts_needed(700, ctx.slot_count()));
-        let back = decrypt_model(&ctx, &sk, &cts, 700);
+        let back = decrypt_model(&ctx, &sk, &cts, 700).expect("decrypt");
         for (a, b) in flat.iter().zip(&back) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
@@ -180,7 +191,7 @@ mod tests {
             .map(|m| encrypt_model(&ctx, &pk, m, &mut rng).expect("encrypt"))
             .collect();
         let global = homomorphic_average(&ctx, &encrypted).expect("aggregate");
-        let back = decrypt_model(&ctx, &sk, &global, 300);
+        let back = decrypt_model(&ctx, &sk, &global, 300).expect("decrypt");
         for i in 0..300 {
             let expected: f32 = models.iter().map(|m| m[i]).sum::<f32>() / p as f32;
             assert!((back[i] - expected).abs() < 1e-2, "param {i}: {} vs {expected}", back[i]);
@@ -197,7 +208,7 @@ mod tests {
             .map(|m| encrypt_model(&ctx, &pk, m, &mut rng).expect("encrypt"))
             .collect();
         let global = homomorphic_weighted_average(&ctx, &encrypted, &weights).expect("aggregate");
-        let back = decrypt_model(&ctx, &sk, &global, 100);
+        let back = decrypt_model(&ctx, &sk, &global, 100).expect("decrypt");
         let expected = 0.5 * 1.0 + 0.3 * 5.0 + 0.2 * 9.0;
         for v in &back {
             assert!((v - expected as f32).abs() < 1e-2, "{v} vs {expected}");

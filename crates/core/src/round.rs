@@ -1,0 +1,466 @@
+//! Reusable round building blocks: the client-side local phase and the
+//! server-side collection/aggregation phase.
+//!
+//! [`Framework`](crate::framework::Framework) composes these pieces in
+//! one process; the `rhychee-net` runtime composes the *same* pieces
+//! across a TCP connection. Both paths derive all randomness from the
+//! run seed with fixed per-role salts, so a networked federation and an
+//! in-process one produce bit-identical global models under the same
+//! configuration:
+//!
+//! * setup (encoder bases, Dirichlet partition) draws from
+//!   `seed` directly;
+//! * CKKS/LWE key generation draws from `seed ^ CKKS_KEY_SALT` /
+//!   `seed ^ LWE_KEY_SALT`;
+//! * client `i`'s encryption randomness draws from its own stream
+//!   `seed ^ CLIENT_RNG_SALT ^ i·φ64`, so ciphertexts do not depend on
+//!   which process encrypts or in what order clients are visited.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rhychee_data::partition::dirichlet_partition_indices;
+use rhychee_data::TrainTest;
+use rhychee_fhe::ckks::{CkksCiphertext, CkksContext, CkksPublicKey, CkksSecretKey};
+use rhychee_fhe::FheError;
+use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder, RbfEncoder};
+use rhychee_hdc::model::{EncodedDataset, HdcModel};
+
+use crate::config::{Aggregation, EncoderKind, FlConfig};
+use crate::error::FlError;
+use crate::packing;
+
+/// Salt for the shared CKKS key-generation stream (paper §IV-A: the
+/// secret key is shared by all clients, never held by the server).
+pub const CKKS_KEY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Salt for the shared LWE key-generation stream.
+pub const LWE_KEY_SALT: u64 = 0x517C_C1B7_2722_0A95;
+
+/// Salt for per-client encryption randomness streams.
+pub const CLIENT_RNG_SALT: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// Derives the deterministic RNG for client `id`'s encryption noise.
+pub fn client_rng(seed: u64, id: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ CLIENT_RNG_SALT ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Derives the shared CKKS key pair every client holds (the server gets
+/// only the evaluation context, which needs no key material).
+pub fn derive_ckks_keys(ctx: &CkksContext, seed: u64) -> (CkksSecretKey, CkksPublicKey) {
+    let mut key_rng = StdRng::seed_from_u64(seed ^ CKKS_KEY_SALT);
+    ctx.generate_keys(&mut key_rng)
+}
+
+/// Shared federation setup: encoded shards, encoded test set, and the
+/// class count. Identical for every runtime given the same config/data.
+pub struct FedSetup {
+    /// Per-client encoded training shards (Dirichlet label skew).
+    pub shards: Vec<EncodedDataset>,
+    /// The held-out encoded test set.
+    pub test: EncodedDataset,
+    /// Number of classes L.
+    pub classes: usize,
+}
+
+impl FedSetup {
+    /// Consumes the setup into per-client local states.
+    pub fn into_clients(self, config: &FlConfig) -> Vec<ClientLocal> {
+        self.shards
+            .into_iter()
+            .enumerate()
+            .map(|(id, data)| ClientLocal::new(id, data, self.classes, config))
+            .collect()
+    }
+}
+
+/// Encodes the dataset and partitions it into non-IID client shards.
+///
+/// This is the deterministic preamble shared by the in-process
+/// [`Framework`](crate::framework::Framework) and the networked runtime:
+/// both must call it with identical `config`/`data` to agree on shards.
+///
+/// # Errors
+///
+/// Returns [`FlError`] on invalid config or insufficient data.
+pub fn prepare(config: &FlConfig, data: &TrainTest) -> Result<FedSetup, FlError> {
+    config.validate()?;
+    if data.train.len() < config.clients {
+        return Err(FlError::DataError(format!(
+            "{} training samples cannot serve {} clients",
+            data.train.len(),
+            config.clients
+        )));
+    }
+    if data.train.is_empty() || data.test.is_empty() {
+        return Err(FlError::DataError("train and test sets must be non-empty".into()));
+    }
+    let classes = data.train.num_classes();
+    let feature_dim = data.train.feature_dim();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Shared encoder: all clients derive identical bases from the
+    // common seed (the HDC analogue of the shared model architecture).
+    let use_rbf = match config.encoder {
+        EncoderKind::Rbf => true,
+        EncoderKind::RandomProjection => false,
+        // The paper uses RBF for MNIST (pixel images) and random
+        // projection for HAR (dense statistical features).
+        EncoderKind::Auto => feature_dim == 784,
+    };
+    let (train_hv, test_hv) = if use_rbf {
+        let encoder = RbfEncoder::new(feature_dim, config.hd_dim, &mut rng);
+        (
+            encoder.encode_batch(data.train.features(), config.threads),
+            encoder.encode_batch(data.test.features(), config.threads),
+        )
+    } else {
+        let encoder = RandomProjectionEncoder::new(feature_dim, config.hd_dim, &mut rng);
+        (
+            encoder.encode_batch(data.train.features(), config.threads),
+            encoder.encode_batch(data.test.features(), config.threads),
+        )
+    };
+    let test = EncodedDataset::new(test_hv, data.test.labels().to_vec());
+
+    // Non-IID shards via Dirichlet label skew (Li et al., α = 0.5).
+    let shards = dirichlet_partition_indices(
+        data.train.labels(),
+        classes,
+        config.clients,
+        config.dirichlet_alpha,
+        &mut rng,
+    )
+    .iter()
+    .map(|idx| {
+        let hvs = idx.iter().map(|&i| train_hv[i].clone()).collect();
+        let labels = idx.iter().map(|&i| data.train.labels()[i]).collect();
+        EncodedDataset::new(hvs, labels)
+    })
+    .collect();
+
+    Ok(FedSetup { shards, test, classes })
+}
+
+/// One federated client's local state: its shard, HDC model, and a
+/// private randomness stream for encryption.
+pub struct ClientLocal {
+    id: usize,
+    data: EncodedDataset,
+    model: HdcModel,
+    last_steps: usize,
+    rng: StdRng,
+}
+
+impl ClientLocal {
+    /// Builds the local state for client `id`.
+    pub fn new(id: usize, data: EncodedDataset, classes: usize, config: &FlConfig) -> Self {
+        ClientLocal {
+            id,
+            data,
+            model: HdcModel::new(classes, config.hd_dim),
+            last_steps: 0,
+            rng: client_rng(config.seed, id),
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Trainable parameter count `D × L`.
+    pub fn num_parameters(&self) -> usize {
+        self.model.num_parameters()
+    }
+
+    /// Adaptive updates applied in the last local phase (FedNova τ).
+    pub fn last_steps(&self) -> usize {
+        self.last_steps
+    }
+
+    /// The client's private randomness stream (encryption noise).
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Runs the local phase against the given global model and returns
+    /// the flat (optionally normalized) local model.
+    ///
+    /// A zero global model marks the first round: the client starts with
+    /// the standard OnlineHD/FedHD one-shot bundling pass, which the
+    /// adaptive Eq. 1 epochs then refine.
+    pub fn train(&mut self, global: &[f32], cfg: &FlConfig) -> Vec<f32> {
+        let first_round = global.iter().all(|&v| v == 0.0);
+        self.model.load_flat(global);
+        if first_round {
+            self.model.bundle(&self.data);
+        }
+        let mut steps = 0;
+        for _ in 0..cfg.local_epochs {
+            steps += self.model.train_epoch(&self.data, cfg.lr);
+            if let Aggregation::FedProx { mu } = cfg.aggregation {
+                proximal_pull(&mut self.model, global, mu);
+            }
+        }
+        self.last_steps = steps.max(1);
+        let mut out = self.model.clone();
+        if cfg.normalize {
+            out.normalize();
+        }
+        out.flatten()
+    }
+
+    /// Loads the distributed global model into the local classifier.
+    pub fn load_global(&mut self, global: &[f32]) {
+        self.model.load_flat(global);
+    }
+
+    /// Trains and encrypts in one step: the CKKS upload path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FheError`] from encryption.
+    pub fn encrypt_update(
+        &mut self,
+        ctx: &CkksContext,
+        pk: &CkksPublicKey,
+        flat: &[f32],
+    ) -> Result<Vec<CkksCiphertext>, FheError> {
+        packing::encrypt_model(ctx, pk, flat, &mut self.rng)
+    }
+}
+
+/// One client's contribution to a round.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate<T> {
+    /// The reporting client.
+    pub client_id: usize,
+    /// The round this update was trained for.
+    pub round: usize,
+    /// Local update steps τ (FedNova weighting).
+    pub steps: usize,
+    /// The local model, in whatever representation the pipeline uses.
+    pub payload: T,
+}
+
+/// Server-side state for one collection/aggregation round.
+///
+/// Updates are accepted only for the current round and only once per
+/// client (late or duplicate uploads are rejected — the networked
+/// runtime relays the rejection as a NACK). Aggregation reweights over
+/// whichever quorum actually reported, visiting updates in client-id
+/// order so results are independent of arrival order.
+pub struct ServerRound<T> {
+    round: usize,
+    aggregation: Aggregation,
+    updates: Vec<ClientUpdate<T>>,
+}
+
+impl<T> ServerRound<T> {
+    /// Opens collection for `round`.
+    pub fn new(round: usize, aggregation: Aggregation) -> Self {
+        ServerRound { round, aggregation, updates: Vec::new() }
+    }
+
+    /// The round being collected.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Number of accepted updates so far.
+    pub fn received(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Offers an update; returns `false` (and drops it) if it targets a
+    /// different round or duplicates an already-reporting client.
+    pub fn accept(&mut self, update: ClientUpdate<T>) -> bool {
+        if update.round != self.round {
+            return false;
+        }
+        if self.updates.iter().any(|u| u.client_id == update.client_id) {
+            return false;
+        }
+        // Keep client-id order so aggregation is arrival-order invariant.
+        let pos = self.updates.partition_point(|u| u.client_id < update.client_id);
+        self.updates.insert(pos, update);
+        true
+    }
+
+    /// The accepted updates in client-id order.
+    pub fn updates(&self) -> &[ClientUpdate<T>] {
+        &self.updates
+    }
+
+    /// Aggregation weights over the reporting quorum (uniform for
+    /// FedAvg/FedProx, inverse-step-normalized for FedNova).
+    pub fn weights(&self) -> Vec<f64> {
+        match self.aggregation {
+            Aggregation::FedAvg | Aggregation::FedProx { .. } => {
+                vec![1.0 / self.updates.len() as f64; self.updates.len()]
+            }
+            Aggregation::FedNova => {
+                // Weight clients inversely to their local step count so
+                // heavy local updaters do not dominate the average.
+                let inv: Vec<f64> =
+                    self.updates.iter().map(|u| 1.0 / u.steps.max(1) as f64).collect();
+                let total: f64 = inv.iter().sum();
+                inv.into_iter().map(|w| w / total).collect()
+            }
+        }
+    }
+
+    fn check_nonempty(&self) -> Result<(), FlError> {
+        if self.updates.is_empty() {
+            return Err(FlError::DataError(format!(
+                "round {}: no client updates to aggregate",
+                self.round
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl ServerRound<Vec<f32>> {
+    /// Plaintext FedAvg over the reporting quorum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::DataError`] if no updates were accepted.
+    pub fn aggregate(&self) -> Result<Vec<f32>, FlError> {
+        self.check_nonempty()?;
+        let models: Vec<&[f32]> = self.updates.iter().map(|u| u.payload.as_slice()).collect();
+        Ok(weighted_average(&models, &self.weights()))
+    }
+}
+
+impl ServerRound<Vec<CkksCiphertext>> {
+    /// Homomorphic FedAvg over the reporting quorum (paper Eq. 2) —
+    /// runs entirely on ciphertexts; no key material required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError`] if no updates were accepted or the
+    /// ciphertexts are incompatible.
+    pub fn aggregate_ckks(&self, ctx: &CkksContext) -> Result<Vec<CkksCiphertext>, FlError> {
+        self.check_nonempty()?;
+        let models: Vec<Vec<CkksCiphertext>> =
+            self.updates.iter().map(|u| u.payload.clone()).collect();
+        Ok(packing::homomorphic_weighted_average(ctx, &models, &self.weights())?)
+    }
+}
+
+/// Pulls a model toward the global parameters: `w ← w − μ(w − g)`.
+fn proximal_pull(model: &mut HdcModel, global: &[f32], mu: f32) {
+    let mut flat = model.flatten();
+    for (w, &g) in flat.iter_mut().zip(global) {
+        *w -= mu * (*w - g);
+    }
+    model.load_flat(&flat);
+}
+
+/// Weighted element-wise average of flat models.
+pub fn weighted_average(models: &[&[f32]], weights: &[f64]) -> Vec<f32> {
+    assert_eq!(models.len(), weights.len());
+    assert!(!models.is_empty(), "cannot average zero models");
+    let n = models[0].len();
+    let mut out = vec![0.0f32; n];
+    for (m, &w) in models.iter().zip(weights) {
+        for (o, &v) in out.iter_mut().zip(m.iter()) {
+            *o += (w as f32) * v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhychee_data::{DatasetKind, SyntheticConfig};
+
+    fn config(clients: usize) -> FlConfig {
+        FlConfig::builder().clients(clients).rounds(2).hd_dim(128).seed(3).build().expect("valid")
+    }
+
+    fn update(id: usize, round: usize, payload: Vec<f32>) -> ClientUpdate<Vec<f32>> {
+        ClientUpdate { client_id: id, round, steps: 1, payload }
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let data = SyntheticConfig::small(DatasetKind::Har).generate(5).expect("generate");
+        let a = prepare(&config(4), &data).expect("prepare");
+        let b = prepare(&config(4), &data).expect("prepare");
+        assert_eq!(a.classes, b.classes);
+        assert_eq!(a.shards.len(), 4);
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.len(), y.len());
+            assert_eq!(x.labels(), y.labels());
+        }
+    }
+
+    #[test]
+    fn client_rng_streams_are_distinct() {
+        use rand::Rng;
+        let mut a = client_rng(9, 0);
+        let mut b = client_rng(9, 1);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+        let mut a2 = client_rng(9, 0);
+        let xs2: Vec<u64> = (0..8).map(|_| a2.gen()).collect();
+        assert_eq!(xs, xs2, "same seed + id must replay the same stream");
+    }
+
+    #[test]
+    fn server_round_rejects_late_and_duplicate() {
+        let mut sr: ServerRound<Vec<f32>> = ServerRound::new(3, Aggregation::FedAvg);
+        assert!(sr.accept(update(0, 3, vec![1.0])));
+        assert!(!sr.accept(update(0, 3, vec![2.0])), "duplicate client");
+        assert!(!sr.accept(update(1, 2, vec![2.0])), "stale round");
+        assert!(!sr.accept(update(1, 4, vec![2.0])), "future round");
+        assert!(sr.accept(update(1, 3, vec![2.0])));
+        assert_eq!(sr.received(), 2);
+    }
+
+    #[test]
+    fn aggregation_is_arrival_order_invariant() {
+        let mut fwd: ServerRound<Vec<f32>> = ServerRound::new(0, Aggregation::FedAvg);
+        let mut rev: ServerRound<Vec<f32>> = ServerRound::new(0, Aggregation::FedAvg);
+        let models = [vec![1.0f32, 2.0], vec![3.0, 6.0], vec![5.0, 1.0]];
+        for (id, m) in models.iter().enumerate() {
+            fwd.accept(update(id, 0, m.clone()));
+        }
+        for (id, m) in models.iter().enumerate().rev() {
+            rev.accept(update(id, 0, m.clone()));
+        }
+        assert_eq!(fwd.aggregate().expect("agg"), rev.aggregate().expect("agg"));
+    }
+
+    #[test]
+    fn fednova_weights_normalize() {
+        let mut sr: ServerRound<Vec<f32>> = ServerRound::new(0, Aggregation::FedNova);
+        sr.accept(ClientUpdate { client_id: 0, round: 0, steps: 10, payload: vec![0.0f32] });
+        sr.accept(ClientUpdate { client_id: 1, round: 0, steps: 40, payload: vec![0.0f32] });
+        let w = sr.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1], "fewer steps ⇒ larger weight");
+    }
+
+    #[test]
+    fn empty_round_cannot_aggregate() {
+        let sr: ServerRound<Vec<f32>> = ServerRound::new(0, Aggregation::FedAvg);
+        assert!(sr.aggregate().is_err());
+    }
+
+    #[test]
+    fn weighted_average_basics() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        let avg = weighted_average(&[&a, &b], &[0.5, 0.5]);
+        assert_eq!(avg, vec![2.0, 4.0]);
+        let weighted = weighted_average(&[&a, &b], &[0.25, 0.75]);
+        assert_eq!(weighted, vec![2.5, 5.0]);
+    }
+}

@@ -369,20 +369,38 @@ impl CkksContext {
         w.into_bytes()
     }
 
+    /// Exact serialized size in bytes of a ciphertext at `levels` active
+    /// primes — the length [`CkksContext::serialize`] produces.
+    pub fn serialized_len(&self, levels: usize) -> usize {
+        let residue_bits: usize = self.primes[..levels].iter().map(|&q| bits_for(q) as usize).sum();
+        (8 + 64 + 2 * self.params.n * residue_bits).div_ceil(8)
+    }
+
     /// Deserializes a ciphertext previously produced by
     /// [`CkksContext::serialize`].
     ///
     /// # Errors
     ///
-    /// Returns [`FheError::Deserialize`] on truncated input or an invalid
-    /// level count, and surfaces residues `≥ q` as corruption (callers in
-    /// the channel experiments rely on decrypting *garbage*, not erroring,
-    /// for in-range bit flips — exactly as a real system would).
+    /// Returns [`FheError::Deserialize`] on an invalid level count or a
+    /// byte length that does not match [`CkksContext::serialized_len`]
+    /// for the declared levels (truncated *or* oversized input — a
+    /// malformed stream never allocates beyond one fixed-size
+    /// ciphertext). Residues `≥ q` are surfaced as corruption (callers
+    /// in the channel experiments rely on decrypting *garbage*, not
+    /// erroring, for in-range bit flips — exactly as a real system
+    /// would).
     pub fn deserialize(&self, bytes: &[u8]) -> Result<CkksCiphertext, FheError> {
         let mut r = BitReader::new(bytes);
         let levels = r.read_bits(8)? as usize;
         if levels == 0 || levels > self.primes.len() {
             return Err(FheError::Deserialize(format!("invalid level count {levels}")));
+        }
+        let expected = self.serialized_len(levels);
+        if bytes.len() != expected {
+            return Err(FheError::Deserialize(format!(
+                "{} bytes for a {levels}-level ciphertext, expected {expected}",
+                bytes.len()
+            )));
         }
         let scale = f64::from_bits(r.read_bits(64)?);
         if !scale.is_finite() || scale <= 0.0 {
@@ -664,7 +682,26 @@ mod tests {
         let ct = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
         let bytes = ctx.serialize(&ct);
         assert!(ctx.deserialize(&bytes[..bytes.len() / 2]).is_err());
+        assert!(ctx.deserialize(&bytes[..bytes.len() - 1]).is_err());
         assert!(ctx.deserialize(&[]).is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_oversized_and_bad_levels() {
+        let (ctx, _, pk, mut rng) = toy_setup();
+        let ct = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+        let mut bytes = ctx.serialize(&ct);
+        assert_eq!(bytes.len(), ctx.serialized_len(ct.levels()));
+        // Trailing garbage must be rejected, not silently ignored.
+        bytes.push(0);
+        assert!(ctx.deserialize(&bytes).is_err());
+        bytes.pop();
+        // A corrupted level byte (e.g. 255 levels) must not drive a huge
+        // allocation or a bogus parse.
+        bytes[0] = 255;
+        assert!(ctx.deserialize(&bytes).is_err());
+        bytes[0] = 0;
+        assert!(ctx.deserialize(&bytes).is_err());
     }
 
     #[test]

@@ -232,12 +232,27 @@ impl LweContext {
         w.into_bytes()
     }
 
+    /// Exact serialized size in bytes of one ciphertext:
+    /// `⌈(n+1)·log q / 8⌉`.
+    pub fn serialized_len(&self) -> usize {
+        ((self.params.dimension + 1) * self.params.log_q as usize).div_ceil(8)
+    }
+
     /// Deserializes a ciphertext produced by [`LweContext::serialize`].
     ///
     /// # Errors
     ///
-    /// Returns [`FheError::Deserialize`] on truncated input.
+    /// Returns [`FheError::Deserialize`] if the byte length does not
+    /// match [`LweContext::serialized_len`] (truncated or oversized
+    /// input).
     pub fn deserialize(&self, bytes: &[u8]) -> Result<LweCiphertext, FheError> {
+        let expected = self.serialized_len();
+        if bytes.len() != expected {
+            return Err(FheError::Deserialize(format!(
+                "{} bytes for an LWE ciphertext, expected {expected}",
+                bytes.len()
+            )));
+        }
         let bits = self.params.log_q;
         let mut r = BitReader::new(bytes);
         let a = (0..self.params.dimension)
@@ -347,6 +362,18 @@ mod tests {
         assert_eq!(bytes.len() as u64 * 8 / 8, ctx.params().ciphertext_bits().div_ceil(8));
         let back = ctx.deserialize(&bytes).expect("deserialize");
         assert_eq!(ctx.decrypt(&sk, &back), 7);
+        assert_eq!(bytes.len(), ctx.serialized_len());
+    }
+
+    #[test]
+    fn deserialize_rejects_wrong_length() {
+        let (ctx, sk, mut rng) = setup();
+        let ct = ctx.encrypt(&sk, 3, &mut rng).expect("encrypt");
+        let mut bytes = ctx.serialize(&ct);
+        assert!(ctx.deserialize(&bytes[..bytes.len() - 1]).is_err(), "truncated");
+        bytes.push(0);
+        assert!(ctx.deserialize(&bytes).is_err(), "trailing garbage");
+        assert!(ctx.deserialize(&[]).is_err(), "empty");
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! The federated client: connects to an [`FlServer`], trains locally,
+//! and uploads (optionally encrypted) model updates.
+//!
+//! Under the CKKS pipeline the client derives the shared key pair from
+//! the run seed ([`round::derive_ckks_keys`]) — exactly as every other
+//! client does — encrypts uploads with its private randomness stream,
+//! and decrypts each received global model. The server sees only
+//! ciphertexts.
+//!
+//! [`FlServer`]: crate::server::FlServer
+
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use rhychee_core::packing;
+use rhychee_core::round::{self, ClientLocal};
+use rhychee_core::FlConfig;
+use rhychee_fhe::ckks::{CkksContext, CkksPublicKey, CkksSecretKey};
+use rhychee_fhe::params::CkksParams;
+use rhychee_hdc::model::{EncodedDataset, HdcModel};
+use rhychee_telemetry as telemetry;
+
+use crate::codec;
+use crate::error::NetError;
+use crate::wire::{self, Message, DEFAULT_MAX_PAYLOAD};
+
+/// How the client transports model payloads (must match the server's
+/// [`ServerPipeline`](crate::server::ServerPipeline)).
+pub enum ClientPipeline {
+    /// Plaintext `f32` parameters.
+    Plaintext,
+    /// Packed CKKS ciphertexts under the shared key derived from the
+    /// run seed.
+    Ckks(CkksParams),
+}
+
+/// Client-side connection configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The server to connect to.
+    pub addr: SocketAddr,
+    /// Socket write / handshake timeout.
+    pub io_timeout: Duration,
+    /// How long to wait for a `Global` broadcast (spans the server's
+    /// whole collection window plus aggregation).
+    pub round_timeout: Duration,
+    /// Connection attempts before giving up.
+    pub connect_attempts: u32,
+    /// Upload (re)attempts per round before giving up.
+    pub upload_attempts: u32,
+    /// Base backoff between attempts (doubles per retry).
+    pub backoff: Duration,
+    /// Frame payload cap in bytes.
+    pub max_payload: u32,
+}
+
+impl ClientConfig {
+    /// Loopback defaults: 5 s I/O, 60 s round window, 4 connect and 3
+    /// upload attempts with 50 ms base backoff.
+    pub fn new(addr: SocketAddr) -> Self {
+        ClientConfig {
+            addr,
+            io_timeout: Duration::from_secs(5),
+            round_timeout: Duration::from_secs(60),
+            connect_attempts: 4,
+            upload_attempts: 3,
+            backoff: Duration::from_millis(50),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// What one client measured over a full federation run.
+#[derive(Debug, Clone, Default)]
+pub struct ClientReport {
+    /// This client's id.
+    pub client_id: usize,
+    /// Rounds the client trained and uploaded for.
+    pub rounds_participated: usize,
+    /// `(round, accuracy)` of each received global model on the eval
+    /// set (empty when no eval set was given; round 0's zero model is
+    /// skipped).
+    pub accuracies: Vec<(usize, f64)>,
+    /// The final global model (decrypted locally under CKKS).
+    pub final_model: Vec<f32>,
+    /// Total bytes written to the socket (measured, not modeled).
+    pub bytes_tx: u64,
+    /// Total bytes read from the socket.
+    pub bytes_rx: u64,
+    /// Connect/upload retries performed.
+    pub retries: u64,
+    /// Uploads the server NACKed (late or duplicate).
+    pub rejected_updates: u64,
+}
+
+/// Key material for the CKKS pipeline (client side only).
+struct CkksSide {
+    ctx: CkksContext,
+    sk: CkksSecretKey,
+    pk: CkksPublicKey,
+}
+
+/// A blocking-I/O TCP federated client.
+pub struct FlClient {
+    config: ClientConfig,
+    fl: FlConfig,
+    local: ClientLocal,
+    eval: Option<EncodedDataset>,
+    ckks: Option<CkksSide>,
+    classes: usize,
+}
+
+impl FlClient {
+    /// Builds a client around one [`ClientLocal`] shard (from
+    /// [`round::prepare`], which every participant runs identically).
+    ///
+    /// `eval` enables per-round accuracy measurement of received global
+    /// models; pass `None` on clients that should not evaluate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Fhe`] if the CKKS parameters are invalid.
+    pub fn new(
+        config: ClientConfig,
+        fl: FlConfig,
+        local: ClientLocal,
+        classes: usize,
+        eval: Option<EncodedDataset>,
+        pipeline: ClientPipeline,
+    ) -> Result<Self, NetError> {
+        let ckks = match pipeline {
+            ClientPipeline::Plaintext => None,
+            ClientPipeline::Ckks(params) => {
+                let ctx = CkksContext::new(params)?;
+                let (sk, pk) = round::derive_ckks_keys(&ctx, fl.seed);
+                Some(CkksSide { ctx, sk, pk })
+            }
+        };
+        Ok(FlClient { config, fl, local, eval, ckks, classes })
+    }
+
+    /// Runs the full client session: connect (with retry), handshake,
+    /// all training rounds, final model receipt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] when the server cannot be reached within
+    /// the configured attempts, or on any protocol / I/O / FHE failure.
+    pub fn run(mut self) -> Result<ClientReport, NetError> {
+        let mut report = ClientReport { client_id: self.local.id(), ..ClientReport::default() };
+        let mut stream = self.connect(&mut report)?;
+
+        let n = wire::write_message(&mut stream, &Message::Hello { client_id: self.local.id() })?;
+        self.sent(&mut report, n);
+        let (msg, n) = wire::read_message(&mut stream, self.config.max_payload)?;
+        self.received(&mut report, n);
+        let rounds = match msg {
+            Message::Welcome { client_id, rounds, .. } if client_id == self.local.id() => rounds,
+            other => {
+                return Err(NetError::Protocol(format!("expected Welcome, got {}", other.name())))
+            }
+        };
+
+        let num_params = self.local.num_parameters();
+        let max_cts = match &self.ckks {
+            Some(side) => packing::ciphertexts_needed(num_params, side.ctx.slot_count()),
+            None => 0,
+        };
+
+        let mut got_final = false;
+        loop {
+            let (msg, n) = match wire::read_message(&mut stream, self.config.max_payload) {
+                Ok(v) => v,
+                // Once the final model is in, a server that closes
+                // without a trailing Finished is still a clean session.
+                Err(_) if got_final => break,
+                Err(e) => return Err(e),
+            };
+            self.received(&mut report, n);
+            let (round, last, model) = match msg {
+                Message::Global { round, last, model } => (round, last, model),
+                Message::UpdateAck { accepted, .. } => {
+                    if !accepted {
+                        report.rejected_updates += 1;
+                    }
+                    continue;
+                }
+                Message::Finished { .. } => break,
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "expected Global, got {}",
+                        other.name()
+                    )))
+                }
+            };
+
+            let global = self.decode_global(&model, num_params, max_cts)?;
+            if let Some(eval) = &self.eval {
+                if last || round > 0 {
+                    let acc =
+                        HdcModel::from_flat(&global, self.classes, self.fl.hd_dim).accuracy(eval);
+                    // A Global opening round r carries the aggregate of
+                    // round r-1; the final one carries the last round's.
+                    let agg_round = if last { rounds - 1 } else { round - 1 };
+                    report.accuracies.push((agg_round, acc));
+                }
+            }
+            if last {
+                self.local.load_global(&global);
+                report.final_model = global;
+                got_final = true;
+                continue; // drain until Finished (or EOF)
+            }
+
+            let span = telemetry::span("net_round");
+            let flat = self.local.train(&global, &self.fl);
+            let payload = match &self.ckks {
+                None => codec::encode_plain(&flat),
+                Some(side) => {
+                    let cts = self.local.encrypt_update(&side.ctx, &side.pk, &flat)?;
+                    codec::encode_ckks(&side.ctx, &cts)
+                }
+            };
+            let update = Message::Update {
+                round,
+                client_id: self.local.id(),
+                steps: self.local.last_steps(),
+                model: payload,
+            };
+            let n = self.upload(&mut stream, &update, &mut report)?;
+            self.sent(&mut report, n);
+            report.rounds_participated += 1;
+            span.finish();
+        }
+        Ok(report)
+    }
+
+    /// Connects with bounded exponential backoff.
+    fn connect(&self, report: &mut ClientReport) -> Result<TcpStream, NetError> {
+        let mut delay = self.config.backoff;
+        let mut last_err: Option<NetError> = None;
+        for attempt in 0..self.config.connect_attempts.max(1) {
+            if attempt > 0 {
+                thread::sleep(delay);
+                delay *= 2;
+                report.retries += 1;
+                telemetry::count("net.retries", 1);
+            }
+            match TcpStream::connect_timeout(&self.config.addr, self.config.io_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_write_timeout(Some(self.config.io_timeout))?;
+                    stream.set_read_timeout(Some(self.config.round_timeout))?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e.into()),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| NetError::Protocol("no connection attempts".into())))
+    }
+
+    /// Uploads one update frame with bounded retry. A retry is only
+    /// safe when the previous attempt failed to write (a torn frame is
+    /// caught by the server's CRC check and drops this client).
+    fn upload(
+        &self,
+        stream: &mut TcpStream,
+        update: &Message,
+        report: &mut ClientReport,
+    ) -> Result<usize, NetError> {
+        let mut delay = self.config.backoff;
+        let mut last_err: Option<NetError> = None;
+        for attempt in 0..self.config.upload_attempts.max(1) {
+            if attempt > 0 {
+                thread::sleep(delay);
+                delay *= 2;
+                report.retries += 1;
+                telemetry::count("net.retries", 1);
+            }
+            match wire::write_message(stream, update) {
+                Ok(n) => return Ok(n),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| NetError::Protocol("no upload attempts".into())))
+    }
+
+    fn decode_global(
+        &self,
+        model: &[u8],
+        num_params: usize,
+        max_cts: usize,
+    ) -> Result<Vec<f32>, NetError> {
+        match &self.ckks {
+            None => codec::decode_plain(model, num_params),
+            Some(side) => {
+                // Round 0 distributes the public all-zero initial model
+                // in plaintext (there is nothing secret to protect yet);
+                // every later broadcast is the aggregated ciphertext.
+                if model.first() == Some(&codec::TAG_PLAIN) {
+                    return codec::decode_plain(model, num_params);
+                }
+                let cts = codec::decode_ckks(&side.ctx, model, max_cts)?;
+                Ok(packing::decrypt_model(&side.ctx, &side.sk, &cts, num_params)?)
+            }
+        }
+    }
+
+    fn sent(&self, report: &mut ClientReport, n: usize) {
+        report.bytes_tx += n as u64;
+        telemetry::count("net.bytes_tx", n as u64);
+    }
+
+    fn received(&self, report: &mut ClientReport, n: usize) {
+        report.bytes_rx += n as u64;
+        telemetry::count("net.bytes_rx", n as u64);
+    }
+}

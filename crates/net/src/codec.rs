@@ -1,0 +1,259 @@
+//! Interior encoding of model payloads carried by [`Message::Global`]
+//! and [`Message::Update`] frames.
+//!
+//! A payload starts with a one-byte tag:
+//!
+//! | tag | contents |
+//! |----:|----------|
+//! | 0   | plaintext: `count: u32` then `count` LE `f32` parameters |
+//! | 1   | CKKS: `count: u32` then `count` × (`len: u32`, [`CkksContext::serialize`] bytes) |
+//! | 2   | LWE: `scale: f64`, `count: u32`, then `count` × [`LweContext::serialize`] bytes |
+//!
+//! Every declared count is validated against a caller-supplied cap
+//! before allocation, and the ciphertext codecs (hardened in
+//! `rhychee-fhe`) reject length mismatches, so a malformed payload
+//! costs at most one bounded allocation.
+//!
+//! [`Message::Global`]: crate::wire::Message::Global
+//! [`Message::Update`]: crate::wire::Message::Update
+
+use rhychee_fhe::ckks::{CkksCiphertext, CkksContext};
+use rhychee_fhe::lwe::{LweCiphertext, LweContext};
+
+use crate::error::NetError;
+
+/// Payload tag for plaintext `f32` parameters.
+pub const TAG_PLAIN: u8 = 0;
+/// Payload tag for packed CKKS ciphertexts.
+pub const TAG_CKKS: u8 = 1;
+/// Payload tag for per-parameter LWE ciphertexts.
+pub const TAG_LWE: u8 = 2;
+
+fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], NetError> {
+    let slice = bytes
+        .get(*at..*at + n)
+        .ok_or_else(|| NetError::Protocol(format!("model payload truncated at byte {}", *at)))?;
+    *at += n;
+    Ok(slice)
+}
+
+fn take_u32(bytes: &[u8], at: &mut usize) -> Result<u32, NetError> {
+    Ok(u32::from_le_bytes(take(bytes, at, 4)?.try_into().expect("4 bytes")))
+}
+
+fn expect_tag(bytes: &[u8], want: u8, name: &str) -> Result<(), NetError> {
+    match bytes.first() {
+        Some(&t) if t == want => Ok(()),
+        Some(&t) => {
+            Err(NetError::Protocol(format!("expected {name} payload (tag {want}), got tag {t}")))
+        }
+        None => Err(NetError::Protocol("empty model payload".into())),
+    }
+}
+
+fn check_done(bytes: &[u8], at: usize) -> Result<(), NetError> {
+    if at != bytes.len() {
+        return Err(NetError::Protocol(format!(
+            "{} trailing byte(s) after model payload",
+            bytes.len() - at
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes a plaintext parameter vector.
+pub fn encode_plain(params: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + params.len() * 4);
+    out.push(TAG_PLAIN);
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for &v in params {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a plaintext parameter vector of at most `max_params` values.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on a wrong tag, a count above
+/// `max_params`, or a length that does not match the declared count.
+pub fn decode_plain(bytes: &[u8], max_params: usize) -> Result<Vec<f32>, NetError> {
+    expect_tag(bytes, TAG_PLAIN, "plaintext")?;
+    let mut at = 1;
+    let count = take_u32(bytes, &mut at)? as usize;
+    if count > max_params {
+        return Err(NetError::Protocol(format!(
+            "plaintext payload declares {count} parameters, cap is {max_params}"
+        )));
+    }
+    let mut params = Vec::with_capacity(count);
+    for _ in 0..count {
+        params.push(f32::from_le_bytes(take(bytes, &mut at, 4)?.try_into().expect("4 bytes")));
+    }
+    check_done(bytes, at)?;
+    Ok(params)
+}
+
+/// Encodes packed CKKS ciphertexts under the given context.
+pub fn encode_ckks(ctx: &CkksContext, cts: &[CkksCiphertext]) -> Vec<u8> {
+    let mut out = vec![TAG_CKKS];
+    out.extend_from_slice(&(cts.len() as u32).to_le_bytes());
+    for ct in cts {
+        let bytes = ctx.serialize(ct);
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Decodes at most `max_cts` packed CKKS ciphertexts.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on structural errors and
+/// [`NetError::Fhe`] when a ciphertext fails the hardened
+/// [`CkksContext::deserialize`] (truncation, oversizing, bad levels).
+pub fn decode_ckks(
+    ctx: &CkksContext,
+    bytes: &[u8],
+    max_cts: usize,
+) -> Result<Vec<CkksCiphertext>, NetError> {
+    expect_tag(bytes, TAG_CKKS, "CKKS")?;
+    let mut at = 1;
+    let count = take_u32(bytes, &mut at)? as usize;
+    if count > max_cts {
+        return Err(NetError::Protocol(format!(
+            "CKKS payload declares {count} ciphertexts, cap is {max_cts}"
+        )));
+    }
+    // A declared per-ciphertext length can never exceed the full-level
+    // serialized size, so bound allocations by it.
+    let max_ct_len = ctx.serialized_len(ctx.primes().len());
+    let mut cts = Vec::with_capacity(count);
+    for i in 0..count {
+        let len = take_u32(bytes, &mut at)? as usize;
+        if len > max_ct_len {
+            return Err(NetError::Protocol(format!(
+                "ciphertext {i} declares {len} bytes, max is {max_ct_len}"
+            )));
+        }
+        cts.push(ctx.deserialize(take(bytes, &mut at, len)?)?);
+    }
+    check_done(bytes, at)?;
+    Ok(cts)
+}
+
+/// Encodes per-parameter LWE ciphertexts plus their shared quantization
+/// scale under the given context.
+pub fn encode_lwe(ctx: &LweContext, scale: f64, cts: &[LweCiphertext]) -> Vec<u8> {
+    let ct_len = ctx.serialized_len();
+    let mut out = Vec::with_capacity(13 + cts.len() * ct_len);
+    out.push(TAG_LWE);
+    out.extend_from_slice(&scale.to_le_bytes());
+    out.extend_from_slice(&(cts.len() as u32).to_le_bytes());
+    for ct in cts {
+        out.extend_from_slice(&ctx.serialize(ct));
+    }
+    out
+}
+
+/// Decodes at most `max_cts` LWE ciphertexts and their scale.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on structural errors (including a
+/// non-finite or non-positive scale) and [`NetError::Fhe`] when a
+/// ciphertext fails [`LweContext::deserialize`].
+pub fn decode_lwe(
+    ctx: &LweContext,
+    bytes: &[u8],
+    max_cts: usize,
+) -> Result<(f64, Vec<LweCiphertext>), NetError> {
+    expect_tag(bytes, TAG_LWE, "LWE")?;
+    let mut at = 1;
+    let scale = f64::from_le_bytes(take(bytes, &mut at, 8)?.try_into().expect("8 bytes"));
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(NetError::Protocol(format!("invalid LWE quantization scale {scale}")));
+    }
+    let count = take_u32(bytes, &mut at)? as usize;
+    if count > max_cts {
+        return Err(NetError::Protocol(format!(
+            "LWE payload declares {count} ciphertexts, cap is {max_cts}"
+        )));
+    }
+    let ct_len = ctx.serialized_len();
+    let mut cts = Vec::with_capacity(count);
+    for _ in 0..count {
+        cts.push(ctx.deserialize(take(bytes, &mut at, ct_len)?)?);
+    }
+    check_done(bytes, at)?;
+    Ok((scale, cts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rhychee_fhe::params::{CkksParams, LweParams};
+
+    #[test]
+    fn plain_round_trip_and_caps() {
+        let params: Vec<f32> = (0..300).map(|i| (i as f32).sin()).collect();
+        let bytes = encode_plain(&params);
+        assert_eq!(decode_plain(&bytes, 300).expect("decode"), params);
+        assert!(decode_plain(&bytes, 299).is_err(), "count above cap");
+        assert!(decode_plain(&bytes[..bytes.len() - 1], 300).is_err(), "truncated");
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_plain(&padded, 300).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn ckks_round_trip_and_corruption() {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+        let mut rng = StdRng::seed_from_u64(7);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let values = vec![0.5; 100];
+        let cts = vec![ctx.encrypt(&pk, &values, &mut rng).expect("encrypt")];
+        let bytes = encode_ckks(&ctx, &cts);
+        let back = decode_ckks(&ctx, &bytes, 4).expect("decode");
+        let decrypted = ctx.decrypt(&sk, &back[0]);
+        assert!((decrypted[0] - 0.5).abs() < 1e-3);
+        assert!(decode_ckks(&ctx, &bytes, 0).is_err(), "count above cap");
+        assert!(decode_ckks(&ctx, &bytes[..bytes.len() / 2], 4).is_err(), "truncated");
+        // An oversized declared ciphertext length must be caught.
+        let mut bad = bytes.clone();
+        bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_ckks(&ctx, &bad, 4).is_err());
+    }
+
+    #[test]
+    fn lwe_round_trip_and_validation() {
+        let ctx = LweContext::new(LweParams::tfhe1()).expect("params");
+        let mut rng = StdRng::seed_from_u64(9);
+        let sk = ctx.generate_key(&mut rng);
+        let cts: Vec<LweCiphertext> =
+            (0..5).map(|m| ctx.encrypt(&sk, m, &mut rng).expect("encrypt")).collect();
+        let bytes = encode_lwe(&ctx, 0.25, &cts);
+        let (scale, back) = decode_lwe(&ctx, &bytes, 5).expect("decode");
+        assert_eq!(scale, 0.25);
+        for (i, ct) in back.iter().enumerate() {
+            assert_eq!(ctx.decrypt(&sk, ct), i as u64);
+        }
+        assert!(decode_lwe(&ctx, &bytes, 4).is_err(), "count above cap");
+        let bad = encode_lwe(&ctx, f64::NAN, &cts);
+        assert!(decode_lwe(&ctx, &bad, 5).is_err(), "NaN scale");
+    }
+
+    #[test]
+    fn tag_mismatch_rejected() {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+        let plain = encode_plain(&[1.0, 2.0]);
+        assert!(decode_ckks(&ctx, &plain, 4).is_err());
+        let lwe_ctx = LweContext::new(LweParams::tfhe1()).expect("params");
+        assert!(decode_lwe(&lwe_ctx, &plain, 4).is_err());
+        assert!(decode_plain(&[], 4).is_err(), "empty payload");
+    }
+}

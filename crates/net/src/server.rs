@@ -1,0 +1,584 @@
+//! The federated server: accepts client connections, broadcasts the
+//! global model, collects encrypted updates, and aggregates — without
+//! ever holding a decryption key.
+//!
+//! Threading model: one blocking-I/O handler thread per connection plus
+//! a coordinator (the caller's thread). Handlers receive broadcast
+//! payloads over per-handler channels and forward decoded-frame events
+//! to the coordinator over a shared channel; the coordinator owns all
+//! round state ([`ServerRound`]) and decides acceptance, so protocol
+//! logic is single-threaded even though I/O is not.
+//!
+//! Straggler policy: a round closes as soon as every live client has
+//! reported, or at the round deadline. At the deadline the round
+//! aggregates if at least `quorum` updates arrived — reweighting the
+//! average over the reporting subset via [`ServerRound::weights`] — and
+//! fails with [`NetError::QuorumNotReached`] otherwise. Uploads for any
+//! other round (and duplicates) are NACKed with `UpdateAck { accepted:
+//! false }` and never touch the aggregate.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rhychee_core::packing;
+use rhychee_core::round::{ClientUpdate, ServerRound};
+use rhychee_core::Aggregation;
+use rhychee_fhe::ckks::{CkksCiphertext, CkksContext};
+use rhychee_fhe::params::CkksParams;
+use rhychee_telemetry as telemetry;
+
+use crate::codec;
+use crate::error::NetError;
+use crate::wire::{self, Message, DEFAULT_MAX_PAYLOAD};
+
+/// How the server transports and aggregates model payloads.
+pub enum ServerPipeline {
+    /// Plaintext `f32` parameters, plain FedAvg.
+    Plaintext,
+    /// Packed CKKS ciphertexts, homomorphic FedAvg. The server builds
+    /// only the evaluation context from these parameters — key
+    /// generation happens client-side and no key ever reaches here.
+    Ckks(CkksParams),
+}
+
+/// Server-side run configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Clients expected to connect.
+    pub clients: usize,
+    /// Minimum updates required to close a round at the deadline.
+    pub quorum: usize,
+    /// Aggregation rounds to run.
+    pub rounds: usize,
+    /// Trainable parameter count `D × L` (payload caps, zero init).
+    pub model_params: usize,
+    /// Aggregation rule (weights over the reporting quorum).
+    pub aggregation: Aggregation,
+    /// Socket write / handshake-read timeout.
+    pub io_timeout: Duration,
+    /// Collection window per round.
+    pub round_timeout: Duration,
+    /// How long to wait for all clients to connect.
+    pub accept_timeout: Duration,
+    /// Frame payload cap in bytes.
+    pub max_payload: u32,
+}
+
+impl ServerConfig {
+    /// A config with sensible loopback defaults: full quorum, 5 s I/O
+    /// timeout, 30 s round and accept windows.
+    pub fn new(clients: usize, rounds: usize, model_params: usize) -> Self {
+        ServerConfig {
+            clients,
+            quorum: clients,
+            rounds,
+            model_params,
+            aggregation: Aggregation::FedAvg,
+            io_timeout: Duration::from_secs(5),
+            round_timeout: Duration::from_secs(30),
+            accept_timeout: Duration::from_secs(30),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        if self.clients == 0 || self.rounds == 0 || self.model_params == 0 {
+            return Err(NetError::Protocol(
+                "clients, rounds, and model_params must be positive".into(),
+            ));
+        }
+        if self.quorum == 0 || self.quorum > self.clients {
+            return Err(NetError::Protocol(format!(
+                "quorum {} must be in 1..={}",
+                self.quorum, self.clients
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Measurements from one networked round.
+#[derive(Debug, Clone)]
+pub struct NetRoundReport {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Updates folded into the aggregate.
+    pub received: usize,
+    /// Clients still connected when the round closed.
+    pub live_clients: usize,
+    /// Late or duplicate uploads NACKed during this round.
+    pub rejected: usize,
+    /// Wall time spent in homomorphic/plain aggregation.
+    pub aggregate_time: Duration,
+}
+
+/// Full-run measurements from the server side.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Per-round reports in order.
+    pub rounds: Vec<NetRoundReport>,
+    /// Clients that disconnected or violated the protocol mid-run.
+    pub dropped_clients: usize,
+    /// Total bytes written to sockets (measured, not modeled).
+    pub bytes_tx: u64,
+    /// Total bytes read from sockets.
+    pub bytes_rx: u64,
+    /// The final global model as broadcast to clients: plaintext
+    /// parameters, or `None` under CKKS (the server cannot decrypt).
+    pub final_plain_model: Option<Vec<f32>>,
+}
+
+/// The server's current global model, in transport representation.
+enum GlobalState {
+    Plain(Vec<f32>),
+    Ckks(Vec<CkksCiphertext>),
+}
+
+/// Coordinator → handler commands.
+enum HandlerCmd {
+    /// Write a `Global` frame; unless `last`, then read one `Update`.
+    Broadcast { round: usize, last: bool, payload: Arc<Vec<u8>> },
+    /// Write an `UpdateAck` frame.
+    Ack { round: usize, accepted: bool },
+}
+
+/// Handler → coordinator events.
+enum ServerEvent {
+    /// A client's upload arrived (round validity not yet checked).
+    Update { client_id: usize, round: usize, steps: usize, model: Vec<u8> },
+    /// A client disconnected, timed out, or violated the protocol.
+    Dropped { client_id: usize },
+}
+
+/// A blocking-I/O TCP federated server.
+pub struct FlServer {
+    listener: TcpListener,
+    config: ServerConfig,
+    pipeline: ServerPipeline,
+}
+
+impl FlServer {
+    /// Binds the listener. Use port 0 for an OS-assigned port and
+    /// [`FlServer::local_addr`] to discover it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] on an invalid config or a bind failure.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
+        pipeline: ServerPipeline,
+    ) -> Result<Self, NetError> {
+        config.validate()?;
+        let listener = TcpListener::bind(addr)?;
+        Ok(FlServer { listener, config, pipeline })
+    }
+
+    /// The bound address (for clients to connect to).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the full federation: handshake, `rounds` aggregation
+    /// rounds, final model distribution. Blocks until done.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::QuorumNotReached`] when a round (or the
+    /// initial handshake) cannot gather `quorum` participants, or any
+    /// I/O / protocol / FHE error that prevents the run from finishing.
+    pub fn run(self) -> Result<ServerReport, NetError> {
+        let ctx = match &self.pipeline {
+            ServerPipeline::Plaintext => None,
+            ServerPipeline::Ckks(params) => Some(CkksContext::new(params.clone())?),
+        };
+        let bytes_tx = Arc::new(AtomicU64::new(0));
+        let bytes_rx = Arc::new(AtomicU64::new(0));
+
+        let (event_tx, event_rx) = mpsc::channel::<ServerEvent>();
+        let mut handlers = self.accept_clients(&event_tx, &bytes_tx, &bytes_rx)?;
+        drop(event_tx);
+
+        let mut report = ServerReport::default();
+        let mut global = GlobalState::Plain(vec![0.0; self.config.model_params]);
+        let max_cts = match &ctx {
+            Some(c) => packing::ciphertexts_needed(self.config.model_params, c.slot_count()),
+            None => 0,
+        };
+
+        for round in 0..self.config.rounds {
+            let span = telemetry::span("net_round");
+            let payload = Arc::new(self.encode_global(&global, ctx.as_ref()));
+            for h in handlers.values() {
+                let _ = h.cmd_tx.send(HandlerCmd::Broadcast {
+                    round,
+                    last: false,
+                    payload: Arc::clone(&payload),
+                });
+            }
+
+            let mut sr = match &ctx {
+                Some(_) => Collected::Ckks(ServerRound::new(round, self.config.aggregation)),
+                None => Collected::Plain(ServerRound::new(round, self.config.aggregation)),
+            };
+            let mut rejected = 0usize;
+            let deadline = Instant::now() + self.config.round_timeout;
+            while sr.received() < handlers.len() {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match event_rx.recv_timeout(remaining) {
+                    Ok(ServerEvent::Update { client_id, round: r, steps, model }) => {
+                        let accepted = r == round
+                            && self.accept_update(
+                                &mut sr,
+                                ctx.as_ref(),
+                                max_cts,
+                                client_id,
+                                r,
+                                steps,
+                                &model,
+                            );
+                        if !accepted {
+                            rejected += 1;
+                        }
+                        if let Some(h) = handlers.get(&client_id) {
+                            let _ = h.cmd_tx.send(HandlerCmd::Ack { round: r, accepted });
+                        }
+                    }
+                    Ok(ServerEvent::Dropped { client_id }) => {
+                        self.drop_client(&mut handlers, client_id, &mut report);
+                    }
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+
+            if sr.received() < self.config.quorum {
+                return Err(NetError::QuorumNotReached {
+                    round,
+                    received: sr.received(),
+                    quorum: self.config.quorum,
+                });
+            }
+
+            let agg_span = telemetry::span("net_aggregate");
+            let received = sr.received();
+            global = sr.aggregate(ctx.as_ref())?;
+            let aggregate_time = agg_span.finish();
+            report.rounds.push(NetRoundReport {
+                round,
+                received,
+                live_clients: handlers.len(),
+                rejected,
+                aggregate_time,
+            });
+            span.finish();
+        }
+
+        // Final distribution: the aggregated model of the last round.
+        let payload = Arc::new(self.encode_global(&global, ctx.as_ref()));
+        for h in handlers.values() {
+            let _ = h.cmd_tx.send(HandlerCmd::Broadcast {
+                round: self.config.rounds,
+                last: true,
+                payload: Arc::clone(&payload),
+            });
+        }
+        for (_, h) in handlers.drain() {
+            drop(h.cmd_tx);
+            let _ = h.join.join();
+        }
+        // Drain any last events so dropped counts are accurate.
+        while let Ok(ev) = event_rx.try_recv() {
+            if let ServerEvent::Dropped { .. } = ev {
+                report.dropped_clients += 1;
+                telemetry::count("net.dropped_clients", 1);
+            }
+        }
+
+        report.bytes_tx = bytes_tx.load(Ordering::Relaxed);
+        report.bytes_rx = bytes_rx.load(Ordering::Relaxed);
+        report.final_plain_model = match global {
+            GlobalState::Plain(m) => Some(m),
+            GlobalState::Ckks(_) => None,
+        };
+        Ok(report)
+    }
+
+    /// Accepts connections and completes the Hello/Welcome handshake
+    /// until all expected clients are in or the accept window closes.
+    fn accept_clients(
+        &self,
+        event_tx: &Sender<ServerEvent>,
+        bytes_tx: &Arc<AtomicU64>,
+        bytes_rx: &Arc<AtomicU64>,
+    ) -> Result<HashMap<usize, Handler>, NetError> {
+        self.listener.set_nonblocking(true)?;
+        let mut handlers = HashMap::new();
+        let deadline = Instant::now() + self.config.accept_timeout;
+        while handlers.len() < self.config.clients && Instant::now() < deadline {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            match self.handshake(stream, &handlers, bytes_tx, bytes_rx) {
+                Ok((client_id, stream)) => {
+                    let handler =
+                        self.spawn_handler(client_id, stream, event_tx.clone(), bytes_tx, bytes_rx);
+                    handlers.insert(client_id, handler);
+                }
+                Err(_) => continue, // a bad handshake never kills the server
+            }
+        }
+        if handlers.len() < self.config.quorum {
+            return Err(NetError::QuorumNotReached {
+                round: 0,
+                received: handlers.len(),
+                quorum: self.config.quorum,
+            });
+        }
+        Ok(handlers)
+    }
+
+    fn handshake(
+        &self,
+        stream: TcpStream,
+        handlers: &HashMap<usize, Handler>,
+        bytes_tx: &Arc<AtomicU64>,
+        bytes_rx: &Arc<AtomicU64>,
+    ) -> Result<(usize, TcpStream), NetError> {
+        let mut stream = stream;
+        // The listener is nonblocking for the accept deadline; accepted
+        // streams must not be.
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        let (msg, n) = wire::read_message(&mut stream, self.config.max_payload)?;
+        bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        telemetry::count("net.bytes_rx", n as u64);
+        let client_id = match msg {
+            Message::Hello { client_id } => client_id,
+            other => {
+                return Err(NetError::Protocol(format!("expected Hello, got {}", other.name())))
+            }
+        };
+        if client_id >= self.config.clients || handlers.contains_key(&client_id) {
+            return Err(NetError::Protocol(format!("invalid or duplicate client id {client_id}")));
+        }
+        let n = wire::write_message(
+            &mut stream,
+            &Message::Welcome {
+                client_id,
+                clients: self.config.clients,
+                rounds: self.config.rounds,
+            },
+        )?;
+        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+        telemetry::count("net.bytes_tx", n as u64);
+        Ok((client_id, stream))
+    }
+
+    fn spawn_handler(
+        &self,
+        client_id: usize,
+        stream: TcpStream,
+        events: Sender<ServerEvent>,
+        bytes_tx: &Arc<AtomicU64>,
+        bytes_rx: &Arc<AtomicU64>,
+    ) -> Handler {
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let round_timeout = self.config.round_timeout;
+        let max_payload = self.config.max_payload;
+        let tx_counter = Arc::clone(bytes_tx);
+        let rx_counter = Arc::clone(bytes_rx);
+        let join = thread::spawn(move || {
+            handler_loop(
+                client_id,
+                stream,
+                cmd_rx,
+                events,
+                round_timeout,
+                max_payload,
+                &tx_counter,
+                &rx_counter,
+            );
+        });
+        Handler { cmd_tx, join }
+    }
+
+    /// Decodes and offers an on-time update to the round; returns
+    /// whether it was folded in.
+    #[allow(clippy::too_many_arguments)]
+    fn accept_update(
+        &self,
+        sr: &mut Collected,
+        ctx: Option<&CkksContext>,
+        max_cts: usize,
+        client_id: usize,
+        round: usize,
+        steps: usize,
+        model: &[u8],
+    ) -> bool {
+        match (sr, ctx) {
+            (Collected::Plain(sr), _) => {
+                match codec::decode_plain(model, self.config.model_params) {
+                    Ok(payload) if payload.len() == self.config.model_params => {
+                        sr.accept(ClientUpdate { client_id, round, steps, payload })
+                    }
+                    _ => false,
+                }
+            }
+            (Collected::Ckks(sr), Some(ctx)) => match codec::decode_ckks(ctx, model, max_cts) {
+                Ok(payload) if payload.len() == max_cts => {
+                    sr.accept(ClientUpdate { client_id, round, steps, payload })
+                }
+                _ => false,
+            },
+            (Collected::Ckks(_), None) => false,
+        }
+    }
+
+    fn drop_client(
+        &self,
+        handlers: &mut HashMap<usize, Handler>,
+        client_id: usize,
+        report: &mut ServerReport,
+    ) {
+        if let Some(h) = handlers.remove(&client_id) {
+            drop(h.cmd_tx);
+            let _ = h.join.join();
+            report.dropped_clients += 1;
+            telemetry::count("net.dropped_clients", 1);
+        }
+    }
+
+    fn encode_global(&self, global: &GlobalState, ctx: Option<&CkksContext>) -> Vec<u8> {
+        match (global, ctx) {
+            (GlobalState::Plain(m), _) => codec::encode_plain(m),
+            (GlobalState::Ckks(cts), Some(ctx)) => codec::encode_ckks(ctx, cts),
+            (GlobalState::Ckks(_), None) => unreachable!("CKKS state without a context"),
+        }
+    }
+}
+
+/// Round collection state, typed by pipeline.
+enum Collected {
+    Plain(ServerRound<Vec<f32>>),
+    Ckks(ServerRound<Vec<CkksCiphertext>>),
+}
+
+impl Collected {
+    fn received(&self) -> usize {
+        match self {
+            Collected::Plain(sr) => sr.received(),
+            Collected::Ckks(sr) => sr.received(),
+        }
+    }
+
+    fn aggregate(self, ctx: Option<&CkksContext>) -> Result<GlobalState, NetError> {
+        match (self, ctx) {
+            (Collected::Plain(sr), _) => Ok(GlobalState::Plain(sr.aggregate()?)),
+            (Collected::Ckks(sr), Some(ctx)) => Ok(GlobalState::Ckks(sr.aggregate_ckks(ctx)?)),
+            (Collected::Ckks(_), None) => unreachable!("CKKS state without a context"),
+        }
+    }
+}
+
+struct Handler {
+    cmd_tx: Sender<HandlerCmd>,
+    join: thread::JoinHandle<()>,
+}
+
+/// Per-connection I/O loop: writes broadcasts/acks, reads one update per
+/// (non-final) broadcast, and reports everything to the coordinator.
+#[allow(clippy::too_many_arguments)]
+fn handler_loop(
+    client_id: usize,
+    mut stream: TcpStream,
+    cmds: Receiver<HandlerCmd>,
+    events: Sender<ServerEvent>,
+    round_timeout: Duration,
+    max_payload: u32,
+    bytes_tx: &AtomicU64,
+    bytes_rx: &AtomicU64,
+) {
+    let drop_self = |events: &Sender<ServerEvent>| {
+        let _ = events.send(ServerEvent::Dropped { client_id });
+    };
+    // Updates may legitimately take a whole training phase to arrive.
+    if stream.set_read_timeout(Some(round_timeout)).is_err() {
+        drop_self(&events);
+        return;
+    }
+    while let Ok(cmd) = cmds.recv() {
+        match cmd {
+            HandlerCmd::Ack { round, accepted } => {
+                match wire::write_message(&mut stream, &Message::UpdateAck { round, accepted }) {
+                    Ok(n) => {
+                        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                        telemetry::count("net.bytes_tx", n as u64);
+                    }
+                    Err(_) => {
+                        drop_self(&events);
+                        return;
+                    }
+                }
+            }
+            HandlerCmd::Broadcast { round, last, payload } => {
+                let msg = Message::Global { round, last, model: payload.as_ref().clone() };
+                match wire::write_message(&mut stream, &msg) {
+                    Ok(n) => {
+                        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                        telemetry::count("net.bytes_tx", n as u64);
+                    }
+                    Err(_) => {
+                        if !last {
+                            drop_self(&events);
+                        }
+                        return;
+                    }
+                }
+                if last {
+                    let n = wire::write_message(&mut stream, &Message::Finished { round });
+                    if let Ok(n) = n {
+                        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                        telemetry::count("net.bytes_tx", n as u64);
+                    }
+                    return;
+                }
+                match wire::read_message(&mut stream, max_payload) {
+                    Ok((Message::Update { round, client_id: cid, steps, model }, n))
+                        if cid == client_id =>
+                    {
+                        bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+                        telemetry::count("net.bytes_rx", n as u64);
+                        let _ = events.send(ServerEvent::Update { client_id, round, steps, model });
+                    }
+                    _ => {
+                        // Disconnect, timeout past the full round window,
+                        // or a protocol violation: the client is gone.
+                        drop_self(&events);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

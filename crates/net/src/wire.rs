@@ -1,0 +1,445 @@
+//! The Rhychee-FL wire protocol: length-prefixed, versioned, CRC-guarded
+//! binary frames over a byte stream.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `b"RYFL"` |
+//! | 4      | 1    | protocol version (currently 1) |
+//! | 5      | 1    | message type |
+//! | 6      | 4    | round id |
+//! | 10     | 4    | payload length `len` |
+//! | 14     | len  | payload |
+//! | 14+len | 4    | CRC-32 (IEEE 802.3, from [`rhychee_channel::crc`]) over bytes `[4, 14+len)` |
+//!
+//! The declared payload length is validated against the receiver's cap
+//! *before* any allocation, so a malicious or corrupted length field
+//! cannot drive unbounded memory use. The CRC covers everything after
+//! the magic — version, type, round, length, and payload — so a flipped
+//! bit anywhere in the frame body is detected at the frame layer before
+//! the ciphertext codecs ever see the bytes.
+
+use std::io::{Read, Write};
+
+use rhychee_channel::crc::crc32;
+
+use crate::error::NetError;
+
+/// Frame magic: the first four bytes of every Rhychee-FL frame.
+pub const MAGIC: [u8; 4] = *b"RYFL";
+
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+
+/// Fixed bytes before the payload: magic + version + type + round + len.
+pub const HEADER_LEN: usize = 14;
+
+/// Fixed bytes after the payload: the CRC-32 trailer.
+pub const TRAILER_LEN: usize = 4;
+
+/// Default payload cap: 64 MiB, far above any packed model this repo
+/// produces yet small enough to bound a hostile allocation.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// A protocol message between one client and the server.
+///
+/// Model payloads travel as opaque bytes at this layer; the
+/// [`codec`](crate::codec) module defines their interior encoding
+/// (plaintext parameters or serialized ciphertexts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Client → server: first message on a fresh connection.
+    Hello {
+        /// The connecting client's id.
+        client_id: usize,
+    },
+    /// Server → client: session parameters, closing the handshake.
+    Welcome {
+        /// Echo of the client id the server registered.
+        client_id: usize,
+        /// Total clients in the federation.
+        clients: usize,
+        /// Aggregation rounds the server will run.
+        rounds: usize,
+    },
+    /// Server → client: the global model opening a round (or, with
+    /// `last` set, the final model closing the session).
+    Global {
+        /// Round this model opens (== total rounds when `last`).
+        round: usize,
+        /// True on the final distribution; the client should not train.
+        last: bool,
+        /// Codec-encoded model payload.
+        model: Vec<u8>,
+    },
+    /// Client → server: the trained local model for a round.
+    Update {
+        /// Round this update was trained for.
+        round: usize,
+        /// The reporting client.
+        client_id: usize,
+        /// Local update steps τ (FedNova weighting).
+        steps: usize,
+        /// Codec-encoded model payload.
+        model: Vec<u8>,
+    },
+    /// Server → client: receipt for an upload. `accepted == false`
+    /// means the update was rejected (late round or duplicate).
+    UpdateAck {
+        /// The round the upload targeted.
+        round: usize,
+        /// Whether the server folded the update into the aggregate.
+        accepted: bool,
+    },
+    /// Server → client: the session is over (sent after the final
+    /// [`Message::Global`]).
+    Finished {
+        /// The last completed round.
+        round: usize,
+    },
+}
+
+impl Message {
+    /// The message-type byte stored in the frame header.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Welcome { .. } => 2,
+            Message::Global { .. } => 3,
+            Message::Update { .. } => 4,
+            Message::UpdateAck { .. } => 5,
+            Message::Finished { .. } => 6,
+        }
+    }
+
+    /// Human-readable message name (error reporting).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "Hello",
+            Message::Welcome { .. } => "Welcome",
+            Message::Global { .. } => "Global",
+            Message::Update { .. } => "Update",
+            Message::UpdateAck { .. } => "UpdateAck",
+            Message::Finished { .. } => "Finished",
+        }
+    }
+
+    /// The round id stored in the frame header.
+    fn round_field(&self) -> u32 {
+        match self {
+            Message::Hello { .. } => 0,
+            Message::Welcome { .. } => 0,
+            Message::Global { round, .. }
+            | Message::Update { round, .. }
+            | Message::UpdateAck { round, .. }
+            | Message::Finished { round } => *round as u32,
+        }
+    }
+
+    /// Serializes the message body (frame payload, excluding headers).
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { client_id } => {
+                out.extend_from_slice(&(*client_id as u32).to_le_bytes());
+            }
+            Message::Welcome { client_id, clients, rounds } => {
+                out.extend_from_slice(&(*client_id as u32).to_le_bytes());
+                out.extend_from_slice(&(*clients as u32).to_le_bytes());
+                out.extend_from_slice(&(*rounds as u32).to_le_bytes());
+            }
+            Message::Global { last, model, .. } => {
+                out.push(u8::from(*last));
+                out.extend_from_slice(model);
+            }
+            Message::Update { client_id, steps, model, .. } => {
+                out.extend_from_slice(&(*client_id as u32).to_le_bytes());
+                out.extend_from_slice(&(*steps as u32).to_le_bytes());
+                out.extend_from_slice(model);
+            }
+            Message::UpdateAck { accepted, .. } => {
+                out.push(u8::from(*accepted));
+            }
+            Message::Finished { .. } => {}
+        }
+        out
+    }
+
+    /// Parses a message body for the given header type/round.
+    fn decode_body(msg_type: u8, round: u32, body: &[u8]) -> Result<Message, NetError> {
+        let round = round as usize;
+        let le_u32 = |b: &[u8], at: usize| -> Result<usize, NetError> {
+            let chunk: [u8; 4] = b
+                .get(at..at + 4)
+                .and_then(|s| s.try_into().ok())
+                .ok_or_else(|| NetError::Protocol(format!("message body truncated at {at}")))?;
+            Ok(u32::from_le_bytes(chunk) as usize)
+        };
+        match msg_type {
+            1 => {
+                if body.len() != 4 {
+                    return Err(NetError::Protocol(format!("Hello body of {} bytes", body.len())));
+                }
+                Ok(Message::Hello { client_id: le_u32(body, 0)? })
+            }
+            2 => {
+                if body.len() != 12 {
+                    return Err(NetError::Protocol(format!(
+                        "Welcome body of {} bytes",
+                        body.len()
+                    )));
+                }
+                Ok(Message::Welcome {
+                    client_id: le_u32(body, 0)?,
+                    clients: le_u32(body, 4)?,
+                    rounds: le_u32(body, 8)?,
+                })
+            }
+            3 => {
+                let (&last, model) = body
+                    .split_first()
+                    .ok_or_else(|| NetError::Protocol("empty Global body".into()))?;
+                if last > 1 {
+                    return Err(NetError::Protocol(format!("Global.last byte {last}")));
+                }
+                Ok(Message::Global { round, last: last == 1, model: model.to_vec() })
+            }
+            4 => {
+                if body.len() < 8 {
+                    return Err(NetError::Protocol(format!("Update body of {} bytes", body.len())));
+                }
+                Ok(Message::Update {
+                    round,
+                    client_id: le_u32(body, 0)?,
+                    steps: le_u32(body, 4)?,
+                    model: body[8..].to_vec(),
+                })
+            }
+            5 => {
+                if body.len() != 1 || body[0] > 1 {
+                    return Err(NetError::Protocol("malformed UpdateAck body".into()));
+                }
+                Ok(Message::UpdateAck { round, accepted: body[0] == 1 })
+            }
+            6 => {
+                if !body.is_empty() {
+                    return Err(NetError::Protocol(format!(
+                        "Finished body of {} bytes",
+                        body.len()
+                    )));
+                }
+                Ok(Message::Finished { round })
+            }
+            t => Err(NetError::Protocol(format!("unknown message type {t}"))),
+        }
+    }
+}
+
+/// Encodes a message into one complete frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let body = msg.encode_body();
+    let mut frame = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(msg.type_byte());
+    frame.extend_from_slice(&msg.round_field().to_le_bytes());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    let crc = crc32(&frame[4..]);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+/// Decodes one complete frame (exact length required).
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on bad magic/version/length,
+/// [`NetError::PayloadTooLarge`] when the declared length exceeds
+/// `max_payload`, and [`NetError::Crc`] when the trailer does not match
+/// the frame contents.
+pub fn decode_frame(bytes: &[u8], max_payload: u32) -> Result<Message, NetError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(NetError::Protocol(format!("frame of {} bytes is too short", bytes.len())));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(NetError::Protocol("bad frame magic".into()));
+    }
+    if bytes[4] != VERSION {
+        return Err(NetError::Protocol(format!("unsupported protocol version {}", bytes[4])));
+    }
+    let len = u32::from_le_bytes(bytes[10..14].try_into().expect("4 bytes"));
+    if len > max_payload {
+        return Err(NetError::PayloadTooLarge { len, cap: max_payload });
+    }
+    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    if bytes.len() != total {
+        return Err(NetError::Protocol(format!(
+            "frame of {} bytes, header declares {total}",
+            bytes.len()
+        )));
+    }
+    let crc_at = HEADER_LEN + len as usize;
+    let expected = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().expect("4 bytes"));
+    let actual = crc32(&bytes[4..crc_at]);
+    if expected != actual {
+        return Err(NetError::Crc { expected, actual });
+    }
+    Message::decode_body(
+        bytes[5],
+        u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")),
+        &bytes[HEADER_LEN..crc_at],
+    )
+}
+
+/// Writes one frame to the stream; returns the bytes put on the wire.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<usize, NetError> {
+    let frame = encode_frame(msg);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len())
+}
+
+/// Reads one frame from the stream; returns the message and the bytes
+/// taken off the wire.
+///
+/// The header is read and validated (magic, version, payload cap)
+/// before the payload is allocated, so a hostile length field is
+/// rejected with [`NetError::PayloadTooLarge`] without reserving
+/// memory for it.
+///
+/// # Errors
+///
+/// Propagates socket errors (including read timeouts) and all
+/// [`decode_frame`] validation errors.
+pub fn read_message<R: Read>(r: &mut R, max_payload: u32) -> Result<(Message, usize), NetError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(NetError::Protocol("bad frame magic".into()));
+    }
+    if header[4] != VERSION {
+        return Err(NetError::Protocol(format!("unsupported protocol version {}", header[4])));
+    }
+    let len = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes"));
+    if len > max_payload {
+        return Err(NetError::PayloadTooLarge { len, cap: max_payload });
+    }
+    let mut rest = vec![0u8; len as usize + TRAILER_LEN];
+    r.read_exact(&mut rest)?;
+    let crc_at = len as usize;
+    let expected = u32::from_le_bytes(rest[crc_at..crc_at + 4].try_into().expect("4 bytes"));
+    let mut guarded = Vec::with_capacity(HEADER_LEN - 4 + crc_at);
+    guarded.extend_from_slice(&header[4..]);
+    guarded.extend_from_slice(&rest[..crc_at]);
+    let actual = crc32(&guarded);
+    if expected != actual {
+        return Err(NetError::Crc { expected, actual });
+    }
+    let msg = Message::decode_body(
+        header[5],
+        u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")),
+        &rest[..crc_at],
+    )?;
+    Ok((msg, HEADER_LEN + len as usize + TRAILER_LEN))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Hello { client_id: 3 },
+            Message::Welcome { client_id: 3, clients: 8, rounds: 20 },
+            Message::Global { round: 2, last: false, model: vec![1, 2, 3, 4] },
+            Message::Global { round: 20, last: true, model: vec![] },
+            Message::Update { round: 2, client_id: 3, steps: 17, model: vec![9; 33] },
+            Message::UpdateAck { round: 2, accepted: true },
+            Message::UpdateAck { round: 2, accepted: false },
+            Message::Finished { round: 19 },
+        ]
+    }
+
+    #[test]
+    fn frame_round_trip_every_type() {
+        for msg in all_messages() {
+            let frame = encode_frame(&msg);
+            let back = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("decode");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_preserves_order() {
+        let mut buf = Vec::new();
+        let mut written = 0;
+        for msg in all_messages() {
+            written += write_message(&mut buf, &msg).expect("write");
+        }
+        assert_eq!(written, buf.len());
+        let mut cursor = std::io::Cursor::new(buf);
+        for msg in all_messages() {
+            let (back, _) = read_message(&mut cursor, DEFAULT_MAX_PAYLOAD).expect("read");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_fails_crc() {
+        let msg = Message::Update { round: 1, client_id: 0, steps: 5, model: vec![7; 64] };
+        let clean = encode_frame(&msg);
+        // Flip one bit in every guarded position: everything but magic.
+        for i in 4..clean.len() - TRAILER_LEN {
+            let mut frame = clean.clone();
+            frame[i] ^= 0x01;
+            let err = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect_err("must fail");
+            assert!(
+                matches!(
+                    err,
+                    NetError::Crc { .. } | NetError::Protocol(_) | NetError::PayloadTooLarge { .. }
+                ),
+                "byte {i}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        let msg = Message::Global { round: 0, last: false, model: vec![0; 128] };
+        let mut frame = encode_frame(&msg);
+        // Declare a 3 GiB payload; the cap must reject it up front.
+        frame[10..14].copy_from_slice(&(3u32 << 30).to_le_bytes());
+        let err = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect_err("must fail");
+        assert!(matches!(err, NetError::PayloadTooLarge { .. }), "{err}");
+        let mut cursor = std::io::Cursor::new(frame);
+        let err = read_message(&mut cursor, DEFAULT_MAX_PAYLOAD).expect_err("must fail");
+        assert!(matches!(err, NetError::PayloadTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let msg = Message::Update { round: 1, client_id: 2, steps: 3, model: vec![1; 50] };
+        let frame = encode_frame(&msg);
+        for cut in [0, 3, HEADER_LEN - 1, HEADER_LEN + 10, frame.len() - 1] {
+            let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+            assert!(read_message(&mut cursor, DEFAULT_MAX_PAYLOAD).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let frame = encode_frame(&Message::Finished { round: 0 });
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&bad, DEFAULT_MAX_PAYLOAD), Err(NetError::Protocol(_))));
+        let mut bad = frame;
+        bad[4] = 9;
+        assert!(matches!(decode_frame(&bad, DEFAULT_MAX_PAYLOAD), Err(NetError::Protocol(_))));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the wire protocol: every message type
+//! round-trips through a frame, and corruption, truncation, and hostile
+//! length fields are always rejected.
+
+use proptest::prelude::*;
+
+use rhychee_net::wire::{
+    decode_frame, encode_frame, read_message, write_message, Message, DEFAULT_MAX_PAYLOAD,
+    HEADER_LEN, TRAILER_LEN,
+};
+use rhychee_net::NetError;
+
+/// Builds one of the six message types from drawn primitives; `kind`
+/// selects the variant so the property covers the whole protocol. Ids,
+/// counts, and rounds use the full `u32` wire width.
+fn build_message(kind: u8, a: u32, b: u32, c: u32, flag: bool, body: Vec<u8>) -> Message {
+    let (a, b, c) = (a as usize, b as usize, c as usize);
+    match kind {
+        0 => Message::Hello { client_id: a },
+        1 => Message::Welcome { client_id: a, clients: b, rounds: c },
+        2 => Message::Global { round: a, last: flag, model: body },
+        3 => Message::Update { round: a, client_id: b, steps: c, model: body },
+        4 => Message::UpdateAck { round: a, accepted: flag },
+        _ => Message::Finished { round: a },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_message_round_trips(
+        kind in 0u8..6,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        c in any::<u32>(),
+        flag in any::<bool>(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let msg = build_message(kind, a, b, c, flag, body);
+        let frame = encode_frame(&msg);
+        prop_assert!(frame.len() >= HEADER_LEN + TRAILER_LEN);
+        let back = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn streamed_messages_round_trip_in_order(
+        kinds in prop::collection::vec(0u8..6, 1..8),
+        a in any::<u32>(),
+        flag in any::<bool>(),
+        body in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let msgs: Vec<Message> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| build_message(k, a.wrapping_add(i as u32), i as u32, 3, flag, body.clone()))
+            .collect();
+        let mut buf = Vec::new();
+        let mut total = 0;
+        for msg in &msgs {
+            total += write_message(&mut buf, msg).expect("write");
+        }
+        prop_assert_eq!(total, buf.len());
+        let mut cursor = std::io::Cursor::new(buf);
+        for msg in &msgs {
+            let (back, _) = read_message(&mut cursor, DEFAULT_MAX_PAYLOAD).expect("read");
+            prop_assert_eq!(&back, msg);
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        kind in 0u8..6,
+        a in any::<u32>(),
+        b in any::<u32>(),
+        c in any::<u32>(),
+        flag in any::<bool>(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        // Flip one bit anywhere in the frame: the CRC (or an earlier
+        // structural check — magic, version, length) must refuse it.
+        let msg = build_message(kind, a, b, c, flag, body);
+        let mut frame = encode_frame(&msg);
+        let i = byte.index(frame.len());
+        frame[i] ^= 1 << bit;
+        prop_assert!(decode_frame(&frame, DEFAULT_MAX_PAYLOAD).is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected(
+        kind in 0u8..6,
+        a in any::<u32>(),
+        flag in any::<bool>(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let msg = build_message(kind, a, 1, 2, flag, body);
+        let frame = encode_frame(&msg);
+        let cut = cut.index(frame.len()); // strictly shorter than the frame
+        prop_assert!(decode_frame(&frame[..cut], DEFAULT_MAX_PAYLOAD).is_err());
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        prop_assert!(read_message(&mut cursor, DEFAULT_MAX_PAYLOAD).is_err());
+    }
+
+    #[test]
+    fn declared_length_above_cap_is_rejected_before_allocation(
+        kind in 0u8..6,
+        a in any::<u32>(),
+        flag in any::<bool>(),
+        body in prop::collection::vec(any::<u8>(), 0..128),
+        cap in 0u32..64,
+        excess in 1u32..1_000_000,
+    ) {
+        // Shrink the cap below the declared length: the decoder must
+        // refuse with PayloadTooLarge without reading the payload.
+        let msg = build_message(kind, a, 1, 2, flag, body);
+        let mut frame = encode_frame(&msg);
+        let declared = cap + excess;
+        frame[10..14].copy_from_slice(&declared.to_le_bytes());
+        let err = decode_frame(&frame, cap).expect_err("must reject");
+        prop_assert!(
+            matches!(err, NetError::PayloadTooLarge { len, cap: c } if len == declared && c == cap)
+        );
+        let mut cursor = std::io::Cursor::new(frame);
+        let err = read_message(&mut cursor, cap).expect_err("must reject");
+        prop_assert!(matches!(err, NetError::PayloadTooLarge { .. }));
+    }
+}

@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("server aggregated {clients} encrypted models into {} ciphertexts", global_cts.len());
 
     // --- Download: a client decrypts the global model.
-    let global = packing::decrypt_model(&ctx, &client_sk, &global_cts, num_params);
+    let global = packing::decrypt_model(&ctx, &client_sk, &global_cts, num_params)?;
     let expected: Vec<f32> = (0..num_params)
         .map(|i| local_models.iter().map(|m| m[i]).sum::<f32>() / clients as f32)
         .collect();

@@ -28,5 +28,15 @@ for bin in "${training[@]}"; do
   cargo run --release -p rhychee-bench --bin "$bin" -- $QUICK | tee "results/$bin.txt"
 done
 
+# Networked deployment demo: a real TCP federation over loopback with
+# measured (not modeled) wire traffic. Tolerated failure would mean a
+# sandbox without loopback networking; everything above still stands.
+echo "=== networked_fl (loopback TCP) ==="
+if cargo run --release --example networked_fl | tee results/networked_fl.txt; then
+  echo "networked_fl ok"
+else
+  echo "networked_fl skipped (no loopback networking available)" | tee results/networked_fl.txt
+fi
+
 echo "All experiment outputs written to results/."
 echo "Telemetry traces written to $RHYCHEE_METRICS_DIR/."

@@ -14,6 +14,8 @@
 //! * [`data`] — synthetic MNIST/HAR datasets and non-IID partitioning
 //! * [`channel`] — noisy-communication models (CRC, BER, 5G latency)
 //! * [`core`] — the Rhychee-FL federated-learning framework itself
+//! * [`net`] — the networked runtime: TCP client/server FL rounds over
+//!   a CRC-guarded encrypted wire protocol (DESIGN.md §8)
 //! * [`telemetry`] — tracing spans and metrics over the round loop and
 //!   FHE hot paths (disabled by default; see DESIGN.md §7)
 //!
@@ -44,5 +46,6 @@ pub use rhychee_core as core;
 pub use rhychee_data as data;
 pub use rhychee_fhe as fhe;
 pub use rhychee_hdc as hdc;
+pub use rhychee_net as net;
 pub use rhychee_nn as nn;
 pub use rhychee_telemetry as telemetry;

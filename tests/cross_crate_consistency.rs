@@ -134,7 +134,7 @@ fn ckks_packed_model_round_trip_at_scale() {
     let model: Vec<f32> = (0..20_000).map(|i| ((i as f32) * 0.001).cos() * 10.0).collect();
     let cts = packing::encrypt_model(&ctx, &pk, &model, &mut rng).expect("encrypt");
     assert_eq!(cts.len(), 5);
-    let back = packing::decrypt_model(&ctx, &sk, &cts, 20_000);
+    let back = packing::decrypt_model(&ctx, &sk, &cts, 20_000).expect("decrypt");
     let max_err = model.iter().zip(&back).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
     assert!(max_err < 0.05, "CKKS-4 round-trip error {max_err}");
 }

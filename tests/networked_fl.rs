@@ -1,0 +1,324 @@
+//! Loopback integration tests for the networked runtime: a real
+//! [`FlServer`] plus client threads over TCP must reproduce the
+//! in-process [`Framework`] bit for bit, survive a mid-round dropout
+//! via quorum aggregation, NACK late uploads, and report measured
+//! byte counts that reconcile with the analytical upload model.
+
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use rhychee_fl::core::round::{self, ClientLocal, FedSetup};
+use rhychee_fl::core::{FlConfig, Framework};
+use rhychee_fl::data::{DatasetKind, SyntheticConfig, TrainTest};
+use rhychee_fl::fhe::ckks::CkksContext;
+use rhychee_fl::fhe::params::CkksParams;
+use rhychee_fl::net::{
+    codec, wire, ClientConfig, ClientPipeline, ClientReport, FlClient, FlServer, Message,
+    ServerConfig, ServerPipeline, ServerReport, DEFAULT_MAX_PAYLOAD,
+};
+
+fn har_data() -> TrainTest {
+    SyntheticConfig { kind: DatasetKind::Har, train_samples: 360, test_samples: 120 }
+        .generate(77)
+        .expect("dataset generation")
+}
+
+fn config(clients: usize, rounds: usize, seed: u64) -> FlConfig {
+    FlConfig::builder()
+        .clients(clients)
+        .rounds(rounds)
+        .hd_dim(256)
+        .seed(seed)
+        .build()
+        .expect("valid config")
+}
+
+/// Spawns a server and one [`FlClient`] thread per shard over loopback,
+/// runs the full federation, and returns both sides' reports (clients
+/// ordered by id; client 0 evaluates on the test split).
+fn run_networked(
+    fl: &FlConfig,
+    data: &TrainTest,
+    ckks: Option<CkksParams>,
+) -> (ServerReport, Vec<ClientReport>) {
+    let FedSetup { shards, test, classes } = round::prepare(fl, data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+    let server_pipeline = match &ckks {
+        Some(p) => ServerPipeline::Ckks(p.clone()),
+        None => ServerPipeline::Plaintext,
+    };
+    let server = FlServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::new(fl.clients, fl.rounds, num_params),
+        server_pipeline,
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server = thread::spawn(move || server.run());
+
+    let mut joins = Vec::new();
+    for (id, shard) in shards.into_iter().enumerate() {
+        let local = ClientLocal::new(id, shard, classes, fl);
+        let eval = if id == 0 { Some(test.clone()) } else { None };
+        let pipeline = match &ckks {
+            Some(p) => ClientPipeline::Ckks(p.clone()),
+            None => ClientPipeline::Plaintext,
+        };
+        let client =
+            FlClient::new(ClientConfig::new(addr), fl.clone(), local, classes, eval, pipeline)
+                .expect("client build");
+        joins.push(thread::spawn(move || client.run()));
+    }
+    let clients: Vec<ClientReport> =
+        joins.into_iter().map(|j| j.join().expect("join").expect("client run")).collect();
+    let server = server.join().expect("join").expect("server run");
+    (server, clients)
+}
+
+#[test]
+fn networked_plaintext_matches_in_process_framework() {
+    let data = har_data();
+    let fl = config(4, 2, 5);
+    let (server, clients) = run_networked(&fl, &data, None);
+
+    let mut fw = Framework::hdc_plaintext(fl, &data).expect("framework");
+    fw.run().expect("framework run");
+    let expected = fw.global_model().flatten();
+
+    assert_eq!(server.final_plain_model.as_deref(), Some(expected.as_slice()));
+    for c in &clients {
+        assert_eq!(c.final_model, expected, "client {} diverged", c.client_id);
+        assert_eq!(c.rounds_participated, 2);
+    }
+}
+
+#[test]
+fn networked_ckks_matches_in_process_framework_bit_for_bit() {
+    // The acceptance bar: 1 server, 4 client threads, 3 encrypted
+    // rounds over loopback reach exactly the global model the
+    // in-process Framework computes under the same seed.
+    let data = har_data();
+    let fl = config(4, 3, 7);
+    let (server, clients) = run_networked(&fl, &data, Some(CkksParams::toy()));
+
+    let mut fw = Framework::hdc_encrypted(fl.clone(), &data, CkksParams::toy()).expect("framework");
+    fw.run().expect("framework run");
+    let expected = fw.global_model().flatten();
+
+    // The server only ever held ciphertexts: it cannot report a
+    // plaintext model, and every client decrypted the same aggregate.
+    assert!(server.final_plain_model.is_none());
+    assert_eq!(server.rounds.len(), 3);
+    assert!(server.rounds.iter().all(|r| r.received == 4 && r.rejected == 0));
+    assert_eq!(server.dropped_clients, 0);
+    for c in &clients {
+        assert_eq!(c.final_model, expected, "client {} diverged", c.client_id);
+        assert_eq!(c.rounds_participated, 3);
+    }
+    // Client 0 evaluated each aggregate; its last measurement must equal
+    // the Framework's final accuracy exactly (same model bits).
+    let accs = &clients[0].accuracies;
+    assert_eq!(accs.len(), 3);
+    assert_eq!(accs.last().expect("final accuracy").1, fw.global_accuracy());
+}
+
+#[test]
+fn dropout_mid_round_is_survived_by_quorum_aggregation() {
+    // 5 clients, quorum 4: client 4 participates in round 0 with real
+    // training + encryption, then vanishes mid-round-1. The server must
+    // finish all 3 rounds, reweighting rounds 1-2 over the 4 survivors.
+    let data = har_data();
+    let fl = config(5, 3, 13);
+    let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+
+    let mut cfg = ServerConfig::new(fl.clients, fl.rounds, num_params);
+    cfg.quorum = 4;
+    cfg.round_timeout = Duration::from_secs(10);
+    let server =
+        FlServer::bind("127.0.0.1:0", cfg, ServerPipeline::Ckks(CkksParams::toy())).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server = thread::spawn(move || server.run());
+
+    let mut shards = shards;
+    let dropout_shard = shards.pop().expect("5 shards");
+    let mut joins = Vec::new();
+    for (id, shard) in shards.into_iter().enumerate() {
+        let local = ClientLocal::new(id, shard, classes, &fl);
+        let client = FlClient::new(
+            ClientConfig::new(addr),
+            fl.clone(),
+            local,
+            classes,
+            None,
+            ClientPipeline::Ckks(CkksParams::toy()),
+        )
+        .expect("client build");
+        joins.push(thread::spawn(move || client.run()));
+    }
+
+    // Client 4, hand-rolled on the raw wire so we control the dropout.
+    let fl_dropout = fl.clone();
+    let dropout = thread::spawn(move || {
+        let mut local = ClientLocal::new(4, dropout_shard, classes, &fl_dropout);
+        let ctx = CkksContext::new(CkksParams::toy()).expect("ctx");
+        let (_sk, pk) = round::derive_ckks_keys(&ctx, fl_dropout.seed);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        wire::write_message(&mut stream, &Message::Hello { client_id: 4 }).expect("hello");
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("welcome");
+        assert!(matches!(msg, Message::Welcome { client_id: 4, .. }), "got {}", msg.name());
+
+        // Round 0: honest participation.
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("global 0");
+        let model = match msg {
+            Message::Global { round: 0, last: false, model } => model,
+            other => panic!("expected Global 0, got {}", other.name()),
+        };
+        let global = codec::decode_plain(&model, num_params).expect("round-0 plaintext zeros");
+        let flat = local.train(&global, &fl_dropout);
+        let cts = local.encrypt_update(&ctx, &pk, &flat).expect("encrypt");
+        let update = Message::Update {
+            round: 0,
+            client_id: 4,
+            steps: local.last_steps(),
+            model: codec::encode_ckks(&ctx, &cts),
+        };
+        wire::write_message(&mut stream, &update).expect("upload");
+        let (ack, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("ack");
+        assert!(matches!(ack, Message::UpdateAck { accepted: true, .. }), "got {}", ack.name());
+
+        // Read the round-1 broadcast, then drop dead mid-round.
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("global 1");
+        assert!(matches!(msg, Message::Global { round: 1, .. }), "got {}", msg.name());
+        drop(stream);
+    });
+
+    dropout.join().expect("dropout client");
+    let finals: Vec<Vec<f32>> = joins
+        .into_iter()
+        .map(|j| j.join().expect("join").expect("client run").final_model)
+        .collect();
+    let server = server.join().expect("join").expect("server run");
+
+    assert_eq!(server.rounds.len(), 3);
+    assert_eq!(server.rounds[0].received, 5);
+    assert_eq!(server.rounds[1].received, 4, "round 1 must close on the quorum of survivors");
+    assert_eq!(server.rounds[2].received, 4);
+    assert_eq!(server.dropped_clients, 1);
+    // Survivors still agree on one final model.
+    assert!(finals.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn late_update_is_nacked_and_never_aggregated() {
+    // Client 1 uploads for a round that is not open; the server must
+    // NACK it, keep it out of the aggregate, and still close the round
+    // at the deadline on client 0's on-time update (quorum 1).
+    let data = har_data();
+    let fl = config(2, 1, 23);
+    let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+
+    let mut cfg = ServerConfig::new(fl.clients, fl.rounds, num_params);
+    cfg.quorum = 1;
+    cfg.round_timeout = Duration::from_secs(2);
+    let server = FlServer::bind("127.0.0.1:0", cfg, ServerPipeline::Plaintext).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server = thread::spawn(move || server.run());
+
+    let mut shards = shards;
+    let late_shard = shards.pop().expect("2 shards");
+    let local = ClientLocal::new(0, shards.pop().expect("shard 0"), classes, &fl);
+    let honest = FlClient::new(
+        ClientConfig::new(addr),
+        fl.clone(),
+        local,
+        classes,
+        None,
+        ClientPipeline::Plaintext,
+    )
+    .expect("client build");
+    let honest = thread::spawn(move || honest.run());
+
+    let fl_late = fl.clone();
+    let late = thread::spawn(move || {
+        let mut local = ClientLocal::new(1, late_shard, classes, &fl_late);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+        wire::write_message(&mut stream, &Message::Hello { client_id: 1 }).expect("hello");
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("welcome");
+        assert!(matches!(msg, Message::Welcome { client_id: 1, .. }), "got {}", msg.name());
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("global 0");
+        let model = match msg {
+            Message::Global { round: 0, last: false, model } => model,
+            other => panic!("expected Global 0, got {}", other.name()),
+        };
+        let global = codec::decode_plain(&model, num_params).expect("decode");
+        let flat = local.train(&global, &fl_late);
+        // A stale round id: trained for round 0 but claims round 7.
+        let update = Message::Update {
+            round: 7,
+            client_id: 1,
+            steps: local.last_steps(),
+            model: codec::encode_plain(&flat),
+        };
+        wire::write_message(&mut stream, &update).expect("upload");
+        let (ack, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("ack");
+        assert!(
+            matches!(ack, Message::UpdateAck { round: 7, accepted: false }),
+            "late update must be NACKed, got {}",
+            ack.name()
+        );
+        // The session still ends normally for this client.
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("final global");
+        assert!(matches!(msg, Message::Global { last: true, .. }), "got {}", msg.name());
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("finished");
+        assert!(matches!(msg, Message::Finished { .. }), "got {}", msg.name());
+    });
+
+    late.join().expect("late client");
+    let honest = honest.join().expect("join").expect("client run");
+    let server = server.join().expect("join").expect("server run");
+
+    assert_eq!(server.rounds.len(), 1);
+    assert_eq!(server.rounds[0].received, 1, "only the on-time update aggregates");
+    assert_eq!(server.rounds[0].rejected, 1, "the stale update must be NACKed");
+    assert_eq!(honest.rounds_participated, 1);
+    // The aggregate is exactly client 0's model (quorum of one).
+    assert_eq!(server.final_plain_model.as_ref(), Some(&honest.final_model));
+}
+
+#[test]
+fn measured_bytes_reconcile_with_analytical_upload_model() {
+    let data = har_data();
+    let fl = config(4, 2, 11);
+    let (server, clients) = run_networked(&fl, &data, Some(CkksParams::toy()));
+
+    // Conservation: the server reads exactly the frames clients write,
+    // and vice versa — both ends count the same bytes.
+    let client_tx: u64 = clients.iter().map(|c| c.bytes_tx).sum();
+    let client_rx: u64 = clients.iter().map(|c| c.bytes_rx).sum();
+    assert_eq!(server.bytes_rx, client_tx);
+    assert_eq!(server.bytes_tx, client_rx);
+
+    // The analytical model (`upload_bits_per_round`, Table I) counts raw
+    // ciphertext bits; the measured upload adds only serialization
+    // headers and wire framing, bounded well under 2 KiB per client.
+    let fw = Framework::hdc_encrypted(fl.clone(), &data, CkksParams::toy()).expect("framework");
+    let modeled = fl.rounds as u64 * fw.upload_bits_per_round() / 8;
+    for c in &clients {
+        assert!(
+            c.bytes_tx >= modeled,
+            "client {}: measured {} below modeled {modeled}",
+            c.client_id,
+            c.bytes_tx
+        );
+        assert!(
+            c.bytes_tx <= modeled + 2048,
+            "client {}: measured {} exceeds modeled {modeled} by more than framing",
+            c.client_id,
+            c.bytes_tx
+        );
+    }
+}
