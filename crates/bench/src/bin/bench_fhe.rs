@@ -1,0 +1,133 @@
+//! FHE hot-path microbenchmarks across parallelism degrees.
+//!
+//! Times the three operations the `rhychee-par` pool accelerates — the
+//! forward NTT (Shoup/Harvey butterflies), packed model encryption, and
+//! homomorphic weighted aggregation — at 1, 2, and 4 threads, and
+//! writes the measurements to `BENCH_fhe.json` for the CI trend line.
+//! Parallelism never changes results (see `tests/parallel_determinism`),
+//! so every degree benchmarks the same arithmetic.
+//!
+//! `--quick` shrinks the parameter set and iteration counts.
+
+use std::time::Instant;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use rhychee_bench::{banner, Table};
+use rhychee_core::packing;
+use rhychee_fhe::ckks::modarith::find_ntt_primes;
+use rhychee_fhe::ckks::ntt::NttTable;
+use rhychee_fhe::ckks::CkksContext;
+use rhychee_fhe::params::CkksParams;
+use rhychee_par::Parallelism;
+
+/// Median-of-runs wall time per call, in nanoseconds.
+fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f(); // warm-up: populate pool workers, caches, allocations
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    runs[runs.len() / 2]
+}
+
+struct Sample {
+    op: &'static str,
+    threads: usize,
+    ns_per_op: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (params, model_params, clients, iters) = if quick {
+        (CkksParams::toy(), 2_000usize, 4usize, 8usize)
+    } else {
+        (CkksParams::ckks3(), 20_000, 4, 4)
+    };
+
+    banner(&format!(
+        "FHE hot paths at 1/2/4 threads (N = {}, {} params, {} clients)",
+        params.n, model_params, clients
+    ));
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let degrees = [1usize, 2, 4];
+
+    // Raw forward NTT: one prime, one polynomial — the sequential
+    // building block every threaded path fans out over. Constant across
+    // degrees by construction; measured once and reported per degree so
+    // the JSON stays rectangular.
+    let q = find_ntt_primes(55, 1, 2 * params.n as u64)[0];
+    let table_ntt = NttTable::new(params.n, q);
+    let mut poly: Vec<u64> = (0..params.n as u64).map(|i| i.wrapping_mul(0x9E3779B9) % q).collect();
+    let ntt_ns = time_ns(iters.max(16), || table_ntt.forward(&mut poly));
+    for &threads in &degrees {
+        samples.push(Sample { op: "ntt_forward", threads, ns_per_op: ntt_ns });
+    }
+
+    for &threads in &degrees {
+        let par = Parallelism::Fixed(threads);
+        let ctx = CkksContext::with_parallelism(params.clone(), par).expect("context");
+        let mut rng = StdRng::seed_from_u64(7);
+        let (_sk, pk) = ctx.generate_keys(&mut rng);
+        let flat: Vec<f32> = (0..model_params).map(|i| (i as f32 * 0.01).sin()).collect();
+
+        let encrypt_ns = time_ns(iters, || {
+            let cts = packing::encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt");
+            std::hint::black_box(cts);
+        });
+        samples.push(Sample { op: "encrypt_model", threads, ns_per_op: encrypt_ns });
+
+        let models: Vec<_> = (0..clients)
+            .map(|_| packing::encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt"))
+            .collect();
+        let weights = vec![1.0 / clients as f64; clients];
+        let aggregate_ns = time_ns(iters, || {
+            let global =
+                packing::homomorphic_weighted_average(&ctx, &models, &weights).expect("aggregate");
+            std::hint::black_box(global);
+        });
+        samples.push(Sample { op: "aggregate", threads, ns_per_op: aggregate_ns });
+        eprintln!("  [threads = {threads}] done");
+    }
+
+    let mut table = Table::new(vec!["op", "threads", "ns/op", "ms/op", "speedup vs 1"]);
+    for s in &samples {
+        let base = samples
+            .iter()
+            .find(|b| b.op == s.op && b.threads == 1)
+            .map_or(s.ns_per_op, |b| b.ns_per_op);
+        table.row(vec![
+            s.op.into(),
+            s.threads.to_string(),
+            format!("{:.0}", s.ns_per_op),
+            format!("{:.3}", s.ns_per_op / 1e6),
+            format!("{:.2}x", base / s.ns_per_op),
+        ]);
+    }
+    table.print();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    json.push_str(&format!("  \"ring_degree\": {},\n", params.n));
+    json.push_str(&format!("  \"model_params\": {model_params},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"op\": \"{}\", \"threads\": {}, \"ns_per_op\": {:.1}}}{comma}\n",
+            s.op, s.threads, s.ns_per_op
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_fhe.json", &json).expect("write BENCH_fhe.json");
+    println!("\nwrote BENCH_fhe.json ({} samples, {cores} host cores)", samples.len());
+}

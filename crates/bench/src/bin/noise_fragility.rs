@@ -25,6 +25,7 @@ use rhychee_fhe::params::CkksParams;
 use rhychee_hdc::encoding::{Encoder, RandomProjectionEncoder};
 use rhychee_hdc::model::{EncodedDataset, HdcModel};
 use rhychee_hdc::quantize::QuantizedModel;
+use rhychee_par::Parallelism;
 
 use rhychee_channel::packet::BitFlipChannel;
 use rhychee_data::partition::dirichlet_partition_indices;
@@ -92,8 +93,8 @@ fn plaintext_noisy_run(
     let mut rng = StdRng::seed_from_u64(47);
     let classes = data.train.num_classes();
     let encoder = RandomProjectionEncoder::new(data.train.feature_dim(), hd_dim, &mut rng);
-    let train_hv = encoder.encode_batch(data.train.features(), 1);
-    let test_hv = encoder.encode_batch(data.test.features(), 1);
+    let train_hv = encoder.encode_batch(data.train.features(), Parallelism::sequential());
+    let test_hv = encoder.encode_batch(data.test.features(), Parallelism::sequential());
     let test = EncodedDataset::new(test_hv, data.test.labels().to_vec());
 
     let shards: Vec<EncodedDataset> =

@@ -1,5 +1,7 @@
 //! Federated-learning configuration.
 
+use rhychee_par::Parallelism;
+
 use crate::error::FlError;
 
 /// Feature-encoder selection for HDC clients.
@@ -77,8 +79,10 @@ pub struct FlConfig {
     /// class-vector averaging preserves the balance between global
     /// knowledge and local updates; normalization is kept as an ablation).
     pub normalize: bool,
-    /// Worker threads for batch encoding.
-    pub threads: usize,
+    /// Parallelism degree for batch encoding, the FHE kernels, and
+    /// aggregation (`Auto` = all cores; purely a scheduling knob —
+    /// outputs are bit-identical for every degree).
+    pub parallelism: Parallelism,
     /// Master seed (all randomness derives from it).
     pub seed: u64,
 }
@@ -141,7 +145,7 @@ impl Default for FlConfigBuilder {
                 encoder: EncoderKind::Auto,
                 aggregation: Aggregation::FedAvg,
                 normalize: false,
-                threads: 1,
+                parallelism: Parallelism::Auto,
                 seed: 0,
             },
         }
@@ -209,10 +213,17 @@ impl FlConfigBuilder {
         self
     }
 
-    /// Sets encoding worker threads.
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.config.threads = threads.max(1);
+    /// Sets the unified parallelism degree used by HDC batch encoding,
+    /// the CKKS kernels, and aggregation.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
         self
+    }
+
+    /// Sets encoding worker threads.
+    #[deprecated(since = "0.1.0", note = "use `parallelism(Parallelism::Fixed(n))` instead")]
+    pub fn threads(self, threads: usize) -> Self {
+        self.parallelism(Parallelism::Fixed(threads.max(1)))
     }
 
     /// Sets the master seed.
@@ -259,11 +270,12 @@ mod tests {
             .encoder(EncoderKind::Rbf)
             .aggregation(Aggregation::FedProx { mu: 0.01 })
             .normalize(false)
-            .threads(4)
+            .parallelism(Parallelism::Fixed(4))
             .seed(42)
             .build()
             .expect("valid");
         assert_eq!(cfg.clients, 100);
+        assert_eq!(cfg.parallelism, Parallelism::Fixed(4));
         assert_eq!(cfg.encoder, EncoderKind::Rbf);
         assert_eq!(cfg.aggregation, Aggregation::FedProx { mu: 0.01 });
         assert!(!cfg.normalize);
@@ -283,8 +295,18 @@ mod tests {
     }
 
     #[test]
-    fn threads_floor_at_one() {
+    fn deprecated_threads_alias_forwards_to_parallelism() {
+        #[allow(deprecated)]
         let cfg = FlConfig::builder().threads(0).build().expect("valid");
-        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.parallelism, Parallelism::Fixed(1));
+        #[allow(deprecated)]
+        let cfg = FlConfig::builder().threads(6).build().expect("valid");
+        assert_eq!(cfg.parallelism, Parallelism::Fixed(6));
+    }
+
+    #[test]
+    fn default_parallelism_is_auto() {
+        let cfg = FlConfig::builder().build().expect("valid");
+        assert_eq!(cfg.parallelism, Parallelism::Auto);
     }
 }

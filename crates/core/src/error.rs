@@ -6,6 +6,7 @@ use rhychee_fhe::FheError;
 
 /// Errors produced by federated-learning configuration and execution.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FlError {
     /// Invalid framework configuration.
     InvalidConfig(String),

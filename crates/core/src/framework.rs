@@ -145,7 +145,7 @@ impl Framework {
         data: &TrainTest,
         params: CkksParams,
     ) -> Result<Self, FlError> {
-        let ctx = CkksContext::new(params)?;
+        let ctx = CkksContext::with_parallelism(params, config.parallelism)?;
         let (sk, pk) = round::derive_ckks_keys(&ctx, config.seed);
         Self::build(config, data, Pipeline::Ckks { ctx: Box::new(ctx), sk, pk })
     }
@@ -266,7 +266,7 @@ impl Framework {
                 for u in trained {
                     sr.accept(u);
                 }
-                let global = sr.aggregate()?;
+                let global = sr.aggregate_with(self.config.parallelism)?;
                 report.aggregate_time = span.finish();
                 global
             }

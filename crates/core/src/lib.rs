@@ -58,6 +58,7 @@ pub use error::FlError;
 pub use framework::{Framework, RoundReport, RunReport};
 pub use nn_fl::{NnFederation, NnModelKind, SgdConfig};
 pub use noisy::{ChannelStats, NoisyChannelConfig, NoisyFederation};
+pub use rhychee_par::Parallelism;
 pub use round::{
     client_rng, derive_ckks_keys, prepare, ClientLocal, ClientUpdate, FedSetup, ServerRound,
 };

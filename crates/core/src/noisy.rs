@@ -126,7 +126,7 @@ impl NoisyFederation {
         if data.train.len() < config.clients {
             return Err(FlError::DataError("fewer training samples than clients".into()));
         }
-        let ctx = CkksContext::new(params)?;
+        let ctx = CkksContext::with_parallelism(params, config.parallelism)?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let (sk, pk) = ctx.generate_keys(&mut rng);
 
@@ -140,14 +140,14 @@ impl NoisyFederation {
         let (train_hv, test_hv) = if use_rbf {
             let enc = RbfEncoder::new(feature_dim, config.hd_dim, &mut rng);
             (
-                enc.encode_batch(data.train.features(), config.threads),
-                enc.encode_batch(data.test.features(), config.threads),
+                enc.encode_batch(data.train.features(), config.parallelism),
+                enc.encode_batch(data.test.features(), config.parallelism),
             )
         } else {
             let enc = RandomProjectionEncoder::new(feature_dim, config.hd_dim, &mut rng);
             (
-                enc.encode_batch(data.train.features(), config.threads),
-                enc.encode_batch(data.test.features(), config.threads),
+                enc.encode_batch(data.train.features(), config.parallelism),
+                enc.encode_batch(data.test.features(), config.parallelism),
             )
         };
         let test = EncodedDataset::new(test_hv, data.test.labels().to_vec());

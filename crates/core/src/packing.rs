@@ -35,7 +35,17 @@ pub fn encrypt_model<R: Rng + ?Sized>(
     flat: &[f32],
     rng: &mut R,
 ) -> Result<Vec<CkksCiphertext>, FheError> {
-    chunk_params(flat, ctx.slot_count()).iter().map(|chunk| ctx.encrypt(pk, chunk, rng)).collect()
+    let chunks = chunk_params(flat, ctx.slot_count());
+    // The RNG draws happen sequentially in chunk order — exactly the
+    // stream `ctx.encrypt` would consume — so the ciphertexts are
+    // bit-identical for every parallelism degree; only the
+    // deterministic polynomial arithmetic fans out.
+    let noises: Vec<_> = chunks.iter().map(|_| ctx.sample_encrypt_noise(rng)).collect();
+    rhychee_par::map(ctx.parallelism(), chunks.len(), |i| {
+        ctx.encrypt_with_noise(pk, &chunks[i], &noises[i])
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Decrypts a packed model back to a flat parameter vector of length
@@ -52,9 +62,11 @@ pub fn decrypt_model(
     cts: &[CkksCiphertext],
     num_params: usize,
 ) -> Result<Vec<f32>, FheError> {
+    // Ciphertexts decrypt independently; concatenation order is fixed,
+    // so the flat model is bit-identical for every degree.
+    let decrypted = rhychee_par::map(ctx.parallelism(), cts.len(), |i| ctx.decrypt(sk, &cts[i]));
     let mut flat = Vec::with_capacity(num_params);
-    for ct in cts {
-        let values = ctx.decrypt(sk, ct);
+    for values in decrypted {
         for v in values {
             if flat.len() == num_params {
                 break;
@@ -121,16 +133,19 @@ pub fn homomorphic_weighted_average(
             "clients submitted differing ciphertext counts".into(),
         ));
     }
-    let mut global = Vec::with_capacity(chunks);
-    for chunk_idx in 0..chunks {
+    // Chunks aggregate independently; within a chunk, clients are
+    // accumulated in submission order, so the packed global model is
+    // bit-identical for every parallelism degree.
+    rhychee_par::map(ctx.parallelism(), chunks, |chunk_idx| {
         let mut acc = ctx.mul_scalar(&client_models[0][chunk_idx], weights[0]);
         for (client, &w) in client_models[1..].iter().zip(&weights[1..]) {
             let scaled = ctx.mul_scalar(&client[chunk_idx], w);
             ctx.add_assign(&mut acc, &scaled)?;
         }
-        global.push(acc);
-    }
-    Ok(global)
+        Ok(acc)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 use std::collections::HashMap;
 
 use rand::Rng;
+use rhychee_par::Parallelism;
 use rhychee_telemetry as telemetry;
 
 use crate::bitpack::{bits_for, BitReader, BitWriter};
@@ -46,6 +47,7 @@ pub struct CkksContext {
     primes: Vec<u64>,
     ntt: Vec<NttTable>,
     encoder: CkksEncoder,
+    parallelism: Parallelism,
 }
 
 /// A CKKS secret key (the ternary ring element `s`).
@@ -59,6 +61,20 @@ pub struct CkksSecretKey {
 pub struct CkksPublicKey {
     pub(crate) b: RnsPoly,
     pub(crate) a: RnsPoly,
+}
+
+/// Pre-sampled encryption randomness: the ephemeral secret `v` and the
+/// two error polynomials `e0`, `e1`, in raw signed-coefficient form.
+///
+/// Produced by [`CkksContext::sample_encrypt_noise`] and consumed by
+/// [`CkksContext::encrypt_with_noise`]; exists so the RNG-ordered part
+/// of encryption can run sequentially while the polynomial arithmetic
+/// runs in parallel.
+#[derive(Debug, Clone)]
+pub struct CkksEncryptNoise {
+    v: Vec<i64>,
+    e0: Vec<i64>,
+    e1: Vec<i64>,
 }
 
 /// A CKKS ciphertext `(c0, c1)` with scale and (implicit) level tracking.
@@ -96,6 +112,24 @@ impl CkksContext {
     ///
     /// Returns [`FheError::InvalidParams`] if `params` fails validation.
     pub fn new(params: CkksParams) -> Result<Self, FheError> {
+        Self::with_parallelism(params, Parallelism::sequential())
+    }
+
+    /// [`CkksContext::new`] with an explicit [`Parallelism`] degree.
+    ///
+    /// Every per-prime kernel (NTT products, rescale), the CRT decode
+    /// in [`CkksContext::decrypt`], and chunk-level packing helpers in
+    /// `rhychee-core` split work `parallelism.degree()` ways on the
+    /// shared `rhychee-par` pool. Results are bit-identical for every
+    /// degree; `Fixed(1)` runs fully inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::InvalidParams`] if `params` fails validation.
+    pub fn with_parallelism(
+        params: CkksParams,
+        parallelism: Parallelism,
+    ) -> Result<Self, FheError> {
         params.validate()?;
         let two_n = 2 * params.n as u64;
         // Group requested prime sizes so repeated sizes yield distinct primes.
@@ -114,12 +148,23 @@ impl CkksContext {
             .collect();
         let ntt = primes.iter().map(|&q| NttTable::new(params.n, q)).collect();
         let encoder = CkksEncoder::new(params.n, 1u64 << params.scale_bits);
-        Ok(CkksContext { params, primes, ntt, encoder })
+        Ok(CkksContext { params, primes, ntt, encoder, parallelism })
     }
 
     /// The parameter set this context was built from.
     pub fn params(&self) -> &CkksParams {
         &self.params
+    }
+
+    /// The parallelism degree this context splits kernel work into.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Changes the parallelism degree of an existing context. Purely a
+    /// scheduling knob: outputs are bit-identical for every degree.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
     }
 
     /// The materialized RNS prime chain.
@@ -163,15 +208,46 @@ impl CkksContext {
         values: &[f64],
         rng: &mut R,
     ) -> Result<CkksCiphertext, FheError> {
+        let noise = self.sample_encrypt_noise(rng);
+        self.encrypt_with_noise(pk, values, &noise)
+    }
+
+    /// Draws the randomness one [`CkksContext::encrypt`] call consumes
+    /// (ephemeral ternary `v`, then Gaussian `e0`, `e1` — in that exact
+    /// stream order).
+    ///
+    /// Splitting sampling from the deterministic ciphertext computation
+    /// lets callers pre-draw noise for many ciphertexts sequentially —
+    /// preserving a seeded RNG's stream bit-for-bit — and then run the
+    /// heavy [`CkksContext::encrypt_with_noise`] calls in parallel.
+    pub fn sample_encrypt_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> CkksEncryptNoise {
+        let n = self.params.n;
+        CkksEncryptNoise {
+            v: ternary_vec(rng, n),
+            e0: gaussian_vec(rng, n, self.params.sigma),
+            e1: gaussian_vec(rng, n, self.params.sigma),
+        }
+    }
+
+    /// Encrypts with pre-sampled randomness; `encrypt(pk, values, rng)`
+    /// is exactly `encrypt_with_noise(pk, values,
+    /// &sample_encrypt_noise(rng))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::PlaintextTooLarge`] if more than `N/2` values
+    /// are supplied.
+    pub fn encrypt_with_noise(
+        &self,
+        pk: &CkksPublicKey,
+        values: &[f64],
+        noise: &CkksEncryptNoise,
+    ) -> Result<CkksCiphertext, FheError> {
         let _t = telemetry::timer("fhe.ckks.encrypt");
         let m = self.encode_poly(values)?;
-        let n = self.params.n;
-        let v_coeffs = ternary_vec(rng, n);
-        let v = RnsPoly::from_signed_coeffs(&v_coeffs, &self.primes);
-        let e0 =
-            RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
-        let e1 =
-            RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
+        let v = RnsPoly::from_signed_coeffs(&noise.v, &self.primes);
+        let e0 = RnsPoly::from_signed_coeffs(&noise.e0, &self.primes);
+        let e1 = RnsPoly::from_signed_coeffs(&noise.e1, &self.primes);
         let c0 = self.poly_mul(&pk.b, &v).add(&e0, &self.primes).add(&m, &self.primes);
         let c1 = self.poly_mul(&pk.a, &v).add(&e1, &self.primes);
         telemetry::count("fhe.ckks.encrypt.count", 1);
@@ -219,7 +295,7 @@ impl CkksContext {
         let s = self.at_level(&sk.s, levels);
         let c1_s = self.poly_mul_at(&ct.c1, &s, levels);
         let m = ct.c0.add(&c1_s, active);
-        let coeffs = m.to_centered_f64(active);
+        let coeffs = m.to_centered_f64_with(active, self.parallelism);
         self.encoder.decode_with_scale(&coeffs, ct.scale)
     }
 
@@ -344,8 +420,8 @@ impl CkksContext {
         let q_last = self.primes[levels - 1] as f64;
         let active = &self.primes[..levels];
         let out = CkksCiphertext {
-            c0: ct.c0.rescale(active),
-            c1: ct.c1.rescale(active),
+            c0: ct.c0.rescale_with(active, self.parallelism),
+            c1: ct.c1.rescale_with(active, self.parallelism),
             scale: ct.scale / q_last,
         };
         out.record_gauges();
@@ -470,7 +546,10 @@ impl CkksContext {
     pub(crate) fn poly_mul_at(&self, a: &RnsPoly, b: &RnsPoly, levels: usize) -> RnsPoly {
         let n = self.params.n;
         let mut out = RnsPoly::zero(n, levels);
-        for i in 0..levels {
+        // Each RNS prime is an independent negacyclic product; split
+        // them across the pool. Row `i` is written by exactly one task,
+        // so the result is bit-identical for every degree.
+        rhychee_par::for_each_mut(self.parallelism, out.residues_all_mut(), |i, row| {
             let table = &self.ntt[i];
             let q = self.primes[i];
             let mut fa = a.residues(i).to_vec();
@@ -481,8 +560,8 @@ impl CkksContext {
                 *x = mul_mod(*x, *y, q);
             }
             table.inverse(&mut fa);
-            out.residues_mut(i).copy_from_slice(&fa);
-        }
+            row.copy_from_slice(&fa);
+        });
         out
     }
 
@@ -702,6 +781,43 @@ mod tests {
         assert!(ctx.deserialize(&bytes).is_err());
         bytes[0] = 0;
         assert!(ctx.deserialize(&bytes).is_err());
+    }
+
+    #[test]
+    fn parallel_context_is_bit_identical_to_sequential() {
+        let seq = CkksContext::new(CkksParams::toy()).expect("valid");
+        for par in [Parallelism::Fixed(2), Parallelism::Fixed(4), Parallelism::Auto] {
+            let pctx = CkksContext::with_parallelism(CkksParams::toy(), par).expect("valid");
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let (sk_a, pk_a) = seq.generate_keys(&mut rng_a);
+            let (sk_b, pk_b) = pctx.generate_keys(&mut rng_b);
+            let values: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).cos()).collect();
+            let ct_a = seq.encrypt(&pk_a, &values, &mut rng_a).expect("encrypt");
+            let ct_b = pctx.encrypt(&pk_b, &values, &mut rng_b).expect("encrypt");
+            assert_eq!(seq.serialize(&ct_a), pctx.serialize(&ct_b), "{par}: ciphertexts differ");
+            let rs_a = seq.rescale(&seq.mul_scalar(&ct_a, 0.5)).expect("rescale");
+            let rs_b = pctx.rescale(&pctx.mul_scalar(&ct_b, 0.5)).expect("rescale");
+            assert_eq!(seq.serialize(&rs_a), pctx.serialize(&rs_b), "{par}: rescale differs");
+            let dec_a = seq.decrypt(&sk_a, &ct_a);
+            let dec_b = pctx.decrypt(&sk_b, &ct_b);
+            assert!(
+                dec_a.iter().zip(&dec_b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{par}: decryptions differ"
+            );
+        }
+    }
+
+    #[test]
+    fn encrypt_with_noise_matches_encrypt() {
+        let (ctx, _, pk, _) = toy_setup();
+        let values = vec![1.5, -2.25, 8.0];
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let direct = ctx.encrypt(&pk, &values, &mut rng_a).expect("encrypt");
+        let noise = ctx.sample_encrypt_noise(&mut rng_b);
+        let via_noise = ctx.encrypt_with_noise(&pk, &values, &noise).expect("encrypt");
+        assert_eq!(ctx.serialize(&direct), ctx.serialize(&via_noise));
     }
 
     #[test]

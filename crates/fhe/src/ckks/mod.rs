@@ -23,6 +23,6 @@ pub mod relin;
 pub mod rns;
 pub mod threshold;
 
-pub use cipher::{CkksCiphertext, CkksContext, CkksPublicKey, CkksSecretKey};
+pub use cipher::{CkksCiphertext, CkksContext, CkksEncryptNoise, CkksPublicKey, CkksSecretKey};
 pub use encoder::{CkksEncoder, Complex};
 pub use relin::{EvalKey, GaloisKey, RelinKey};

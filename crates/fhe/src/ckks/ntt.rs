@@ -4,9 +4,47 @@
 //! primitive 2N-th root ψ are folded into the butterfly twiddles, so the
 //! transform computes the negacyclic convolution directly without separate
 //! pre-/post-scaling passes.
+//!
+//! Twiddle multiplications use Shoup's precomputed-quotient trick: for
+//! each twiddle `w` we store `w_shoup = ⌊w·2^64/q⌋`, turning the modular
+//! product into one `u64×u64→u128` high half, two wrapping `u64`
+//! multiplies and at most one conditional subtraction. Butterflies run
+//! with Harvey-style lazy reduction — values stay in `[0, 4q)` through
+//! the forward passes and `[0, 2q)` through the inverse passes, and are
+//! reduced to canonical `[0, q)` once at the end — which requires
+//! `q < 2^62` (guaranteed: `find_ntt_primes` caps primes at 62 bits).
+//! Outputs are bit-identical to the plain `mul_mod` implementation this
+//! replaces.
 
 use super::modarith::{add_mod, inv_mod, mul_mod, primitive_root, sub_mod};
 use rhychee_telemetry as telemetry;
+
+/// `⌊w·2^64/q⌋` — Shoup's precomputed quotient for twiddle `w < q`.
+#[inline]
+fn shoup(w: u64, q: u64) -> u64 {
+    (((w as u128) << 64) / q as u128) as u64
+}
+
+/// Shoup modular product `w·y mod q`, lazily reduced to `[0, 2q)`.
+///
+/// Requires `w < q` and `w_shoup = ⌊w·2^64/q⌋`; `y` may be any `u64`
+/// (in particular a `[0, 4q)` lazy value).
+#[inline(always)]
+fn mul_shoup_lazy(y: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    let hi = ((w_shoup as u128 * y as u128) >> 64) as u64;
+    w.wrapping_mul(y).wrapping_sub(hi.wrapping_mul(q))
+}
+
+/// Shoup modular product fully reduced to `[0, q)`.
+#[inline(always)]
+fn mul_shoup(y: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    let r = mul_shoup_lazy(y, w, w_shoup, q);
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
 
 /// Precomputed NTT tables for one prime modulus.
 ///
@@ -18,10 +56,16 @@ pub struct NttTable {
     n: usize,
     /// ψ^i in bit-reversed index order (forward twiddles).
     psi_rev: Vec<u64>,
+    /// Shoup quotients for `psi_rev`.
+    psi_rev_shoup: Vec<u64>,
     /// ψ^{-i} in bit-reversed index order (inverse twiddles).
     psi_inv_rev: Vec<u64>,
+    /// Shoup quotients for `psi_inv_rev`.
+    psi_inv_rev_shoup: Vec<u64>,
     /// N^{-1} mod q, folded into the last inverse pass.
     n_inv: u64,
+    /// Shoup quotient for `n_inv`.
+    n_inv_shoup: u64,
 }
 
 impl NttTable {
@@ -30,10 +74,12 @@ impl NttTable {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is not a power of two or `q ≢ 1 (mod 2n)`.
+    /// Panics if `n` is not a power of two, `q ≢ 1 (mod 2n)`, or
+    /// `q ≥ 2^62` (the lazy-reduction headroom bound).
     pub fn new(n: usize, q: u64) -> Self {
         assert!(n.is_power_of_two(), "ring degree must be a power of two");
         assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2N");
+        assert!(q < 1u64 << 62, "q must be < 2^62 for lazy reduction");
         let psi = primitive_root(2 * n as u64, q);
         let psi_inv = inv_mod(psi, q);
         let log_n = n.trailing_zeros();
@@ -54,8 +100,20 @@ impl NttTable {
             psi_rev[i] = powers_fwd[r as usize];
             psi_inv_rev[i] = powers_inv[r as usize];
         }
+        let psi_rev_shoup = psi_rev.iter().map(|&w| shoup(w, q)).collect();
+        let psi_inv_rev_shoup = psi_inv_rev.iter().map(|&w| shoup(w, q)).collect();
         let n_inv = inv_mod(n as u64, q);
-        NttTable { q, n, psi_rev, psi_inv_rev, n_inv }
+        let n_inv_shoup = shoup(n_inv, q);
+        NttTable {
+            q,
+            n,
+            psi_rev,
+            psi_rev_shoup,
+            psi_inv_rev,
+            psi_inv_rev_shoup,
+            n_inv,
+            n_inv_shoup,
+        }
     }
 
     /// The prime modulus of this table.
@@ -77,21 +135,39 @@ impl NttTable {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         let _t = telemetry::timer("fhe.ckks.ntt.forward");
         let q = self.q;
+        let two_q = 2 * q;
         let mut t = self.n;
         let mut m = 1;
+        // Cooley–Tukey passes with the [0, 4q) lazy invariant: `u` is
+        // reduced into [0, 2q) before use, the Shoup product lands in
+        // [0, 2q), so both outputs stay below 4q.
         while m < self.n {
             t /= 2;
             for i in 0..m {
                 let j1 = 2 * i * t;
                 let s = self.psi_rev[m + i];
+                let s_shoup = self.psi_rev_shoup[m + i];
                 for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = mul_mod(a[j + t], s, q);
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = sub_mod(u, v, q);
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = mul_shoup_lazy(a[j + t], s, s_shoup, q);
+                    a[j] = u + v;
+                    a[j + t] = u + two_q - v;
                 }
             }
             m *= 2;
+        }
+        for x in a.iter_mut() {
+            let mut y = *x;
+            if y >= two_q {
+                y -= two_q;
+            }
+            if y >= q {
+                y -= q;
+            }
+            *x = y;
         }
     }
 
@@ -104,18 +180,27 @@ impl NttTable {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         let _t = telemetry::timer("fhe.ckks.ntt.inverse");
         let q = self.q;
+        let two_q = 2 * q;
         let mut t = 1;
         let mut m = self.n;
+        // Gentleman–Sande passes with the [0, 2q) lazy invariant: the
+        // sum is conditionally reduced back below 2q, the difference
+        // (at most 4q before the Shoup product) lands in [0, 2q).
         while m > 1 {
             let h = m / 2;
             let mut j1 = 0;
             for i in 0..h {
                 let s = self.psi_inv_rev[h + i];
+                let s_shoup = self.psi_inv_rev_shoup[h + i];
                 for j in j1..j1 + t {
                     let u = a[j];
                     let v = a[j + t];
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = mul_mod(sub_mod(u, v, q), s, q);
+                    let mut sum = u + v;
+                    if sum >= two_q {
+                        sum -= two_q;
+                    }
+                    a[j] = sum;
+                    a[j + t] = mul_shoup_lazy(u + two_q - v, s, s_shoup, q);
                 }
                 j1 += 2 * t;
             }
@@ -123,7 +208,7 @@ impl NttTable {
             m = h;
         }
         for x in a.iter_mut() {
-            *x = mul_mod(*x, self.n_inv, q);
+            *x = mul_shoup(*x, self.n_inv, self.n_inv_shoup, q);
         }
     }
 
@@ -181,6 +266,22 @@ mod tests {
     }
 
     #[test]
+    fn shoup_product_matches_mul_mod() {
+        let q = find_ntt_primes(61, 1, 128)[0];
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let w = rng.gen_range(0..q);
+            let ws = shoup(w, q);
+            // `y` ranges over the full lazy domain [0, 4q).
+            let y = rng.gen_range(0..4 * q);
+            let r = mul_shoup_lazy(y, w, ws, q);
+            assert!(r < 2 * q, "lazy result out of range");
+            assert_eq!(r % q, mul_mod(w, y % q, q));
+            assert_eq!(mul_shoup(y, w, ws, q), mul_mod(w, y % q, q));
+        }
+    }
+
+    #[test]
     fn forward_inverse_round_trip() {
         let t = table(256);
         let mut rng = StdRng::seed_from_u64(1);
@@ -190,6 +291,32 @@ mod tests {
         assert_ne!(a, original, "transform should not be identity");
         t.inverse(&mut a);
         assert_eq!(a, original);
+    }
+
+    #[test]
+    fn round_trip_at_61_bit_prime() {
+        // Exercises the lazy-reduction headroom near the 62-bit cap.
+        let n = 128;
+        let q = find_ntt_primes(61, 1, 2 * n as u64)[0];
+        assert!(q > 1u64 << 60);
+        let t = NttTable::new(n as usize, q);
+        let mut rng = StdRng::seed_from_u64(7);
+        let original: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut a = original.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, original);
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        assert_eq!(t.multiply(&original, &b), negacyclic_mul_naive(&original, &b, q));
+    }
+
+    #[test]
+    fn forward_output_is_canonical() {
+        let t = table(64);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a: Vec<u64> = (0..64).map(|_| rng.gen_range(0..t.modulus())).collect();
+        t.forward(&mut a);
+        assert!(a.iter().all(|&x| x < t.modulus()));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! decode time, where coefficients are CRT-reconstructed.
 
 use rhychee_bigint::{mod_inv, BigUint};
+use rhychee_par::Parallelism;
 
 use super::modarith::{add_mod, inv_mod, mul_mod, neg_mod, sub_mod};
 
@@ -63,6 +64,13 @@ impl RnsPoly {
     /// Mutable residues modulo the `i`-th prime.
     pub fn residues_mut(&mut self, i: usize) -> &mut [u64] {
         &mut self.residues[i]
+    }
+
+    /// All residue rows at once, for kernels that split work per prime
+    /// (each row is an independently owned `Vec`, so rows can be handed
+    /// to different threads).
+    pub fn residues_all_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.residues
     }
 
     /// Element-wise addition. Operands must share degree and level.
@@ -127,30 +135,37 @@ impl RnsPoly {
     ///
     /// Panics if the polynomial has only one level.
     pub fn rescale(&self, primes: &[u64]) -> RnsPoly {
+        self.rescale_with(primes, Parallelism::sequential())
+    }
+
+    /// [`RnsPoly::rescale`] with the remaining primes processed in up to
+    /// `par.degree()` chunks. Each output row depends only on its own
+    /// prime and the dropped one, so the result is bit-identical for
+    /// every degree.
+    pub fn rescale_with(&self, primes: &[u64], par: Parallelism) -> RnsPoly {
         let l = self.levels();
         assert!(l >= 2, "cannot rescale a level-0 polynomial");
         let q_last = primes[l - 1];
         let last = &self.residues[l - 1];
-        let residues = (0..l - 1)
-            .map(|i| {
-                let q = primes[i];
-                let q_last_inv = inv_mod(q_last % q, q);
-                self.residues[i]
-                    .iter()
-                    .zip(last)
-                    .map(|(&xi, &xl)| {
-                        // Centered lift of x_last before reduction mod q_i so
-                        // the rounding error stays within ±1/2.
-                        let xl_centered = if xl > q_last / 2 {
-                            sub_mod(xi, (xl + q - (q_last % q)) % q, q)
-                        } else {
-                            sub_mod(xi, xl % q, q)
-                        };
-                        mul_mod(xl_centered, q_last_inv, q)
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut residues = vec![Vec::new(); l - 1];
+        rhychee_par::for_each_mut(par, &mut residues, |i, row| {
+            let q = primes[i];
+            let q_last_inv = inv_mod(q_last % q, q);
+            *row = self.residues[i]
+                .iter()
+                .zip(last)
+                .map(|(&xi, &xl)| {
+                    // Centered lift of x_last before reduction mod q_i so
+                    // the rounding error stays within ±1/2.
+                    let xl_centered = if xl > q_last / 2 {
+                        sub_mod(xi, (xl + q - (q_last % q)) % q, q)
+                    } else {
+                        sub_mod(xi, xl % q, q)
+                    };
+                    mul_mod(xl_centered, q_last_inv, q)
+                })
+                .collect();
+        });
         RnsPoly { residues }
     }
 
@@ -221,6 +236,14 @@ impl RnsPoly {
     /// CKKS is far below `Q/2`, so the conversion is exact enough for
     /// decoding.
     pub fn to_centered_f64(&self, primes: &[u64]) -> Vec<f64> {
+        self.to_centered_f64_with(primes, Parallelism::sequential())
+    }
+
+    /// [`RnsPoly::to_centered_f64`] with coefficients reconstructed in
+    /// up to `par.degree()` chunks (the per-coefficient big-integer CRT
+    /// dominates decrypt time at high degree). Each coefficient is
+    /// independent, so the result is bit-identical for every degree.
+    pub fn to_centered_f64_with(&self, primes: &[u64], par: Parallelism) -> Vec<f64> {
         let l = self.levels();
         let active = &primes[..l];
         if l == 1 {
@@ -231,12 +254,10 @@ impl RnsPoly {
                 .collect();
         }
         let crt = CrtReconstructor::new(active);
-        (0..self.degree())
-            .map(|j| {
-                let rs: Vec<u64> = (0..l).map(|i| self.residues[i][j]).collect();
-                crt.centered_f64(&rs)
-            })
-            .collect()
+        rhychee_par::map(par, self.degree(), |j| {
+            let rs: Vec<u64> = (0..l).map(|i| self.residues[i][j]).collect();
+            crt.centered_f64(&rs)
+        })
     }
 }
 
@@ -400,6 +421,21 @@ mod tests {
         let expected = a.add(&b, &PRIMES);
         a.add_assign(&b, &PRIMES);
         assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn parallel_variants_match_sequential() {
+        let coeffs: Vec<i64> = (0..64).map(|i| (i * 7919 - 2048) as i64).collect();
+        let p = RnsPoly::from_signed_coeffs(&coeffs, &PRIMES);
+        for par in [Parallelism::Fixed(2), Parallelism::Fixed(4), Parallelism::Auto] {
+            assert_eq!(p.rescale_with(&PRIMES, par), p.rescale(&PRIMES), "{par}");
+            let seq = p.to_centered_f64(&PRIMES);
+            let parv = p.to_centered_f64_with(&PRIMES, par);
+            assert!(
+                seq.iter().zip(&parv).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{par}: reconstruction differs"
+            );
+        }
     }
 
     #[test]

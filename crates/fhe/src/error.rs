@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by FHE parameter validation and homomorphic operations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FheError {
     /// A parameter set failed validation (ring degree, prime sizes, …).
     InvalidParams(String),

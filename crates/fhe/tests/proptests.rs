@@ -115,6 +115,34 @@ proptest! {
     }
 
     #[test]
+    fn shoup_ntt_forward_inverse_is_identity(
+        raw in prop::collection::vec(any::<u64>(), 64),
+        prime_bits in 40u32..=61,
+    ) {
+        // The Shoup/Harvey lazy butterflies must stay exact right up to
+        // the 62-bit modulus cap, for arbitrary canonical inputs.
+        let q = rhychee_fhe::ckks::modarith::find_ntt_primes(prime_bits, 1, 128)[0];
+        let table = NttTable::new(64, q);
+        let a: Vec<u64> = raw.iter().map(|&x| x % q).collect();
+        let mut t = a.clone();
+        table.forward(&mut t);
+        table.inverse(&mut t);
+        prop_assert_eq!(t, a);
+    }
+
+    #[test]
+    fn shoup_ntt_multiply_matches_naive_at_large_prime(
+        raw_a in prop::collection::vec(any::<u64>(), 32),
+        raw_b in prop::collection::vec(any::<u64>(), 32),
+    ) {
+        let q = rhychee_fhe::ckks::modarith::find_ntt_primes(61, 1, 64)[0];
+        let table = NttTable::new(32, q);
+        let a: Vec<u64> = raw_a.iter().map(|&x| x % q).collect();
+        let b: Vec<u64> = raw_b.iter().map(|&x| x % q).collect();
+        prop_assert_eq!(table.multiply(&a, &b), negacyclic_mul_naive(&a, &b, q));
+    }
+
+    #[test]
     fn lwe_round_trip(seed in any::<u64>(), m in 0u64..16) {
         let ctx = toy_lwe();
         let mut rng = StdRng::seed_from_u64(seed);

@@ -6,6 +6,7 @@
 //! reconstruct the same encoder from a shared seed.
 
 use rand::Rng;
+use rhychee_par::Parallelism;
 use std::f32::consts::TAU;
 
 /// A feature encoder mapping raw `f`-dimensional inputs to `D`-dimensional
@@ -27,28 +28,17 @@ pub trait Encoder: Send + Sync {
     /// Panics if `features.len() != input_dim()`.
     fn encode(&self, features: &[f32]) -> Vec<f32>;
 
-    /// Encodes a batch of feature vectors across `threads` worker threads.
-    fn encode_batch(&self, features: &[Vec<f32>], threads: usize) -> Vec<Vec<f32>>
+    /// Encodes a batch of feature vectors, split `par.degree()` ways on
+    /// the shared `rhychee-par` pool. Output order (and every bit of
+    /// every hypervector) is independent of the degree.
+    fn encode_batch(&self, features: &[Vec<f32>], par: Parallelism) -> Vec<Vec<f32>>
     where
         Self: Sized,
     {
-        if threads <= 1 || features.len() < 64 {
+        if par.is_sequential() || features.len() < 64 {
             return features.iter().map(|f| self.encode(f)).collect();
         }
-        let chunk = features.len().div_ceil(threads);
-        let mut out: Vec<Vec<f32>> = Vec::with_capacity(features.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = features
-                .chunks(chunk)
-                .map(|batch| {
-                    scope.spawn(move || batch.iter().map(|f| self.encode(f)).collect::<Vec<_>>())
-                })
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("encoder thread panicked"));
-            }
-        });
-        out
+        rhychee_par::map(par, features.len(), |i| self.encode(&features[i]))
     }
 }
 
@@ -273,8 +263,9 @@ mod tests {
         let data: Vec<Vec<f32>> =
             (0..100).map(|i| (0..8).map(|j| ((i * 8 + j) as f32).sin()).collect()).collect();
         let seq: Vec<Vec<f32>> = data.iter().map(|f| enc.encode(f)).collect();
-        let par = enc.encode_batch(&data, 4);
-        assert_eq!(seq, par);
+        for par in [Parallelism::Fixed(4), Parallelism::Auto] {
+            assert_eq!(seq, enc.encode_batch(&data, par), "{par}");
+        }
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl FlClient {
         let ckks = match pipeline {
             ClientPipeline::Plaintext => None,
             ClientPipeline::Ckks(params) => {
-                let ctx = CkksContext::new(params)?;
+                let ctx = CkksContext::with_parallelism(params, fl.parallelism)?;
                 let (sk, pk) = round::derive_ckks_keys(&ctx, fl.seed);
                 Some(CkksSide { ctx, sk, pk })
             }

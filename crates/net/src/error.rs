@@ -8,6 +8,7 @@ use rhychee_fhe::FheError;
 
 /// Errors raised by the wire protocol and the TCP endpoints.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NetError {
     /// An underlying socket operation failed (includes read/write
     /// timeouts, surfaced as `TimedOut`/`WouldBlock`).

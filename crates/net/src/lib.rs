@@ -40,7 +40,7 @@
 //! let num_params = classes * fl.hd_dim;
 //! let server = FlServer::bind(
 //!     "127.0.0.1:0",
-//!     ServerConfig::new(4, 3, num_params),
+//!     ServerConfig::builder().clients(4).rounds(3).model_params(num_params).build()?,
 //!     ServerPipeline::Ckks(CkksParams::toy()),
 //! )?;
 //! let addr = server.local_addr()?;
@@ -70,5 +70,7 @@ pub mod wire;
 
 pub use client::{ClientConfig, ClientPipeline, ClientReport, FlClient};
 pub use error::NetError;
-pub use server::{FlServer, NetRoundReport, ServerConfig, ServerPipeline, ServerReport};
+pub use server::{
+    FlServer, NetRoundReport, ServerConfig, ServerConfigBuilder, ServerPipeline, ServerReport,
+};
 pub use wire::{Message, DEFAULT_MAX_PAYLOAD};

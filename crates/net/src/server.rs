@@ -4,10 +4,14 @@
 //!
 //! Threading model: one blocking-I/O handler thread per connection plus
 //! a coordinator (the caller's thread). Handlers receive broadcast
-//! payloads over per-handler channels and forward decoded-frame events
-//! to the coordinator over a shared channel; the coordinator owns all
-//! round state ([`ServerRound`]) and decides acceptance, so protocol
-//! logic is single-threaded even though I/O is not.
+//! payloads over per-handler channels, **deserialize uploads on their
+//! own thread** (the expensive part of receiving a CKKS payload), and
+//! forward decoded events to the coordinator over a shared channel; the
+//! coordinator owns all round state ([`ServerRound`]) and decides
+//! acceptance, so protocol logic stays single-threaded even though I/O
+//! and decoding are not. Aggregation itself fans out on the shared
+//! `rhychee-par` pool at the configured [`Parallelism`]; the folded
+//! model is bit-identical at every degree.
 //!
 //! Straggler policy: a round closes as soon as every live client has
 //! reported, or at the round deadline. At the deadline the round
@@ -28,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use rhychee_core::packing;
 use rhychee_core::round::{ClientUpdate, ServerRound};
-use rhychee_core::Aggregation;
+use rhychee_core::{Aggregation, Parallelism};
 use rhychee_fhe::ckks::{CkksCiphertext, CkksContext};
 use rhychee_fhe::params::CkksParams;
 use rhychee_telemetry as telemetry;
@@ -48,43 +52,94 @@ pub enum ServerPipeline {
 }
 
 /// Server-side run configuration.
+///
+/// Built with [`ServerConfig::builder`], mirroring
+/// [`FlConfig::builder`](rhychee_core::FlConfig::builder): every knob is
+/// set through the builder and checked once in
+/// [`ServerConfigBuilder::build`], so a constructed config is always
+/// valid.
+///
+/// ```
+/// use rhychee_net::ServerConfig;
+///
+/// let cfg = ServerConfig::builder()
+///     .clients(4)
+///     .rounds(3)
+///     .model_params(1024)
+///     .quorum(3)
+///     .build()
+///     .expect("valid server config");
+/// assert_eq!(cfg.quorum(), 3);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Clients expected to connect.
-    pub clients: usize,
-    /// Minimum updates required to close a round at the deadline.
-    pub quorum: usize,
-    /// Aggregation rounds to run.
-    pub rounds: usize,
-    /// Trainable parameter count `D × L` (payload caps, zero init).
-    pub model_params: usize,
-    /// Aggregation rule (weights over the reporting quorum).
-    pub aggregation: Aggregation,
-    /// Socket write / handshake-read timeout.
-    pub io_timeout: Duration,
-    /// Collection window per round.
-    pub round_timeout: Duration,
-    /// How long to wait for all clients to connect.
-    pub accept_timeout: Duration,
-    /// Frame payload cap in bytes.
-    pub max_payload: u32,
+    clients: usize,
+    quorum: usize,
+    rounds: usize,
+    model_params: usize,
+    aggregation: Aggregation,
+    io_timeout: Duration,
+    round_timeout: Duration,
+    accept_timeout: Duration,
+    max_payload: u32,
+    parallelism: Parallelism,
 }
 
 impl ServerConfig {
-    /// A config with sensible loopback defaults: full quorum, 5 s I/O
-    /// timeout, 30 s round and accept windows.
-    pub fn new(clients: usize, rounds: usize, model_params: usize) -> Self {
-        ServerConfig {
-            clients,
-            quorum: clients,
-            rounds,
-            model_params,
-            aggregation: Aggregation::FedAvg,
-            io_timeout: Duration::from_secs(5),
-            round_timeout: Duration::from_secs(30),
-            accept_timeout: Duration::from_secs(30),
-            max_payload: DEFAULT_MAX_PAYLOAD,
-        }
+    /// Starts a builder with loopback defaults: full quorum, 5 s I/O
+    /// timeout, 30 s round and accept windows, automatic parallelism.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder::default()
+    }
+
+    /// Clients expected to connect.
+    pub fn clients(&self) -> usize {
+        self.clients
+    }
+
+    /// Minimum updates required to close a round at the deadline.
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+
+    /// Aggregation rounds to run.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Trainable parameter count `D × L` (payload caps, zero init).
+    pub fn model_params(&self) -> usize {
+        self.model_params
+    }
+
+    /// Aggregation rule (weights over the reporting quorum).
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
+    /// Socket write / handshake-read timeout.
+    pub fn io_timeout(&self) -> Duration {
+        self.io_timeout
+    }
+
+    /// Collection window per round.
+    pub fn round_timeout(&self) -> Duration {
+        self.round_timeout
+    }
+
+    /// How long to wait for all clients to connect.
+    pub fn accept_timeout(&self) -> Duration {
+        self.accept_timeout
+    }
+
+    /// Frame payload cap in bytes.
+    pub fn max_payload(&self) -> u32 {
+        self.max_payload
+    }
+
+    /// Degree used for homomorphic aggregation and plain FedAvg.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     fn validate(&self) -> Result<(), NetError> {
@@ -100,6 +155,125 @@ impl ServerConfig {
             )));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`ServerConfig`]; see [`ServerConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    clients: usize,
+    quorum: Option<usize>,
+    rounds: usize,
+    model_params: usize,
+    aggregation: Aggregation,
+    io_timeout: Duration,
+    round_timeout: Duration,
+    accept_timeout: Duration,
+    max_payload: u32,
+    parallelism: Parallelism,
+}
+
+impl Default for ServerConfigBuilder {
+    fn default() -> Self {
+        ServerConfigBuilder {
+            clients: 0,
+            quorum: None,
+            rounds: 0,
+            model_params: 0,
+            aggregation: Aggregation::FedAvg,
+            io_timeout: Duration::from_secs(5),
+            round_timeout: Duration::from_secs(30),
+            accept_timeout: Duration::from_secs(30),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+impl ServerConfigBuilder {
+    /// Clients expected to connect (required, > 0).
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Minimum updates to close a round (defaults to all clients).
+    pub fn quorum(mut self, quorum: usize) -> Self {
+        self.quorum = Some(quorum);
+        self
+    }
+
+    /// Aggregation rounds to run (required, > 0).
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Trainable parameter count `D × L` (required, > 0).
+    pub fn model_params(mut self, model_params: usize) -> Self {
+        self.model_params = model_params;
+        self
+    }
+
+    /// Aggregation rule (default [`Aggregation::FedAvg`]).
+    pub fn aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// Socket write / handshake-read timeout (default 5 s).
+    pub fn io_timeout(mut self, io_timeout: Duration) -> Self {
+        self.io_timeout = io_timeout;
+        self
+    }
+
+    /// Collection window per round (default 30 s).
+    pub fn round_timeout(mut self, round_timeout: Duration) -> Self {
+        self.round_timeout = round_timeout;
+        self
+    }
+
+    /// Window for all clients to connect (default 30 s).
+    pub fn accept_timeout(mut self, accept_timeout: Duration) -> Self {
+        self.accept_timeout = accept_timeout;
+        self
+    }
+
+    /// Frame payload cap in bytes (default [`DEFAULT_MAX_PAYLOAD`]).
+    pub fn max_payload(mut self, max_payload: u32) -> Self {
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// Degree for aggregation math (default [`Parallelism::Auto`]).
+    /// Results are bit-identical at every degree.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Protocol`] when `clients`, `rounds`, or
+    /// `model_params` are unset/zero, or `quorum` is outside
+    /// `1..=clients`.
+    pub fn build(self) -> Result<ServerConfig, NetError> {
+        let config = ServerConfig {
+            clients: self.clients,
+            quorum: self.quorum.unwrap_or(self.clients),
+            rounds: self.rounds,
+            model_params: self.model_params,
+            aggregation: self.aggregation,
+            io_timeout: self.io_timeout,
+            round_timeout: self.round_timeout,
+            accept_timeout: self.accept_timeout,
+            max_payload: self.max_payload,
+            parallelism: self.parallelism,
+        };
+        config.validate()?;
+        Ok(config)
     }
 }
 
@@ -148,12 +322,51 @@ enum HandlerCmd {
     Ack { round: usize, accepted: bool },
 }
 
+/// An upload deserialized on the handler thread that received it.
+enum DecodedModel {
+    Plain(Vec<f32>),
+    Ckks(Vec<CkksCiphertext>),
+    /// Undecodable or wrong-sized payload; the coordinator NACKs it.
+    Invalid,
+}
+
 /// Handler → coordinator events.
 enum ServerEvent {
-    /// A client's upload arrived (round validity not yet checked).
-    Update { client_id: usize, round: usize, steps: usize, model: Vec<u8> },
+    /// A client's upload arrived and was decoded (round validity not
+    /// yet checked).
+    Update { client_id: usize, round: usize, steps: usize, model: DecodedModel },
     /// A client disconnected, timed out, or violated the protocol.
     Dropped { client_id: usize },
+}
+
+/// How a handler thread deserializes the uploads it reads.
+enum DecodeKind {
+    Plain { model_params: usize },
+    Ckks { ctx: Arc<CkksContext>, max_cts: usize },
+}
+
+/// State shared by every handler thread.
+struct HandlerShared {
+    round_timeout: Duration,
+    max_payload: u32,
+    bytes_tx: AtomicU64,
+    bytes_rx: AtomicU64,
+    decode: DecodeKind,
+}
+
+impl HandlerShared {
+    fn decode(&self, model: &[u8]) -> DecodedModel {
+        match &self.decode {
+            DecodeKind::Plain { model_params } => match codec::decode_plain(model, *model_params) {
+                Ok(p) if p.len() == *model_params => DecodedModel::Plain(p),
+                _ => DecodedModel::Invalid,
+            },
+            DecodeKind::Ckks { ctx, max_cts } => match codec::decode_ckks(ctx, model, *max_cts) {
+                Ok(p) if p.len() == *max_cts => DecodedModel::Ckks(p),
+                _ => DecodedModel::Invalid,
+            },
+        }
+    }
 }
 
 /// A blocking-I/O TCP federated server.
@@ -200,25 +413,36 @@ impl FlServer {
     pub fn run(self) -> Result<ServerReport, NetError> {
         let ctx = match &self.pipeline {
             ServerPipeline::Plaintext => None,
-            ServerPipeline::Ckks(params) => Some(CkksContext::new(params.clone())?),
+            ServerPipeline::Ckks(params) => Some(Arc::new(CkksContext::with_parallelism(
+                params.clone(),
+                self.config.parallelism,
+            )?)),
         };
-        let bytes_tx = Arc::new(AtomicU64::new(0));
-        let bytes_rx = Arc::new(AtomicU64::new(0));
+        let decode = match &ctx {
+            Some(c) => DecodeKind::Ckks {
+                ctx: Arc::clone(c),
+                max_cts: packing::ciphertexts_needed(self.config.model_params, c.slot_count()),
+            },
+            None => DecodeKind::Plain { model_params: self.config.model_params },
+        };
+        let shared = Arc::new(HandlerShared {
+            round_timeout: self.config.round_timeout,
+            max_payload: self.config.max_payload,
+            bytes_tx: AtomicU64::new(0),
+            bytes_rx: AtomicU64::new(0),
+            decode,
+        });
 
         let (event_tx, event_rx) = mpsc::channel::<ServerEvent>();
-        let mut handlers = self.accept_clients(&event_tx, &bytes_tx, &bytes_rx)?;
+        let mut handlers = self.accept_clients(&event_tx, &shared)?;
         drop(event_tx);
 
         let mut report = ServerReport::default();
         let mut global = GlobalState::Plain(vec![0.0; self.config.model_params]);
-        let max_cts = match &ctx {
-            Some(c) => packing::ciphertexts_needed(self.config.model_params, c.slot_count()),
-            None => 0,
-        };
 
         for round in 0..self.config.rounds {
             let span = telemetry::span("net_round");
-            let payload = Arc::new(self.encode_global(&global, ctx.as_ref()));
+            let payload = Arc::new(self.encode_global(&global, ctx.as_deref()));
             for h in handlers.values() {
                 let _ = h.cmd_tx.send(HandlerCmd::Broadcast {
                     round,
@@ -240,16 +464,8 @@ impl FlServer {
                 }
                 match event_rx.recv_timeout(remaining) {
                     Ok(ServerEvent::Update { client_id, round: r, steps, model }) => {
-                        let accepted = r == round
-                            && self.accept_update(
-                                &mut sr,
-                                ctx.as_ref(),
-                                max_cts,
-                                client_id,
-                                r,
-                                steps,
-                                &model,
-                            );
+                        let accepted =
+                            r == round && accept_update(&mut sr, client_id, r, steps, model);
                         if !accepted {
                             rejected += 1;
                         }
@@ -275,7 +491,7 @@ impl FlServer {
 
             let agg_span = telemetry::span("net_aggregate");
             let received = sr.received();
-            global = sr.aggregate(ctx.as_ref())?;
+            global = sr.aggregate(ctx.as_deref(), self.config.parallelism)?;
             let aggregate_time = agg_span.finish();
             report.rounds.push(NetRoundReport {
                 round,
@@ -288,7 +504,7 @@ impl FlServer {
         }
 
         // Final distribution: the aggregated model of the last round.
-        let payload = Arc::new(self.encode_global(&global, ctx.as_ref()));
+        let payload = Arc::new(self.encode_global(&global, ctx.as_deref()));
         for h in handlers.values() {
             let _ = h.cmd_tx.send(HandlerCmd::Broadcast {
                 round: self.config.rounds,
@@ -308,8 +524,8 @@ impl FlServer {
             }
         }
 
-        report.bytes_tx = bytes_tx.load(Ordering::Relaxed);
-        report.bytes_rx = bytes_rx.load(Ordering::Relaxed);
+        report.bytes_tx = shared.bytes_tx.load(Ordering::Relaxed);
+        report.bytes_rx = shared.bytes_rx.load(Ordering::Relaxed);
         report.final_plain_model = match global {
             GlobalState::Plain(m) => Some(m),
             GlobalState::Ckks(_) => None,
@@ -322,8 +538,7 @@ impl FlServer {
     fn accept_clients(
         &self,
         event_tx: &Sender<ServerEvent>,
-        bytes_tx: &Arc<AtomicU64>,
-        bytes_rx: &Arc<AtomicU64>,
+        shared: &Arc<HandlerShared>,
     ) -> Result<HashMap<usize, Handler>, NetError> {
         self.listener.set_nonblocking(true)?;
         let mut handlers = HashMap::new();
@@ -337,10 +552,9 @@ impl FlServer {
                 }
                 Err(e) => return Err(e.into()),
             };
-            match self.handshake(stream, &handlers, bytes_tx, bytes_rx) {
+            match self.handshake(stream, &handlers, shared) {
                 Ok((client_id, stream)) => {
-                    let handler =
-                        self.spawn_handler(client_id, stream, event_tx.clone(), bytes_tx, bytes_rx);
+                    let handler = spawn_handler(client_id, stream, event_tx.clone(), shared);
                     handlers.insert(client_id, handler);
                 }
                 Err(_) => continue, // a bad handshake never kills the server
@@ -360,8 +574,7 @@ impl FlServer {
         &self,
         stream: TcpStream,
         handlers: &HashMap<usize, Handler>,
-        bytes_tx: &Arc<AtomicU64>,
-        bytes_rx: &Arc<AtomicU64>,
+        shared: &HandlerShared,
     ) -> Result<(usize, TcpStream), NetError> {
         let mut stream = stream;
         // The listener is nonblocking for the accept deadline; accepted
@@ -371,7 +584,7 @@ impl FlServer {
         stream.set_read_timeout(Some(self.config.io_timeout))?;
         stream.set_write_timeout(Some(self.config.io_timeout))?;
         let (msg, n) = wire::read_message(&mut stream, self.config.max_payload)?;
-        bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        shared.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
         telemetry::count("net.bytes_rx", n as u64);
         let client_id = match msg {
             Message::Hello { client_id } => client_id,
@@ -390,69 +603,9 @@ impl FlServer {
                 rounds: self.config.rounds,
             },
         )?;
-        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+        shared.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
         telemetry::count("net.bytes_tx", n as u64);
         Ok((client_id, stream))
-    }
-
-    fn spawn_handler(
-        &self,
-        client_id: usize,
-        stream: TcpStream,
-        events: Sender<ServerEvent>,
-        bytes_tx: &Arc<AtomicU64>,
-        bytes_rx: &Arc<AtomicU64>,
-    ) -> Handler {
-        let (cmd_tx, cmd_rx) = mpsc::channel();
-        let round_timeout = self.config.round_timeout;
-        let max_payload = self.config.max_payload;
-        let tx_counter = Arc::clone(bytes_tx);
-        let rx_counter = Arc::clone(bytes_rx);
-        let join = thread::spawn(move || {
-            handler_loop(
-                client_id,
-                stream,
-                cmd_rx,
-                events,
-                round_timeout,
-                max_payload,
-                &tx_counter,
-                &rx_counter,
-            );
-        });
-        Handler { cmd_tx, join }
-    }
-
-    /// Decodes and offers an on-time update to the round; returns
-    /// whether it was folded in.
-    #[allow(clippy::too_many_arguments)]
-    fn accept_update(
-        &self,
-        sr: &mut Collected,
-        ctx: Option<&CkksContext>,
-        max_cts: usize,
-        client_id: usize,
-        round: usize,
-        steps: usize,
-        model: &[u8],
-    ) -> bool {
-        match (sr, ctx) {
-            (Collected::Plain(sr), _) => {
-                match codec::decode_plain(model, self.config.model_params) {
-                    Ok(payload) if payload.len() == self.config.model_params => {
-                        sr.accept(ClientUpdate { client_id, round, steps, payload })
-                    }
-                    _ => false,
-                }
-            }
-            (Collected::Ckks(sr), Some(ctx)) => match codec::decode_ckks(ctx, model, max_cts) {
-                Ok(payload) if payload.len() == max_cts => {
-                    sr.accept(ClientUpdate { client_id, round, steps, payload })
-                }
-                _ => false,
-            },
-            (Collected::Ckks(_), None) => false,
-        }
     }
 
     fn drop_client(
@@ -492,12 +645,36 @@ impl Collected {
         }
     }
 
-    fn aggregate(self, ctx: Option<&CkksContext>) -> Result<GlobalState, NetError> {
+    fn aggregate(
+        self,
+        ctx: Option<&CkksContext>,
+        par: Parallelism,
+    ) -> Result<GlobalState, NetError> {
         match (self, ctx) {
-            (Collected::Plain(sr), _) => Ok(GlobalState::Plain(sr.aggregate()?)),
+            (Collected::Plain(sr), _) => Ok(GlobalState::Plain(sr.aggregate_with(par)?)),
             (Collected::Ckks(sr), Some(ctx)) => Ok(GlobalState::Ckks(sr.aggregate_ckks(ctx)?)),
             (Collected::Ckks(_), None) => unreachable!("CKKS state without a context"),
         }
+    }
+}
+
+/// Offers an on-time, handler-decoded update to the round; returns
+/// whether it was folded in.
+fn accept_update(
+    sr: &mut Collected,
+    client_id: usize,
+    round: usize,
+    steps: usize,
+    model: DecodedModel,
+) -> bool {
+    match (sr, model) {
+        (Collected::Plain(sr), DecodedModel::Plain(payload)) => {
+            sr.accept(ClientUpdate { client_id, round, steps, payload })
+        }
+        (Collected::Ckks(sr), DecodedModel::Ckks(payload)) => {
+            sr.accept(ClientUpdate { client_id, round, steps, payload })
+        }
+        _ => false,
     }
 }
 
@@ -506,25 +683,36 @@ struct Handler {
     join: thread::JoinHandle<()>,
 }
 
+fn spawn_handler(
+    client_id: usize,
+    stream: TcpStream,
+    events: Sender<ServerEvent>,
+    shared: &Arc<HandlerShared>,
+) -> Handler {
+    let (cmd_tx, cmd_rx) = mpsc::channel();
+    let shared = Arc::clone(shared);
+    let join = thread::spawn(move || {
+        handler_loop(client_id, stream, &cmd_rx, &events, &shared);
+    });
+    Handler { cmd_tx, join }
+}
+
 /// Per-connection I/O loop: writes broadcasts/acks, reads one update per
-/// (non-final) broadcast, and reports everything to the coordinator.
-#[allow(clippy::too_many_arguments)]
+/// (non-final) broadcast, decodes it in place, and reports everything to
+/// the coordinator.
 fn handler_loop(
     client_id: usize,
     mut stream: TcpStream,
-    cmds: Receiver<HandlerCmd>,
-    events: Sender<ServerEvent>,
-    round_timeout: Duration,
-    max_payload: u32,
-    bytes_tx: &AtomicU64,
-    bytes_rx: &AtomicU64,
+    cmds: &Receiver<HandlerCmd>,
+    events: &Sender<ServerEvent>,
+    shared: &HandlerShared,
 ) {
     let drop_self = |events: &Sender<ServerEvent>| {
         let _ = events.send(ServerEvent::Dropped { client_id });
     };
     // Updates may legitimately take a whole training phase to arrive.
-    if stream.set_read_timeout(Some(round_timeout)).is_err() {
-        drop_self(&events);
+    if stream.set_read_timeout(Some(shared.round_timeout)).is_err() {
+        drop_self(events);
         return;
     }
     while let Ok(cmd) = cmds.recv() {
@@ -532,11 +720,11 @@ fn handler_loop(
             HandlerCmd::Ack { round, accepted } => {
                 match wire::write_message(&mut stream, &Message::UpdateAck { round, accepted }) {
                     Ok(n) => {
-                        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                        shared.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
                         telemetry::count("net.bytes_tx", n as u64);
                     }
                     Err(_) => {
-                        drop_self(&events);
+                        drop_self(events);
                         return;
                     }
                 }
@@ -545,12 +733,12 @@ fn handler_loop(
                 let msg = Message::Global { round, last, model: payload.as_ref().clone() };
                 match wire::write_message(&mut stream, &msg) {
                     Ok(n) => {
-                        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                        shared.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
                         telemetry::count("net.bytes_tx", n as u64);
                     }
                     Err(_) => {
                         if !last {
-                            drop_self(&events);
+                            drop_self(events);
                         }
                         return;
                     }
@@ -558,27 +746,90 @@ fn handler_loop(
                 if last {
                     let n = wire::write_message(&mut stream, &Message::Finished { round });
                     if let Ok(n) = n {
-                        bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+                        shared.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
                         telemetry::count("net.bytes_tx", n as u64);
                     }
                     return;
                 }
-                match wire::read_message(&mut stream, max_payload) {
+                match wire::read_message(&mut stream, shared.max_payload) {
                     Ok((Message::Update { round, client_id: cid, steps, model }, n))
                         if cid == client_id =>
                     {
-                        bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+                        shared.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
                         telemetry::count("net.bytes_rx", n as u64);
+                        // Deserialize here, on the connection's own
+                        // thread, so P clients' ciphertext payloads
+                        // decode concurrently instead of queueing on
+                        // the coordinator.
+                        let span = telemetry::span("net_decode");
+                        let model = shared.decode(&model);
+                        span.finish();
                         let _ = events.send(ServerEvent::Update { client_id, round, steps, model });
                     }
                     _ => {
                         // Disconnect, timeout past the full round window,
                         // or a protocol violation: the client is gone.
-                        drop_self(&events);
+                        drop_self(events);
                         return;
                     }
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_to_full_quorum() {
+        let cfg =
+            ServerConfig::builder().clients(5).rounds(2).model_params(100).build().expect("valid");
+        assert_eq!(cfg.quorum(), 5);
+        assert_eq!(cfg.max_payload(), DEFAULT_MAX_PAYLOAD);
+        assert_eq!(cfg.parallelism(), Parallelism::Auto);
+    }
+
+    #[test]
+    fn builder_rejects_missing_required_fields() {
+        assert!(ServerConfig::builder().build().is_err());
+        assert!(ServerConfig::builder().clients(4).rounds(3).build().is_err());
+        assert!(ServerConfig::builder().clients(4).model_params(10).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_bad_quorum() {
+        let base = || ServerConfig::builder().clients(4).rounds(3).model_params(10);
+        assert!(base().quorum(0).build().is_err());
+        assert!(base().quorum(5).build().is_err());
+        assert!(base().quorum(4).build().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = ServerConfig::builder()
+            .clients(8)
+            .quorum(6)
+            .rounds(4)
+            .model_params(2048)
+            .aggregation(Aggregation::FedNova)
+            .io_timeout(Duration::from_secs(1))
+            .round_timeout(Duration::from_secs(2))
+            .accept_timeout(Duration::from_secs(3))
+            .max_payload(1 << 20)
+            .parallelism(Parallelism::Fixed(2))
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.clients(), 8);
+        assert_eq!(cfg.quorum(), 6);
+        assert_eq!(cfg.rounds(), 4);
+        assert_eq!(cfg.model_params(), 2048);
+        assert_eq!(cfg.aggregation(), Aggregation::FedNova);
+        assert_eq!(cfg.io_timeout(), Duration::from_secs(1));
+        assert_eq!(cfg.round_timeout(), Duration::from_secs(2));
+        assert_eq!(cfg.accept_timeout(), Duration::from_secs(3));
+        assert_eq!(cfg.max_payload(), 1 << 20);
+        assert_eq!(cfg.parallelism(), Parallelism::Fixed(2));
     }
 }

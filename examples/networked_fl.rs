@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let server = FlServer::bind(
         "127.0.0.1:0",
-        ServerConfig::new(fl.clients, fl.rounds, num_params),
+        ServerConfig::builder()
+            .clients(fl.clients)
+            .rounds(fl.rounds)
+            .model_params(num_params)
+            .build()?,
         ServerPipeline::Ckks(params.clone()),
     )?;
     let addr = server.local_addr()?;

@@ -10,6 +10,7 @@ use rhychee_fl::data::{DatasetKind, SyntheticConfig};
 use rhychee_fl::hdc::encoding::{Encoder, RbfEncoder};
 use rhychee_fl::hdc::model::{EncodedDataset, HdcModel};
 use rhychee_fl::nn::Network;
+use rhychee_fl::par::Parallelism;
 
 #[test]
 fn synthetic_mnist_separates_model_classes() {
@@ -31,11 +32,11 @@ fn synthetic_mnist_separates_model_classes() {
     // HDC-RBF at the paper's D = 2000: competitive with or above LR.
     let enc = RbfEncoder::new(784, 2000, &mut StdRng::seed_from_u64(9));
     let train = EncodedDataset::new(
-        enc.encode_batch(split.train.features(), 1),
+        enc.encode_batch(split.train.features(), Parallelism::sequential()),
         split.train.labels().to_vec(),
     );
     let test = EncodedDataset::new(
-        enc.encode_batch(split.test.features(), 1),
+        enc.encode_batch(split.test.features(), Parallelism::sequential()),
         split.test.labels().to_vec(),
     );
     let mut model = HdcModel::new(10, 2000);

@@ -50,7 +50,12 @@ fn run_networked(
     };
     let server = FlServer::bind(
         "127.0.0.1:0",
-        ServerConfig::new(fl.clients, fl.rounds, num_params),
+        ServerConfig::builder()
+            .clients(fl.clients)
+            .rounds(fl.rounds)
+            .model_params(num_params)
+            .build()
+            .expect("server config"),
         server_pipeline,
     )
     .expect("bind");
@@ -133,9 +138,14 @@ fn dropout_mid_round_is_survived_by_quorum_aggregation() {
     let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
     let num_params = classes * fl.hd_dim;
 
-    let mut cfg = ServerConfig::new(fl.clients, fl.rounds, num_params);
-    cfg.quorum = 4;
-    cfg.round_timeout = Duration::from_secs(10);
+    let cfg = ServerConfig::builder()
+        .clients(fl.clients)
+        .rounds(fl.rounds)
+        .model_params(num_params)
+        .quorum(4)
+        .round_timeout(Duration::from_secs(10))
+        .build()
+        .expect("server config");
     let server =
         FlServer::bind("127.0.0.1:0", cfg, ServerPipeline::Ckks(CkksParams::toy())).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -220,9 +230,14 @@ fn late_update_is_nacked_and_never_aggregated() {
     let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
     let num_params = classes * fl.hd_dim;
 
-    let mut cfg = ServerConfig::new(fl.clients, fl.rounds, num_params);
-    cfg.quorum = 1;
-    cfg.round_timeout = Duration::from_secs(2);
+    let cfg = ServerConfig::builder()
+        .clients(fl.clients)
+        .rounds(fl.rounds)
+        .model_params(num_params)
+        .quorum(1)
+        .round_timeout(Duration::from_secs(2))
+        .build()
+        .expect("server config");
     let server = FlServer::bind("127.0.0.1:0", cfg, ServerPipeline::Plaintext).expect("bind");
     let addr = server.local_addr().expect("local addr");
     let server = thread::spawn(move || server.run());

@@ -1,0 +1,114 @@
+//! Parallelism must never change a bit: every fan-out in the stack
+//! (NTT residues, encryption chunks, aggregation, batch encoding) works
+//! over preassigned index ranges while RNG draws stay sequential, so a
+//! federation run at [`Parallelism::Auto`] reproduces the
+//! `Parallelism::Fixed(1)` run exactly — global models, ciphertext
+//! serializations, and accuracies alike.
+//!
+//! CI runs this file with `RUST_TEST_THREADS` unset so the shared pool
+//! sees realistic contention from concurrently running tests.
+
+use rhychee_fl::core::round::{self, ClientLocal, FedSetup};
+use rhychee_fl::core::{FlConfig, Framework};
+use rhychee_fl::data::{DatasetKind, SyntheticConfig, TrainTest};
+use rhychee_fl::fhe::ckks::CkksContext;
+use rhychee_fl::fhe::params::CkksParams;
+use rhychee_fl::par::Parallelism;
+
+fn har_data() -> TrainTest {
+    SyntheticConfig { kind: DatasetKind::Har, train_samples: 240, test_samples: 80 }
+        .generate(42)
+        .expect("dataset generation")
+}
+
+fn config(par: Parallelism) -> FlConfig {
+    FlConfig::builder()
+        .clients(4)
+        .rounds(2)
+        .hd_dim(256)
+        .seed(11)
+        .parallelism(par)
+        .build()
+        .expect("valid config")
+}
+
+fn model_bits(fw: &Framework) -> Vec<u32> {
+    fw.global_model().flatten().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn ckks_federation_is_bit_identical_across_parallelism() {
+    let data = har_data();
+    let mut seq = Framework::hdc_encrypted(config(Parallelism::Fixed(1)), &data, CkksParams::toy())
+        .expect("sequential framework");
+    seq.run().expect("sequential run");
+
+    for par in [Parallelism::Fixed(2), Parallelism::Auto] {
+        let mut fw = Framework::hdc_encrypted(config(par), &data, CkksParams::toy())
+            .expect("parallel framework");
+        fw.run().expect("parallel run");
+        assert_eq!(model_bits(&seq), model_bits(&fw), "global model diverged at {par}");
+        assert_eq!(
+            seq.global_accuracy(),
+            fw.global_accuracy(),
+            "accuracy diverged at {par} (same model bits must score identically)"
+        );
+    }
+}
+
+#[test]
+fn lwe_federation_is_bit_identical_across_parallelism() {
+    let data = har_data();
+    let params = Framework::lwe_fl_params(4, 6);
+    let mut seq = Framework::hdc_encrypted_lwe(config(Parallelism::Fixed(1)), &data, params, 6)
+        .expect("sequential framework");
+    seq.run().expect("sequential run");
+
+    let mut auto = Framework::hdc_encrypted_lwe(config(Parallelism::Auto), &data, params, 6)
+        .expect("parallel framework");
+    auto.run().expect("parallel run");
+    assert_eq!(model_bits(&seq), model_bits(&auto), "LWE global model diverged");
+}
+
+#[test]
+fn ckks_round_ciphertexts_serialize_identically_across_parallelism() {
+    // One full encrypted round, done twice from the same seed: client
+    // updates and the homomorphic aggregate must serialize to the same
+    // bytes whether the context fans out or not.
+    let data = har_data();
+
+    let run_round = |par: Parallelism| -> Vec<Vec<u8>> {
+        let fl = config(par);
+        let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
+        let ctx = CkksContext::with_parallelism(CkksParams::toy(), par).expect("context");
+        let (_sk, pk) = round::derive_ckks_keys(&ctx, fl.seed);
+        let num_params = classes * fl.hd_dim;
+        let zeros = vec![0.0f32; num_params];
+
+        let mut sr = round::ServerRound::new(0, fl.aggregation);
+        for (id, shard) in shards.into_iter().enumerate() {
+            let mut local = ClientLocal::new(id, shard, classes, &fl);
+            let flat = local.train(&zeros, &fl);
+            let cts = local.encrypt_update(&ctx, &pk, &flat).expect("encrypt");
+            sr.accept(round::ClientUpdate {
+                client_id: id,
+                round: 0,
+                steps: local.last_steps(),
+                payload: cts,
+            });
+        }
+        let mut blobs: Vec<Vec<u8>> = Vec::new();
+        // Every client ciphertext, then the aggregate's.
+        for u in sr.updates() {
+            blobs.extend(u.payload.iter().map(|ct| ctx.serialize(ct)));
+        }
+        let global = sr.aggregate_ckks(&ctx).expect("aggregate");
+        blobs.extend(global.iter().map(|ct| ctx.serialize(ct)));
+        blobs
+    };
+
+    let seq = run_round(Parallelism::Fixed(1));
+    for par in [Parallelism::Fixed(3), Parallelism::Auto] {
+        assert_eq!(seq, run_round(par), "ciphertext bytes diverged at {par}");
+    }
+}
