@@ -7,13 +7,20 @@
 //! Parallelism never changes results (see `tests/parallel_determinism`),
 //! so every degree benchmarks the same arithmetic.
 //!
+//! The thread sweep is clamped to the machine's core count by default:
+//! on a 1-core container, degrees 2 and 4 only measure oversubscription
+//! overhead, and BENCH_fhe.json would be misread as a parallelism
+//! regression. Pass `--all-threads` to force the full sweep; forced
+//! oversubscribed rows are flagged both per row and in a top-level
+//! `warning` field.
+//!
 //! `--quick` shrinks the parameter set and iteration counts.
 
 use std::time::Instant;
 
 use rand::{rngs::StdRng, SeedableRng};
 
-use rhychee_bench::{banner, Table};
+use rhychee_bench::{banner, emit_metrics_json, init_telemetry, Table};
 use rhychee_core::packing;
 use rhychee_fhe::ckks::modarith::find_ntt_primes;
 use rhychee_fhe::ckks::ntt::NttTable;
@@ -44,20 +51,50 @@ struct Sample {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    init_telemetry();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let all_threads = args.iter().any(|a| a == "--all-threads");
     let (params, model_params, clients, iters) = if quick {
         (CkksParams::toy(), 2_000usize, 4usize, 8usize)
     } else {
         (CkksParams::ckks3(), 20_000, 4, 4)
     };
 
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let full_sweep = [1usize, 2, 4];
+    let degrees: Vec<usize> = if all_threads {
+        full_sweep.to_vec()
+    } else {
+        full_sweep.iter().copied().filter(|&d| d <= cores).collect()
+    };
+    let clamped = degrees.len() < full_sweep.len();
+    let warning = if clamped {
+        Some(format!(
+            "thread sweep clamped to {cores} available core(s); degrees above that would \
+             measure oversubscription, not parallel speedup (pass --all-threads to force)"
+        ))
+    } else if degrees.iter().any(|&d| d > cores) {
+        Some(format!(
+            "--all-threads forced degrees above the {cores} available core(s); \
+             oversubscribed rows measure scheduling overhead, not parallel speedup"
+        ))
+    } else {
+        None
+    };
+
     banner(&format!(
-        "FHE hot paths at 1/2/4 threads (N = {}, {} params, {} clients)",
-        params.n, model_params, clients
+        "FHE hot paths at {} threads on {cores} core(s) (N = {}, {} params, {} clients)",
+        degrees.iter().map(ToString::to_string).collect::<Vec<_>>().join("/"),
+        params.n,
+        model_params,
+        clients
     ));
+    if let Some(w) = &warning {
+        eprintln!("  warning: {w}");
+    }
 
     let mut samples: Vec<Sample> = Vec::new();
-    let degrees = [1usize, 2, 4];
 
     // Raw forward NTT: one prime, one polynomial — the sequential
     // building block every threaded path fans out over. Constant across
@@ -103,9 +140,14 @@ fn main() {
             .iter()
             .find(|b| b.op == s.op && b.threads == 1)
             .map_or(s.ns_per_op, |b| b.ns_per_op);
+        let threads = if s.threads > cores {
+            format!("{} (oversub)", s.threads)
+        } else {
+            s.threads.to_string()
+        };
         table.row(vec![
             s.op.into(),
-            s.threads.to_string(),
+            threads,
             format!("{:.0}", s.ns_per_op),
             format!("{:.3}", s.ns_per_op / 1e6),
             format!("{:.2}x", base / s.ns_per_op),
@@ -113,9 +155,11 @@ fn main() {
     }
     table.print();
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"machine_cores\": {cores},\n"));
+    if let Some(w) = &warning {
+        json.push_str(&format!("  \"warning\": \"{w}\",\n"));
+    }
     json.push_str(&format!("  \"ring_degree\": {},\n", params.n));
     json.push_str(&format!("  \"model_params\": {model_params},\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
@@ -123,11 +167,16 @@ fn main() {
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"op\": \"{}\", \"threads\": {}, \"ns_per_op\": {:.1}}}{comma}\n",
-            s.op, s.threads, s.ns_per_op
+            "    {{\"op\": \"{}\", \"threads\": {}, \"ns_per_op\": {:.1}, \
+             \"machine_cores\": {cores}, \"oversubscribed\": {}}}{comma}\n",
+            s.op,
+            s.threads,
+            s.ns_per_op,
+            s.threads > cores
         ));
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_fhe.json", &json).expect("write BENCH_fhe.json");
     println!("\nwrote BENCH_fhe.json ({} samples, {cores} host cores)", samples.len());
+    emit_metrics_json("bench_fhe");
 }

@@ -271,6 +271,11 @@ impl Framework {
                 global
             }
             Pipeline::Ckks { ctx, sk, pk } => {
+                // Keep the plaintext updates around while telemetry is on
+                // so the decrypted aggregate can be checked against the
+                // exact plaintext FedAvg (the `fl.decrypt_error.max`
+                // noise-budget gauge, DESIGN.md §10).
+                let plain_updates = telemetry::enabled().then(|| trained.clone());
                 let span = telemetry::span("encrypt");
                 let mut sr = ServerRound::new(round, self.config.aggregation);
                 for u in trained {
@@ -296,6 +301,20 @@ impl Framework {
                 let span = telemetry::span("decrypt");
                 let global = packing::decrypt_model(ctx, sk, &global_ct, self.global.len())?;
                 report.decrypt_time = span.finish();
+
+                if let Some(updates) = plain_updates {
+                    let mut plain_sr = ServerRound::new(round, self.config.aggregation);
+                    for u in updates {
+                        plain_sr.accept(u);
+                    }
+                    let expected = plain_sr.aggregate_with(self.config.parallelism)?;
+                    let max_err = global
+                        .iter()
+                        .zip(&expected)
+                        .map(|(&got, &want)| f64::from((got - want).abs()))
+                        .fold(0.0f64, f64::max);
+                    telemetry::gauge("fl.decrypt_error.max", max_err);
+                }
                 global
             }
             Pipeline::Lwe { ctx, sk, quant_bits } => {

@@ -95,13 +95,6 @@ impl CkksCiphertext {
     pub fn levels(&self) -> usize {
         self.c0.levels()
     }
-
-    /// Publishes this ciphertext's level and scale to the telemetry
-    /// gauges `fhe.ckks.ct.level` / `fhe.ckks.ct.scale_log2`.
-    fn record_gauges(&self) {
-        telemetry::gauge("fhe.ckks.ct.level", self.levels() as f64);
-        telemetry::gauge("fhe.ckks.ct.scale_log2", self.scale.log2());
-    }
 }
 
 impl CkksContext {
@@ -243,7 +236,7 @@ impl CkksContext {
         values: &[f64],
         noise: &CkksEncryptNoise,
     ) -> Result<CkksCiphertext, FheError> {
-        let _t = telemetry::timer("fhe.ckks.encrypt");
+        let _span = telemetry::span("fhe.ckks.encrypt");
         let m = self.encode_poly(values)?;
         let v = RnsPoly::from_signed_coeffs(&noise.v, &self.primes);
         let e0 = RnsPoly::from_signed_coeffs(&noise.e0, &self.primes);
@@ -252,7 +245,7 @@ impl CkksContext {
         let c1 = self.poly_mul(&pk.a, &v).add(&e1, &self.primes);
         telemetry::count("fhe.ckks.encrypt.count", 1);
         let ct = CkksCiphertext { c0, c1, scale: self.encoder.scale() };
-        ct.record_gauges();
+        self.publish_noise_gauges(&ct);
         Ok(ct)
     }
 
@@ -272,7 +265,7 @@ impl CkksContext {
         values: &[f64],
         rng: &mut R,
     ) -> Result<CkksCiphertext, FheError> {
-        let _t = telemetry::timer("fhe.ckks.encrypt");
+        let _span = telemetry::span("fhe.ckks.encrypt");
         let m = self.encode_poly(values)?;
         let n = self.params.n;
         let a = self.uniform_poly(rng);
@@ -282,13 +275,13 @@ impl CkksContext {
             self.poly_mul(&a, &sk.s).neg(&self.primes).add(&e, &self.primes).add(&m, &self.primes);
         telemetry::count("fhe.ckks.encrypt.count", 1);
         let ct = CkksCiphertext { c0, c1: a, scale: self.encoder.scale() };
-        ct.record_gauges();
+        self.publish_noise_gauges(&ct);
         Ok(ct)
     }
 
     /// Decrypts a ciphertext to its slot values.
     pub fn decrypt(&self, sk: &CkksSecretKey, ct: &CkksCiphertext) -> Vec<f64> {
-        let _t = telemetry::timer("fhe.ckks.decrypt");
+        let _span = telemetry::span("fhe.ckks.decrypt");
         telemetry::count("fhe.ckks.decrypt.count", 1);
         let levels = ct.levels();
         let active = &self.primes[..levels];
@@ -424,8 +417,26 @@ impl CkksContext {
             c1: ct.c1.rescale_with(active, self.parallelism),
             scale: ct.scale / q_last,
         };
-        out.record_gauges();
+        self.publish_noise_gauges(&out);
         Ok(out)
+    }
+
+    /// Publishes the noise-budget gauges for `ct` (DESIGN.md §10):
+    /// `fhe.ckks.scale_bits` (log2 of the current scale Δ'),
+    /// `fhe.ckks.level_remaining` (active primes left in the chain), and
+    /// `fhe.ckks.modulus_bits_remaining` (Σ bits of the active primes —
+    /// the headroom rescales still have to burn). Called after every
+    /// fresh encryption and every rescale, so operators see margin
+    /// exhaustion before accuracy collapses.
+    fn publish_noise_gauges(&self, ct: &CkksCiphertext) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let levels = ct.levels();
+        let modulus_bits: u32 = self.primes[..levels].iter().map(|&q| bits_for(q)).sum();
+        telemetry::gauge("fhe.ckks.scale_bits", ct.scale.log2());
+        telemetry::gauge("fhe.ckks.level_remaining", levels as f64);
+        telemetry::gauge("fhe.ckks.modulus_bits_remaining", f64::from(modulus_bits));
     }
 
     /// Serializes a ciphertext with exact-width residue packing, so the

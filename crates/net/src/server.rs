@@ -35,6 +35,7 @@ use rhychee_core::round::{ClientUpdate, ServerRound};
 use rhychee_core::{Aggregation, Parallelism};
 use rhychee_fhe::ckks::{CkksCiphertext, CkksContext};
 use rhychee_fhe::params::CkksParams;
+use rhychee_obs::{ObsHandle, ObsServer};
 use rhychee_telemetry as telemetry;
 
 use crate::codec;
@@ -83,6 +84,7 @@ pub struct ServerConfig {
     accept_timeout: Duration,
     max_payload: u32,
     parallelism: Parallelism,
+    obs_addr: Option<String>,
 }
 
 impl ServerConfig {
@@ -142,6 +144,11 @@ impl ServerConfig {
         self.parallelism
     }
 
+    /// Observability listen address, when the plane is enabled.
+    pub fn obs_addr(&self) -> Option<&str> {
+        self.obs_addr.as_deref()
+    }
+
     fn validate(&self) -> Result<(), NetError> {
         if self.clients == 0 || self.rounds == 0 || self.model_params == 0 {
             return Err(NetError::Protocol(
@@ -171,6 +178,7 @@ pub struct ServerConfigBuilder {
     accept_timeout: Duration,
     max_payload: u32,
     parallelism: Parallelism,
+    obs_addr: Option<String>,
 }
 
 impl Default for ServerConfigBuilder {
@@ -186,6 +194,7 @@ impl Default for ServerConfigBuilder {
             accept_timeout: Duration::from_secs(30),
             max_payload: DEFAULT_MAX_PAYLOAD,
             parallelism: Parallelism::Auto,
+            obs_addr: None,
         }
     }
 }
@@ -252,6 +261,17 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Enables the live observability plane on `addr` (e.g.
+    /// `"127.0.0.1:9090"`, port 0 for OS-assigned): [`FlServer::bind`]
+    /// starts an HTTP server exposing `/metrics`, `/healthz` and
+    /// `/trace.json`, switches telemetry recording on process-wide, and
+    /// the round loop publishes the `fl.*` / `net.bytes.*` gauges.
+    /// Default: disabled.
+    pub fn obs_addr(mut self, addr: impl Into<String>) -> Self {
+        self.obs_addr = Some(addr.into());
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -271,6 +291,7 @@ impl ServerConfigBuilder {
             accept_timeout: self.accept_timeout,
             max_payload: self.max_payload,
             parallelism: self.parallelism,
+            obs_addr: self.obs_addr,
         };
         config.validate()?;
         Ok(config)
@@ -374,15 +395,23 @@ pub struct FlServer {
     listener: TcpListener,
     config: ServerConfig,
     pipeline: ServerPipeline,
+    obs: Option<ObsHandle>,
 }
 
 impl FlServer {
     /// Binds the listener. Use port 0 for an OS-assigned port and
     /// [`FlServer::local_addr`] to discover it.
     ///
+    /// When the config carries an `obs_addr`, this also switches
+    /// telemetry recording on and starts the observability HTTP server
+    /// immediately — scrapers can watch `/healthz` while clients are
+    /// still connecting, and [`FlServer::obs_addr`] reports the bound
+    /// scrape address before [`FlServer::run`] is called.
+    ///
     /// # Errors
     ///
-    /// Returns [`NetError`] on an invalid config or a bind failure.
+    /// Returns [`NetError`] on an invalid config or a bind failure
+    /// (either listener).
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         config: ServerConfig,
@@ -390,7 +419,18 @@ impl FlServer {
     ) -> Result<Self, NetError> {
         config.validate()?;
         let listener = TcpListener::bind(addr)?;
-        Ok(FlServer { listener, config, pipeline })
+        let obs = match config.obs_addr() {
+            Some(obs_addr) => {
+                telemetry::set_enabled(true);
+                telemetry::gauge("fl.round.current", 0.0);
+                telemetry::gauge("fl.rounds.total", config.rounds() as f64);
+                telemetry::gauge("fl.clients.connected", 0.0);
+                telemetry::gauge("fl.quorum.met", 0.0);
+                Some(ObsServer::bind(obs_addr)?.spawn()?)
+            }
+            None => None,
+        };
+        Ok(FlServer { listener, config, pipeline, obs })
     }
 
     /// The bound address (for clients to connect to).
@@ -400,6 +440,11 @@ impl FlServer {
     /// Propagates the socket error.
     pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
         Ok(self.listener.local_addr()?)
+    }
+
+    /// The observability scrape address, when the plane is enabled.
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs.as_ref().map(ObsHandle::addr)
     }
 
     /// Runs the full federation: handshake, `rounds` aggregation
@@ -436,12 +481,15 @@ impl FlServer {
         let (event_tx, event_rx) = mpsc::channel::<ServerEvent>();
         let mut handlers = self.accept_clients(&event_tx, &shared)?;
         drop(event_tx);
+        telemetry::gauge("fl.clients.connected", handlers.len() as f64);
 
         let mut report = ServerReport::default();
         let mut global = GlobalState::Plain(vec![0.0; self.config.model_params]);
 
         for round in 0..self.config.rounds {
             let span = telemetry::span("net_round");
+            // 1-based "round in flight" (0 means still handshaking).
+            telemetry::gauge("fl.round.current", (round + 1) as f64);
             let payload = Arc::new(self.encode_global(&global, ctx.as_deref()));
             for h in handlers.values() {
                 let _ = h.cmd_tx.send(HandlerCmd::Broadcast {
@@ -481,13 +529,16 @@ impl FlServer {
                 }
             }
 
+            telemetry::gauge("fl.clients.connected", handlers.len() as f64);
             if sr.received() < self.config.quorum {
+                telemetry::gauge("fl.quorum.met", 0.0);
                 return Err(NetError::QuorumNotReached {
                     round,
                     received: sr.received(),
                     quorum: self.config.quorum,
                 });
             }
+            telemetry::gauge("fl.quorum.met", 1.0);
 
             let agg_span = telemetry::span("net_aggregate");
             let received = sr.received();
@@ -500,6 +551,8 @@ impl FlServer {
                 rejected,
                 aggregate_time,
             });
+            telemetry::gauge("net.bytes.tx", shared.bytes_tx.load(Ordering::Relaxed) as f64);
+            telemetry::gauge("net.bytes.rx", shared.bytes_rx.load(Ordering::Relaxed) as f64);
             span.finish();
         }
 

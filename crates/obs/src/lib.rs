@@ -1,0 +1,29 @@
+//! # rhychee-obs
+//!
+//! Live observability plane for the Rhychee-FL stack: a zero-dependency
+//! HTTP/1.1 exposition server ([`http::ObsServer`]) publishing the global
+//! telemetry registry as Prometheus text ([`prometheus::render`]) on
+//! `/metrics`, a JSON liveness summary on `/healthz`, and the recent-span
+//! ring on `/trace.json`.
+//!
+//! The server is wired into `rhychee-net`'s `FlServer` via
+//! `ServerConfig::builder().obs_addr(...)`; it can also be embedded
+//! standalone in any process that records telemetry:
+//!
+//! ```
+//! use rhychee_obs::ObsServer;
+//!
+//! rhychee_telemetry::set_enabled(true);
+//! let handle = ObsServer::bind("127.0.0.1:0").unwrap().spawn().unwrap();
+//! println!("scrape http://{}/metrics", handle.addr());
+//! // handle stops the server when dropped
+//! ```
+//!
+//! Metric naming, the exposition grammar, and the noise-budget gauge
+//! taxonomy are documented in DESIGN.md §10.
+
+pub mod http;
+pub mod prometheus;
+
+pub use http::{ObsHandle, ObsServer};
+pub use prometheus::{metric_name, render};

@@ -168,6 +168,9 @@ impl ThreadPool {
     fn inject(&self, job: Job) {
         let mut queue = self.shared.queue.lock().unwrap();
         queue.push_back(job);
+        // Tasks are coarse chunks, so a gauge store per enqueue is cheap
+        // relative to the work each job carries.
+        telemetry::gauge("par.queue.depth", queue.len() as f64);
         self.shared.work_ready.notify_one();
     }
 

@@ -1,0 +1,81 @@
+//! Offline span-tree profiler for recorded JSONL traces.
+//!
+//! Reads the span records out of a trace file (as produced by
+//! `trace::export_jsonl` or any `TraceWriter`), aggregates them into a
+//! call tree, prints the top-N self-time table, and optionally writes
+//! folded-stack lines for flamegraph tooling.
+//!
+//! ```text
+//! trace_report <trace.jsonl> [--top N] [--folded OUT.txt]
+//! ```
+
+use std::process::ExitCode;
+
+use rhychee_telemetry::profile::{self, SpanTree};
+
+const USAGE: &str = "usage: trace_report <trace.jsonl> [--top N] [--folded OUT.txt]";
+
+struct Args {
+    input: String,
+    top: usize,
+    folded: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut input = None;
+    let mut top = 20usize;
+    let mut folded = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                top = v.parse().map_err(|_| format!("bad --top value: {v}"))?;
+            }
+            "--folded" => folded = Some(it.next().ok_or("--folded needs a path")?.clone()),
+            _ if arg.starts_with("--") => return Err(format!("unknown flag: {arg}")),
+            _ if input.is_none() => input = Some(arg.clone()),
+            _ => return Err(format!("unexpected argument: {arg}")),
+        }
+    }
+    Ok(Args { input: input.ok_or("missing trace file")?, top, folded })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("trace_report: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_report: cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spans = profile::parse_jsonl(&text);
+    if spans.is_empty() {
+        eprintln!("trace_report: no span records in {}", args.input);
+        return ExitCode::FAILURE;
+    }
+    let n_spans = spans.len();
+    let tree = SpanTree::from_paths(spans);
+    let max_depth = tree.nodes().map(|n| n.depth()).max().unwrap_or(0);
+    println!("{} spans, {} tree nodes, max depth {}", n_spans, tree.len(), max_depth);
+    println!();
+    print!("{}", tree.self_time_table(args.top));
+    if let Some(path) = &args.folded {
+        let folded = tree.folded();
+        if let Err(e) = std::fs::write(path, &folded) {
+            eprintln!("trace_report: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+        println!("wrote {} folded-stack lines to {path}", folded.lines().count());
+    }
+    ExitCode::SUCCESS
+}

@@ -51,6 +51,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 pub mod trace;
 
@@ -58,6 +59,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
+pub use profile::{SpanNode, SpanTree};
 pub use span::Span;
 pub use trace::{SpanEvent, TraceWriter};
 

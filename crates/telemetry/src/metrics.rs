@@ -163,6 +163,30 @@ impl Histogram {
         }
     }
 
+    /// Inclusive upper bound of a bucket (the largest value that lands in
+    /// it). The final bucket absorbs everything up to `u64::MAX`.
+    pub fn bucket_upper_bound(idx: usize) -> u64 {
+        if idx + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_lower_bound(idx + 1) - 1
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, sample count)` pairs
+    /// in ascending bound order — the sparse form exposition renderers
+    /// turn into cumulative `_bucket` series.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (Self::bucket_upper_bound(idx), n))
+            })
+            .collect()
+    }
+
     /// The `q`-quantile (`q` in `[0, 1]`): the lower bound of the bucket
     /// containing the sample of rank `ceil(q·count)`. Returns `None` for
     /// an empty histogram.
@@ -208,6 +232,9 @@ pub struct HistogramSummary {
     pub p90: u64,
     /// 99th-percentile estimate.
     pub p99: u64,
+    /// Non-empty buckets as `(inclusive upper bound, sample count)` in
+    /// ascending bound order (see [`Histogram::nonzero_buckets`]).
+    pub buckets: Vec<(u64, u64)>,
 }
 
 /// Point-in-time snapshot of every registered instrument.
@@ -299,6 +326,7 @@ impl Registry {
                 p50: h.quantile(0.5).unwrap_or(0),
                 p90: h.quantile(0.9).unwrap_or(0),
                 p99: h.quantile(0.99).unwrap_or(0),
+                buckets: h.nonzero_buckets(),
             })
             .collect();
         MetricsSnapshot { counters, gauges, histograms }
@@ -427,6 +455,54 @@ mod tests {
     fn quantile_rejects_out_of_range() {
         let h = Histogram::new();
         let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_rejects_negative() {
+        let h = Histogram::new();
+        h.record(1);
+        let _ = h.quantile(-0.1);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max_buckets() {
+        let h = Histogram::new();
+        for v in [3u64, 9, 27] {
+            h.record(v);
+        }
+        // q = 0 clamps the rank to the first sample, q = 1 to the last;
+        // all three samples sit in exact (< 32) buckets.
+        assert_eq!(h.quantile(0.0), Some(3));
+        assert_eq!(h.quantile(1.0), Some(27));
+    }
+
+    #[test]
+    fn bucket_upper_bounds_tile_the_axis() {
+        // Every bucket's upper bound is one below the next lower bound,
+        // so the buckets partition [0, u64::MAX] with no gaps.
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(
+                Histogram::bucket_upper_bound(idx),
+                Histogram::bucket_lower_bound(idx + 1) - 1
+            );
+        }
+        assert_eq!(Histogram::bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn nonzero_buckets_are_sparse_and_complete() {
+        let h = Histogram::new();
+        assert!(h.nonzero_buckets().is_empty());
+        h.record(7);
+        h.record(7);
+        h.record(100);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (7, 2)); // exact bucket below 32
+        let (ub, n) = buckets[1];
+        assert!(ub >= 100 && n == 1);
+        assert_eq!(buckets.iter().map(|&(_, n)| n).sum::<u64>(), h.count());
     }
 
     #[test]

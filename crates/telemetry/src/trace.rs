@@ -6,6 +6,7 @@
 //! `"type"` field (`span`, `counter`, `gauge`, `histogram`) — so traces
 //! from different runs can be concatenated and grepped.
 
+use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -17,6 +18,11 @@ use crate::metrics::MetricsSnapshot;
 /// `telemetry.trace.dropped` instead of stored, bounding memory on
 /// unbounded runs.
 const MAX_EVENTS: usize = 1 << 20;
+
+/// Capacity of the live ring of most-recent spans served by the
+/// observability plane's `/trace.json` — independent of the drain buffer
+/// so scrapes never consume events destined for JSONL export.
+const RECENT_CAP: usize = 4096;
 
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +59,18 @@ fn buffer() -> &'static Mutex<Vec<SpanEvent>> {
     BUF.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+fn recent_ring() -> &'static Mutex<VecDeque<SpanEvent>> {
+    static RING: OnceLock<Mutex<VecDeque<SpanEvent>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RECENT_CAP)))
+}
+
+/// The most recent completed spans, oldest first (bounded ring of
+/// [`RECENT_CAP`]). Non-destructive — unlike [`drain_events`], reading
+/// leaves both the ring and the drain buffer intact.
+pub fn recent_events() -> Vec<SpanEvent> {
+    recent_ring().lock().expect("trace ring lock").iter().cloned().collect()
+}
+
 /// Appends a completed span to the trace buffer (called by `Span`).
 pub(crate) fn record_span(
     name: &'static str,
@@ -63,13 +81,21 @@ pub(crate) fn record_span(
     dur: Duration,
 ) {
     let start_ns = start.saturating_duration_since(epoch()).as_nanos() as u64;
+    let event = SpanEvent { name, path, depth, thread, start_ns, dur_ns: dur.as_nanos() as u64 };
+    {
+        let mut ring = recent_ring().lock().expect("trace ring lock");
+        if ring.len() == RECENT_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(event.clone());
+    }
     let mut buf = buffer().lock().expect("trace buffer lock");
     if buf.len() >= MAX_EVENTS {
         drop(buf);
         crate::metrics::global().counter("telemetry.trace.dropped").inc();
         return;
     }
-    buf.push(SpanEvent { name, path, depth, thread, start_ns, dur_ns: dur.as_nanos() as u64 });
+    buf.push(event);
 }
 
 /// Removes and returns all buffered span events, oldest first.
@@ -259,6 +285,7 @@ mod tests {
                 p50: 1_000_000,
                 p90: 2_000_000,
                 p99: 2_000_000,
+                buckets: vec![(1_048_575, 1), (2_097_151, 1)],
             }],
         }
     }

@@ -1,0 +1,102 @@
+//! End-to-end test for the `trace_report` binary: feed it a JSONL trace
+//! with nested spans, check the self-time table reconciles with the
+//! input to the nanosecond, and check the folded-stack export.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use rhychee_telemetry::trace::{SpanEvent, TraceWriter};
+
+fn write_trace(dir: &std::path::Path) -> PathBuf {
+    let mk = |name: &'static str, path: &str, depth: u32, start_ns: u64, dur_ns: u64| SpanEvent {
+        name,
+        path: path.to_owned(),
+        depth,
+        thread: 0,
+        start_ns,
+        dur_ns,
+    };
+    // round(1000) = encrypt(600) + decrypt(150) + 250 self;
+    // encrypt(600) = ntt(400) + 200 self. Two rounds of it.
+    let mut events = Vec::new();
+    for r in 0..2u64 {
+        let base = r * 2000;
+        events.push(mk("fhe.ckks.ntt", "round/encrypt/fhe.ckks.ntt", 2, base + 20, 400));
+        events.push(mk("encrypt", "round/encrypt", 1, base + 10, 600));
+        events.push(mk("decrypt", "round/decrypt", 1, base + 700, 150));
+        events.push(mk("round", "round", 0, base, 1000));
+    }
+    let path = dir.join("trace.jsonl");
+    let mut w = TraceWriter::new(std::fs::File::create(&path).expect("create trace"));
+    w.write_events(&events).expect("write trace");
+    w.into_inner().expect("flush").sync_all().expect("sync");
+    path
+}
+
+#[test]
+fn trace_report_reconciles_and_exports_folded_stacks() {
+    let dir = std::env::temp_dir().join(format!("rhychee-trace-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = write_trace(&dir);
+    let folded = dir.join("trace.folded.txt");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_trace_report"))
+        .arg(&trace)
+        .args(["--top", "10"])
+        .arg("--folded")
+        .arg(&folded)
+        .output()
+        .expect("run trace_report");
+    let stdout = String::from_utf8(out.stdout.clone()).expect("utf8");
+    assert!(out.status.success(), "exit status: {:?}\n{stdout}", out.status);
+
+    assert!(stdout.contains("8 spans"), "span count in header:\n{stdout}");
+    assert!(stdout.contains("max depth 2"), "depth in header:\n{stdout}");
+    // Self-times to the nanosecond: round = 2*(1000-600-150) = 500,
+    // encrypt = 2*(600-400) = 400, ntt = 2*400 = 800, decrypt = 2*150.
+    for (path, self_ns) in [
+        ("round/encrypt/fhe.ckks.ntt", 800),
+        ("round", 500),
+        ("round/encrypt", 400),
+        ("round/decrypt", 300),
+    ] {
+        let row = stdout.lines().find(|l| l.split_whitespace().next() == Some(path));
+        let row = row.unwrap_or_else(|| panic!("row for {path}:\n{stdout}"));
+        assert!(
+            row.split_whitespace().any(|f| f == self_ns.to_string()),
+            "self-time {self_ns} for {path}: {row}"
+        );
+    }
+    // Ranking: ntt has the largest self-time, so its row comes first.
+    let header = stdout.lines().position(|l| l.starts_with("span")).expect("table header");
+    let first_row = stdout.lines().nth(header + 1);
+    assert!(first_row.is_some_and(|l| l.contains("fhe.ckks.ntt")), "ranking:\n{stdout}");
+
+    let folded_text = std::fs::read_to_string(&folded).expect("folded output");
+    let mut lines: Vec<&str> = folded_text.lines().collect();
+    lines.sort_unstable();
+    assert_eq!(
+        lines,
+        vec![
+            "round 500",
+            "round;decrypt 300",
+            "round;encrypt 400",
+            "round;encrypt;fhe.ckks.ntt 800",
+        ],
+        "folded stacks:\n{folded_text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_report_rejects_bad_usage() {
+    let no_args = Command::new(env!("CARGO_BIN_EXE_trace_report")).output().expect("run");
+    assert!(!no_args.status.success(), "missing input file must fail");
+
+    let missing = Command::new(env!("CARGO_BIN_EXE_trace_report"))
+        .arg("/nonexistent/trace.jsonl")
+        .output()
+        .expect("run");
+    assert!(!missing.status.success(), "unreadable input must fail");
+}

@@ -13,6 +13,11 @@
 //! ```text
 //! cargo run --release --example networked_fl
 //! ```
+//!
+//! Pass `--obs [ADDR]` (default `127.0.0.1:9090`) to start the live
+//! observability plane alongside the server; the scrape URL is printed
+//! at startup and serves `/metrics`, `/healthz` and `/trace.json` while
+//! the federation runs.
 
 use std::thread;
 
@@ -25,6 +30,14 @@ use rhychee_fl::net::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let obs_addr: Option<String> = args.iter().position(|a| a == "--obs").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:9090".to_owned())
+    });
+
     let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 360, test_samples: 120 }
         .generate(77)?;
     let fl = FlConfig::builder().clients(5).rounds(3).hd_dim(256).seed(7).build()?;
@@ -39,17 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fl.clients, fl.rounds, num_params, params.n
     );
 
+    let mut server_config =
+        ServerConfig::builder().clients(fl.clients).rounds(fl.rounds).model_params(num_params);
+    if let Some(obs) = &obs_addr {
+        server_config = server_config.obs_addr(obs.clone());
+    }
     let server = FlServer::bind(
         "127.0.0.1:0",
-        ServerConfig::builder()
-            .clients(fl.clients)
-            .rounds(fl.rounds)
-            .model_params(num_params)
-            .build()?,
+        server_config.build()?,
         ServerPipeline::Ckks(params.clone()),
     )?;
     let addr = server.local_addr()?;
     println!("server: listening on {addr}");
+    if let Some(obs) = server.obs_addr() {
+        println!("observability: curl http://{obs}/metrics  (also /healthz, /trace.json)");
+    }
     let server = thread::spawn(move || server.run());
 
     let mut joins = Vec::new();

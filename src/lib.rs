@@ -16,6 +16,8 @@
 //! * [`core`] — the Rhychee-FL federated-learning framework itself
 //! * [`net`] — the networked runtime: TCP client/server FL rounds over
 //!   a CRC-guarded encrypted wire protocol (DESIGN.md §8)
+//! * [`obs`] — the live observability plane: Prometheus `/metrics`,
+//!   `/healthz` and `/trace.json` over hand-rolled HTTP (DESIGN.md §10)
 //! * [`par`] — the scoped thread pool behind the unified `Parallelism`
 //!   knob (DESIGN.md §9)
 //! * [`telemetry`] — tracing spans and metrics over the round loop and
@@ -50,5 +52,6 @@ pub use rhychee_fhe as fhe;
 pub use rhychee_hdc as hdc;
 pub use rhychee_net as net;
 pub use rhychee_nn as nn;
+pub use rhychee_obs as obs;
 pub use rhychee_par as par;
 pub use rhychee_telemetry as telemetry;

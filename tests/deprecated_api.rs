@@ -1,0 +1,29 @@
+//! Deprecation hygiene for the PR 3 migration path: the deprecated
+//! `FlConfigBuilder::threads` alias must keep compiling and must map
+//! onto the unified `Parallelism` knob.
+
+use rhychee_fl::core::{FlConfig, Parallelism};
+
+#[test]
+fn deprecated_threads_alias_still_maps_to_fixed_parallelism() {
+    #[allow(deprecated)]
+    let cfg = FlConfig::builder()
+        .clients(4)
+        .rounds(2)
+        .hd_dim(128)
+        .seed(11)
+        .threads(3)
+        .build()
+        .expect("valid config");
+    assert_eq!(cfg.parallelism, Parallelism::Fixed(3));
+
+    // The alias floors at one worker, mirroring Fixed's semantics.
+    #[allow(deprecated)]
+    let cfg = FlConfig::builder().threads(0).build().expect("valid config");
+    assert_eq!(cfg.parallelism, Parallelism::Fixed(1));
+
+    // The replacement API and the alias agree.
+    let explicit =
+        FlConfig::builder().parallelism(Parallelism::Fixed(3)).build().expect("valid config");
+    assert_eq!(explicit.parallelism, Parallelism::Fixed(3));
+}

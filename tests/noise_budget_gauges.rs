@@ -1,0 +1,67 @@
+//! Noise-budget observability: every CKKS round must refresh the
+//! `fhe.ckks.*` margin gauges and the measured decrypt-vs-plaintext
+//! error gauge, so noise exhaustion is visible before accuracy
+//! collapses (ISSUE 4 / DESIGN.md §10).
+//!
+//! Single test on purpose: it flips the process-global telemetry state.
+
+use rhychee_fl::core::{FlConfig, Framework};
+use rhychee_fl::data::{DatasetKind, SyntheticConfig};
+use rhychee_fl::fhe::params::CkksParams;
+use rhychee_fl::telemetry;
+
+const GAUGES: [&str; 4] = [
+    "fhe.ckks.scale_bits",
+    "fhe.ckks.level_remaining",
+    "fhe.ckks.modulus_bits_remaining",
+    "fl.decrypt_error.max",
+];
+
+#[test]
+fn noise_budget_gauges_update_every_round() {
+    let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 120, test_samples: 40 }
+        .generate(23)
+        .expect("dataset");
+    let config = FlConfig::builder().clients(3).rounds(2).hd_dim(64).seed(3).build().expect("cfg");
+    let params = CkksParams::toy();
+
+    telemetry::set_enabled(true);
+    let mut federation = Framework::hdc_encrypted(config, &data, params.clone()).expect("build");
+    let reg = telemetry::metrics::global();
+
+    for round in 0..2 {
+        // Poison every gauge with a sentinel no code path writes, so a
+        // pass proves this round refreshed each one.
+        for name in GAUGES {
+            reg.gauge(name).set(-1.0);
+        }
+        federation.run_round().expect("round");
+
+        let scale_bits = reg.gauge("fhe.ckks.scale_bits").get();
+        assert_eq!(
+            scale_bits,
+            f64::from(params.scale_bits),
+            "round {round}: fresh ciphertexts carry the configured scale"
+        );
+        let levels = reg.gauge("fhe.ckks.level_remaining").get();
+        assert_eq!(
+            levels,
+            params.prime_bits.len() as f64,
+            "round {round}: no rescale happened, full chain remains"
+        );
+        let modulus_bits = reg.gauge("fhe.ckks.modulus_bits_remaining").get();
+        assert!(
+            modulus_bits >= f64::from(params.log_q()),
+            "round {round}: active primes cover log Q = {} (got {modulus_bits})",
+            params.log_q()
+        );
+        let err = reg.gauge("fl.decrypt_error.max").get();
+        assert!(
+            err.is_finite() && err > 0.0,
+            "round {round}: CKKS noise makes the measured decrypt error strictly positive \
+             (got {err})"
+        );
+        assert!(err < 1e-2, "round {round}: decrypt error stays within the noise margin ({err})");
+    }
+    telemetry::set_enabled(false);
+}

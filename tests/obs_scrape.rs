@@ -1,0 +1,164 @@
+//! Loopback scrape smoke test for the live observability plane: an
+//! [`FlServer`] bound with `obs_addr` must serve `/metrics`, `/healthz`
+//! and `/trace.json` *while* a federation is running, and the metrics
+//! body must be valid Prometheus text exposition carrying the round
+//! gauge, a counter, and a full histogram family.
+//!
+//! Single test on purpose: it flips the process-global telemetry state
+//! (enabled flag, registry), which cannot be shared with other tests in
+//! the same binary.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use rhychee_fl::core::round::{self, ClientLocal, FedSetup};
+use rhychee_fl::core::FlConfig;
+use rhychee_fl::data::{DatasetKind, SyntheticConfig};
+use rhychee_fl::fhe::params::CkksParams;
+use rhychee_fl::net::{
+    ClientConfig, ClientPipeline, FlClient, FlServer, ServerConfig, ServerPipeline,
+};
+
+fn http_get(addr: SocketAddr, path: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (head, body) = response.split_once("\r\n\r\n")?;
+    head.starts_with("HTTP/1.1 200").then(|| body.to_owned())
+}
+
+/// Validates the exposition grammar: every sample line is
+/// `series[{labels}] value`, every comment is a `# TYPE` we emit.
+fn assert_valid_exposition(text: &str) {
+    assert!(!text.is_empty(), "empty exposition");
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let kind = rest.split(' ').nth(1).expect("type line has a kind");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "bad type: {line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line must be `series value`: {line:?}");
+        });
+        assert!(series.starts_with("rhychee_"), "unprefixed series: {line}");
+        let parses = matches!(value, "NaN" | "+Inf" | "-Inf") || value.parse::<f64>().is_ok();
+        assert!(parses, "unparseable value in {line:?}");
+    }
+}
+
+/// The value of an unlabeled series, if present.
+fn sample(text: &str, series: &str) -> Option<f64> {
+    let prefix = format!("{series} ");
+    text.lines().find_map(|l| l.strip_prefix(&prefix).and_then(|v| v.parse().ok()))
+}
+
+#[test]
+fn metrics_scrape_during_live_federation() {
+    let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 240, test_samples: 80 }
+        .generate(41)
+        .expect("dataset");
+    // CKKS pipeline with a real model size: rounds must take long enough
+    // on a 1-core runner that loopback scrapes land mid-federation.
+    let fl = FlConfig::builder().clients(3).rounds(6).hd_dim(512).seed(9).build().expect("config");
+    let FedSetup { shards, test, classes } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+
+    let server = FlServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::builder()
+            .clients(fl.clients)
+            .rounds(fl.rounds)
+            .model_params(num_params)
+            .obs_addr("127.0.0.1:0")
+            .build()
+            .expect("server config"),
+        ServerPipeline::Ckks(CkksParams::toy()),
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let obs = server.obs_addr().expect("obs enabled at bind time");
+
+    // The plane is already up before run(): handshake state is visible.
+    let pre = http_get(obs, "/metrics").expect("scrape before run");
+    assert_valid_exposition(&pre);
+    assert_eq!(sample(&pre, "rhychee_fl_round_current"), Some(0.0), "0 = handshaking");
+
+    let server_thread = thread::spawn(move || server.run());
+    let clients: Vec<_> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            let local = ClientLocal::new(id, shard, classes, &fl);
+            let eval = (id == 0).then(|| test.clone());
+            let client = FlClient::new(
+                ClientConfig::new(addr),
+                fl.clone(),
+                local,
+                classes,
+                eval,
+                ClientPipeline::Ckks(CkksParams::toy()),
+            )
+            .expect("client");
+            thread::spawn(move || client.run())
+        })
+        .collect();
+
+    // Scrape continuously while the federation runs; keep the last body
+    // captured with a live round in flight. The obs server dies with
+    // run(), so every capture below happened during the live run.
+    let mut live_metrics: Option<String> = None;
+    let mut live_health: Option<String> = None;
+    while !server_thread.is_finished() {
+        if let Some(body) = http_get(obs, "/metrics") {
+            let round_live = sample(&body, "rhychee_fl_round_current").is_some_and(|v| v >= 1.0);
+            // Span histograms appear once the first spans close (e.g.
+            // `net_decode` during the first collection window); only
+            // bodies carrying a full family satisfy the assertions below.
+            if round_live && body.contains("_bucket{le=") {
+                live_metrics = Some(body);
+                if live_health.is_none() {
+                    live_health = http_get(obs, "/healthz");
+                }
+            }
+        }
+        // No sleep: each scrape already waits on the obs accept poll, so
+        // the loop is naturally paced and maximizes mid-round captures.
+    }
+    server_thread.join().expect("server thread").expect("server run");
+    for c in clients {
+        c.join().expect("client thread").expect("client run");
+    }
+
+    let metrics = live_metrics.expect("at least one scrape landed during a live round");
+    assert_valid_exposition(&metrics);
+
+    // One gauge (the round in flight), one counter, one histogram family
+    // with cumulative buckets, sum and count.
+    let current = sample(&metrics, "rhychee_fl_round_current").expect("round gauge");
+    assert!((1.0..=fl.rounds as f64).contains(&current), "round in flight: {current}");
+    assert!(metrics.contains("# TYPE rhychee_fl_round_current gauge"));
+    assert!(
+        sample(&metrics, "rhychee_net_bytes_rx_total").is_some_and(|v| v > 0.0),
+        "bytes counter grows during the run"
+    );
+    let family = metrics
+        .lines()
+        .find_map(|l| l.split_once("_bucket{le=").map(|(name, _)| name.to_owned()))
+        .expect("a histogram family was captured");
+    assert!(metrics.contains(&format!("# TYPE {family} histogram")), "{family} TYPE line");
+    assert!(metrics.contains(&format!("{family}_bucket{{le=\"+Inf\"}}")), "+Inf bucket");
+    assert!(sample(&metrics, &format!("{family}_sum")).is_some(), "_sum series");
+    assert!(
+        sample(&metrics, &format!("{family}_count")).is_some_and(|v| v >= 1.0),
+        "_count series"
+    );
+
+    let health = live_health.expect("healthz scrape during the run");
+    assert!(health.contains("\"status\":\"ok\""), "{health}");
+    assert!(health.contains("\"round\":"), "{health}");
+    assert!(health.contains("\"clients_connected\":3"), "{health}");
+}
