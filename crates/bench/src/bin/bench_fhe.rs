@@ -1,9 +1,11 @@
 //! FHE hot-path microbenchmarks across parallelism degrees.
 //!
-//! Times the three operations the `rhychee-par` pool accelerates — the
-//! forward NTT (Shoup/Harvey butterflies), packed model encryption, and
-//! homomorphic weighted aggregation — at 1, 2, and 4 threads, and
-//! writes the measurements to `BENCH_fhe.json` for the CI trend line.
+//! Times the operations the `rhychee-par` pool accelerates — the
+//! forward NTT (Shoup/Harvey butterflies), packed model encryption
+//! (NTT-resident, coefficient-domain reference, and symmetric seeded),
+//! homomorphic weighted aggregation, and model decryption — at 1, 2,
+//! and 4 threads, and writes the measurements to `BENCH_fhe.json` for
+//! the CI trend line, together with canonical vs seeded wire sizes.
 //! Parallelism never changes results (see `tests/parallel_determinism`),
 //! so every degree benchmarks the same arithmetic.
 //!
@@ -56,7 +58,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let all_threads = args.iter().any(|a| a == "--all-threads");
     let (params, model_params, clients, iters) = if quick {
-        (CkksParams::toy(), 2_000usize, 4usize, 8usize)
+        (CkksParams::toy(), 2_000usize, 4usize, 24usize)
     } else {
         (CkksParams::ckks3(), 20_000, 4, 4)
     };
@@ -111,15 +113,33 @@ fn main() {
     for &threads in &degrees {
         let par = Parallelism::Fixed(threads);
         let ctx = CkksContext::with_parallelism(params.clone(), par).expect("context");
+        let mut ctx_ref = CkksContext::with_parallelism(params.clone(), par).expect("context");
+        ctx_ref.set_eval_resident(false);
         let mut rng = StdRng::seed_from_u64(7);
-        let (_sk, pk) = ctx.generate_keys(&mut rng);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
         let flat: Vec<f32> = (0..model_params).map(|i| (i as f32 * 0.01).sin()).collect();
+
+        // "Before" row: the coefficient-domain reference pipeline, which
+        // pays two polynomial products (each 2 forward + 1 inverse NTT
+        // per prime) inside every encrypt instead of four forwards.
+        let encrypt_coeff_ns = time_ns(iters, || {
+            let cts = packing::encrypt_model(&ctx_ref, &pk, &flat, &mut rng).expect("encrypt");
+            std::hint::black_box(cts);
+        });
+        samples.push(Sample { op: "encrypt_model_coeff", threads, ns_per_op: encrypt_coeff_ns });
 
         let encrypt_ns = time_ns(iters, || {
             let cts = packing::encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt");
             std::hint::black_box(cts);
         });
         samples.push(Sample { op: "encrypt_model", threads, ns_per_op: encrypt_ns });
+
+        let encrypt_seeded_ns = time_ns(iters, || {
+            let cts =
+                packing::encrypt_model_symmetric(&ctx, &sk, &flat, &mut rng).expect("encrypt");
+            std::hint::black_box(cts);
+        });
+        samples.push(Sample { op: "encrypt_model_seeded", threads, ns_per_op: encrypt_seeded_ns });
 
         let models: Vec<_> = (0..clients)
             .map(|_| packing::encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt"))
@@ -131,8 +151,25 @@ fn main() {
             std::hint::black_box(global);
         });
         samples.push(Sample { op: "aggregate", threads, ns_per_op: aggregate_ns });
+
+        let global =
+            packing::homomorphic_weighted_average(&ctx, &models, &weights).expect("aggregate");
+        let decrypt_ns = time_ns(iters, || {
+            let flat = packing::decrypt_model(&ctx, &sk, &global, model_params).expect("decrypt");
+            std::hint::black_box(flat);
+        });
+        samples.push(Sample { op: "decrypt_model", threads, ns_per_op: decrypt_ns });
         eprintln!("  [threads = {threads}] done");
     }
+
+    // Wire sizes are degree-independent: canonical vs seeded bytes for
+    // one fresh full-level ciphertext, plus a whole-model upload.
+    let size_ctx = CkksContext::new(params.clone()).expect("context");
+    let levels = size_ctx.primes().len();
+    let ct_bytes_canonical = size_ctx.serialized_len(levels);
+    let ct_bytes_seeded = size_ctx.serialized_len_seeded(levels);
+    let upload_canonical = packing::upload_bytes_canonical(&size_ctx, model_params);
+    let upload_seeded = packing::upload_bytes_seeded(&size_ctx, model_params);
 
     let mut table = Table::new(vec!["op", "threads", "ns/op", "ms/op", "speedup vs 1"]);
     for s in &samples {
@@ -155,6 +192,21 @@ fn main() {
     }
     table.print();
 
+    let mut sizes = Table::new(vec!["format", "bytes/ct", "bytes/model upload", "vs canonical"]);
+    sizes.row(vec![
+        "canonical".into(),
+        ct_bytes_canonical.to_string(),
+        upload_canonical.to_string(),
+        "1.00x".into(),
+    ]);
+    sizes.row(vec![
+        "seeded".into(),
+        ct_bytes_seeded.to_string(),
+        upload_seeded.to_string(),
+        format!("{:.2}x", upload_canonical as f64 / upload_seeded as f64),
+    ]);
+    sizes.print();
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"machine_cores\": {cores},\n"));
     if let Some(w) = &warning {
@@ -163,6 +215,24 @@ fn main() {
     json.push_str(&format!("  \"ring_degree\": {},\n", params.n));
     json.push_str(&format!("  \"model_params\": {model_params},\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"ct_bytes_canonical\": {ct_bytes_canonical},\n"));
+    json.push_str(&format!("  \"ct_bytes_seeded\": {ct_bytes_seeded},\n"));
+    json.push_str(&format!("  \"upload_bytes_canonical\": {upload_canonical},\n"));
+    json.push_str(&format!("  \"upload_bytes_seeded\": {upload_seeded},\n"));
+    json.push_str(&format!(
+        "  \"upload_ratio_canonical_over_seeded\": {:.3},\n",
+        upload_canonical as f64 / upload_seeded as f64
+    ));
+    // Headline before/after ratios at 1 thread: the coefficient-domain
+    // reference encrypt vs the NTT-resident public-key and symmetric
+    // seeded paths (the latter is what clients actually upload with).
+    let at = |op: &str| samples.iter().find(|s| s.op == op && s.threads == 1).map(|s| s.ns_per_op);
+    if let (Some(coeff), Some(res), Some(seeded)) =
+        (at("encrypt_model_coeff"), at("encrypt_model"), at("encrypt_model_seeded"))
+    {
+        json.push_str(&format!("  \"encrypt_speedup_resident_vs_coeff\": {:.3},\n", coeff / res));
+        json.push_str(&format!("  \"encrypt_speedup_seeded_vs_coeff\": {:.3},\n", coeff / seeded));
+    }
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };

@@ -11,6 +11,19 @@ use rand::Rng;
 use rhychee_fhe::ckks::{CkksCiphertext, CkksContext, CkksPublicKey, CkksSecretKey};
 use rhychee_fhe::FheError;
 
+/// Bytes needed to upload a packed model in the canonical (full `c1`)
+/// wire format.
+pub fn upload_bytes_canonical(ctx: &CkksContext, num_params: usize) -> usize {
+    ciphertexts_needed(num_params, ctx.slot_count()) * ctx.serialized_len(ctx.primes().len())
+}
+
+/// Bytes needed to upload a packed model in the seed-compressed format
+/// (fresh symmetric ciphertexts only): roughly half the canonical size,
+/// since a 32-byte seed stands in for the full `c1` component.
+pub fn upload_bytes_seeded(ctx: &CkksContext, num_params: usize) -> usize {
+    ciphertexts_needed(num_params, ctx.slot_count()) * ctx.serialized_len_seeded(ctx.primes().len())
+}
+
 /// Splits a flat parameter vector into slot-sized chunks (the last chunk
 /// zero-padded implicitly by the encoder).
 pub fn chunk_params(flat: &[f32], slots: usize) -> Vec<Vec<f64>> {
@@ -43,6 +56,35 @@ pub fn encrypt_model<R: Rng + ?Sized>(
     let noises: Vec<_> = chunks.iter().map(|_| ctx.sample_encrypt_noise(rng)).collect();
     rhychee_par::map(ctx.parallelism(), chunks.len(), |i| {
         ctx.encrypt_with_noise(pk, &chunks[i], &noises[i])
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Encrypts a flat model with maximum packing under the *secret* key,
+/// producing seeded ciphertexts eligible for the seed-compressed wire
+/// format ([`rhychee_fhe::ckks::CkksContext::serialize_seeded`]).
+///
+/// Rhychee-FL's shared-secret-key deployment (paper §IV-A) lets every
+/// client encrypt symmetrically, so uploads can ship a 32-byte seed in
+/// place of the full `c1` polynomial — roughly halving upload bytes.
+///
+/// # Errors
+///
+/// Propagates [`FheError`] from encryption.
+pub fn encrypt_model_symmetric<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    sk: &CkksSecretKey,
+    flat: &[f32],
+    rng: &mut R,
+) -> Result<Vec<CkksCiphertext>, FheError> {
+    let chunks = chunk_params(flat, ctx.slot_count());
+    // Same sequential-draw / parallel-arithmetic split as
+    // `encrypt_model`: seeds and noise come off the RNG in chunk order,
+    // so the ciphertexts are bit-identical for every parallelism degree.
+    let noises: Vec<_> = chunks.iter().map(|_| ctx.sample_symmetric_noise(rng)).collect();
+    rhychee_par::map(ctx.parallelism(), chunks.len(), |i| {
+        ctx.encrypt_symmetric_with_noise(sk, &chunks[i], &noises[i])
     })
     .into_iter()
     .collect()
@@ -192,6 +234,27 @@ mod tests {
         for (a, b) in flat.iter().zip(&back) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn symmetric_model_round_trip_and_seeded_bytes() {
+        let (ctx, sk, _, mut rng) = setup();
+        let flat: Vec<f32> = (0..700).map(|i| (i as f32 * 0.01).cos()).collect();
+        let cts = encrypt_model_symmetric(&ctx, &sk, &flat, &mut rng).expect("encrypt");
+        assert!(cts.iter().all(rhychee_fhe::ckks::CkksCiphertext::is_seeded));
+        let back = decrypt_model(&ctx, &sk, &cts, 700).expect("decrypt");
+        for (a, b) in flat.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+        // The seeded wire format carries one packed component instead of
+        // two, so a full-model upload shrinks by ~2×.
+        let canonical = upload_bytes_canonical(&ctx, 700);
+        let seeded = upload_bytes_seeded(&ctx, 700);
+        assert_eq!(
+            seeded,
+            cts.iter().map(|ct| ctx.serialize_seeded(ct).expect("seeded").len()).sum::<usize>()
+        );
+        assert!(seeded * 2 < canonical + 128 * cts.len(), "{seeded} vs {canonical}");
     }
 
     #[test]

@@ -230,6 +230,22 @@ impl ClientLocal {
     ) -> Result<Vec<CkksCiphertext>, FheError> {
         packing::encrypt_model(ctx, pk, flat, &mut self.rng)
     }
+
+    /// Trains and encrypts symmetrically under the shared secret key,
+    /// producing seeded ciphertexts for the seed-compressed upload path
+    /// (roughly half the canonical wire bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FheError`] from encryption.
+    pub fn encrypt_update_symmetric(
+        &mut self,
+        ctx: &CkksContext,
+        sk: &CkksSecretKey,
+        flat: &[f32],
+    ) -> Result<Vec<CkksCiphertext>, FheError> {
+        packing::encrypt_model_symmetric(ctx, sk, flat, &mut self.rng)
+    }
 }
 
 /// One client's contribution to a round.

@@ -5,8 +5,21 @@
 //! multiplication by a plaintext scalar or vector, plus rescaling. No
 //! relinearization or bootstrapping is required because federated
 //! averaging is linear.
+//!
+//! The pipeline is NTT-resident: keys carry evaluation-domain copies
+//! built once at keygen, fresh ciphertexts come out of encryption in the
+//! evaluation domain, and the additive operations stay pointwise there.
+//! Residue rows are inverse-transformed only at the decrypt/serialize
+//! boundary, so a full encrypt→aggregate→decrypt round costs four
+//! forward NTTs per prime on the client and one inverse per prime at
+//! decryption — down from six transforms plus two key re-transforms per
+//! encryption. The NTT is a per-prime linear bijection, so every
+//! decrypted value and every canonical serialized byte is bit-identical
+//! to the coefficient-domain reference path (kept behind
+//! [`CkksContext::set_eval_resident`] for tests and benchmarks).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::Rng;
 use rhychee_par::Parallelism;
@@ -18,9 +31,10 @@ use crate::params::CkksParams;
 use crate::sampling::{gaussian_vec, ternary_vec};
 
 use super::encoder::CkksEncoder;
-use super::modarith::{find_ntt_primes, mul_mod};
-use super::ntt::NttTable;
-use super::rns::RnsPoly;
+use super::modarith::{add_mod, find_ntt_primes, mul_mod};
+use super::ntt::{cached_table, NttTable};
+use super::rns::{Domain, RnsPoly};
+use super::{scratch, seedexp};
 
 /// Shared CKKS evaluation context: primes, NTT tables and the encoder.
 ///
@@ -45,22 +59,51 @@ use super::rns::RnsPoly;
 pub struct CkksContext {
     params: CkksParams,
     primes: Vec<u64>,
-    ntt: Vec<NttTable>,
+    ntt: Vec<Arc<NttTable>>,
     encoder: CkksEncoder,
     parallelism: Parallelism,
+    /// When true (the default), encryption emits evaluation-domain
+    /// ciphertexts. When false, the coefficient-domain reference path is
+    /// used instead; outputs are bit-identical either way.
+    eval_resident: bool,
 }
 
-/// A CKKS secret key (the ternary ring element `s`).
+/// A CKKS secret key: the ternary ring element `s` plus its cached
+/// evaluation-domain form.
+///
+/// `s_eval` is transformed once at keygen. Residue rows are independent
+/// per prime, so the per-level truncations decryption needs are just row
+/// slices of `s_eval` — no per-call copy or transform.
 #[derive(Debug, Clone)]
 pub struct CkksSecretKey {
     pub(crate) s: RnsPoly,
+    pub(crate) s_eval: RnsPoly,
 }
 
-/// A CKKS public key `(b, a) = (−a·s + e, a)`.
+/// A CKKS public key `(b, a) = (−a·s + e, a)`, carrying both the
+/// coefficient-domain polynomials and their evaluation-domain forms
+/// (transformed once at keygen so encryption never re-transforms keys).
 #[derive(Debug, Clone)]
 pub struct CkksPublicKey {
     pub(crate) b: RnsPoly,
     pub(crate) a: RnsPoly,
+    pub(crate) b_eval: RnsPoly,
+    pub(crate) a_eval: RnsPoly,
+}
+
+impl CkksSecretKey {
+    pub(crate) fn from_coeff(ctx: &CkksContext, s: RnsPoly) -> Self {
+        let s_eval = ctx.to_eval(&s);
+        CkksSecretKey { s, s_eval }
+    }
+}
+
+impl CkksPublicKey {
+    pub(crate) fn from_coeff(ctx: &CkksContext, b: RnsPoly, a: RnsPoly) -> Self {
+        let b_eval = ctx.to_eval(&b);
+        let a_eval = ctx.to_eval(&a);
+        CkksPublicKey { b, a, b_eval, a_eval }
+    }
 }
 
 /// Pre-sampled encryption randomness: the ephemeral secret `v` and the
@@ -77,12 +120,31 @@ pub struct CkksEncryptNoise {
     e1: Vec<i64>,
 }
 
+/// Pre-sampled symmetric-encryption randomness: the 32-byte expansion
+/// seed for the uniform component `a` and the error polynomial `e`.
+///
+/// Produced by [`CkksContext::sample_symmetric_noise`] and consumed by
+/// [`CkksContext::encrypt_symmetric_with_noise`] — the same sequential-
+/// sampling / parallel-arithmetic split as [`CkksEncryptNoise`].
+#[derive(Debug, Clone)]
+pub struct CkksSymmetricNoise {
+    seed: [u8; 32],
+    e: Vec<i64>,
+}
+
 /// A CKKS ciphertext `(c0, c1)` with scale and (implicit) level tracking.
+///
+/// Fresh symmetric ciphertexts additionally remember the 32-byte seed
+/// their uniform `c1` was expanded from, enabling the seed-compressed
+/// wire format ([`CkksContext::serialize_seeded`]). Any homomorphic
+/// operation invalidates the seed (the result's `c1` is no longer a pure
+/// expansion), so aggregates always serialize canonically.
 #[derive(Debug, Clone)]
 pub struct CkksCiphertext {
     pub(crate) c0: RnsPoly,
     pub(crate) c1: RnsPoly,
     pub(crate) scale: f64,
+    pub(crate) c1_seed: Option<[u8; 32]>,
 }
 
 impl CkksCiphertext {
@@ -94,6 +156,13 @@ impl CkksCiphertext {
     /// Remaining modulus levels (number of active primes).
     pub fn levels(&self) -> usize {
         self.c0.levels()
+    }
+
+    /// Whether this ciphertext still carries the expansion seed of its
+    /// uniform `c1` (fresh symmetric encryptions only) and therefore
+    /// supports [`CkksContext::serialize_seeded`].
+    pub fn is_seeded(&self) -> bool {
+        self.c1_seed.is_some()
     }
 }
 
@@ -139,9 +208,9 @@ impl CkksContext {
             .iter()
             .map(|b| pools.get_mut(b).expect("pool exists").remove(0))
             .collect();
-        let ntt = primes.iter().map(|&q| NttTable::new(params.n, q)).collect();
+        let ntt = primes.iter().map(|&q| cached_table(params.n, q)).collect();
         let encoder = CkksEncoder::new(params.n, 1u64 << params.scale_bits);
-        Ok(CkksContext { params, primes, ntt, encoder, parallelism })
+        Ok(CkksContext { params, primes, ntt, encoder, parallelism, eval_resident: true })
     }
 
     /// The parameter set this context was built from.
@@ -158,6 +227,24 @@ impl CkksContext {
     /// scheduling knob: outputs are bit-identical for every degree.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.parallelism = parallelism;
+    }
+
+    /// Whether public-key encryption emits evaluation-domain (NTT-resident)
+    /// ciphertexts (the default).
+    pub fn eval_resident(&self) -> bool {
+        self.eval_resident
+    }
+
+    /// Selects between the NTT-resident pipeline (`true`, the default)
+    /// and the coefficient-domain reference path (`false`).
+    ///
+    /// The flag only affects which domain [`CkksContext::encrypt`] emits;
+    /// every other operation dispatches on the ciphertext's actual
+    /// domain. Decrypted values and canonical serialized bytes are
+    /// bit-identical either way — the reference path exists so tests and
+    /// benchmarks can prove exactly that (and measure the difference).
+    pub fn set_eval_resident(&mut self, eval_resident: bool) {
+        self.eval_resident = eval_resident;
     }
 
     /// The materialized RNS prime chain.
@@ -186,7 +273,9 @@ impl CkksContext {
         // b = -(a·s) + e
         let a_s = self.poly_mul(&a, &s);
         let b = a_s.neg(&self.primes).add(&e, &self.primes);
-        (CkksSecretKey { s }, CkksPublicKey { b, a })
+        // The evaluation-domain key copies are built here, once — the
+        // encrypt/decrypt hot paths never transform key material again.
+        (CkksSecretKey::from_coeff(self, s), CkksPublicKey::from_coeff(self, b, a))
     }
 
     /// Encrypts a slot vector under the public key.
@@ -238,22 +327,91 @@ impl CkksContext {
     ) -> Result<CkksCiphertext, FheError> {
         let _span = telemetry::span("fhe.ckks.encrypt");
         let m = self.encode_poly(values)?;
-        let v = RnsPoly::from_signed_coeffs(&noise.v, &self.primes);
-        let e0 = RnsPoly::from_signed_coeffs(&noise.e0, &self.primes);
-        let e1 = RnsPoly::from_signed_coeffs(&noise.e1, &self.primes);
-        let c0 = self.poly_mul(&pk.b, &v).add(&e0, &self.primes).add(&m, &self.primes);
-        let c1 = self.poly_mul(&pk.a, &v).add(&e1, &self.primes);
+        let ct = if self.eval_resident {
+            self.encrypt_resident(pk, &m, noise)
+        } else {
+            // Coefficient-domain reference path: two full NTT products
+            // (re-transforming the keys) plus coefficient additions.
+            let v = RnsPoly::from_signed_coeffs(&noise.v, &self.primes);
+            let e0 = RnsPoly::from_signed_coeffs(&noise.e0, &self.primes);
+            let e1 = RnsPoly::from_signed_coeffs(&noise.e1, &self.primes);
+            let c0 = self.poly_mul(&pk.b, &v).add(&e0, &self.primes).add(&m, &self.primes);
+            let c1 = self.poly_mul(&pk.a, &v).add(&e1, &self.primes);
+            CkksCiphertext { c0, c1, scale: self.encoder.scale(), c1_seed: None }
+        };
         telemetry::count("fhe.ckks.encrypt.count", 1);
-        let ct = CkksCiphertext { c0, c1, scale: self.encoder.scale() };
         self.publish_noise_gauges(&ct);
         Ok(ct)
+    }
+
+    /// Evaluation-domain encryption: exactly one forward NTT per prime
+    /// for each of `v` (shared by both components), `e0`, `e1` and `m`,
+    /// zero inverses, zero key transforms. Per prime:
+    /// `c0 = b̂ ∘ NTT(v) + NTT(e0) + NTT(m)`, `c1 = â ∘ NTT(v) + NTT(e1)`.
+    ///
+    /// The NTT is linear over `Z_q`, so INTT of these rows equals the
+    /// reference path's coefficient rows exactly — same ciphertext, new
+    /// domain.
+    fn encrypt_resident(
+        &self,
+        pk: &CkksPublicKey,
+        m: &RnsPoly,
+        noise: &CkksEncryptNoise,
+    ) -> CkksCiphertext {
+        let n = self.params.n;
+        let levels = self.primes.len();
+        // (c0, c1) rows are produced together per prime so NTT(v) is
+        // computed once and feeds both components.
+        let mut rows: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); levels];
+        rhychee_par::for_each_mut(self.parallelism, &mut rows, |i, pair| {
+            let (r0, r1) = pair;
+            let table = &self.ntt[i];
+            let q = self.primes[i];
+            let b_row = pk.b_eval.residues(i);
+            let a_row = pk.a_eval.residues(i);
+            r0.resize(n, 0);
+            r1.resize(n, 0);
+            // r1 holds NTT(v) until c0 is assembled, then becomes c1.
+            reduce_signed_into(&noise.v, q, r1);
+            table.forward(r1);
+            // c0 = b̂ ∘ NTT(v) + NTT(e0) + NTT(m)
+            reduce_signed_into(&noise.e0, q, r0);
+            table.forward(r0);
+            scratch::with_row(n, |t| {
+                t.copy_from_slice(m.residues(i));
+                table.forward(t);
+                for j in 0..n {
+                    let e0_m = add_mod(r0[j], t[j], q);
+                    r0[j] = add_mod(mul_mod(b_row[j], r1[j], q), e0_m, q);
+                }
+            });
+            // c1 = â ∘ NTT(v) + NTT(e1)
+            scratch::with_row(n, |t| {
+                reduce_signed_into(&noise.e1, q, t);
+                table.forward(t);
+                for j in 0..n {
+                    r1[j] = add_mod(mul_mod(a_row[j], r1[j], q), t[j], q);
+                }
+            });
+        });
+        let (rows0, rows1): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        CkksCiphertext {
+            c0: RnsPoly::from_rows(rows0, Domain::Eval),
+            c1: RnsPoly::from_rows(rows1, Domain::Eval),
+            scale: self.encoder.scale(),
+            c1_seed: None,
+        }
     }
 
     /// Encrypts a slot vector under the secret key (symmetric mode).
     ///
     /// Produces the same ciphertext shape as [`CkksContext::encrypt`] with
     /// slightly lower fresh noise; useful when clients hold the shared
-    /// secret key anyway, as in Rhychee-FL.
+    /// secret key anyway, as in Rhychee-FL. The uniform component
+    /// `c1 = a` is expanded from a 32-byte seed drawn from `rng`, and the
+    /// ciphertext remembers that seed, so it can travel in the
+    /// seed-compressed wire format ([`CkksContext::serialize_seeded`])
+    /// at roughly half the canonical byte cost.
     ///
     /// # Errors
     ///
@@ -265,29 +423,121 @@ impl CkksContext {
         values: &[f64],
         rng: &mut R,
     ) -> Result<CkksCiphertext, FheError> {
+        let noise = self.sample_symmetric_noise(rng);
+        self.encrypt_symmetric_with_noise(sk, values, &noise)
+    }
+
+    /// Draws the randomness one [`CkksContext::encrypt_symmetric`] call
+    /// consumes (the 32-byte expansion seed, then Gaussian `e` — in that
+    /// exact stream order), mirroring
+    /// [`CkksContext::sample_encrypt_noise`].
+    pub fn sample_symmetric_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> CkksSymmetricNoise {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        CkksSymmetricNoise { seed, e: gaussian_vec(rng, self.params.n, self.params.sigma) }
+    }
+
+    /// Symmetric encryption with pre-sampled randomness.
+    ///
+    /// Always evaluation-domain: `c1 = a` is expanded from the seed
+    /// directly in NTT form (the NTT is a bijection on `Z_q^N`, so a
+    /// uniform evaluation-domain polynomial is exactly as uniform as a
+    /// coefficient-domain one), and `c0 = −(a ∘ ŝ) + NTT(e) + NTT(m)` —
+    /// two forward transforms per prime, zero inverses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::PlaintextTooLarge`] if more than `N/2` values
+    /// are supplied.
+    pub fn encrypt_symmetric_with_noise(
+        &self,
+        sk: &CkksSecretKey,
+        values: &[f64],
+        noise: &CkksSymmetricNoise,
+    ) -> Result<CkksCiphertext, FheError> {
         let _span = telemetry::span("fhe.ckks.encrypt");
         let m = self.encode_poly(values)?;
         let n = self.params.n;
-        let a = self.uniform_poly(rng);
-        let e = RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, self.params.sigma), &self.primes);
-        // c0 = -(a·s) + e + m, c1 = a
-        let c0 =
-            self.poly_mul(&a, &sk.s).neg(&self.primes).add(&e, &self.primes).add(&m, &self.primes);
+        let levels = self.primes.len();
+        let mut rows: Vec<(Vec<u64>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); levels];
+        rhychee_par::for_each_mut(self.parallelism, &mut rows, |i, pair| {
+            let (r0, r1) = pair;
+            let table = &self.ntt[i];
+            let q = self.primes[i];
+            let s_row = sk.s_eval.residues(i);
+            *r1 = seedexp::expand_row(&noise.seed, i, q, n);
+            // c0 = −(a ∘ ŝ) + NTT(e) + NTT(m)
+            r0.resize(n, 0);
+            reduce_signed_into(&noise.e, q, r0);
+            table.forward(r0);
+            scratch::with_row(n, |t| {
+                t.copy_from_slice(m.residues(i));
+                table.forward(t);
+                for j in 0..n {
+                    let e_m = add_mod(r0[j], t[j], q);
+                    let a_s = mul_mod(r1[j], s_row[j], q);
+                    r0[j] = add_mod(if a_s == 0 { 0 } else { q - a_s }, e_m, q);
+                }
+            });
+        });
         telemetry::count("fhe.ckks.encrypt.count", 1);
-        let ct = CkksCiphertext { c0, c1: a, scale: self.encoder.scale() };
+        let (rows0, rows1): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+        let ct = CkksCiphertext {
+            c0: RnsPoly::from_rows(rows0, Domain::Eval),
+            c1: RnsPoly::from_rows(rows1, Domain::Eval),
+            scale: self.encoder.scale(),
+            c1_seed: Some(noise.seed),
+        };
         self.publish_noise_gauges(&ct);
         Ok(ct)
     }
 
     /// Decrypts a ciphertext to its slot values.
+    ///
+    /// Evaluation-domain ciphertexts pay exactly one inverse NTT per
+    /// prime (`m = INTT(c1 ∘ ŝ + c0)`, with `ŝ`'s per-level truncation
+    /// being a zero-copy row slice of the key's cached `s_eval`).
+    /// Coefficient-domain ciphertexts (deserialized canonical uploads,
+    /// reference-path output) pay one forward and one inverse per prime,
+    /// exactly like the pre-resident pipeline.
     pub fn decrypt(&self, sk: &CkksSecretKey, ct: &CkksCiphertext) -> Vec<f64> {
         let _span = telemetry::span("fhe.ckks.decrypt");
         telemetry::count("fhe.ckks.decrypt.count", 1);
         let levels = ct.levels();
         let active = &self.primes[..levels];
-        let s = self.at_level(&sk.s, levels);
-        let c1_s = self.poly_mul_at(&ct.c1, &s, levels);
-        let m = ct.c0.add(&c1_s, active);
+        let n = ct.c0.degree();
+        let mut m = RnsPoly::zero(n, levels);
+        match ct.c1.domain() {
+            Domain::Eval => {
+                debug_assert_eq!(ct.c0.domain(), Domain::Eval, "mixed-domain ciphertext");
+                rhychee_par::for_each_mut(self.parallelism, m.residues_all_mut(), |i, row| {
+                    let q = active[i];
+                    let s_row = sk.s_eval.residues(i);
+                    let c0_row = ct.c0.residues(i);
+                    let c1_row = ct.c1.residues(i);
+                    for j in 0..n {
+                        row[j] = add_mod(mul_mod(c1_row[j], s_row[j], q), c0_row[j], q);
+                    }
+                    self.ntt[i].inverse(row);
+                });
+            }
+            Domain::Coeff => {
+                debug_assert_eq!(ct.c0.domain(), Domain::Coeff, "mixed-domain ciphertext");
+                rhychee_par::for_each_mut(self.parallelism, m.residues_all_mut(), |i, row| {
+                    let q = active[i];
+                    let table = &self.ntt[i];
+                    row.copy_from_slice(ct.c1.residues(i));
+                    table.forward(row);
+                    for (x, &s) in row.iter_mut().zip(sk.s_eval.residues(i)) {
+                        *x = mul_mod(*x, s, q);
+                    }
+                    table.inverse(row);
+                    for (x, &c) in row.iter_mut().zip(ct.c0.residues(i)) {
+                        *x = add_mod(*x, c, q);
+                    }
+                });
+            }
+        }
         let coeffs = m.to_centered_f64_with(active, self.parallelism);
         self.encoder.decode_with_scale(&coeffs, ct.scale)
     }
@@ -306,6 +556,7 @@ impl CkksContext {
             c0: a.c0.add(&b.c0, active),
             c1: a.c1.add(&b.c1, active),
             scale: a.scale,
+            c1_seed: None,
         })
     }
 
@@ -326,6 +577,7 @@ impl CkksContext {
         let levels = acc.levels();
         acc.c0.add_assign(&ct.c0, &self.primes[..levels]);
         acc.c1.add_assign(&ct.c1, &self.primes[..levels]);
+        acc.c1_seed = None;
         Ok(())
     }
 
@@ -343,6 +595,7 @@ impl CkksContext {
             c0: a.c0.sub(&b.c0, active),
             c1: a.c1.sub(&b.c1, active),
             scale: a.scale,
+            c1_seed: None,
         })
     }
 
@@ -362,6 +615,7 @@ impl CkksContext {
             c0: ct.c0.mul_scalar_signed(encoded, active),
             c1: ct.c1.mul_scalar_signed(encoded, active),
             scale: ct.scale * delta,
+            c1_seed: None,
         }
     }
 
@@ -389,12 +643,19 @@ impl CkksContext {
         let _t = telemetry::timer("fhe.ckks.mul_plain_vec");
         let coeffs = self.encoder.encode(values);
         let levels = ct.levels();
-        let m = RnsPoly::from_signed_coeffs(&coeffs, &self.primes[..levels]);
-        Ok(CkksCiphertext {
-            c0: self.poly_mul_at(&ct.c0, &m, levels),
-            c1: self.poly_mul_at(&ct.c1, &m, levels),
-            scale: ct.scale * self.encoder.scale(),
-        })
+        let mut m = RnsPoly::from_signed_coeffs(&coeffs, &self.primes[..levels]);
+        let (c0, c1) = match ct.c1.domain() {
+            Domain::Eval => {
+                // One forward per prime for the encoded plaintext; the
+                // ciphertext is already resident and stays so.
+                self.forward_rows(&mut m);
+                (self.pointwise_mul(&ct.c0, &m), self.pointwise_mul(&ct.c1, &m))
+            }
+            Domain::Coeff => {
+                (self.poly_mul_at(&ct.c0, &m, levels), self.poly_mul_at(&ct.c1, &m, levels))
+            }
+        };
+        Ok(CkksCiphertext { c0, c1, scale: ct.scale * self.encoder.scale(), c1_seed: None })
     }
 
     /// Rescales a ciphertext by the last active prime, dropping one level
@@ -412,13 +673,48 @@ impl CkksContext {
         telemetry::count("fhe.ckks.rescale.count", 1);
         let q_last = self.primes[levels - 1] as f64;
         let active = &self.primes[..levels];
-        let out = CkksCiphertext {
-            c0: ct.c0.rescale_with(active, self.parallelism),
-            c1: ct.c1.rescale_with(active, self.parallelism),
-            scale: ct.scale / q_last,
+        let (c0, c1) = match ct.c1.domain() {
+            Domain::Eval => (self.rescale_eval(&ct.c0), self.rescale_eval(&ct.c1)),
+            Domain::Coeff => (
+                ct.c0.rescale_with(active, self.parallelism),
+                ct.c1.rescale_with(active, self.parallelism),
+            ),
         };
+        let out = CkksCiphertext { c0, c1, scale: ct.scale / q_last, c1_seed: None };
         self.publish_noise_gauges(&out);
         Ok(out)
+    }
+
+    /// Rescale of an evaluation-domain polynomial without leaving the
+    /// evaluation domain: the dropped row is inverse-transformed once,
+    /// its centered lift is forward-transformed into each remaining
+    /// prime's basis, and the rest is pointwise:
+    /// `X'_i = (X_i − NTT_i(lift)) · q_last^{-1}`.
+    ///
+    /// By linearity of the NTT this equals `NTT_i` of the coefficient-
+    /// domain rescale exactly, so resident and reference pipelines stay
+    /// bit-identical.
+    fn rescale_eval(&self, p: &RnsPoly) -> RnsPoly {
+        let l = p.levels();
+        let n = p.degree();
+        let q_last = self.primes[l - 1];
+        let mut last = p.residues(l - 1).to_vec();
+        self.ntt[l - 1].inverse(&mut last);
+        let mut out = RnsPoly::zero_in(n, l - 1, Domain::Eval);
+        rhychee_par::for_each_mut(self.parallelism, out.residues_all_mut(), |i, row| {
+            let q = self.primes[i];
+            let q_last_inv = super::modarith::inv_mod(q_last % q, q);
+            // The output row doubles as the lift buffer: centered lift of
+            // the dropped row, forward transform, then finish pointwise.
+            for (o, &xl) in row.iter_mut().zip(&last) {
+                *o = if xl > q_last / 2 { (xl + q - (q_last % q)) % q } else { xl % q };
+            }
+            self.ntt[i].forward(row);
+            for (o, &x) in row.iter_mut().zip(p.residues(i)) {
+                *o = mul_mod(super::modarith::sub_mod(x, *o, q), q_last_inv, q);
+            }
+        });
+        out
     }
 
     /// Publishes the noise-budget gauges for `ct` (DESIGN.md §10):
@@ -441,6 +737,13 @@ impl CkksContext {
 
     /// Serializes a ciphertext with exact-width residue packing, so the
     /// byte length closely tracks the paper's `2N·log Q` accounting.
+    ///
+    /// This is the *canonical* format: always coefficient-domain bytes,
+    /// regardless of the ciphertext's resident domain (evaluation rows
+    /// are inverse-transformed into a scratch buffer at this boundary).
+    /// A resident and a reference ciphertext of the same message
+    /// therefore serialize to identical bytes, and the channel-noise
+    /// experiments keep their corruption-decrypts-to-garbage semantics.
     pub fn serialize(&self, ct: &CkksCiphertext) -> Vec<u8> {
         let mut w = BitWriter::new();
         w.write_bits(ct.levels() as u64, 8);
@@ -448,12 +751,119 @@ impl CkksContext {
         for poly in [&ct.c0, &ct.c1] {
             for (i, &q) in self.primes[..ct.levels()].iter().enumerate() {
                 let bits = bits_for(q);
-                for &r in poly.residues(i) {
-                    w.write_bits(r, bits);
+                match poly.domain() {
+                    Domain::Coeff => {
+                        for &r in poly.residues(i) {
+                            w.write_bits(r, bits);
+                        }
+                    }
+                    Domain::Eval => scratch::with_row(poly.degree(), |row| {
+                        row.copy_from_slice(poly.residues(i));
+                        self.ntt[i].inverse(row);
+                        for &r in row.iter() {
+                            w.write_bits(r, bits);
+                        }
+                    }),
                 }
             }
         }
         w.into_bytes()
+    }
+
+    /// Serializes a fresh symmetric ciphertext in the seed-compressed
+    /// format: header, the 32-byte expansion seed of `c1` plus a 32-bit
+    /// integrity digest, and the `c0` residues (evaluation-domain,
+    /// exact-width packed). Roughly half the canonical size — see
+    /// [`CkksContext::serialized_len_seeded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Serialize`] if the ciphertext no longer
+    /// carries its expansion seed (any homomorphic operation clears it).
+    pub fn serialize_seeded(&self, ct: &CkksCiphertext) -> Result<Vec<u8>, FheError> {
+        let Some(seed) = ct.c1_seed else {
+            return Err(FheError::Serialize(
+                "ciphertext carries no expansion seed (not a fresh symmetric encryption)".into(),
+            ));
+        };
+        debug_assert_eq!(ct.c0.domain(), Domain::Eval, "seeded ciphertexts are eval-resident");
+        let mut w = BitWriter::new();
+        w.write_bits(ct.levels() as u64, 8);
+        w.write_bits(ct.scale.to_bits(), 64);
+        for chunk in seed.chunks_exact(8) {
+            w.write_bits(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")), 64);
+        }
+        w.write_bits(u64::from(seedexp::seed_check(&seed)), 32);
+        for (i, &q) in self.primes[..ct.levels()].iter().enumerate() {
+            let bits = bits_for(q);
+            for &r in ct.c0.residues(i) {
+                w.write_bits(r, bits);
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Exact byte length of the seed-compressed format at `levels`
+    /// active primes: one `c0` residue payload instead of two, plus the
+    /// 256-bit seed and 32-bit digest.
+    pub fn serialized_len_seeded(&self, levels: usize) -> usize {
+        let residue_bits: usize = self.primes[..levels].iter().map(|&q| bits_for(q) as usize).sum();
+        (8 + 64 + 256 + 32 + self.params.n * residue_bits).div_ceil(8)
+    }
+
+    /// Deserializes a ciphertext from the seed-compressed format,
+    /// re-expanding `c1` from the transmitted seed. The result is
+    /// evaluation-domain (and still seeded, so it can be re-serialized
+    /// in either format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Deserialize`] on an invalid level count, a
+    /// byte length that does not match
+    /// [`CkksContext::serialized_len_seeded`] for the declared levels
+    /// (truncated *or* oversized input — malformed streams never
+    /// allocate beyond one fixed-size ciphertext), an invalid scale, or
+    /// a seed that fails its integrity digest. Unlike the canonical
+    /// format, a corrupted seed *errors* rather than decrypting to
+    /// garbage: the digest exists precisely because a flipped seed bit
+    /// would re-expand to an unrelated uniform `c1`.
+    pub fn deserialize_seeded(&self, bytes: &[u8]) -> Result<CkksCiphertext, FheError> {
+        let mut r = BitReader::new(bytes);
+        let levels = r.read_bits(8)? as usize;
+        if levels == 0 || levels > self.primes.len() {
+            return Err(FheError::Deserialize(format!("invalid level count {levels}")));
+        }
+        let expected = self.serialized_len_seeded(levels);
+        if bytes.len() != expected {
+            return Err(FheError::Deserialize(format!(
+                "{} bytes for a {levels}-level seeded ciphertext, expected {expected}",
+                bytes.len()
+            )));
+        }
+        let scale = f64::from_bits(r.read_bits(64)?);
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(FheError::Deserialize("invalid scale".into()));
+        }
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&r.read_bits(64)?.to_le_bytes());
+        }
+        if r.read_bits(32)? as u32 != seedexp::seed_check(&seed) {
+            return Err(FheError::Deserialize("seed integrity check failed".into()));
+        }
+        let n = self.params.n;
+        let mut c0 = RnsPoly::zero_in(n, levels, Domain::Eval);
+        for (i, &q) in self.primes[..levels].iter().enumerate() {
+            let bits = bits_for(q);
+            for j in 0..n {
+                c0.residues_mut(i)[j] = r.read_bits(bits)? % q;
+            }
+        }
+        let mut c1 = RnsPoly::zero_in(n, levels, Domain::Eval);
+        rhychee_par::for_each_mut(self.parallelism, c1.residues_all_mut(), |i, row| {
+            *row = seedexp::expand_row(&seed, i, self.primes[i], n);
+        });
+        Ok(CkksCiphertext { c0, c1, scale, c1_seed: Some(seed) })
     }
 
     /// Exact serialized size in bytes of a ciphertext at `levels` active
@@ -508,12 +918,20 @@ impl CkksContext {
         }
         let c1 = polys.pop().expect("two polys");
         let c0 = polys.pop().expect("two polys");
-        Ok(CkksCiphertext { c0, c1, scale })
+        Ok(CkksCiphertext { c0, c1, scale, c1_seed: None })
     }
 
     fn check_compatible(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> Result<(), FheError> {
         if a.levels() != b.levels() {
             return Err(FheError::LevelMismatch { lhs: a.levels(), rhs: b.levels() });
+        }
+        if a.c1.domain() != b.c1.domain() {
+            // Mixing a resident ciphertext with a deserialized canonical
+            // one is a pipeline bug, not a recoverable state: pointwise
+            // addition of rows in different bases is meaningless.
+            return Err(FheError::InvalidParams(
+                "ciphertext domain mismatch (evaluation vs coefficient)".into(),
+            ));
         }
         let tol = a.scale.max(b.scale) * 1e-9;
         if (a.scale - b.scale).abs() > tol {
@@ -546,38 +964,105 @@ impl CkksContext {
 
     /// Truncates a full-level polynomial to the first `levels` primes.
     pub(crate) fn at_level(&self, poly: &RnsPoly, levels: usize) -> RnsPoly {
-        let mut out = RnsPoly::zero(poly.degree(), levels);
+        let mut out = RnsPoly::zero_in(poly.degree(), levels, poly.domain());
         for i in 0..levels {
             out.residues_mut(i).copy_from_slice(poly.residues(i));
         }
         out
     }
 
-    /// Negacyclic product over the first `levels` primes.
+    /// Transforms every residue row into the evaluation domain in place.
+    pub(crate) fn forward_rows(&self, poly: &mut RnsPoly) {
+        debug_assert_eq!(poly.domain(), Domain::Coeff);
+        rhychee_par::for_each_mut(self.parallelism, poly.residues_all_mut(), |i, row| {
+            self.ntt[i].forward(row);
+        });
+        poly.set_domain(Domain::Eval);
+    }
+
+    /// Transforms every residue row back into the coefficient domain in
+    /// place.
+    pub(crate) fn inverse_rows(&self, poly: &mut RnsPoly) {
+        debug_assert_eq!(poly.domain(), Domain::Eval);
+        rhychee_par::for_each_mut(self.parallelism, poly.residues_all_mut(), |i, row| {
+            self.ntt[i].inverse(row);
+        });
+        poly.set_domain(Domain::Coeff);
+    }
+
+    /// Evaluation-domain copy of `poly` (no-op clone if already there).
+    pub(crate) fn to_eval(&self, poly: &RnsPoly) -> RnsPoly {
+        let mut out = poly.clone();
+        if out.domain() == Domain::Coeff {
+            self.forward_rows(&mut out);
+        }
+        out
+    }
+
+    /// Coefficient-domain copy of `poly` (no-op clone if already there).
+    pub(crate) fn to_coeff(&self, poly: &RnsPoly) -> RnsPoly {
+        let mut out = poly.clone();
+        if out.domain() == Domain::Eval {
+            self.inverse_rows(&mut out);
+        }
+        out
+    }
+
+    /// Pointwise product of two evaluation-domain polynomials.
+    fn pointwise_mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        debug_assert_eq!(a.domain(), Domain::Eval);
+        debug_assert_eq!(b.domain(), Domain::Eval);
+        let levels = a.levels().min(b.levels());
+        let mut out = RnsPoly::zero_in(a.degree(), levels, Domain::Eval);
+        rhychee_par::for_each_mut(self.parallelism, out.residues_all_mut(), |i, row| {
+            let q = self.primes[i];
+            for ((o, &x), &y) in row.iter_mut().zip(a.residues(i)).zip(b.residues(i)) {
+                *o = mul_mod(x, y, q);
+            }
+        });
+        out
+    }
+
+    /// Negacyclic product over the first `levels` primes (coefficient-
+    /// domain operands and result).
     pub(crate) fn poly_mul_at(&self, a: &RnsPoly, b: &RnsPoly, levels: usize) -> RnsPoly {
+        debug_assert_eq!(a.domain(), Domain::Coeff);
+        debug_assert_eq!(b.domain(), Domain::Coeff);
         let n = self.params.n;
         let mut out = RnsPoly::zero(n, levels);
         // Each RNS prime is an independent negacyclic product; split
         // them across the pool. Row `i` is written by exactly one task,
-        // so the result is bit-identical for every degree.
+        // so the result is bit-identical for every degree. `a`'s forward
+        // transform runs directly in the output row and `b`'s in a
+        // recycled scratch row, keeping the loop allocation-free.
         rhychee_par::for_each_mut(self.parallelism, out.residues_all_mut(), |i, row| {
             let table = &self.ntt[i];
             let q = self.primes[i];
-            let mut fa = a.residues(i).to_vec();
-            let mut fb = b.residues(i).to_vec();
-            table.forward(&mut fa);
-            table.forward(&mut fb);
-            for (x, y) in fa.iter_mut().zip(&fb) {
-                *x = mul_mod(*x, *y, q);
-            }
-            table.inverse(&mut fa);
-            row.copy_from_slice(&fa);
+            row.copy_from_slice(a.residues(i));
+            table.forward(row);
+            scratch::with_row(n, |fb| {
+                fb.copy_from_slice(b.residues(i));
+                table.forward(fb);
+                for (x, y) in row.iter_mut().zip(fb.iter()) {
+                    *x = mul_mod(*x, *y, q);
+                }
+            });
+            table.inverse(row);
         });
         out
     }
 
     fn poly_mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
         self.poly_mul_at(a, b, self.primes.len())
+    }
+}
+
+/// Reduces signed coefficients into `[0, q)`, writing into `out`
+/// (the loop body of [`RnsPoly::from_signed_coeffs`], row-at-a-time so
+/// fused per-prime kernels skip the intermediate polynomial).
+fn reduce_signed_into(coeffs: &[i64], q: u64, out: &mut [u64]) {
+    for (o, &c) in out.iter_mut().zip(coeffs) {
+        *o = ((c % q as i64 + q as i64) % q as i64) as u64;
     }
 }
 
@@ -838,5 +1323,123 @@ mod tests {
         let mut sorted = primes.to_vec();
         sorted.dedup();
         assert_eq!(sorted.len(), primes.len(), "primes must be distinct");
+    }
+
+    #[test]
+    fn resident_and_reference_encrypt_serialize_identically() {
+        // The NTT is a per-prime bijection, so commuting it through the
+        // linear encryption algebra must not change a single canonical
+        // byte — the property that lets the resident pipeline ship
+        // without perturbing any downstream consumer.
+        let (ctx, sk, pk, _) = toy_setup();
+        let mut ref_ctx = CkksContext::new(CkksParams::toy()).expect("valid");
+        ref_ctx.set_eval_resident(false);
+        let values: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let resident = ctx.encrypt(&pk, &values, &mut rng_a).expect("encrypt");
+        let reference = ref_ctx.encrypt(&pk, &values, &mut rng_b).expect("encrypt");
+        assert_eq!(ctx.serialize(&resident), ref_ctx.serialize(&reference));
+        let dec_a = ctx.decrypt(&sk, &resident);
+        let dec_b = ref_ctx.decrypt(&sk, &reference);
+        assert!(dec_a.iter().zip(&dec_b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn seeded_serialization_round_trip_and_size() {
+        let (ctx, sk, _, mut rng) = toy_setup();
+        let values = vec![1.25, -2.5, 3.75];
+        let ct = ctx.encrypt_symmetric(&sk, &values, &mut rng).expect("encrypt");
+        assert!(ct.is_seeded());
+        let bytes = ctx.serialize_seeded(&ct).expect("seeded serialize");
+        // Header (8 levels + 64 scale + 256 seed + 32 check bits) plus
+        // one packed component instead of two.
+        let expected_bits = 8 + 64 + 256 + 32 + 512 * (50 + 40);
+        assert_eq!(bytes.len(), (expected_bits as usize).div_ceil(8));
+        assert_eq!(bytes.len(), ctx.serialized_len_seeded(ct.levels()));
+        // ~2x smaller than the canonical format of the very same ct:
+        // twice the seeded size exceeds the canonical size only by the
+        // seed + digest header (36 bytes, doubled).
+        let canonical = ctx.serialize(&ct);
+        assert!(bytes.len() * 2 < canonical.len() + 128, "{} vs {}", bytes.len(), canonical.len());
+        let back = ctx.deserialize_seeded(&bytes).expect("deserialize");
+        assert!(back.is_seeded(), "re-expansion keeps the seed");
+        let dec = ctx.decrypt(&sk, &back);
+        assert_close(&dec[..3], &values, 1e-4);
+        // The canonical serialization of the round-tripped ciphertext is
+        // bit-identical to the original's: expansion is deterministic.
+        assert_eq!(ctx.serialize(&back), canonical);
+    }
+
+    #[test]
+    fn seeded_deserialize_rejects_corruption_without_overallocating() {
+        let (ctx, sk, _, mut rng) = toy_setup();
+        let ct = ctx.encrypt_symmetric(&sk, &[1.0; 8], &mut rng).expect("encrypt");
+        let bytes = ctx.serialize_seeded(&ct).expect("serialize");
+        // Truncated, oversized, and empty inputs error cleanly.
+        assert!(ctx.deserialize_seeded(&bytes[..bytes.len() / 2]).is_err());
+        assert!(ctx.deserialize_seeded(&bytes[..bytes.len() - 1]).is_err());
+        assert!(ctx.deserialize_seeded(&[]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(ctx.deserialize_seeded(&padded).is_err());
+        // A corrupted level byte must not drive a huge allocation.
+        let mut bad = bytes.clone();
+        bad[0] = 255;
+        assert!(ctx.deserialize_seeded(&bad).is_err());
+        bad[0] = 0;
+        assert!(ctx.deserialize_seeded(&bad).is_err());
+        // A flipped seed bit re-expands to an unrelated uniform c1; the
+        // integrity digest turns that into an error instead of silent
+        // garbage (unlike the canonical channel-noise format).
+        for byte in [9usize, 20, 40] {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x04;
+            assert!(ctx.deserialize_seeded(&flipped).is_err(), "seed flip at byte {byte}");
+        }
+    }
+
+    #[test]
+    fn only_fresh_symmetric_ciphertexts_are_seeded() {
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let pub_ct = ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt");
+        assert!(!pub_ct.is_seeded());
+        assert!(matches!(ctx.serialize_seeded(&pub_ct), Err(FheError::Serialize(_))));
+        // Any homomorphic operation invalidates the seed: c1 is no
+        // longer the seed-expanded polynomial.
+        let a = ctx.encrypt_symmetric(&sk, &[1.0], &mut rng).expect("encrypt");
+        let b = ctx.encrypt_symmetric(&sk, &[2.0], &mut rng).expect("encrypt");
+        assert!(!ctx.add(&a, &b).expect("add").is_seeded());
+        assert!(!ctx.mul_scalar(&a, 0.5).is_seeded());
+        assert!(!ctx.rescale(&ctx.mul_scalar(&a, 0.5)).expect("rescale").is_seeded());
+        let mut acc = a.clone();
+        ctx.add_assign(&mut acc, &b).expect("add_assign");
+        assert!(!acc.is_seeded());
+    }
+
+    #[test]
+    fn serialization_round_trips_at_reduced_levels() {
+        // Post-rescale ciphertexts live at a lower level; both wire
+        // formats must agree with the level-aware length formulas and
+        // round-trip, whatever domain the ciphertext is in.
+        let (ctx, sk, pk, mut rng) = toy_setup();
+        let values = vec![2.0, -4.0, 0.25];
+        let ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+        let dropped = ctx.rescale(&ctx.mul_scalar(&ct, 0.5)).expect("rescale");
+        assert_eq!(dropped.levels(), 1);
+        let bytes = ctx.serialize(&dropped);
+        assert_eq!(bytes.len(), ctx.serialized_len(1));
+        assert!(bytes.len() < ctx.serialized_len(2));
+        let back = ctx.deserialize(&bytes).expect("deserialize");
+        assert_eq!(back.levels(), 1);
+        let dec = ctx.decrypt(&sk, &back);
+        assert_close(&dec[..3], &[1.0, -2.0, 0.125], 1e-3);
+        // The same rescale through the coefficient-domain reference
+        // produces the same canonical bytes.
+        let mut ref_ctx = CkksContext::new(CkksParams::toy()).expect("valid");
+        ref_ctx.set_eval_resident(false);
+        let coeff_ct = ref_ctx.deserialize(&ctx.serialize(&ct)).expect("to coeff");
+        let ref_dropped = ref_ctx.rescale(&ref_ctx.mul_scalar(&coeff_ct, 0.5)).expect("rescale");
+        assert_eq!(ref_ctx.serialize(&ref_dropped), bytes);
     }
 }

@@ -8,12 +8,19 @@
 //! Module layout:
 //!
 //! * [`modarith`] — scalar arithmetic mod word-sized NTT primes
-//! * [`ntt`] — negacyclic number-theoretic transform
-//! * [`rns`] — RNS polynomials and CRT reconstruction
+//! * [`ntt`] — negacyclic number-theoretic transform (+ global table cache)
+//! * [`rns`] — domain-tagged RNS polynomials and CRT reconstruction
 //! * [`encoder`] — canonical-embedding slot encoder
 //! * [`cipher`] — context, keys, ciphertexts, homomorphic ops
 //! * [`relin`] — ct×ct multiplication, Galois rotations, slot sums
 //! * [`threshold`] — n-out-of-n distributed keygen and decryption
+//! * [`seedexp`] — stable seeded expansion for compressed symmetric uploads
+//!
+//! Ciphertexts are NTT-resident: fresh encryptions come out in the
+//! evaluation domain, the additive pipeline (FedAvg) stays pointwise
+//! there, and rows are inverse-transformed only at the decrypt/serialize
+//! boundary. See `DESIGN.md` §11 for the domain state machine and the
+//! transform-count accounting.
 
 pub mod cipher;
 pub mod encoder;
@@ -21,8 +28,12 @@ pub mod modarith;
 pub mod ntt;
 pub mod relin;
 pub mod rns;
+mod scratch;
+pub(crate) mod seedexp;
 pub mod threshold;
 
-pub use cipher::{CkksCiphertext, CkksContext, CkksEncryptNoise, CkksPublicKey, CkksSecretKey};
+pub use cipher::{
+    CkksCiphertext, CkksContext, CkksEncryptNoise, CkksPublicKey, CkksSecretKey, CkksSymmetricNoise,
+};
 pub use encoder::{CkksEncoder, Complex};
 pub use relin::{EvalKey, GaloisKey, RelinKey};

@@ -16,8 +16,44 @@
 //! Outputs are bit-identical to the plain `mul_mod` implementation this
 //! replaces.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use super::modarith::{add_mod, inv_mod, mul_mod, primitive_root, sub_mod};
 use rhychee_telemetry as telemetry;
+
+/// Process-wide table cache keyed by `(n, q)`.
+///
+/// Twiddle tables are pure functions of the ring degree and modulus, so
+/// every [`CkksContext`](super::cipher::CkksContext) built for the same
+/// parameter set can share one table per prime — repeated context
+/// construction (per-client setups, tests) stops redoing the root search
+/// and `O(N)` twiddle precomputation. Like the `rhychee-par` pool the
+/// cache is spawn-once and never evicted; a workload touches a handful
+/// of `(n, q)` pairs at most.
+type TableMap = HashMap<(usize, u64), Arc<NttTable>>;
+static TABLE_CACHE: OnceLock<Mutex<TableMap>> = OnceLock::new();
+
+/// Returns the shared table for `(n, q)`, building it on first use.
+///
+/// Emits `fhe.ckks.ntt.table_cache.hit` / `.miss` counters so the
+/// reuse rate is observable.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`NttTable::new`].
+pub fn cached_table(n: usize, q: u64) -> Arc<NttTable> {
+    let cache = TABLE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(table) = map.get(&(n, q)) {
+        telemetry::count("fhe.ckks.ntt.table_cache.hit", 1);
+        return Arc::clone(table);
+    }
+    telemetry::count("fhe.ckks.ntt.table_cache.miss", 1);
+    let table = Arc::new(NttTable::new(n, q));
+    map.insert((n, q), Arc::clone(&table));
+    table
+}
 
 /// `⌊w·2^64/q⌋` — Shoup's precomputed quotient for twiddle `w < q`.
 #[inline]
@@ -133,6 +169,7 @@ impl NttTable {
     /// Panics if `a.len() != N`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        telemetry::count("fhe.ckks.ntt.forward.count", 1);
         let _t = telemetry::timer("fhe.ckks.ntt.forward");
         let q = self.q;
         let two_q = 2 * q;
@@ -178,6 +215,7 @@ impl NttTable {
     /// Panics if `a.len() != N`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
+        telemetry::count("fhe.ckks.ntt.inverse.count", 1);
         let _t = telemetry::timer("fhe.ckks.ntt.inverse");
         let q = self.q;
         let two_q = 2 * q;

@@ -155,18 +155,24 @@ impl CkksContext {
         let _t = telemetry::timer("fhe.ckks.relin.mul");
         let levels = a.levels();
         let primes = &self.primes()[..levels];
+        // Tensor/key-switch arithmetic runs in the coefficient domain
+        // (digit decomposition needs integer coefficients), so resident
+        // ciphertexts are converted at entry. ct×ct multiply is not on
+        // the FedAvg hot path.
+        let (a0, a1) = (self.to_coeff(&a.c0), self.to_coeff(&a.c1));
+        let (b0, b1) = (self.to_coeff(&b.c0), self.to_coeff(&b.c1));
         // Tensor product: (d0, d1, d2) = (a0·b0, a0·b1 + a1·b0, a1·b1).
-        let d0 = self.poly_mul_at(&a.c0, &b.c0, levels);
-        let d1 = self
-            .poly_mul_at(&a.c0, &b.c1, levels)
-            .add(&self.poly_mul_at(&a.c1, &b.c0, levels), primes);
-        let d2 = self.poly_mul_at(&a.c1, &b.c1, levels);
+        let d0 = self.poly_mul_at(&a0, &b0, levels);
+        let d1 =
+            self.poly_mul_at(&a0, &b1, levels).add(&self.poly_mul_at(&a1, &b0, levels), primes);
+        let d2 = self.poly_mul_at(&a1, &b1, levels);
         // Key switch d2·s² down to (c0, c1).
         let (ks0, ks1) = rk.0.apply(self, &d2, levels);
         Ok(CkksCiphertext {
             c0: d0.add(&ks0, primes),
             c1: d1.add(&ks1, primes),
             scale: a.scale() * b.scale(),
+            c1_seed: None,
         })
     }
 
@@ -203,12 +209,13 @@ impl CkksContext {
         let _t = telemetry::timer("fhe.ckks.relin.rotate");
         let levels = ct.levels();
         let primes = &self.primes()[..levels];
-        // Apply the automorphism to both components, then key-switch the
-        // c1 part back to the original key.
-        let c0_rot = apply_automorphism_poly(&ct.c0, gk.galois, primes);
-        let c1_rot = apply_automorphism_poly(&ct.c1, gk.galois, primes);
+        // The automorphism permutes coefficient indices, so resident
+        // ciphertexts are converted at entry (rotation is off the FedAvg
+        // hot path). Then key-switch the c1 part back to the original key.
+        let c0_rot = apply_automorphism_poly(&self.to_coeff(&ct.c0), gk.galois, primes);
+        let c1_rot = apply_automorphism_poly(&self.to_coeff(&ct.c1), gk.galois, primes);
         let (ks0, ks1) = gk.key.apply(self, &c1_rot, levels);
-        CkksCiphertext { c0: c0_rot.add(&ks0, primes), c1: ks1, scale: ct.scale() }
+        CkksCiphertext { c0: c0_rot.add(&ks0, primes), c1: ks1, scale: ct.scale(), c1_seed: None }
     }
 
     /// Sums all slots into every slot via log₂(N/2) rotations (requires a
@@ -224,7 +231,14 @@ impl CkksContext {
         keys: &[GaloisKey],
     ) -> Result<CkksCiphertext, FheError> {
         let half = self.params().n / 2;
-        let mut acc = ct.clone();
+        // rotate() emits coefficient-domain ciphertexts, so the
+        // accumulator starts there too to keep add() domains aligned.
+        let mut acc = CkksCiphertext {
+            c0: self.to_coeff(&ct.c0),
+            c1: self.to_coeff(&ct.c1),
+            scale: ct.scale(),
+            c1_seed: None,
+        };
         let mut step = 1usize;
         while step < half {
             let key = keys

@@ -11,19 +11,66 @@ use rhychee_par::Parallelism;
 
 use super::modarith::{add_mod, inv_mod, mul_mod, neg_mod, sub_mod};
 
-/// A polynomial in RNS (double-CRT-less, coefficient-domain) representation.
+/// Which basis the residue rows of an [`RnsPoly`] are expressed in.
 ///
-/// `residues[i][j]` is coefficient `j` reduced modulo prime `i`. The active
-/// primes are implied by `residues.len()` (the *level* of the polynomial).
+/// `Coeff` rows hold polynomial coefficients; `Eval` rows hold the values
+/// of the negacyclic NTT at the 2N-th roots (the "double-CRT" form). The
+/// NTT is a per-prime `Z_q`-linear bijection, so additions, subtractions
+/// and scalar multiplications are valid — and identical — in either
+/// domain; only convolution (`poly_mul`), rescale, digit decomposition
+/// and CRT decoding care which domain they run in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Coefficient domain: `residues[i][j]` is coefficient `j` mod `q_i`.
+    Coeff,
+    /// Evaluation (NTT) domain: `residues[i][j]` is the transform point
+    /// `j` of the negacyclic NTT mod `q_i`.
+    Eval,
+}
+
+/// A polynomial in RNS representation, tagged with its [`Domain`].
+///
+/// `residues[i][j]` is coefficient (or evaluation point) `j` reduced
+/// modulo prime `i`. The active primes are implied by `residues.len()`
+/// (the *level* of the polynomial).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RnsPoly {
     residues: Vec<Vec<u64>>,
+    domain: Domain,
 }
 
 impl RnsPoly {
-    /// The all-zero polynomial at the given degree and level.
+    /// The all-zero coefficient-domain polynomial at the given degree and
+    /// level.
     pub fn zero(n: usize, levels: usize) -> Self {
-        RnsPoly { residues: vec![vec![0u64; n]; levels] }
+        Self::zero_in(n, levels, Domain::Coeff)
+    }
+
+    /// The all-zero polynomial in an explicit domain (zero is the same
+    /// ring element either way; the tag only steers later dispatch).
+    pub fn zero_in(n: usize, levels: usize, domain: Domain) -> Self {
+        RnsPoly { residues: vec![vec![0u64; n]; levels], domain }
+    }
+
+    /// Assembles a polynomial from per-prime residue rows produced
+    /// elsewhere (e.g. a fused per-prime kernel). All rows must share
+    /// one length.
+    pub(crate) fn from_rows(residues: Vec<Vec<u64>>, domain: Domain) -> Self {
+        debug_assert!(residues.windows(2).all(|w| w[0].len() == w[1].len()));
+        RnsPoly { residues, domain }
+    }
+
+    /// The domain the residue rows are currently expressed in.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Retags the polynomial after its rows were transformed in place.
+    ///
+    /// The caller must have actually (inverse-)NTT'd every row; this only
+    /// flips the bookkeeping bit.
+    pub(crate) fn set_domain(&mut self, domain: Domain) {
+        self.domain = domain;
     }
 
     /// Builds an RNS polynomial from signed coefficients.
@@ -43,7 +90,7 @@ impl RnsPoly {
                     .collect()
             })
             .collect();
-        RnsPoly { residues }
+        RnsPoly { residues, domain: Domain::Coeff }
     }
 
     /// Ring degree N.
@@ -94,6 +141,7 @@ impl RnsPoly {
     /// In-place element-wise addition.
     pub fn add_assign(&mut self, rhs: &RnsPoly, primes: &[u64]) {
         assert_eq!(self.levels(), rhs.levels(), "level mismatch");
+        assert_eq!(self.domain, rhs.domain, "domain mismatch");
         for (i, &q) in primes.iter().take(self.levels()).enumerate() {
             for (a, &b) in self.residues[i].iter_mut().zip(&rhs.residues[i]) {
                 *a = add_mod(*a, b, q);
@@ -109,7 +157,7 @@ impl RnsPoly {
             .zip(primes)
             .map(|(r, &q)| r.iter().map(|&a| neg_mod(a, q)).collect())
             .collect();
-        RnsPoly { residues }
+        RnsPoly { residues, domain: self.domain }
     }
 
     /// Multiplies every coefficient by a signed scalar.
@@ -123,7 +171,7 @@ impl RnsPoly {
                 r.iter().map(|&a| mul_mod(a, s, q)).collect()
             })
             .collect();
-        RnsPoly { residues }
+        RnsPoly { residues, domain: self.domain }
     }
 
     /// Drops the last prime, rescaling by it: `x ↦ round(x / q_last)`.
@@ -145,6 +193,7 @@ impl RnsPoly {
     pub fn rescale_with(&self, primes: &[u64], par: Parallelism) -> RnsPoly {
         let l = self.levels();
         assert!(l >= 2, "cannot rescale a level-0 polynomial");
+        assert_eq!(self.domain, Domain::Coeff, "rescale requires coefficient domain");
         let q_last = primes[l - 1];
         let last = &self.residues[l - 1];
         let mut residues = vec![Vec::new(); l - 1];
@@ -166,12 +215,13 @@ impl RnsPoly {
                 })
                 .collect();
         });
-        RnsPoly { residues }
+        RnsPoly { residues, domain: Domain::Coeff }
     }
 
     fn zip_with(&self, rhs: &RnsPoly, primes: &[u64], f: fn(u64, u64, u64) -> u64) -> RnsPoly {
         assert_eq!(self.levels(), rhs.levels(), "level mismatch");
         assert_eq!(self.degree(), rhs.degree(), "degree mismatch");
+        assert_eq!(self.domain, rhs.domain, "domain mismatch");
         let residues = self
             .residues
             .iter()
@@ -179,7 +229,7 @@ impl RnsPoly {
             .zip(primes)
             .map(|((a, b), &q)| a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect())
             .collect();
-        RnsPoly { residues }
+        RnsPoly { residues, domain: self.domain }
     }
 
     /// Decomposes every coefficient's *centered integer value* into
@@ -203,6 +253,7 @@ impl RnsPoly {
         num_digits: usize,
     ) -> Vec<RnsPoly> {
         let levels = self.levels();
+        assert_eq!(self.domain, Domain::Coeff, "digit decomposition requires coefficient domain");
         let active = &primes[..levels];
         let total_bits: u32 = active.iter().map(|&q| 64 - (q - 1).leading_zeros()).sum();
         assert!(
@@ -245,6 +296,7 @@ impl RnsPoly {
     /// independent, so the result is bit-identical for every degree.
     pub fn to_centered_f64_with(&self, primes: &[u64], par: Parallelism) -> Vec<f64> {
         let l = self.levels();
+        assert_eq!(self.domain, Domain::Coeff, "CRT decode requires coefficient domain");
         let active = &primes[..l];
         if l == 1 {
             let q = active[0];

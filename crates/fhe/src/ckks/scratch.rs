@@ -1,0 +1,71 @@
+//! Thread-local scratch buffers for the NTT hot paths.
+//!
+//! `poly_mul_at`, evaluation-domain rescale, the coefficient-domain
+//! decrypt path and canonical serialization all need a temporary row of
+//! `N` limbs per prime. Allocating those per call dominated the small-N
+//! profile, so buffers are recycled through a per-thread free list
+//! instead. The pool is thread-local rather than per-context because
+//! `rhychee-par` fans the per-prime work out across pool threads — a
+//! shared locked arena would serialize exactly the code the pool is
+//! trying to parallelize, while a thread-local list is contention-free
+//! and still bounds live buffers by (threads × nesting depth).
+//!
+//! Buffer contents are *not* zeroed on reuse; every caller overwrites
+//! the full row (`copy_from_slice`) before reading it.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a scratch row of exactly `n` limbs, recycling the
+/// backing allocation across calls on the same thread.
+///
+/// The row's initial contents are unspecified — callers must fully
+/// overwrite it before reading. Nested calls are fine; each nesting
+/// level pops its own buffer.
+pub(crate) fn with_row<R>(n: usize, f: impl FnOnce(&mut [u64]) -> R) -> R {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.resize(n, 0);
+    let out = f(&mut buf);
+    POOL.with(|p| p.borrow_mut().push(buf));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuses_allocation_across_calls() {
+        let first = with_row(64, |row| {
+            row.fill(7);
+            row.as_ptr() as usize
+        });
+        let second = with_row(64, |row| {
+            assert_eq!(row.len(), 64);
+            row.as_ptr() as usize
+        });
+        assert_eq!(first, second, "same thread should recycle the same buffer");
+    }
+
+    #[test]
+    fn nested_calls_get_distinct_rows() {
+        with_row(16, |outer| {
+            outer.fill(1);
+            with_row(16, |inner| {
+                inner.fill(2);
+                assert_ne!(outer.as_ptr(), inner.as_ptr());
+            });
+            assert!(outer.iter().all(|&x| x == 1));
+        });
+    }
+
+    #[test]
+    fn resizes_to_requested_length() {
+        with_row(8, |row| assert_eq!(row.len(), 8));
+        with_row(32, |row| assert_eq!(row.len(), 32));
+        with_row(4, |row| assert_eq!(row.len(), 4));
+    }
+}

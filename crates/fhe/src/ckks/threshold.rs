@@ -106,7 +106,7 @@ impl ThresholdGroup {
             shares.push(KeyShare { share: s_i });
         }
         let b = b_sum.expect("at least one party");
-        ThresholdGroup { shares, public_key: CkksPublicKey { b, a } }
+        ThresholdGroup { shares, public_key: CkksPublicKey::from_coeff(ctx, b, a) }
     }
 
     /// Number of parties in the group.
@@ -136,7 +136,11 @@ impl ThresholdGroup {
         let share = ctx.at_level(&self.shares[party].share, levels);
         let smudge =
             RnsPoly::from_signed_coeffs(&gaussian_vec(rng, ctx.params().n, SMUDGING_SIGMA), primes);
-        let poly = ctx.poly_mul_at(&ct.c1, &share, levels).add(&smudge, primes);
+        // The share product runs in the coefficient domain; resident
+        // ciphertexts convert at entry (threshold decryption is a
+        // round-end operation, not the aggregation hot loop).
+        let c1 = ctx.to_coeff(&ct.c1);
+        let poly = ctx.poly_mul_at(&c1, &share, levels).add(&smudge, primes);
         PartialDecryption { poly }
     }
 
@@ -154,7 +158,7 @@ impl ThresholdGroup {
         assert!(!partials.is_empty(), "need every party's partial decryption");
         let levels = ct.levels();
         let primes = &ctx.primes()[..levels];
-        let mut m = ct.c0.clone();
+        let mut m = ctx.to_coeff(&ct.c0);
         for p in partials {
             m.add_assign(&p.poly, primes);
         }

@@ -18,6 +18,8 @@ pub enum FheError {
     PlaintextTooLarge { len: usize, capacity: usize },
     /// A plaintext value exceeds the scheme's message modulus.
     MessageOutOfRange { value: i64, modulus: u64 },
+    /// A ciphertext cannot be encoded in the requested wire format.
+    Serialize(String),
     /// A serialized ciphertext could not be parsed.
     Deserialize(String),
     /// The noise budget is insufficient for the requested operation count.
@@ -41,6 +43,7 @@ impl fmt::Display for FheError {
             FheError::MessageOutOfRange { value, modulus } => {
                 write!(f, "message {value} outside plaintext modulus {modulus}")
             }
+            FheError::Serialize(msg) => write!(f, "ciphertext serialization failed: {msg}"),
             FheError::Deserialize(msg) => write!(f, "ciphertext deserialization failed: {msg}"),
             FheError::NoiseBudgetExceeded(msg) => write!(f, "noise budget exceeded: {msg}"),
         }

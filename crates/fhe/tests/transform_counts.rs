@@ -1,0 +1,129 @@
+//! Transform-count regression tests for the NTT-resident CKKS pipeline.
+//!
+//! The `fhe.ckks.ntt.{forward,inverse}.count` counters make the domain
+//! state machine auditable: each test snapshots the global counters
+//! around one operation and asserts the *exact* number of per-prime
+//! transforms from the accounting table in DESIGN.md §11. Any regression
+//! that sneaks a transform back into the hot path (or re-transforms
+//! cached keys) fails loudly here.
+//!
+//! The counters are process-global, so every test serializes on one
+//! mutex and measures deltas only.
+
+use std::sync::Mutex;
+
+use rand::{rngs::StdRng, SeedableRng};
+use rhychee_fhe::ckks::CkksContext;
+use rhychee_fhe::params::CkksParams;
+use rhychee_telemetry as telemetry;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn ntt_counts() -> (u64, u64) {
+    let m = telemetry::metrics::global();
+    (m.counter("fhe.ckks.ntt.forward.count").get(), m.counter("fhe.ckks.ntt.inverse.count").get())
+}
+
+fn cache_counts() -> (u64, u64) {
+    let m = telemetry::metrics::global();
+    (
+        m.counter("fhe.ckks.ntt.table_cache.hit").get(),
+        m.counter("fhe.ckks.ntt.table_cache.miss").get(),
+    )
+}
+
+#[test]
+fn transform_counts_match_the_accounting_table() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_enabled(true);
+    let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+    let mut rng = StdRng::seed_from_u64(42);
+    let (sk, pk) = ctx.generate_keys(&mut rng);
+    let levels = ctx.primes().len() as u64;
+    let values = vec![0.5; 100];
+
+    // Resident public-key encrypt: one forward per prime for each of
+    // v (shared by both components), e0, e1, and the encoded message —
+    // no inverses, and no key transforms (keys were cached at keygen).
+    let (f0, i0) = ntt_counts();
+    let ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+    let (f1, i1) = ntt_counts();
+    assert_eq!((f1 - f0, i1 - i0), (4 * levels, 0), "resident encrypt");
+
+    // The server aggregation loop is transform-free.
+    let ct2 = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+    let (f0, i0) = ntt_counts();
+    let mut acc = ctx.mul_scalar(&ct, 0.5);
+    let scaled = ctx.mul_scalar(&ct2, 0.5);
+    ctx.add_assign(&mut acc, &scaled).expect("add");
+    let (f1, i1) = ntt_counts();
+    assert_eq!((f1 - f0, i1 - i0), (0, 0), "aggregate");
+
+    // Evaluation-domain decrypt: exactly one inverse per prime (the
+    // cached NTT-form secret key makes c1·s a pointwise product).
+    let (f0, i0) = ntt_counts();
+    let _ = ctx.decrypt(&sk, &acc);
+    let (f1, i1) = ntt_counts();
+    assert_eq!((f1 - f0, i1 - i0), (0, levels), "eval decrypt");
+
+    // Symmetric seeded encrypt: c1 is expanded from the seed directly in
+    // the evaluation domain, so only e and the message transform.
+    let (f0, i0) = ntt_counts();
+    let sct = ctx.encrypt_symmetric(&sk, &values, &mut rng).expect("encrypt");
+    let (f1, i1) = ntt_counts();
+    assert_eq!((f1 - f0, i1 - i0), (2 * levels, 0), "symmetric encrypt");
+
+    // Canonical serialization is the one place a resident ciphertext
+    // pays inverses: one per prime per component.
+    let (f0, i0) = ntt_counts();
+    let bytes = ctx.serialize(&sct);
+    let (f1, i1) = ntt_counts();
+    assert_eq!((f1 - f0, i1 - i0), (0, 2 * levels), "canonical serialize");
+
+    // Canonical deserialization yields a coefficient-domain ciphertext;
+    // decrypting it pays one forward (c1 into NTT form against the
+    // cached key) plus the final inverse, per prime.
+    let back = ctx.deserialize(&bytes).expect("deserialize");
+    let (f0, i0) = ntt_counts();
+    let _ = ctx.decrypt(&sk, &back);
+    let (f1, i1) = ntt_counts();
+    assert_eq!((f1 - f0, i1 - i0), (levels, levels), "coeff decrypt");
+}
+
+#[test]
+fn reference_pipeline_pays_the_transforms_the_resident_one_saves() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_enabled(true);
+    let mut ctx = CkksContext::new(CkksParams::toy()).expect("params");
+    ctx.set_eval_resident(false);
+    let mut rng = StdRng::seed_from_u64(43);
+    let (_, pk) = ctx.generate_keys(&mut rng);
+    let levels = ctx.primes().len() as u64;
+
+    // Coefficient-domain reference encrypt: two polynomial products
+    // (b·v and a·v), each transforming both operands forward and the
+    // result back — 4 forwards + 2 inverses per prime, every call.
+    let (f0, i0) = ntt_counts();
+    let _ = ctx.encrypt(&pk, &[0.5; 100], &mut rng).expect("encrypt");
+    let (f1, i1) = ntt_counts();
+    assert_eq!((f1 - f0, i1 - i0), (4 * levels, 2 * levels), "reference encrypt");
+}
+
+#[test]
+fn ntt_table_cache_is_shared_across_contexts() {
+    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    telemetry::set_enabled(true);
+    // Parameters used nowhere else in this binary, so the first context
+    // must miss for every prime and the second must hit for every one.
+    let params = CkksParams { n: 1024, prime_bits: vec![44, 33], scale_bits: 25, sigma: 3.2 };
+    let (h0, m0) = cache_counts();
+    let a = CkksContext::new(params.clone()).expect("params");
+    let (h1, m1) = cache_counts();
+    assert_eq!(h1 - h0, 0, "first context cannot hit");
+    assert_eq!(m1 - m0, a.primes().len() as u64, "one miss per prime");
+    let b = CkksContext::new(params).expect("params");
+    let (h2, m2) = cache_counts();
+    assert_eq!(h2 - h1, b.primes().len() as u64, "second context hits every prime");
+    assert_eq!(m2 - m1, 0, "second context cannot miss");
+    assert_eq!(a.primes(), b.primes());
+}

@@ -33,6 +33,13 @@ pub enum ClientPipeline {
     /// Packed CKKS ciphertexts under the shared key derived from the
     /// run seed.
     Ckks(CkksParams),
+    /// Like [`ClientPipeline::Ckks`], but uploads are encrypted
+    /// symmetrically under the shared secret key and shipped in the
+    /// seed-compressed wire format (a 32-byte seed replaces the full
+    /// `c1` polynomial), roughly halving upload bytes. Downloads stay
+    /// canonical: the aggregate is no longer a fresh encryption, so it
+    /// cannot be seed-compressed.
+    CkksSeeded(CkksParams),
 }
 
 /// Client-side connection configuration.
@@ -99,6 +106,8 @@ struct CkksSide {
     ctx: CkksContext,
     sk: CkksSecretKey,
     pk: CkksPublicKey,
+    /// Upload symmetric seeded ciphertexts instead of public-key ones.
+    seeded: bool,
 }
 
 /// A blocking-I/O TCP federated client.
@@ -129,12 +138,13 @@ impl FlClient {
         eval: Option<EncodedDataset>,
         pipeline: ClientPipeline,
     ) -> Result<Self, NetError> {
+        let seeded = matches!(pipeline, ClientPipeline::CkksSeeded(_));
         let ckks = match pipeline {
             ClientPipeline::Plaintext => None,
-            ClientPipeline::Ckks(params) => {
+            ClientPipeline::Ckks(params) | ClientPipeline::CkksSeeded(params) => {
                 let ctx = CkksContext::with_parallelism(params, fl.parallelism)?;
                 let (sk, pk) = round::derive_ckks_keys(&ctx, fl.seed);
-                Some(CkksSide { ctx, sk, pk })
+                Some(CkksSide { ctx, sk, pk, seeded })
             }
         };
         Ok(FlClient { config, fl, local, eval, ckks, classes })
@@ -217,6 +227,10 @@ impl FlClient {
             let flat = self.local.train(&global, &self.fl);
             let payload = match &self.ckks {
                 None => codec::encode_plain(&flat),
+                Some(side) if side.seeded => {
+                    let cts = self.local.encrypt_update_symmetric(&side.ctx, &side.sk, &flat)?;
+                    codec::encode_ckks_seeded(&side.ctx, &cts)?
+                }
                 Some(side) => {
                     let cts = self.local.encrypt_update(&side.ctx, &side.pk, &flat)?;
                     codec::encode_ckks(&side.ctx, &cts)

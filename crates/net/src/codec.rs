@@ -8,6 +8,7 @@
 //! | 0   | plaintext: `count: u32` then `count` LE `f32` parameters |
 //! | 1   | CKKS: `count: u32` then `count` × (`len: u32`, [`CkksContext::serialize`] bytes) |
 //! | 2   | LWE: `scale: f64`, `count: u32`, then `count` × [`LweContext::serialize`] bytes |
+//! | 3   | seeded CKKS: `count: u32` then `count` × (`len: u32`, [`CkksContext::serialize_seeded`] bytes) |
 //!
 //! Every declared count is validated against a caller-supplied cap
 //! before allocation, and the ciphertext codecs (hardened in
@@ -28,6 +29,9 @@ pub const TAG_PLAIN: u8 = 0;
 pub const TAG_CKKS: u8 = 1;
 /// Payload tag for per-parameter LWE ciphertexts.
 pub const TAG_LWE: u8 = 2;
+/// Payload tag for seed-compressed CKKS ciphertexts (fresh symmetric
+/// encryptions whose `c1` is replaced by a 32-byte expansion seed).
+pub const TAG_CKKS_SEEDED: u8 = 3;
 
 fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], NetError> {
     let slice = bytes
@@ -144,6 +148,64 @@ pub fn decode_ckks(
     Ok(cts)
 }
 
+/// Encodes seed-compressed CKKS ciphertexts under the given context.
+///
+/// Only fresh symmetric encryptions carry an expansion seed; roughly
+/// half the bytes of [`encode_ckks`] for the same ciphertexts.
+///
+/// # Errors
+///
+/// Returns [`NetError::Fhe`] if any ciphertext carries no seed
+/// (i.e. was not produced by symmetric encryption, or has been
+/// operated on since).
+pub fn encode_ckks_seeded(ctx: &CkksContext, cts: &[CkksCiphertext]) -> Result<Vec<u8>, NetError> {
+    let mut out = vec![TAG_CKKS_SEEDED];
+    out.extend_from_slice(&(cts.len() as u32).to_le_bytes());
+    for ct in cts {
+        let bytes = ctx.serialize_seeded(ct)?;
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    Ok(out)
+}
+
+/// Decodes at most `max_cts` seed-compressed CKKS ciphertexts,
+/// re-expanding each `c1` from its transmitted seed.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on structural errors and
+/// [`NetError::Fhe`] when a ciphertext fails the hardened
+/// [`CkksContext::deserialize_seeded`] (truncation, oversizing, bad
+/// levels, or a corrupted seed caught by its integrity digest).
+pub fn decode_ckks_seeded(
+    ctx: &CkksContext,
+    bytes: &[u8],
+    max_cts: usize,
+) -> Result<Vec<CkksCiphertext>, NetError> {
+    expect_tag(bytes, TAG_CKKS_SEEDED, "seeded CKKS")?;
+    let mut at = 1;
+    let count = take_u32(bytes, &mut at)? as usize;
+    if count > max_cts {
+        return Err(NetError::Protocol(format!(
+            "seeded CKKS payload declares {count} ciphertexts, cap is {max_cts}"
+        )));
+    }
+    let max_ct_len = ctx.serialized_len_seeded(ctx.primes().len());
+    let mut cts = Vec::with_capacity(count);
+    for i in 0..count {
+        let len = take_u32(bytes, &mut at)? as usize;
+        if len > max_ct_len {
+            return Err(NetError::Protocol(format!(
+                "seeded ciphertext {i} declares {len} bytes, max is {max_ct_len}"
+            )));
+        }
+        cts.push(ctx.deserialize_seeded(take(bytes, &mut at, len)?)?);
+    }
+    check_done(bytes, at)?;
+    Ok(cts)
+}
+
 /// Encodes per-parameter LWE ciphertexts plus their shared quantization
 /// scale under the given context.
 pub fn encode_lwe(ctx: &LweContext, scale: f64, cts: &[LweCiphertext]) -> Vec<u8> {
@@ -227,6 +289,41 @@ mod tests {
         let mut bad = bytes.clone();
         bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_ckks(&ctx, &bad, 4).is_err());
+    }
+
+    #[test]
+    fn seeded_ckks_round_trip_caps_and_corruption() {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+        let mut rng = StdRng::seed_from_u64(11);
+        let (sk, _) = ctx.generate_keys(&mut rng);
+        let values = vec![0.75; 100];
+        let cts: Vec<CkksCiphertext> = (0..2)
+            .map(|_| ctx.encrypt_symmetric(&sk, &values, &mut rng).expect("encrypt"))
+            .collect();
+        let bytes = encode_ckks_seeded(&ctx, &cts).expect("encode");
+        // ~2× smaller than the canonical encoding of the same payload.
+        let canonical = encode_ckks(&ctx, &cts);
+        assert!(bytes.len() * 2 < canonical.len() + 256, "{} vs {}", bytes.len(), canonical.len());
+        let back = decode_ckks_seeded(&ctx, &bytes, 2).expect("decode");
+        let decrypted = ctx.decrypt(&sk, &back[0]);
+        assert!((decrypted[0] - 0.75).abs() < 1e-3);
+        assert!(decode_ckks_seeded(&ctx, &bytes, 1).is_err(), "count above cap");
+        assert!(decode_ckks_seeded(&ctx, &bytes[..bytes.len() / 2], 2).is_err(), "truncated");
+        let mut bad = bytes.clone();
+        bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_ckks_seeded(&ctx, &bad, 2).is_err(), "oversized declared length");
+        // A flipped seed byte must be caught by the integrity digest,
+        // not silently re-expand to an unrelated ciphertext.
+        let mut flipped = bytes.clone();
+        flipped[9 + 10] ^= 0x40; // inside the first ciphertext's header/seed
+        assert!(decode_ckks_seeded(&ctx, &flipped, 2).is_err(), "corrupted seed");
+        // Canonical decoder must refuse the seeded tag and vice versa.
+        assert!(decode_ckks(&ctx, &bytes, 2).is_err());
+        assert!(decode_ckks_seeded(&ctx, &encode_ckks(&ctx, &cts), 2).is_err());
+        // Public-key ciphertexts carry no seed: encoding must error.
+        let (_, pk) = ctx.generate_keys(&mut StdRng::seed_from_u64(12));
+        let pk_ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+        assert!(encode_ckks_seeded(&ctx, &[pk_ct]).is_err());
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub enum ServerPipeline {
     /// only the evaluation context from these parameters — key
     /// generation happens client-side and no key ever reaches here.
     Ckks(CkksParams),
+    /// Like [`ServerPipeline::Ckks`], but uploads arrive in the
+    /// seed-compressed wire format (symmetric fresh encryptions whose
+    /// `c1` is re-expanded from a 32-byte seed), roughly halving upload
+    /// bytes. Only the seeded tag is accepted for uploads; broadcasts
+    /// stay canonical since aggregates are not fresh encryptions.
+    CkksSeeded(CkksParams),
 }
 
 /// Server-side run configuration.
@@ -363,7 +369,7 @@ enum ServerEvent {
 /// How a handler thread deserializes the uploads it reads.
 enum DecodeKind {
     Plain { model_params: usize },
-    Ckks { ctx: Arc<CkksContext>, max_cts: usize },
+    Ckks { ctx: Arc<CkksContext>, max_cts: usize, seeded: bool },
 }
 
 /// State shared by every handler thread.
@@ -382,10 +388,21 @@ impl HandlerShared {
                 Ok(p) if p.len() == *model_params => DecodedModel::Plain(p),
                 _ => DecodedModel::Invalid,
             },
-            DecodeKind::Ckks { ctx, max_cts } => match codec::decode_ckks(ctx, model, *max_cts) {
-                Ok(p) if p.len() == *max_cts => DecodedModel::Ckks(p),
-                _ => DecodedModel::Invalid,
-            },
+            // A seeded pipeline accepts *only* the seeded tag (and vice
+            // versa): mixing evaluation-domain seeded uploads with
+            // coefficient-domain canonical ones in a single aggregate
+            // would trip the ciphertext domain check downstream.
+            DecodeKind::Ckks { ctx, max_cts, seeded } => {
+                let decoded = if *seeded {
+                    codec::decode_ckks_seeded(ctx, model, *max_cts)
+                } else {
+                    codec::decode_ckks(ctx, model, *max_cts)
+                };
+                match decoded {
+                    Ok(p) if p.len() == *max_cts => DecodedModel::Ckks(p),
+                    _ => DecodedModel::Invalid,
+                }
+            }
         }
     }
 }
@@ -458,15 +475,16 @@ impl FlServer {
     pub fn run(self) -> Result<ServerReport, NetError> {
         let ctx = match &self.pipeline {
             ServerPipeline::Plaintext => None,
-            ServerPipeline::Ckks(params) => Some(Arc::new(CkksContext::with_parallelism(
-                params.clone(),
-                self.config.parallelism,
-            )?)),
+            ServerPipeline::Ckks(params) | ServerPipeline::CkksSeeded(params) => Some(Arc::new(
+                CkksContext::with_parallelism(params.clone(), self.config.parallelism)?,
+            )),
         };
+        let seeded = matches!(self.pipeline, ServerPipeline::CkksSeeded(_));
         let decode = match &ctx {
             Some(c) => DecodeKind::Ckks {
                 ctx: Arc::clone(c),
                 max_cts: packing::ciphertexts_needed(self.config.model_params, c.slot_count()),
+                seeded,
             },
             None => DecodeKind::Plain { model_params: self.config.model_params },
         };

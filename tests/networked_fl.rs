@@ -8,6 +8,7 @@ use std::net::TcpStream;
 use std::thread;
 use std::time::Duration;
 
+use rhychee_fl::core::packing;
 use rhychee_fl::core::round::{self, ClientLocal, FedSetup};
 use rhychee_fl::core::{FlConfig, Framework};
 use rhychee_fl::data::{DatasetKind, SyntheticConfig, TrainTest};
@@ -42,11 +43,23 @@ fn run_networked(
     data: &TrainTest,
     ckks: Option<CkksParams>,
 ) -> (ServerReport, Vec<ClientReport>) {
+    run_networked_seeded(fl, data, ckks, false)
+}
+
+/// [`run_networked`] with a switch for the seed-compressed CKKS upload
+/// pipeline (symmetric encryptions whose `c1` ships as a 32-byte seed).
+fn run_networked_seeded(
+    fl: &FlConfig,
+    data: &TrainTest,
+    ckks: Option<CkksParams>,
+    seeded: bool,
+) -> (ServerReport, Vec<ClientReport>) {
     let FedSetup { shards, test, classes } = round::prepare(fl, data).expect("prepare");
     let num_params = classes * fl.hd_dim;
-    let server_pipeline = match &ckks {
-        Some(p) => ServerPipeline::Ckks(p.clone()),
-        None => ServerPipeline::Plaintext,
+    let server_pipeline = match (&ckks, seeded) {
+        (Some(p), false) => ServerPipeline::Ckks(p.clone()),
+        (Some(p), true) => ServerPipeline::CkksSeeded(p.clone()),
+        (None, _) => ServerPipeline::Plaintext,
     };
     let server = FlServer::bind(
         "127.0.0.1:0",
@@ -66,9 +79,10 @@ fn run_networked(
     for (id, shard) in shards.into_iter().enumerate() {
         let local = ClientLocal::new(id, shard, classes, fl);
         let eval = if id == 0 { Some(test.clone()) } else { None };
-        let pipeline = match &ckks {
-            Some(p) => ClientPipeline::Ckks(p.clone()),
-            None => ClientPipeline::Plaintext,
+        let pipeline = match (&ckks, seeded) {
+            (Some(p), false) => ClientPipeline::Ckks(p.clone()),
+            (Some(p), true) => ClientPipeline::CkksSeeded(p.clone()),
+            (None, _) => ClientPipeline::Plaintext,
         };
         let client =
             FlClient::new(ClientConfig::new(addr), fl.clone(), local, classes, eval, pipeline)
@@ -302,6 +316,57 @@ fn late_update_is_nacked_and_never_aggregated() {
     assert_eq!(honest.rounds_participated, 1);
     // The aggregate is exactly client 0's model (quorum of one).
     assert_eq!(server.final_plain_model.as_ref(), Some(&honest.final_model));
+}
+
+#[test]
+fn seeded_uploads_halve_bytes_and_reconcile_with_analytical_model() {
+    let data = har_data();
+    let fl = config(4, 2, 31);
+    let (server, clients) = run_networked_seeded(&fl, &data, Some(CkksParams::toy()), true);
+
+    // The seeded pipeline must still complete every round with every
+    // client reporting, and all clients must decrypt one agreed model.
+    assert!(server.final_plain_model.is_none(), "server must never see plaintext");
+    assert_eq!(server.rounds.len(), 2);
+    assert!(server.rounds.iter().all(|r| r.received == 4 && r.rejected == 0));
+    for c in &clients {
+        assert_eq!(c.rounds_participated, 2);
+        assert_eq!(c.final_model, clients[0].final_model, "client {} diverged", c.client_id);
+    }
+
+    // Analytical reconciliation: modeled seeded upload bytes per client,
+    // plus only codec headers and wire framing (well under 2 KiB).
+    let FedSetup { classes, .. } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+    let ctx = CkksContext::new(CkksParams::toy()).expect("ctx");
+    let modeled = fl.rounds as u64 * packing::upload_bytes_seeded(&ctx, num_params) as u64;
+    for c in &clients {
+        assert!(
+            c.bytes_tx >= modeled,
+            "client {}: measured {} below modeled {modeled}",
+            c.client_id,
+            c.bytes_tx
+        );
+        assert!(
+            c.bytes_tx <= modeled + 2048,
+            "client {}: measured {} exceeds modeled {modeled} by more than framing",
+            c.client_id,
+            c.bytes_tx
+        );
+    }
+
+    // And the headline: a seeded upload is ~half a canonical one (a
+    // 32-byte seed stands in for a full packed polynomial per ct).
+    let (_, canonical) = run_networked(&fl, &data, Some(CkksParams::toy()));
+    for (s, c) in clients.iter().zip(&canonical) {
+        assert!(
+            s.bytes_tx * 100 < c.bytes_tx * 55 && s.bytes_tx * 100 > c.bytes_tx * 45,
+            "client {}: seeded {} vs canonical {} not ~2x",
+            s.client_id,
+            s.bytes_tx,
+            c.bytes_tx
+        );
+    }
 }
 
 #[test]
