@@ -1,0 +1,255 @@
+//! CI regression gate over `bench_fhe` output: compares a freshly
+//! measured `BENCH_fhe.json` against a committed baseline and fails
+//! when any shared `(op, threads)` row regressed by more than the
+//! allowed ratio in ns/op.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--max-ratio R]
+//! ```
+//!
+//! Exit codes: 0 = within budget, 1 = regression past `--max-ratio`
+//! (default 2.0 — generous on purpose, CI runners are noisy), 2 =
+//! usage or parse error. Rows present on only one side are reported
+//! but never fail the gate: the op set may grow between commits, and
+//! the thread sweep depends on the runner's core count.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::{env, fs};
+
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRow {
+    op: String,
+    threads: u64,
+    ns_per_op: f64,
+}
+
+/// Extracts the string value of `"key"` from one JSON object body.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let at = obj.find(&format!("\"{key}\""))?;
+    let rest = obj[at..].split_once(':')?.1.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Extracts the numeric value of `"key"` from one JSON object body.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let at = obj.find(&format!("\"{key}\""))?;
+    let rest = obj[at..].split_once(':')?.1.trim_start();
+    let lit: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    lit.parse().ok()
+}
+
+/// Parses the `"results"` array of a `BENCH_fhe.json` document into
+/// rows. Only the three fields the gate compares are read; everything
+/// else in each row object is ignored.
+fn parse_results(json: &str) -> Result<Vec<BenchRow>, String> {
+    let at = json.find("\"results\"").ok_or("no \"results\" array in document")?;
+    let open = json[at..].find('[').ok_or("\"results\" is not an array")? + at;
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, c) in json[open..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let arr = &json[open + 1..close.ok_or("unterminated \"results\" array")?];
+
+    let mut rows = Vec::new();
+    let mut rest = arr;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..].find('}').ok_or("unterminated row object")? + start;
+        let obj = &rest[start + 1..end];
+        rows.push(BenchRow {
+            op: str_field(obj, "op").ok_or_else(|| format!("row without \"op\": {obj}"))?,
+            threads: num_field(obj, "threads")
+                .ok_or_else(|| format!("row without \"threads\": {obj}"))?
+                as u64,
+            ns_per_op: num_field(obj, "ns_per_op")
+                .ok_or_else(|| format!("row without \"ns_per_op\": {obj}"))?,
+        });
+        rest = &rest[end + 1..];
+    }
+    if rows.is_empty() {
+        return Err("\"results\" array holds no rows".into());
+    }
+    Ok(rows)
+}
+
+#[derive(Debug)]
+struct Comparison {
+    op: String,
+    threads: u64,
+    baseline_ns: f64,
+    fresh_ns: f64,
+    ratio: f64,
+}
+
+/// Joins the two row sets on `(op, threads)`. Errors when the
+/// intersection is empty — a gate that compares nothing must not pass.
+fn compare(baseline: &[BenchRow], fresh: &[BenchRow]) -> Result<Vec<Comparison>, String> {
+    let mut out = Vec::new();
+    for b in baseline {
+        let Some(f) = fresh.iter().find(|f| f.op == b.op && f.threads == b.threads) else {
+            continue;
+        };
+        if b.ns_per_op <= 0.0 {
+            return Err(format!("baseline {}@{}t has non-positive ns/op", b.op, b.threads));
+        }
+        out.push(Comparison {
+            op: b.op.clone(),
+            threads: b.threads,
+            baseline_ns: b.ns_per_op,
+            fresh_ns: f.ns_per_op,
+            ratio: f.ns_per_op / b.ns_per_op,
+        });
+    }
+    if out.is_empty() {
+        return Err("no (op, threads) rows shared between baseline and fresh results".into());
+    }
+    Ok(out)
+}
+
+fn render_table(comparisons: &[Comparison], max_ratio: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>7} {:>14} {:>14} {:>7}  status",
+        "op", "threads", "baseline", "fresh", "ratio"
+    );
+    for c in comparisons {
+        let status = if c.ratio > max_ratio { "REGRESSED" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "{:<26} {:>7} {:>12.1}ns {:>12.1}ns {:>6.2}x  {status}",
+            c.op, c.threads, c.baseline_ns, c.fresh_ns, c.ratio
+        );
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut max_ratio = 2.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-ratio" {
+            max_ratio = it
+                .next()
+                .ok_or("--max-ratio needs a value")?
+                .parse()
+                .map_err(|e| format!("--max-ratio: {e}"))?;
+            if !(max_ratio.is_finite() && max_ratio > 0.0) {
+                return Err("--max-ratio must be a positive finite number".into());
+            }
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        return Err("usage: bench_check <baseline.json> <fresh.json> [--max-ratio R]".into());
+    };
+    let read = |p: &String| fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let baseline =
+        parse_results(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let fresh = parse_results(&read(fresh_path)?).map_err(|e| format!("{fresh_path}: {e}"))?;
+
+    let comparisons = compare(&baseline, &fresh)?;
+    print!("{}", render_table(&comparisons, max_ratio));
+    let regressed: Vec<&Comparison> = comparisons.iter().filter(|c| c.ratio > max_ratio).collect();
+    if regressed.is_empty() {
+        println!("bench_check: {} row(s) within {max_ratio}x of baseline", comparisons.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for c in &regressed {
+            eprintln!(
+                "bench_check: {}@{}t regressed {:.2}x (baseline {:.1}ns/op, fresh {:.1}ns/op, budget {max_ratio}x)",
+                c.op, c.threads, c.ratio, c.baseline_ns, c.fresh_ns
+            );
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run(&env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "machine_cores": 1,
+  "results": [
+    {"op": "ntt_forward", "threads": 1, "ns_per_op": 7000.0, "machine_cores": 1, "oversubscribed": false},
+    {"op": "encrypt_model", "threads": 1, "ns_per_op": 1200000.5, "machine_cores": 1, "oversubscribed": false},
+    {"op": "encrypt_model", "threads": 2, "ns_per_op": 700000.0, "machine_cores": 2, "oversubscribed": false}
+  ]
+}"#;
+
+    #[test]
+    fn parses_bench_fhe_results_rows() {
+        let rows = parse_results(SAMPLE).expect("parse");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], BenchRow { op: "ntt_forward".into(), threads: 1, ns_per_op: 7000.0 });
+        assert_eq!(rows[2].threads, 2, "thread sweep rows keep their degree");
+    }
+
+    #[test]
+    fn rejects_documents_without_rows() {
+        assert!(parse_results("{\"results\": []}").is_err());
+        assert!(parse_results("{\"machine_cores\": 1}").is_err());
+        assert!(parse_results("{\"results\": [{\"threads\": 1}]}").is_err());
+    }
+
+    #[test]
+    fn compares_on_op_and_threads_and_flags_regressions() {
+        let baseline = parse_results(SAMPLE).expect("parse");
+        // Fresh run: ntt 1.5x slower (ok at 2x budget), encrypt@1t 3x
+        // slower (regression), encrypt@2t missing (runner has 1 core).
+        let fresh = vec![
+            BenchRow { op: "ntt_forward".into(), threads: 1, ns_per_op: 10500.0 },
+            BenchRow { op: "encrypt_model".into(), threads: 1, ns_per_op: 3_600_001.5 },
+            BenchRow { op: "brand_new_op".into(), threads: 1, ns_per_op: 1.0 },
+        ];
+        let cmp = compare(&baseline, &fresh).expect("overlap");
+        assert_eq!(cmp.len(), 2, "only shared rows compare");
+        assert!((cmp[0].ratio - 1.5).abs() < 1e-9);
+        assert!(cmp[1].ratio > 2.0 && cmp[1].ratio < 3.1);
+        let table = render_table(&cmp, 2.0);
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.lines().count() == 3, "{table}");
+    }
+
+    #[test]
+    fn disjoint_row_sets_are_an_error_not_a_pass() {
+        let baseline = vec![BenchRow { op: "a".into(), threads: 1, ns_per_op: 1.0 }];
+        let fresh = vec![BenchRow { op: "b".into(), threads: 1, ns_per_op: 1.0 }];
+        assert!(compare(&baseline, &fresh).is_err(), "empty intersection must not gate-pass");
+    }
+
+    #[test]
+    fn identical_runs_pass_exactly() {
+        let rows = parse_results(SAMPLE).expect("parse");
+        let cmp = compare(&rows, &rows).expect("overlap");
+        assert!(cmp.iter().all(|c| (c.ratio - 1.0).abs() < 1e-12));
+    }
+}

@@ -99,6 +99,15 @@ pub struct ClientReport {
     pub retries: u64,
     /// Uploads the server NACKed (late or duplicate).
     pub rejected_updates: u64,
+    /// Total wall time in local training across all rounds (the exact
+    /// sum of this client's `local_train` span durations).
+    pub train_time: Duration,
+    /// Total wall time encrypting/encoding uploads (`encrypt` spans).
+    pub encrypt_time: Duration,
+    /// Total wall time writing update frames (`upload` spans).
+    pub upload_time: Duration,
+    /// Total wall time decoding/decrypting globals (`decrypt` spans).
+    pub decrypt_time: Duration,
 }
 
 /// Key material for the CKKS pipeline (client side only).
@@ -159,6 +168,9 @@ impl FlClient {
     /// the configured attempts, or on any protocol / I/O / FHE failure.
     pub fn run(mut self) -> Result<ClientReport, NetError> {
         let mut report = ClientReport { client_id: self.local.id(), ..ClientReport::default() };
+        if telemetry::enabled() {
+            telemetry::trace::set_actor(&format!("client{}", self.local.id()));
+        }
         let mut stream = self.connect(&mut report)?;
 
         let n = wire::write_message(&mut stream, &Message::Hello { client_id: self.local.id() })?;
@@ -180,7 +192,8 @@ impl FlClient {
 
         let mut got_final = false;
         loop {
-            let (msg, n) = match wire::read_message(&mut stream, self.config.max_payload) {
+            let (msg, rctx, n) = match wire::read_message_ctx(&mut stream, self.config.max_payload)
+            {
                 Ok(v) => v,
                 // Once the final model is in, a server that closes
                 // without a trailing Finished is still a clean session.
@@ -205,7 +218,16 @@ impl FlClient {
                 }
             };
 
-            let global = self.decode_global(&model, num_params, max_cts)?;
+            // Spans from here to the end of this round parent under the
+            // server's `net_round` span via the wire trace context (the
+            // final broadcast and round-0 carry none).
+            telemetry::trace::set_remote_context(rctx);
+            let dspan = telemetry::span("decrypt");
+            let global = self.decode_global(&model, num_params, max_cts);
+            let decrypt_time = dspan.finish();
+            telemetry::observe_duration("fl.phase.decrypt.ns", decrypt_time);
+            report.decrypt_time += decrypt_time;
+            let global = global?;
             if let Some(eval) = &self.eval {
                 if last || round > 0 {
                     let acc =
@@ -223,26 +245,57 @@ impl FlClient {
                 continue; // drain until Finished (or EOF)
             }
 
-            let span = telemetry::span("net_round");
+            let span = telemetry::span("client_round");
+
+            let tspan = telemetry::span("local_train");
             let flat = self.local.train(&global, &self.fl);
+            let train_time = tspan.finish();
+            telemetry::observe_duration("fl.phase.local_train.ns", train_time);
+            report.train_time += train_time;
+
+            let espan = telemetry::span("encrypt");
             let payload = match &self.ckks {
-                None => codec::encode_plain(&flat),
-                Some(side) if side.seeded => {
-                    let cts = self.local.encrypt_update_symmetric(&side.ctx, &side.sk, &flat)?;
-                    codec::encode_ckks_seeded(&side.ctx, &cts)?
-                }
-                Some(side) => {
-                    let cts = self.local.encrypt_update(&side.ctx, &side.pk, &flat)?;
-                    codec::encode_ckks(&side.ctx, &cts)
-                }
+                None => Ok(codec::encode_plain(&flat)),
+                Some(side) if side.seeded => self
+                    .local
+                    .encrypt_update_symmetric(&side.ctx, &side.sk, &flat)
+                    .map_err(NetError::from)
+                    .and_then(|cts| codec::encode_ckks_seeded(&side.ctx, &cts)),
+                Some(side) => self
+                    .local
+                    .encrypt_update(&side.ctx, &side.pk, &flat)
+                    .map(|cts| codec::encode_ckks(&side.ctx, &cts))
+                    .map_err(NetError::from),
             };
+            let encrypt_time = espan.finish();
+            telemetry::observe_duration("fl.phase.encrypt.ns", encrypt_time);
+            report.encrypt_time += encrypt_time;
+            if telemetry::enabled() {
+                telemetry::observe_labeled(
+                    "net.client.encrypt_ns",
+                    "client_id",
+                    &self.local.id().to_string(),
+                    encrypt_time.as_nanos() as u64,
+                );
+            }
             let update = Message::Update {
                 round,
                 client_id: self.local.id(),
                 steps: self.local.last_steps(),
-                model: payload,
+                model: payload?,
             };
-            let n = self.upload(&mut stream, &update, &mut report)?;
+            // The upload frame chains the server's decode under this
+            // client's `client_round` span in the merged trace.
+            let uctx = rctx.map(|c| wire::TraceContext {
+                trace_id: c.trace_id,
+                parent_span: span.id(),
+                round: c.round,
+            });
+            let uspan = telemetry::span("upload");
+            let n = self.upload(&mut stream, &update, uctx.as_ref(), &mut report)?;
+            let upload_time = uspan.finish();
+            telemetry::observe_duration("fl.phase.upload.ns", upload_time);
+            report.upload_time += upload_time;
             self.sent(&mut report, n);
             report.rounds_participated += 1;
             span.finish();
@@ -259,7 +312,7 @@ impl FlClient {
                 thread::sleep(delay);
                 delay *= 2;
                 report.retries += 1;
-                telemetry::count("net.retries", 1);
+                self.count_retry();
             }
             match TcpStream::connect_timeout(&self.config.addr, self.config.io_timeout) {
                 Ok(stream) => {
@@ -281,6 +334,7 @@ impl FlClient {
         &self,
         stream: &mut TcpStream,
         update: &Message,
+        ctx: Option<&wire::TraceContext>,
         report: &mut ClientReport,
     ) -> Result<usize, NetError> {
         let mut delay = self.config.backoff;
@@ -290,14 +344,29 @@ impl FlClient {
                 thread::sleep(delay);
                 delay *= 2;
                 report.retries += 1;
-                telemetry::count("net.retries", 1);
+                self.count_retry();
             }
-            match wire::write_message(stream, update) {
+            match wire::write_message_ctx(stream, update, ctx) {
                 Ok(n) => return Ok(n),
                 Err(e) => last_err = Some(e),
             }
         }
         Err(last_err.unwrap_or_else(|| NetError::Protocol("no upload attempts".into())))
+    }
+
+    /// Counts one connect/upload retry into the run-total counter, the
+    /// frame-level counter, and this client's labeled series.
+    fn count_retry(&self) {
+        telemetry::count("net.retries", 1);
+        telemetry::count("net.frame.retry", 1);
+        if telemetry::enabled() {
+            telemetry::count_labeled(
+                "net.client.retries",
+                "client_id",
+                &self.local.id().to_string(),
+                1,
+            );
+        }
     }
 
     fn decode_global(

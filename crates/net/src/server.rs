@@ -40,7 +40,7 @@ use rhychee_telemetry as telemetry;
 
 use crate::codec;
 use crate::error::NetError;
-use crate::wire::{self, Message, DEFAULT_MAX_PAYLOAD};
+use crate::wire::{self, Message, TraceContext, DEFAULT_MAX_PAYLOAD};
 
 /// How the server transports and aggregates model payloads.
 pub enum ServerPipeline {
@@ -269,9 +269,10 @@ impl ServerConfigBuilder {
 
     /// Enables the live observability plane on `addr` (e.g.
     /// `"127.0.0.1:9090"`, port 0 for OS-assigned): [`FlServer::bind`]
-    /// starts an HTTP server exposing `/metrics`, `/healthz` and
-    /// `/trace.json`, switches telemetry recording on process-wide, and
-    /// the round loop publishes the `fl.*` / `net.bytes.*` gauges.
+    /// starts an HTTP server exposing `/metrics`, `/healthz`,
+    /// `/trace.json` and `/rounds.json`, switches telemetry recording
+    /// on process-wide, and the round loop publishes the `fl.*` /
+    /// `net.bytes.*` gauges plus one round-timeline record per round.
     /// Default: disabled.
     pub fn obs_addr(mut self, addr: impl Into<String>) -> Self {
         self.obs_addr = Some(addr.into());
@@ -344,7 +345,9 @@ enum GlobalState {
 /// Coordinator → handler commands.
 enum HandlerCmd {
     /// Write a `Global` frame; unless `last`, then read one `Update`.
-    Broadcast { round: usize, last: bool, payload: Arc<Vec<u8>> },
+    /// `ctx` is the round's trace context: handlers stamp it on the
+    /// wire so client spans parent under this round's `net_round` span.
+    Broadcast { round: usize, last: bool, payload: Arc<Vec<u8>>, ctx: Option<TraceContext> },
     /// Write an `UpdateAck` frame.
     Ack { round: usize, accepted: bool },
 }
@@ -360,8 +363,16 @@ enum DecodedModel {
 /// Handler → coordinator events.
 enum ServerEvent {
     /// A client's upload arrived and was decoded (round validity not
-    /// yet checked).
-    Update { client_id: usize, round: usize, steps: usize, model: DecodedModel },
+    /// yet checked). `bytes` is the framed size read off the socket and
+    /// `arrived` the read-completion instant, for the round timeline.
+    Update {
+        client_id: usize,
+        round: usize,
+        steps: usize,
+        model: DecodedModel,
+        bytes: u64,
+        arrived: Instant,
+    },
     /// A client disconnected, timed out, or violated the protocol.
     Dropped { client_id: usize },
 }
@@ -501,11 +512,26 @@ impl FlServer {
         drop(event_tx);
         telemetry::gauge("fl.clients.connected", handlers.len() as f64);
 
+        // One trace id spans the whole federation run; each round's wire
+        // context chains client spans under that round's `net_round`.
+        if telemetry::enabled() {
+            telemetry::trace::set_actor("server");
+        }
+        let trace_id = if telemetry::enabled() { telemetry::trace::new_trace_id() } else { 0 };
+
         let mut report = ServerReport::default();
         let mut global = GlobalState::Plain(vec![0.0; self.config.model_params]);
 
         for round in 0..self.config.rounds {
             let span = telemetry::span("net_round");
+            let round_ctx = (span.id() != 0).then(|| TraceContext {
+                trace_id,
+                parent_span: span.id(),
+                round: round as u32,
+            });
+            let round_start = Instant::now();
+            let round_start_ns = telemetry::trace::now_ns();
+            let live_at_start = handlers.len();
             // 1-based "round in flight" (0 means still handshaking).
             telemetry::gauge("fl.round.current", (round + 1) as f64);
             let payload = Arc::new(self.encode_global(&global, ctx.as_deref()));
@@ -514,6 +540,7 @@ impl FlServer {
                     round,
                     last: false,
                     payload: Arc::clone(&payload),
+                    ctx: round_ctx,
                 });
             }
 
@@ -522,6 +549,8 @@ impl FlServer {
                 None => Collected::Plain(ServerRound::new(round, self.config.aggregation)),
             };
             let mut rejected = 0usize;
+            let mut arrivals: Vec<rhychee_obs::rounds::ClientArrival> = Vec::new();
+            let mut quorum_ns: Option<u64> = None;
             let deadline = Instant::now() + self.config.round_timeout;
             while sr.received() < handlers.len() {
                 let remaining = deadline.saturating_duration_since(Instant::now());
@@ -529,11 +558,36 @@ impl FlServer {
                     break;
                 }
                 match event_rx.recv_timeout(remaining) {
-                    Ok(ServerEvent::Update { client_id, round: r, steps, model }) => {
+                    Ok(ServerEvent::Update {
+                        client_id,
+                        round: r,
+                        steps,
+                        model,
+                        bytes,
+                        arrived,
+                    }) => {
                         let accepted =
                             r == round && accept_update(&mut sr, client_id, r, steps, model);
                         if !accepted {
                             rejected += 1;
+                            telemetry::count("net.frame.nack", 1);
+                            telemetry::count_labeled(
+                                "net.client.nacks",
+                                "client_id",
+                                &client_id.to_string(),
+                                1,
+                            );
+                        }
+                        let offset_ns =
+                            arrived.saturating_duration_since(round_start).as_nanos() as u64;
+                        arrivals.push(rhychee_obs::rounds::ClientArrival {
+                            client_id,
+                            offset_ns,
+                            bytes,
+                            accepted,
+                        });
+                        if accepted && quorum_ns.is_none() && sr.received() >= self.config.quorum {
+                            quorum_ns = Some(offset_ns);
                         }
                         if let Some(h) = handlers.get(&client_id) {
                             let _ = h.cmd_tx.send(HandlerCmd::Ack { round: r, accepted });
@@ -562,6 +616,7 @@ impl FlServer {
             let received = sr.received();
             global = sr.aggregate(ctx.as_deref(), self.config.parallelism)?;
             let aggregate_time = agg_span.finish();
+            telemetry::observe_duration("fl.phase.aggregate.ns", aggregate_time);
             report.rounds.push(NetRoundReport {
                 round,
                 received,
@@ -569,6 +624,18 @@ impl FlServer {
                 rejected,
                 aggregate_time,
             });
+            if telemetry::enabled() {
+                rhychee_obs::rounds::record(rhychee_obs::rounds::RoundRecord {
+                    round,
+                    start_ns: round_start_ns,
+                    quorum_ns,
+                    close_ns: round_start.elapsed().as_nanos() as u64,
+                    received,
+                    rejected,
+                    stragglers: live_at_start.saturating_sub(received),
+                    arrivals,
+                });
+            }
             telemetry::gauge("net.bytes.tx", shared.bytes_tx.load(Ordering::Relaxed) as f64);
             telemetry::gauge("net.bytes.rx", shared.bytes_rx.load(Ordering::Relaxed) as f64);
             span.finish();
@@ -581,6 +648,7 @@ impl FlServer {
                 round: self.config.rounds,
                 last: true,
                 payload: Arc::clone(&payload),
+                ctx: None,
             });
         }
         for (_, h) in handlers.drain() {
@@ -781,6 +849,9 @@ fn handler_loop(
     let drop_self = |events: &Sender<ServerEvent>| {
         let _ = events.send(ServerEvent::Dropped { client_id });
     };
+    if telemetry::enabled() {
+        telemetry::trace::set_actor("server");
+    }
     // Updates may legitimately take a whole training phase to arrive.
     if stream.set_read_timeout(Some(shared.round_timeout)).is_err() {
         drop_self(events);
@@ -800,9 +871,15 @@ fn handler_loop(
                     }
                 }
             }
-            HandlerCmd::Broadcast { round, last, payload } => {
+            HandlerCmd::Broadcast { round, last, payload, ctx } => {
+                // Spans opened on this thread parent under the round's
+                // `net_round` span via the wire context.
+                telemetry::trace::set_remote_context(ctx);
                 let msg = Message::Global { round, last, model: payload.as_ref().clone() };
-                match wire::write_message(&mut stream, &msg) {
+                let bspan = telemetry::span("broadcast");
+                let wrote = wire::write_message_ctx(&mut stream, &msg, ctx.as_ref());
+                telemetry::observe_duration("fl.phase.broadcast.ns", bspan.finish());
+                match wrote {
                     Ok(n) => {
                         shared.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
                         telemetry::count("net.bytes_tx", n as u64);
@@ -822,20 +899,52 @@ fn handler_loop(
                     }
                     return;
                 }
-                match wire::read_message(&mut stream, shared.max_payload) {
-                    Ok((Message::Update { round, client_id: cid, steps, model }, n))
+                let sent_at = Instant::now();
+                match wire::read_message_ctx(&mut stream, shared.max_payload) {
+                    Ok((Message::Update { round, client_id: cid, steps, model }, uctx, n))
                         if cid == client_id =>
                     {
+                        let arrived = Instant::now();
                         shared.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
                         telemetry::count("net.bytes_rx", n as u64);
+                        if telemetry::enabled() {
+                            let label = client_id.to_string();
+                            telemetry::count_labeled(
+                                "net.client.upload_bytes",
+                                "client_id",
+                                &label,
+                                n as u64,
+                            );
+                            telemetry::observe_labeled(
+                                "net.client.rtt_ns",
+                                "client_id",
+                                &label,
+                                arrived.saturating_duration_since(sent_at).as_nanos() as u64,
+                            );
+                        }
                         // Deserialize here, on the connection's own
                         // thread, so P clients' ciphertext payloads
                         // decode concurrently instead of queueing on
-                        // the coordinator.
+                        // the coordinator. When the upload carried a
+                        // context, the decode parents under the client's
+                        // upload span rather than the round span.
+                        if uctx.is_some() {
+                            telemetry::trace::set_remote_context(uctx);
+                        }
                         let span = telemetry::span("net_decode");
                         let model = shared.decode(&model);
                         span.finish();
-                        let _ = events.send(ServerEvent::Update { client_id, round, steps, model });
+                        if uctx.is_some() {
+                            telemetry::trace::set_remote_context(ctx);
+                        }
+                        let _ = events.send(ServerEvent::Update {
+                            client_id,
+                            round,
+                            steps,
+                            model,
+                            bytes: n as u64,
+                            arrived,
+                        });
                     }
                     _ => {
                         // Disconnect, timeout past the full round window,

@@ -6,34 +6,53 @@
 //! | offset | size | field |
 //! |-------:|-----:|-------|
 //! | 0      | 4    | magic `b"RYFL"` |
-//! | 4      | 1    | protocol version (currently 1) |
+//! | 4      | 1    | protocol version (1 = plain, 2 = traced) |
 //! | 5      | 1    | message type |
 //! | 6      | 4    | round id |
 //! | 10     | 4    | payload length `len` |
-//! | 14     | len  | payload |
-//! | 14+len | 4    | CRC-32 (IEEE 802.3, from [`rhychee_channel::crc`]) over bytes `[4, 14+len)` |
+//! | 14     | 24   | trace context (version 2 only: 16-byte trace id + 8-byte parent span id) |
+//! | 14[+24]| len  | payload |
+//! | …+len  | 4    | CRC-32 (IEEE 802.3, from [`rhychee_channel::crc`]) over bytes `[4, …+len)` |
+//!
+//! Version 1 frames carry no trace context and stay byte-identical to
+//! the original protocol; version 2 inserts a fixed 24-byte
+//! [`TraceContext`] between header and payload so spans on the receiving
+//! side can parent under the sender's span. Senders emit version 2 only
+//! when they have a context to propagate (telemetry enabled), so a
+//! telemetry-off federation is wire-identical to version 1; decoders
+//! accept both versions.
 //!
 //! The declared payload length is validated against the receiver's cap
 //! *before* any allocation, so a malicious or corrupted length field
 //! cannot drive unbounded memory use. The CRC covers everything after
-//! the magic — version, type, round, length, and payload — so a flipped
-//! bit anywhere in the frame body is detected at the frame layer before
-//! the ciphertext codecs ever see the bytes.
+//! the magic — version, type, round, length, trace context, and payload
+//! — so a flipped bit anywhere in the frame body is detected at the
+//! frame layer before the ciphertext codecs ever see the bytes. CRC
+//! mismatches count into `net.frame.crc_fail`.
 
 use std::io::{Read, Write};
 
 use rhychee_channel::crc::crc32;
+use rhychee_telemetry as telemetry;
+pub use rhychee_telemetry::TraceContext;
 
 use crate::error::NetError;
 
 /// Frame magic: the first four bytes of every Rhychee-FL frame.
 pub const MAGIC: [u8; 4] = *b"RYFL";
 
-/// Current protocol version.
+/// Baseline protocol version: no trace context.
 pub const VERSION: u8 = 1;
+
+/// Traced protocol version: a [`TraceContext`] sits between the header
+/// and the payload.
+pub const VERSION_TRACED: u8 = 2;
 
 /// Fixed bytes before the payload: magic + version + type + round + len.
 pub const HEADER_LEN: usize = 14;
+
+/// Extra bytes a version-2 frame carries between header and payload.
+pub const CTX_LEN: usize = TraceContext::WIRE_LEN;
 
 /// Fixed bytes after the payload: the CRC-32 trailer.
 pub const TRAILER_LEN: usize = 4;
@@ -236,22 +255,50 @@ impl Message {
     }
 }
 
-/// Encodes a message into one complete frame.
+/// Bytes of trace context implied by a frame's version byte.
+fn ctx_len_for(version: u8) -> Result<usize, NetError> {
+    match version {
+        VERSION => Ok(0),
+        VERSION_TRACED => Ok(CTX_LEN),
+        v => Err(NetError::Protocol(format!("unsupported protocol version {v}"))),
+    }
+}
+
+/// Counts the mismatch and builds the CRC error (`net.frame.crc_fail`).
+fn crc_mismatch(expected: u32, actual: u32) -> NetError {
+    telemetry::count("net.frame.crc_fail", 1);
+    NetError::Crc { expected, actual }
+}
+
+/// Encodes a message into one complete frame (version 1, no trace
+/// context) — byte-identical to the original protocol.
 pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    encode_frame_ctx(msg, None)
+}
+
+/// Encodes a message into one complete frame, attaching a trace context
+/// (version 2) when one is given; without a context the frame is plain
+/// version 1.
+pub fn encode_frame_ctx(msg: &Message, ctx: Option<&TraceContext>) -> Vec<u8> {
     let body = msg.encode_body();
-    let mut frame = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    let ctx_len = if ctx.is_some() { CTX_LEN } else { 0 };
+    let mut frame = Vec::with_capacity(HEADER_LEN + ctx_len + body.len() + TRAILER_LEN);
     frame.extend_from_slice(&MAGIC);
-    frame.push(VERSION);
+    frame.push(if ctx.is_some() { VERSION_TRACED } else { VERSION });
     frame.push(msg.type_byte());
     frame.extend_from_slice(&msg.round_field().to_le_bytes());
     frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    if let Some(ctx) = ctx {
+        frame.extend_from_slice(&ctx.to_wire());
+    }
     frame.extend_from_slice(&body);
     let crc = crc32(&frame[4..]);
     frame.extend_from_slice(&crc.to_le_bytes());
     frame
 }
 
-/// Decodes one complete frame (exact length required).
+/// Decodes one complete frame (exact length required), discarding any
+/// trace context. See [`decode_frame_ctx`].
 ///
 /// # Errors
 ///
@@ -260,37 +307,54 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
 /// `max_payload`, and [`NetError::Crc`] when the trailer does not match
 /// the frame contents.
 pub fn decode_frame(bytes: &[u8], max_payload: u32) -> Result<Message, NetError> {
+    decode_frame_ctx(bytes, max_payload).map(|(msg, _)| msg)
+}
+
+/// Decodes one complete frame of either version (exact length
+/// required), returning the message and, for version-2 frames, the
+/// trace context it carried.
+///
+/// # Errors
+///
+/// As [`decode_frame`].
+pub fn decode_frame_ctx(
+    bytes: &[u8],
+    max_payload: u32,
+) -> Result<(Message, Option<TraceContext>), NetError> {
     if bytes.len() < HEADER_LEN + TRAILER_LEN {
         return Err(NetError::Protocol(format!("frame of {} bytes is too short", bytes.len())));
     }
     if bytes[..4] != MAGIC {
         return Err(NetError::Protocol("bad frame magic".into()));
     }
-    if bytes[4] != VERSION {
-        return Err(NetError::Protocol(format!("unsupported protocol version {}", bytes[4])));
-    }
+    let ctx_len = ctx_len_for(bytes[4])?;
     let len = u32::from_le_bytes(bytes[10..14].try_into().expect("4 bytes"));
     if len > max_payload {
         return Err(NetError::PayloadTooLarge { len, cap: max_payload });
     }
-    let total = HEADER_LEN + len as usize + TRAILER_LEN;
+    let total = HEADER_LEN + ctx_len + len as usize + TRAILER_LEN;
     if bytes.len() != total {
         return Err(NetError::Protocol(format!(
             "frame of {} bytes, header declares {total}",
             bytes.len()
         )));
     }
-    let crc_at = HEADER_LEN + len as usize;
+    let crc_at = HEADER_LEN + ctx_len + len as usize;
     let expected = u32::from_le_bytes(bytes[crc_at..crc_at + 4].try_into().expect("4 bytes"));
     let actual = crc32(&bytes[4..crc_at]);
     if expected != actual {
-        return Err(NetError::Crc { expected, actual });
+        return Err(crc_mismatch(expected, actual));
     }
-    Message::decode_body(
-        bytes[5],
-        u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes")),
-        &bytes[HEADER_LEN..crc_at],
-    )
+    let round = u32::from_le_bytes(bytes[6..10].try_into().expect("4 bytes"));
+    let ctx = (ctx_len > 0)
+        .then(|| {
+            let raw: &[u8; CTX_LEN] =
+                bytes[HEADER_LEN..HEADER_LEN + CTX_LEN].try_into().expect("ctx bytes");
+            TraceContext::from_wire(raw, round)
+        })
+        .filter(|c| c.trace_id != 0 || c.parent_span != 0);
+    let msg = Message::decode_body(bytes[5], round, &bytes[HEADER_LEN + ctx_len..crc_at])?;
+    Ok((msg, ctx))
 }
 
 /// Writes one frame to the stream; returns the bytes put on the wire.
@@ -299,14 +363,41 @@ pub fn decode_frame(bytes: &[u8], max_payload: u32) -> Result<Message, NetError>
 ///
 /// Propagates socket errors.
 pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<usize, NetError> {
-    let frame = encode_frame(msg);
+    write_message_ctx(w, msg, None)
+}
+
+/// Writes one frame with an optional trace context; returns the bytes
+/// put on the wire. Without a context this emits a plain version-1
+/// frame ([`write_message`]).
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_message_ctx<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    ctx: Option<&TraceContext>,
+) -> Result<usize, NetError> {
+    let frame = encode_frame_ctx(msg, ctx);
     w.write_all(&frame)?;
     w.flush()?;
     Ok(frame.len())
 }
 
-/// Reads one frame from the stream; returns the message and the bytes
-/// taken off the wire.
+/// Reads one frame from the stream, discarding any trace context. See
+/// [`read_message_ctx`].
+///
+/// # Errors
+///
+/// Propagates socket errors (including read timeouts) and all
+/// [`decode_frame`] validation errors.
+pub fn read_message<R: Read>(r: &mut R, max_payload: u32) -> Result<(Message, usize), NetError> {
+    read_message_ctx(r, max_payload).map(|(msg, _, n)| (msg, n))
+}
+
+/// Reads one frame of either version from the stream; returns the
+/// message, the trace context it carried (version 2 only), and the
+/// bytes taken off the wire.
 ///
 /// The header is read and validated (magic, version, payload cap)
 /// before the payload is allocated, so a hostile length field is
@@ -317,36 +408,40 @@ pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<usize, NetErr
 ///
 /// Propagates socket errors (including read timeouts) and all
 /// [`decode_frame`] validation errors.
-pub fn read_message<R: Read>(r: &mut R, max_payload: u32) -> Result<(Message, usize), NetError> {
+pub fn read_message_ctx<R: Read>(
+    r: &mut R,
+    max_payload: u32,
+) -> Result<(Message, Option<TraceContext>, usize), NetError> {
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
     if header[..4] != MAGIC {
         return Err(NetError::Protocol("bad frame magic".into()));
     }
-    if header[4] != VERSION {
-        return Err(NetError::Protocol(format!("unsupported protocol version {}", header[4])));
-    }
+    let ctx_len = ctx_len_for(header[4])?;
     let len = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes"));
     if len > max_payload {
         return Err(NetError::PayloadTooLarge { len, cap: max_payload });
     }
-    let mut rest = vec![0u8; len as usize + TRAILER_LEN];
+    let mut rest = vec![0u8; ctx_len + len as usize + TRAILER_LEN];
     r.read_exact(&mut rest)?;
-    let crc_at = len as usize;
+    let crc_at = ctx_len + len as usize;
     let expected = u32::from_le_bytes(rest[crc_at..crc_at + 4].try_into().expect("4 bytes"));
     let mut guarded = Vec::with_capacity(HEADER_LEN - 4 + crc_at);
     guarded.extend_from_slice(&header[4..]);
     guarded.extend_from_slice(&rest[..crc_at]);
     let actual = crc32(&guarded);
     if expected != actual {
-        return Err(NetError::Crc { expected, actual });
+        return Err(crc_mismatch(expected, actual));
     }
-    let msg = Message::decode_body(
-        header[5],
-        u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")),
-        &rest[..crc_at],
-    )?;
-    Ok((msg, HEADER_LEN + len as usize + TRAILER_LEN))
+    let round = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes"));
+    let ctx = (ctx_len > 0)
+        .then(|| {
+            let raw: &[u8; CTX_LEN] = rest[..CTX_LEN].try_into().expect("ctx bytes");
+            TraceContext::from_wire(raw, round)
+        })
+        .filter(|c| c.trace_id != 0 || c.parent_span != 0);
+    let msg = Message::decode_body(header[5], round, &rest[ctx_len..crc_at])?;
+    Ok((msg, ctx, HEADER_LEN + ctx_len + len as usize + TRAILER_LEN))
 }
 
 #[cfg(test)]
@@ -441,5 +536,95 @@ mod tests {
         let mut bad = frame;
         bad[4] = 9;
         assert!(matches!(decode_frame(&bad, DEFAULT_MAX_PAYLOAD), Err(NetError::Protocol(_))));
+    }
+
+    fn ctx_for(msg: &Message) -> TraceContext {
+        TraceContext {
+            trace_id: 0x1234_5678_9abc_def0_0fed_cba9_8765_4321,
+            parent_span: 0xdead_beef_cafe,
+            round: match msg {
+                Message::Global { round, .. }
+                | Message::Update { round, .. }
+                | Message::UpdateAck { round, .. }
+                | Message::Finished { round } => *round as u32,
+                _ => 0,
+            },
+        }
+    }
+
+    #[test]
+    fn traced_frame_round_trip_every_type() {
+        for msg in all_messages() {
+            let ctx = ctx_for(&msg);
+            let frame = encode_frame_ctx(&msg, Some(&ctx));
+            assert_eq!(frame[4], VERSION_TRACED);
+            assert_eq!(frame.len(), encode_frame(&msg).len() + CTX_LEN, "fixed 24-byte overhead");
+            let (back, back_ctx) = decode_frame_ctx(&frame, DEFAULT_MAX_PAYLOAD).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(back_ctx, Some(ctx));
+            // The ctx-oblivious decoder accepts the same frame.
+            assert_eq!(decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("decode"), msg);
+        }
+    }
+
+    #[test]
+    fn plain_frames_decode_through_the_ctx_api() {
+        // Backward compatibility: version-1 bytes carry no context and
+        // decode unchanged through the new entry points.
+        for msg in all_messages() {
+            let frame = encode_frame(&msg);
+            assert_eq!(frame[4], VERSION);
+            let (back, ctx) = decode_frame_ctx(&frame, DEFAULT_MAX_PAYLOAD).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(ctx, None);
+        }
+    }
+
+    #[test]
+    fn traced_stream_round_trip() {
+        let mut buf = Vec::new();
+        for msg in all_messages() {
+            let ctx = ctx_for(&msg);
+            write_message_ctx(&mut buf, &msg, Some(&ctx)).expect("write");
+            write_message(&mut buf, &msg).expect("write plain");
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for msg in all_messages() {
+            let (back, ctx, _) = read_message_ctx(&mut cursor, DEFAULT_MAX_PAYLOAD).expect("read");
+            assert_eq!(back, msg);
+            assert_eq!(ctx, Some(ctx_for(&msg)));
+            // Mixed streams work: a plain frame follows a traced one.
+            let (back, ctx, _) = read_message_ctx(&mut cursor, DEFAULT_MAX_PAYLOAD).expect("read");
+            assert_eq!(back, msg);
+            assert_eq!(ctx, None);
+        }
+    }
+
+    #[test]
+    fn corrupted_traced_frame_fails_crc() {
+        let msg = Message::Update { round: 1, client_id: 0, steps: 5, model: vec![7; 64] };
+        let clean = encode_frame_ctx(&msg, Some(&ctx_for(&msg)));
+        // Every guarded byte, including the 24 context bytes.
+        for i in 4..clean.len() - TRAILER_LEN {
+            let mut frame = clean.clone();
+            frame[i] ^= 0x01;
+            let err = decode_frame_ctx(&frame, DEFAULT_MAX_PAYLOAD).expect_err("must fail");
+            assert!(
+                matches!(
+                    err,
+                    NetError::Crc { .. } | NetError::Protocol(_) | NetError::PayloadTooLarge { .. }
+                ),
+                "byte {i}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zeroed_context_decodes_as_none() {
+        let msg = Message::Finished { round: 3 };
+        let ctx = TraceContext { trace_id: 0, parent_span: 0, round: 3 };
+        let frame = encode_frame_ctx(&msg, Some(&ctx));
+        let (_, back) = decode_frame_ctx(&frame, DEFAULT_MAX_PAYLOAD).expect("decode");
+        assert_eq!(back, None, "all-zero context means no trace");
     }
 }

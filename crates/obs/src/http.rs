@@ -1,11 +1,14 @@
 //! Hand-rolled blocking HTTP/1.1 exposition server.
 //!
-//! Serves three read-only endpoints off the global telemetry state:
+//! Serves four read-only endpoints off the global telemetry state:
 //!
 //! - `/metrics` — Prometheus text exposition ([`crate::prometheus`])
 //! - `/healthz` — JSON liveness summary (round number, quorum status,
 //!   connected clients, pool queue depth, wire byte counters)
-//! - `/trace.json` — the ring of most recent completed spans
+//! - `/trace.json` — the ring of most recent completed spans, plus the
+//!   count of spans dropped on ring overflow
+//! - `/rounds.json` — the per-round federation timeline with
+//!   round-phase SLO quantiles ([`crate::rounds`])
 //!
 //! The server follows the `rhychee-net` socket idioms: a nonblocking
 //! accept loop polled on a short sleep (so shutdown needs no self-
@@ -152,11 +155,14 @@ fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
         }
         "/healthz" => write_response(&mut stream, "200 OK", "application/json", &health_body()),
         "/trace.json" => write_response(&mut stream, "200 OK", "application/json", &trace_body()),
+        "/rounds.json" => {
+            write_response(&mut stream, "200 OK", "application/json", &crate::rounds::render_json())
+        }
         _ => write_response(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "try /metrics, /healthz or /trace.json\n",
+            "try /metrics, /healthz, /trace.json or /rounds.json\n",
         ),
     }
 }
@@ -214,10 +220,12 @@ fn health_body() -> String {
         .finish()
 }
 
-/// The `/trace.json` body: the recent-span ring, oldest first.
+/// The `/trace.json` body: the recent-span ring, oldest first, prefixed
+/// with how many spans the ring has evicted since process start.
 fn trace_body() -> String {
     let events = telemetry::trace::recent_events();
-    let mut out = String::from("{\"events\":[");
+    let dropped = telemetry::metrics::global().counter("obs.trace.dropped").get();
+    let mut out = format!("{{\"dropped\":{dropped},\"events\":[");
     for (i, e) in events.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -274,7 +282,13 @@ mod tests {
 
         let (status, body) = get(addr, "GET /trace.json?limit=5 HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 200 OK");
-        assert!(body.starts_with("{\"events\":["), "{body}");
+        assert!(body.starts_with("{\"dropped\":"), "{body}");
+        assert!(body.contains("\"events\":["), "{body}");
+
+        let (status, body) = get(addr, "GET /rounds.json HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.starts_with("{\"rounds\":["), "{body}");
+        assert!(body.contains("\"phases\":{"), "{body}");
 
         h.shutdown();
     }

@@ -3,8 +3,9 @@
 //! Live observability plane for the Rhychee-FL stack: a zero-dependency
 //! HTTP/1.1 exposition server ([`http::ObsServer`]) publishing the global
 //! telemetry registry as Prometheus text ([`prometheus::render`]) on
-//! `/metrics`, a JSON liveness summary on `/healthz`, and the recent-span
-//! ring on `/trace.json`.
+//! `/metrics`, a JSON liveness summary on `/healthz`, the recent-span
+//! ring on `/trace.json`, and the per-round federation timeline with
+//! round-phase SLO quantiles on `/rounds.json` ([`rounds::render_json`]).
 //!
 //! The server is wired into `rhychee-net`'s `FlServer` via
 //! `ServerConfig::builder().obs_addr(...)`; it can also be embedded
@@ -24,6 +25,8 @@
 
 pub mod http;
 pub mod prometheus;
+pub mod rounds;
 
 pub use http::{ObsHandle, ObsServer};
 pub use prometheus::{metric_name, render};
+pub use rounds::{ClientArrival, RoundRecord};

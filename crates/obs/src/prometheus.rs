@@ -5,6 +5,15 @@
 //! cumulative `_bucket{le="..."}` series plus `_sum`/`_count`. Internal
 //! `crate.component.op` metric names map to `rhychee_crate_component_op`
 //! (naming rules in DESIGN.md §10).
+//!
+//! Labeled series — interned by the registry under the spelling
+//! `family{label="value"}` (DESIGN.md §12) — keep their label block
+//! verbatim: only the family part is name-mangled, the counter suffix
+//! lands *before* the labels (`rhychee_x_total{client_id="0"}`), and
+//! histogram `le` labels merge into the existing block. One `# TYPE`
+//! line is emitted per family, not per labeled series.
+
+use std::collections::HashSet;
 
 use rhychee_telemetry::metrics::MetricsSnapshot;
 
@@ -36,30 +45,66 @@ fn format_value(v: f64) -> String {
     }
 }
 
+/// Splits a registry series name into its family and the label block's
+/// inner `k="v"` list (without braces), if any.
+fn split_series(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.strip_suffix('}').unwrap_or(rest))),
+        None => (name, None),
+    }
+}
+
 /// Renders a snapshot as Prometheus text exposition. Series appear in
 /// snapshot (name-sorted) order: counters, then gauges, then histogram
 /// families with cumulative buckets.
 pub fn render(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    let mut typed: HashSet<String> = HashSet::new();
     for (name, value) in &snap.counters {
-        let n = metric_name(name);
-        out.push_str(&format!("# TYPE {n}_total counter\n{n}_total {value}\n"));
+        let (family, labels) = split_series(name);
+        let n = metric_name(family);
+        if typed.insert(n.clone()) {
+            out.push_str(&format!("# TYPE {n}_total counter\n"));
+        }
+        match labels {
+            Some(l) => out.push_str(&format!("{n}_total{{{l}}} {value}\n")),
+            None => out.push_str(&format!("{n}_total {value}\n")),
+        }
     }
     for (name, value) in &snap.gauges {
-        let n = metric_name(name);
-        out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", format_value(*value)));
+        let (family, labels) = split_series(name);
+        let n = metric_name(family);
+        if typed.insert(n.clone()) {
+            out.push_str(&format!("# TYPE {n} gauge\n"));
+        }
+        match labels {
+            Some(l) => out.push_str(&format!("{n}{{{l}}} {}\n", format_value(*value))),
+            None => out.push_str(&format!("{n} {}\n", format_value(*value))),
+        }
     }
     for h in &snap.histograms {
-        let n = metric_name(&h.name);
-        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let (family, labels) = split_series(&h.name);
+        let n = metric_name(family);
+        if typed.insert(n.clone()) {
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+        }
+        // `le` joins any existing labels: {client_id="0",le="100"}.
+        let le_block = |le: &str| match labels {
+            Some(l) => format!("{{{l},le=\"{le}\"}}"),
+            None => format!("{{le=\"{le}\"}}"),
+        };
+        let plain_block = match labels {
+            Some(l) => format!("{{{l}}}"),
+            None => String::new(),
+        };
         let mut cumulative = 0u64;
         for &(upper, count) in &h.buckets {
             cumulative += count;
-            out.push_str(&format!("{n}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+            out.push_str(&format!("{n}_bucket{} {cumulative}\n", le_block(&upper.to_string())));
         }
-        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-        out.push_str(&format!("{n}_sum {}\n", h.sum));
-        out.push_str(&format!("{n}_count {}\n", h.count));
+        out.push_str(&format!("{n}_bucket{} {}\n", le_block("+Inf"), h.count));
+        out.push_str(&format!("{n}_sum{plain_block} {}\n", h.sum));
+        out.push_str(&format!("{n}_count{plain_block} {}\n", h.count));
     }
     out
 }
@@ -147,6 +192,29 @@ mod tests {
         assert_eq!(buckets.last().unwrap().1, 4.0);
         // Every sample lands at or below its bucket's upper bound.
         assert!(buckets.iter().any(|&(le, _)| le >= 5_000_000));
+    }
+
+    #[test]
+    fn labeled_series_render_with_one_type_line_per_family() {
+        let reg = Registry::new();
+        reg.counter_labeled("net.client.upload_bytes", "client_id", "0").add(128);
+        reg.counter_labeled("net.client.upload_bytes", "client_id", "1").add(256);
+        reg.histogram_labeled("net.client.rtt_ns", "client_id", "0").record(1000);
+        let text = render(&reg.snapshot());
+        let samples = parse(&text);
+
+        assert_eq!(samples["rhychee_net_client_upload_bytes_total{client_id=\"0\"}"], 128.0);
+        assert_eq!(samples["rhychee_net_client_upload_bytes_total{client_id=\"1\"}"], 256.0);
+        assert_eq!(
+            text.matches("# TYPE rhychee_net_client_upload_bytes_total counter").count(),
+            1,
+            "one TYPE line per labeled family:\n{text}"
+        );
+        // Histogram `le` merges into the existing label block, and
+        // sum/count keep the client label.
+        assert_eq!(samples["rhychee_net_client_rtt_ns_bucket{client_id=\"0\",le=\"+Inf\"}"], 1.0);
+        assert_eq!(samples["rhychee_net_client_rtt_ns_sum{client_id=\"0\"}"], 1000.0);
+        assert_eq!(samples["rhychee_net_client_rtt_ns_count{client_id=\"0\"}"], 1.0);
     }
 
     #[test]

@@ -49,6 +49,7 @@
 //! println!("{}", telemetry::trace::summary_table(&snapshot));
 //! ```
 
+pub mod fedmerge;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -61,7 +62,7 @@ use std::time::Instant;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
 pub use profile::{SpanNode, SpanTree};
 pub use span::Span;
-pub use trace::{SpanEvent, TraceWriter};
+pub use trace::{SpanEvent, TraceContext, TraceWriter};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -123,6 +124,26 @@ pub fn observe(name: &'static str, value: u64) {
 #[inline]
 pub fn observe_duration(name: &'static str, d: std::time::Duration) {
     observe(name, d.as_nanos() as u64);
+}
+
+/// Adds `delta` to the labeled counter `family{label="value"}` (no-op
+/// while disabled). Subject to the per-family label-cardinality cap
+/// ([`metrics::LABEL_CARDINALITY_CAP`]).
+#[inline]
+pub fn count_labeled(family: &str, label: &str, value: &str, delta: u64) {
+    if enabled() {
+        metrics::global().counter_labeled(family, label, value).add(delta);
+    }
+}
+
+/// Records a sample into the labeled histogram `family{label="value"}`
+/// (no-op while disabled). Subject to the per-family label-cardinality
+/// cap ([`metrics::LABEL_CARDINALITY_CAP`]).
+#[inline]
+pub fn observe_labeled(family: &str, label: &str, value: &str, sample: u64) {
+    if enabled() {
+        metrics::global().histogram_labeled(family, label, value).record(sample);
+    }
 }
 
 /// A scope timer: on drop, records the elapsed nanoseconds into the

@@ -248,6 +248,13 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSummary>,
 }
 
+/// Maximum distinct label values per `(family, label)` pair. The
+/// registry is name-keyed and interns names forever, so unbounded label
+/// values (e.g. a `client_id` in a 10k-client federation) would leak
+/// memory and blow up `/metrics`; past the cap, values fold into one
+/// `overflow` series and `telemetry.labels.overflow` counts the folds.
+pub const LABEL_CARDINALITY_CAP: usize = 64;
+
 /// The instrument registry. One global instance lives for the process
 /// lifetime ([`global`]); separate instances exist only for tests.
 #[derive(Debug, Default)]
@@ -255,6 +262,9 @@ pub struct Registry {
     counters: RwLock<BTreeMap<&'static str, &'static Counter>>,
     gauges: RwLock<BTreeMap<&'static str, &'static Gauge>>,
     histograms: RwLock<BTreeMap<&'static str, &'static Histogram>>,
+    /// Admitted label values per `(family, label)` pair, enforcing
+    /// [`LABEL_CARDINALITY_CAP`].
+    label_values: RwLock<BTreeMap<String, std::collections::BTreeSet<String>>>,
 }
 
 /// Looks up or creates an instrument. Names seen for the first time are
@@ -294,6 +304,56 @@ impl Registry {
     /// Resolves a histogram by name, creating it on first use.
     pub fn histogram(&self, name: &str) -> &'static Histogram {
         get_or_insert!(self.histograms, name, Histogram::new())
+    }
+
+    /// Builds the interned series name `family{label="value"}` for a
+    /// labeled instrument, admitting at most [`LABEL_CARDINALITY_CAP`]
+    /// distinct values per `(family, label)` pair. Values past the cap
+    /// fold into `family{label="overflow"}` (and bump
+    /// `telemetry.labels.overflow`); quotes and backslashes in the value
+    /// are escaped so the name stays valid Prometheus exposition.
+    pub fn labeled_series(&self, family: &str, label: &str, value: &str) -> String {
+        let escaped: String = value
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        let key = format!("{family}\u{1}{label}");
+        let admitted = {
+            let seen = self.label_values.read().expect("label lock");
+            seen.get(&key).is_some_and(|set| set.contains(&escaped))
+        };
+        let value = if admitted {
+            escaped
+        } else {
+            let mut seen = self.label_values.write().expect("label lock");
+            let set = seen.entry(key).or_default();
+            if set.contains(&escaped) || set.len() < LABEL_CARDINALITY_CAP {
+                set.insert(escaped.clone());
+                escaped
+            } else {
+                drop(seen);
+                self.counter("telemetry.labels.overflow").inc();
+                "overflow".to_owned()
+            }
+        };
+        format!("{family}{{{label}=\"{value}\"}}")
+    }
+
+    /// Resolves a labeled counter (`family{label="value"}`), subject to
+    /// the cardinality guard of [`Registry::labeled_series`].
+    pub fn counter_labeled(&self, family: &str, label: &str, value: &str) -> &'static Counter {
+        self.counter(&self.labeled_series(family, label, value))
+    }
+
+    /// Resolves a labeled histogram (`family{label="value"}`), subject to
+    /// the cardinality guard of [`Registry::labeled_series`].
+    pub fn histogram_labeled(&self, family: &str, label: &str, value: &str) -> &'static Histogram {
+        self.histogram(&self.labeled_series(family, label, value))
     }
 
     /// Snapshots every instrument, name-sorted.
@@ -356,6 +416,43 @@ mod tests {
         assert_eq!(g.get(), 0.0);
         g.set(-2.5);
         assert_eq!(reg.gauge("test.gauge").get(), -2.5);
+    }
+
+    #[test]
+    fn labeled_series_caps_cardinality() {
+        let reg = Registry::new();
+        for i in 0..LABEL_CARDINALITY_CAP {
+            reg.counter_labeled("test.labeled", "client_id", &i.to_string()).inc();
+        }
+        // Values past the cap fold into the overflow series.
+        reg.counter_labeled("test.labeled", "client_id", "way-too-many").add(3);
+        reg.counter_labeled("test.labeled", "client_id", "another-one").add(2);
+        assert_eq!(reg.counter(r#"test.labeled{client_id="0"}"#).get(), 1);
+        assert_eq!(reg.counter(r#"test.labeled{client_id="overflow"}"#).get(), 5);
+        assert_eq!(reg.counter("telemetry.labels.overflow").get(), 2);
+        // Already-admitted values keep resolving to their own series.
+        reg.counter_labeled("test.labeled", "client_id", "5").inc();
+        assert_eq!(reg.counter(r#"test.labeled{client_id="5"}"#).get(), 2);
+        // A different family gets its own budget.
+        assert_eq!(
+            reg.labeled_series("test.other", "client_id", "fresh"),
+            r#"test.other{client_id="fresh"}"#
+        );
+    }
+
+    #[test]
+    fn labeled_series_escapes_values() {
+        let reg = Registry::new();
+        assert_eq!(reg.labeled_series("test.esc", "id", r#"a"b\c"#), r#"test.esc{id="a\"b\\c"}"#);
+    }
+
+    #[test]
+    fn labeled_histogram_records_per_series() {
+        let reg = Registry::new();
+        reg.histogram_labeled("test.rtt", "client_id", "1").record(100);
+        reg.histogram_labeled("test.rtt", "client_id", "2").record(200);
+        assert_eq!(reg.histogram(r#"test.rtt{client_id="1"}"#).count(), 1);
+        assert_eq!(reg.histogram(r#"test.rtt{client_id="2"}"#).sum(), 200);
     }
 
     #[test]

@@ -214,6 +214,64 @@ pub fn parse_jsonl(text: &str) -> Vec<(String, u64)> {
     text.lines().filter_map(parse_span_line).collect()
 }
 
+/// A fully parsed span record, including the cross-process propagation
+/// fields ([`crate::trace::TraceContext`]); fields that were absent from
+/// the line parse as zero / empty.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanRecord {
+    /// Span name (the leaf).
+    pub name: String,
+    /// `/`-joined path from the thread's outermost open span.
+    pub path: String,
+    /// Nesting depth (0 = outermost).
+    pub depth: u32,
+    /// Dense id of the recording thread.
+    pub thread: u64,
+    /// Start time in nanoseconds since the recording process's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Globally unique span id (0 when the record predates tracing).
+    pub span_id: u64,
+    /// Trace id (0 = none recorded).
+    pub trace_id: u128,
+    /// Remote span this root parents under (0 = local root).
+    pub remote_parent: u64,
+    /// Actor label of the recording thread, if any.
+    pub actor: String,
+}
+
+/// Parses one JSONL line into a full [`SpanRecord`] (`None` for non-span
+/// lines). Traces written before cross-process propagation existed parse
+/// fine: the extra fields default to zero / empty.
+pub fn parse_span_record(line: &str) -> Option<SpanRecord> {
+    if !line.contains("\"type\":\"span\"") {
+        return None;
+    }
+    let path = json_str_field(line, "path")?;
+    let name = json_str_field(line, "name")
+        .unwrap_or_else(|| path.rsplit('/').next().unwrap_or(&path).to_owned());
+    Some(SpanRecord {
+        name,
+        depth: json_u64_field(line, "depth").unwrap_or(0) as u32,
+        thread: json_u64_field(line, "thread").unwrap_or(0),
+        start_ns: json_u64_field(line, "start_ns").unwrap_or(0),
+        dur_ns: json_u64_field(line, "dur_ns")?,
+        span_id: json_u64_field(line, "span_id").unwrap_or(0),
+        trace_id: json_str_field(line, "trace_id")
+            .and_then(|h| u128::from_str_radix(&h, 16).ok())
+            .unwrap_or(0),
+        remote_parent: json_u64_field(line, "remote_parent").unwrap_or(0),
+        actor: json_str_field(line, "actor").unwrap_or_default(),
+        path,
+    })
+}
+
+/// Extracts every full span record from a JSONL trace, in file order.
+pub fn parse_jsonl_records(text: &str) -> Vec<SpanRecord> {
+    text.lines().filter_map(parse_span_record).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,21 +343,14 @@ mod tests {
     #[test]
     fn jsonl_round_trip_preserves_paths_and_durations() {
         let events = vec![
-            SpanEvent {
-                name: "round",
-                path: "round".into(),
-                depth: 0,
-                thread: 0,
-                start_ns: 0,
-                dur_ns: 100,
-            },
+            SpanEvent { name: "round", path: "round".into(), dur_ns: 100, ..SpanEvent::default() },
             SpanEvent {
                 name: "encrypt",
                 path: "round/encrypt".into(),
                 depth: 1,
-                thread: 0,
                 start_ns: 10,
                 dur_ns: 60,
+                ..SpanEvent::default()
             },
         ];
         let mut w = TraceWriter::new(Vec::new());
@@ -316,5 +367,37 @@ mod tests {
     fn parser_unescapes_json_strings() {
         let line = r#"{"type":"span","name":"x","path":"a\"b\\cA/leaf","dur_ns":9}"#;
         assert_eq!(parse_span_line(line), Some(("a\"b\\cA/leaf".to_owned(), 9)));
+    }
+
+    #[test]
+    fn span_record_round_trip_with_propagation_fields() {
+        let event = SpanEvent {
+            name: "client_round",
+            path: "client_round".into(),
+            thread: 3,
+            start_ns: 40,
+            dur_ns: 500,
+            span_id: 99,
+            trace_id: 0xfeed_beef,
+            remote_parent: 12,
+            actor: Some(std::sync::Arc::from("client2")),
+            ..SpanEvent::default()
+        };
+        let mut w = TraceWriter::new(Vec::new());
+        w.write_event(&event).expect("write");
+        let text = String::from_utf8(w.into_inner().expect("flush")).expect("utf8");
+        let rec = parse_span_record(text.trim()).expect("span record");
+        assert_eq!(rec.name, "client_round");
+        assert_eq!(rec.path, "client_round");
+        assert_eq!((rec.thread, rec.start_ns, rec.dur_ns), (3, 40, 500));
+        assert_eq!(rec.span_id, 99);
+        assert_eq!(rec.trace_id, 0xfeed_beef);
+        assert_eq!(rec.remote_parent, 12);
+        assert_eq!(rec.actor, "client2");
+        // Legacy lines without the propagation fields still parse.
+        let legacy = r#"{"type":"span","name":"round","path":"round","dur_ns":7}"#;
+        let rec = parse_span_record(legacy).expect("legacy record");
+        assert_eq!((rec.span_id, rec.trace_id, rec.remote_parent), (0, 0, 0));
+        assert!(rec.actor.is_empty());
     }
 }

@@ -38,31 +38,46 @@ pub struct Span {
     /// `Some(depth)` when this span was pushed onto the thread stack
     /// (telemetry was enabled at creation).
     tracked_depth: Option<usize>,
+    /// Globally unique span id (0 when untracked) — carried in wire
+    /// frames so remote spans can parent under this one.
+    id: u64,
+    /// Remote trace context installed on this thread when the span
+    /// opened; stamped onto the recorded event at close.
+    ctx: Option<trace::TraceContext>,
     finished: bool,
 }
 
 /// Opens a span. Prefer [`crate::span`].
 pub(crate) fn open(name: &'static str) -> Span {
-    let tracked_depth = if crate::enabled() {
-        SPAN_PATHS.with(|stack| {
+    let (tracked_depth, id, ctx) = if crate::enabled() {
+        let depth = SPAN_PATHS.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = match stack.last() {
                 Some(parent) => format!("{parent}/{name}"),
                 None => name.to_owned(),
             };
             stack.push(path);
-            Some(stack.len() - 1)
-        })
+            stack.len() - 1
+        });
+        (Some(depth), trace::next_span_id(), trace::remote_context())
     } else {
-        None
+        (None, 0, None)
     };
-    Span { name, start: Instant::now(), tracked_depth, finished: false }
+    Span { name, start: Instant::now(), tracked_depth, id, ctx, finished: false }
 }
 
 impl Span {
     /// The span name.
     pub fn name(&self) -> &'static str {
         self.name
+    }
+
+    /// The globally unique id of this span, or 0 if telemetry was
+    /// disabled when it opened. Put it in a
+    /// [`TraceContext`](trace::TraceContext)'s `parent_span` to parent
+    /// remote spans under this one.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Wall time since the span opened.
@@ -92,7 +107,16 @@ impl Span {
                 stack.pop().unwrap_or_else(|| self.name.to_owned())
             });
             crate::metrics::global().histogram(self.name).record(dur.as_nanos() as u64);
-            trace::record_span(self.name, path, depth as u32, thread_seq(), self.start, dur);
+            trace::record_span(
+                self.name,
+                path,
+                depth as u32,
+                thread_seq(),
+                self.start,
+                dur,
+                self.id,
+                self.ctx,
+            );
         }
         dur
     }
@@ -140,6 +164,40 @@ mod tests {
         assert!(outer.dur_ns >= inner.dur_ns, "outer encloses inner");
         // The duration histogram under the span name saw the same sample.
         assert!(crate::metrics::global().histogram("span_test_inner").count() >= 1);
+    }
+
+    #[test]
+    fn tracked_spans_carry_ids_and_remote_context() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let ctx = trace::TraceContext { trace_id: 77, parent_span: 88, round: 1 };
+        trace::set_remote_context(Some(ctx));
+        trace::set_actor("client1");
+        let outer = open("span_ctx_outer");
+        let outer_id = outer.id();
+        assert_ne!(outer_id, 0, "tracked spans get ids");
+        let inner = open("span_ctx_inner");
+        inner.finish();
+        outer.finish();
+        trace::set_remote_context(None);
+        crate::set_enabled(false);
+        let events = trace::drain_events();
+        let outer = events.iter().find(|e| e.name == "span_ctx_outer").expect("outer");
+        assert_eq!(outer.span_id, outer_id);
+        assert_eq!(outer.trace_id, 77);
+        assert_eq!(outer.remote_parent, 88, "depth-0 spans adopt the remote parent");
+        assert_eq!(outer.actor.as_deref(), Some("client1"));
+        let inner = events.iter().find(|e| e.name == "span_ctx_inner").expect("inner");
+        assert_eq!(inner.trace_id, 77, "trace id flows to nested spans");
+        assert_eq!(inner.remote_parent, 0, "nested spans parent locally via path");
+        assert_ne!(inner.span_id, outer.span_id);
+    }
+
+    #[test]
+    fn untracked_spans_have_no_id() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        assert_eq!(open("span_untracked_id").id(), 0);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! `"type"` field (`span`, `counter`, `gauge`, `histogram`) — so traces
 //! from different runs can be concatenated and grepped.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::{self, Write};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::json::JsonObject;
@@ -24,8 +25,125 @@ const MAX_EVENTS: usize = 1 << 20;
 /// so scrapes never consume events destined for JSONL export.
 const RECENT_CAP: usize = 4096;
 
+/// Cross-process trace context: ties spans on both ends of a wire frame
+/// into one federation-wide trace. The context is 24 bytes on the wire
+/// (16-byte trace id + 8-byte parent span id); the round number rides in
+/// the frame header's existing round field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit id shared by every span in one federation run.
+    pub trace_id: u128,
+    /// Id of the span on the sending side that this frame (and any spans
+    /// its receipt opens) should parent under.
+    pub parent_span: u64,
+    /// Federation round the frame belongs to.
+    pub round: u32,
+}
+
+impl TraceContext {
+    /// Serialized size of the context on the wire (trace id + parent
+    /// span id; the round travels in the frame header).
+    pub const WIRE_LEN: usize = 24;
+
+    /// Little-endian wire encoding: trace id (16 bytes) then parent span
+    /// id (8 bytes).
+    #[must_use]
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..16].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[16..].copy_from_slice(&self.parent_span.to_le_bytes());
+        out
+    }
+
+    /// Decodes the wire form produced by [`TraceContext::to_wire`];
+    /// `round` comes from the enclosing frame header.
+    #[must_use]
+    pub fn from_wire(bytes: &[u8; Self::WIRE_LEN], round: u32) -> Self {
+        let trace_id = u128::from_le_bytes(bytes[..16].try_into().expect("16-byte trace id"));
+        let parent_span = u64::from_le_bytes(bytes[16..].try_into().expect("8-byte span id"));
+        TraceContext { trace_id, parent_span, round }
+    }
+}
+
+/// Seeds a process-unique base for ids from the wall clock, PID and ASLR,
+/// finalized with the SplitMix64 mixer so nearby seeds land far apart.
+fn entropy64() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let pid = u64::from(std::process::id());
+    let stack_probe = &nanos as *const u64 as u64;
+    let mut z = nanos ^ pid.rotate_left(32) ^ stack_probe.rotate_left(17);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fresh 128-bit trace id, unique across processes with overwhelming
+/// probability (two independent 64-bit entropy draws).
+#[must_use]
+pub fn new_trace_id() -> u128 {
+    let id = (u128::from(entropy64()) << 64) | u128::from(entropy64());
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// Allocates a span id: a process-random base plus a global counter, so
+/// ids are unique within a process and collide across processes only
+/// with probability ~spans/2⁶⁴. Never returns 0 (0 = "no span").
+pub(crate) fn next_span_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static BASE: OnceLock<u64> = OnceLock::new();
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let id = BASE.get_or_init(entropy64).wrapping_add(NEXT.fetch_add(1, Ordering::Relaxed));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+thread_local! {
+    /// Trace context received over the wire, adopted by spans this thread
+    /// opens (trace id on every tracked span; the remote parent only on
+    /// depth-0 roots, which have no local parent).
+    static REMOTE_CTX: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+    /// Logical actor ("server", "client3") stamped on spans this thread
+    /// records, so single-process federations can still split a merged
+    /// trace into per-endpoint timelines.
+    static ACTOR: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Installs (or clears) the wire-received trace context for the calling
+/// thread. Subsequent tracked spans adopt its trace id, and depth-0 spans
+/// parent under its `parent_span`.
+pub fn set_remote_context(ctx: Option<TraceContext>) {
+    REMOTE_CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// The calling thread's installed remote trace context.
+#[must_use]
+pub fn remote_context() -> Option<TraceContext> {
+    REMOTE_CTX.with(|c| *c.borrow())
+}
+
+/// Labels every span subsequently recorded by the calling thread with a
+/// logical actor name ("server", "client0", …).
+pub fn set_actor(name: &str) {
+    ACTOR.with(|a| *a.borrow_mut() = Some(Arc::from(name)));
+}
+
+/// The calling thread's actor label, if set.
+#[must_use]
+pub fn actor() -> Option<Arc<str>> {
+    ACTOR.with(|a| a.borrow().clone())
+}
+
 /// One completed span.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanEvent {
     /// Span name (the leaf).
     pub name: &'static str,
@@ -39,6 +157,15 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub dur_ns: u64,
+    /// Globally unique id of this span (0 when untracked).
+    pub span_id: u64,
+    /// Trace id adopted from the wire context (0 = no trace).
+    pub trace_id: u128,
+    /// For depth-0 spans: the remote span this one parents under
+    /// (0 = local root with no remote parent).
+    pub remote_parent: u64,
+    /// Actor label of the recording thread, if one was set.
+    pub actor: Option<Arc<str>>,
 }
 
 fn epoch() -> Instant {
@@ -71,7 +198,15 @@ pub fn recent_events() -> Vec<SpanEvent> {
     recent_ring().lock().expect("trace ring lock").iter().cloned().collect()
 }
 
+/// Nanoseconds since the process trace epoch, on the same clock as every
+/// recorded span's `start_ns`.
+#[must_use]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
 /// Appends a completed span to the trace buffer (called by `Span`).
+#[allow(clippy::too_many_arguments)] // internal plumbing; every field feeds one SpanEvent
 pub(crate) fn record_span(
     name: &'static str,
     path: String,
@@ -79,15 +214,37 @@ pub(crate) fn record_span(
     thread: u64,
     start: Instant,
     dur: Duration,
+    span_id: u64,
+    ctx: Option<TraceContext>,
 ) {
     let start_ns = start.saturating_duration_since(epoch()).as_nanos() as u64;
-    let event = SpanEvent { name, path, depth, thread, start_ns, dur_ns: dur.as_nanos() as u64 };
+    let event = SpanEvent {
+        name,
+        path,
+        depth,
+        thread,
+        start_ns,
+        dur_ns: dur.as_nanos() as u64,
+        span_id,
+        trace_id: ctx.map_or(0, |c| c.trace_id),
+        // Only roots adopt the remote parent: deeper spans already parent
+        // locally through their path.
+        remote_parent: if depth == 0 { ctx.map_or(0, |c| c.parent_span) } else { 0 },
+        actor: actor(),
+    };
     {
         let mut ring = recent_ring().lock().expect("trace ring lock");
-        if ring.len() == RECENT_CAP {
+        let overflowed = ring.len() == RECENT_CAP;
+        if overflowed {
             ring.pop_front();
         }
         ring.push_back(event.clone());
+        drop(ring);
+        if overflowed {
+            // Overflow is observable (`/trace.json` reports it) instead of
+            // a silent discard.
+            crate::metrics::global().counter("obs.trace.dropped").inc();
+        }
     }
     let mut buf = buffer().lock().expect("trace buffer lock");
     if buf.len() >= MAX_EVENTS {
@@ -121,16 +278,29 @@ impl<W: Write> TraceWriter<W> {
     ///
     /// Propagates I/O errors from the underlying writer.
     pub fn write_event(&mut self, e: &SpanEvent) -> io::Result<()> {
-        let line = JsonObject::new()
-            .str("type", "span")
+        let mut obj = JsonObject::new();
+        obj.str("type", "span")
             .str("name", e.name)
             .str("path", &e.path)
             .u64("depth", u64::from(e.depth))
             .u64("thread", e.thread)
             .u64("start_ns", e.start_ns)
-            .u64("dur_ns", e.dur_ns)
-            .finish();
-        writeln!(self.w, "{line}")
+            .u64("dur_ns", e.dur_ns);
+        // Trace-propagation fields only when present, so pre-existing
+        // traces and untracked spans keep their compact shape.
+        if e.span_id != 0 {
+            obj.u64("span_id", e.span_id);
+        }
+        if e.trace_id != 0 {
+            obj.str("trace_id", &format!("{:032x}", e.trace_id));
+        }
+        if e.remote_parent != 0 {
+            obj.u64("remote_parent", e.remote_parent);
+        }
+        if let Some(actor) = &e.actor {
+            obj.str("actor", actor);
+        }
+        writeln!(self.w, "{}", obj.finish())
     }
 
     /// Writes a batch of span events.
@@ -295,10 +465,9 @@ mod tests {
         let event = SpanEvent {
             name: "round",
             path: "round".into(),
-            depth: 0,
-            thread: 0,
             start_ns: 5,
             dur_ns: 100,
+            ..SpanEvent::default()
         };
         let mut w = TraceWriter::new(Vec::new());
         w.write_event(&event).expect("write");
@@ -308,6 +477,8 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4); // 1 span + 1 counter + 1 gauge + 1 histogram
         assert!(lines[0].contains(r#""type":"span""#) && lines[0].contains(r#""dur_ns":100"#));
+        // Zero-valued propagation fields stay off the line entirely.
+        assert!(!lines[0].contains("span_id") && !lines[0].contains("trace_id"));
         assert!(lines[1].contains(r#""type":"counter""#) && lines[1].contains(r#""value":12"#));
         assert!(lines[2].contains(r#""type":"gauge""#));
         assert!(
@@ -316,6 +487,61 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "JSONL shape: {line}");
         }
+    }
+
+    #[test]
+    fn writer_emits_propagation_fields_when_set() {
+        let event = SpanEvent {
+            name: "client_round",
+            path: "client_round".into(),
+            span_id: 42,
+            trace_id: 0xabcd,
+            remote_parent: 7,
+            actor: Some(Arc::from("client0")),
+            ..SpanEvent::default()
+        };
+        let mut w = TraceWriter::new(Vec::new());
+        w.write_event(&event).expect("write");
+        let text = String::from_utf8(w.into_inner().expect("flush")).expect("utf8");
+        assert!(text.contains(r#""span_id":42"#), "{text}");
+        assert!(text.contains(r#""trace_id":"0000000000000000000000000000abcd""#), "{text}");
+        assert!(text.contains(r#""remote_parent":7"#), "{text}");
+        assert!(text.contains(r#""actor":"client0""#), "{text}");
+    }
+
+    #[test]
+    fn trace_context_wire_round_trip() {
+        let ctx = TraceContext { trace_id: new_trace_id(), parent_span: 0xdead_beef, round: 9 };
+        let bytes = ctx.to_wire();
+        assert_eq!(bytes.len(), TraceContext::WIRE_LEN);
+        assert_eq!(TraceContext::from_wire(&bytes, 9), ctx);
+    }
+
+    #[test]
+    fn trace_and_span_ids_are_nonzero_and_distinct() {
+        assert_ne!(new_trace_id(), 0);
+        assert_ne!(new_trace_id(), new_trace_id());
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remote_context_and_actor_are_thread_local() {
+        let ctx = TraceContext { trace_id: 11, parent_span: 22, round: 3 };
+        set_remote_context(Some(ctx));
+        set_actor("server");
+        assert_eq!(remote_context(), Some(ctx));
+        assert_eq!(actor().as_deref(), Some("server"));
+        std::thread::spawn(|| {
+            assert_eq!(remote_context(), None, "context does not leak across threads");
+            assert_eq!(actor(), None, "actor does not leak across threads");
+        })
+        .join()
+        .expect("spawned thread");
+        set_remote_context(None);
+        assert_eq!(remote_context(), None);
     }
 
     #[test]

@@ -12,9 +12,9 @@ fn write_trace(dir: &std::path::Path) -> PathBuf {
         name,
         path: path.to_owned(),
         depth,
-        thread: 0,
         start_ns,
         dur_ns,
+        ..SpanEvent::default()
     };
     // round(1000) = encrypt(600) + decrypt(150) + 250 self;
     // encrypt(600) = ntt(400) + 200 self. Two rounds of it.

@@ -147,6 +147,10 @@ fn dropout_mid_round_is_survived_by_quorum_aggregation() {
     // 5 clients, quorum 4: client 4 participates in round 0 with real
     // training + encryption, then vanishes mid-round-1. The server must
     // finish all 3 rounds, reweighting rounds 1-2 over the 4 survivors.
+    // Telemetry stays on so the frame-level counters are live (other
+    // tests in this binary tolerate the +24-byte trace context within
+    // their framing slack).
+    rhychee_fl::telemetry::set_enabled(true);
     let data = har_data();
     let fl = config(5, 3, 13);
     let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
@@ -230,6 +234,11 @@ fn dropout_mid_round_is_survived_by_quorum_aggregation() {
     assert_eq!(server.rounds[1].received, 4, "round 1 must close on the quorum of survivors");
     assert_eq!(server.rounds[2].received, 4);
     assert_eq!(server.dropped_clients, 1);
+    // A dropout is neither a NACK nor a CRC failure: this run rejected
+    // nothing, and no frame in this binary may ever fail its checksum.
+    assert!(server.rounds.iter().all(|r| r.rejected == 0), "dropout must not NACK");
+    let reg = rhychee_fl::telemetry::metrics::global();
+    assert_eq!(reg.counter("net.frame.crc_fail").get(), 0, "no torn frames on loopback");
     // Survivors still agree on one final model.
     assert!(finals.windows(2).all(|w| w[0] == w[1]));
 }
@@ -239,6 +248,9 @@ fn late_update_is_nacked_and_never_aggregated() {
     // Client 1 uploads for a round that is not open; the server must
     // NACK it, keep it out of the aggregate, and still close the round
     // at the deadline on client 0's on-time update (quorum 1).
+    rhychee_fl::telemetry::set_enabled(true);
+    let reg = rhychee_fl::telemetry::metrics::global();
+    let nacks_before = reg.counter("net.frame.nack").get();
     let data = har_data();
     let fl = config(2, 1, 23);
     let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
@@ -314,6 +326,15 @@ fn late_update_is_nacked_and_never_aggregated() {
     assert_eq!(server.rounds[0].received, 1, "only the on-time update aggregates");
     assert_eq!(server.rounds[0].rejected, 1, "the stale update must be NACKed");
     assert_eq!(honest.rounds_participated, 1);
+    // The NACK shows up on the frame-level counter (monotonic, so other
+    // concurrent tests can only push it further past the snapshot), the
+    // honest client needed no retries, and loopback never tears a frame.
+    assert!(
+        reg.counter("net.frame.nack").get() > nacks_before,
+        "the stale upload must count into net.frame.nack"
+    );
+    assert!(reg.counter("net.frame.retry").get() >= honest.retries);
+    assert_eq!(reg.counter("net.frame.crc_fail").get(), 0, "no torn frames on loopback");
     // The aggregate is exactly client 0's model (quorum of one).
     assert_eq!(server.final_plain_model.as_ref(), Some(&honest.final_model));
 }

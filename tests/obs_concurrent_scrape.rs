@@ -1,0 +1,195 @@
+//! Concurrent-scrape stress test for the live observability plane
+//! (DESIGN.md §12, satellite of the federation-tracing PR): three
+//! scraper threads hammer `/metrics`, `/healthz` and `/rounds.json`
+//! simultaneously while a CKKS federation runs, and every single 200
+//! body must be well-formed — the exposition grammar for Prometheus,
+//! the JSON shapes for the other two. The obs listener dies with
+//! `run()`, so every captured body is by construction a mid-run scrape.
+//!
+//! Single test on purpose: it flips the process-global telemetry state
+//! (enabled flag, registry, rounds store), which cannot be shared with
+//! other tests in the same binary.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rhychee_fl::core::round::{self, ClientLocal, FedSetup};
+use rhychee_fl::core::FlConfig;
+use rhychee_fl::data::{DatasetKind, SyntheticConfig};
+use rhychee_fl::fhe::params::CkksParams;
+use rhychee_fl::net::{
+    ClientConfig, ClientPipeline, FlClient, FlServer, ServerConfig, ServerPipeline,
+};
+
+fn http_get(addr: SocketAddr, path: &str) -> Option<String> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (head, body) = response.split_once("\r\n\r\n")?;
+    head.starts_with("HTTP/1.1 200").then(|| body.to_owned())
+}
+
+/// Validates the exposition grammar: every sample line is
+/// `series[{labels}] value`, every comment is a `# TYPE` we emit.
+fn assert_valid_exposition(text: &str) {
+    assert!(!text.is_empty(), "empty exposition");
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let kind = rest.split(' ').nth(1).expect("type line has a kind");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "bad type: {line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line must be `series value`: {line:?}");
+        });
+        assert!(series.starts_with("rhychee_"), "unprefixed series: {line}");
+        let parses = matches!(value, "NaN" | "+Inf" | "-Inf") || value.parse::<f64>().is_ok();
+        assert!(parses, "unparseable value in {line:?}");
+    }
+}
+
+/// Braces must balance in every JSON body, even ones scraped while the
+/// server is mid-aggregate on another thread.
+fn assert_balanced_json(body: &str) {
+    let mut depth = 0i64;
+    for c in body.chars() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        assert!(depth >= 0, "unbalanced close in {body}");
+    }
+    assert_eq!(depth, 0, "unterminated JSON: {body}");
+}
+
+struct ScrapeTally {
+    /// Bodies that returned 200 (all of them are mid-run by construction).
+    ok: usize,
+    /// The last body showing a round in flight / a closed round record.
+    live: Option<String>,
+}
+
+#[test]
+fn concurrent_scrapes_stay_well_formed_during_live_round() {
+    let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 240, test_samples: 80 }
+        .generate(43)
+        .expect("dataset");
+    // CKKS with a real model size so rounds take long enough that all
+    // three scrapers land many captures mid-federation.
+    let fl = FlConfig::builder().clients(3).rounds(6).hd_dim(512).seed(17).build().expect("config");
+    let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+
+    let server = FlServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::builder()
+            .clients(fl.clients)
+            .rounds(fl.rounds)
+            .model_params(num_params)
+            .obs_addr("127.0.0.1:0")
+            .build()
+            .expect("server config"),
+        ServerPipeline::Ckks(CkksParams::toy()),
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let obs = server.obs_addr().expect("obs enabled at bind time");
+
+    let server_thread = thread::spawn(move || server.run());
+    let clients: Vec<_> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            let local = ClientLocal::new(id, shard, classes, &fl);
+            let client = FlClient::new(
+                ClientConfig::new(addr),
+                fl.clone(),
+                local,
+                classes,
+                None,
+                ClientPipeline::Ckks(CkksParams::toy()),
+            )
+            .expect("client");
+            thread::spawn(move || client.run())
+        })
+        .collect();
+
+    // Three scrapers, one per endpoint, all hammering at once. Each
+    // validates every body it receives and remembers the last one that
+    // proves the federation was in flight. `is_live` must only accept
+    // bodies impossible before the run starts.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrape = |path: &'static str, is_live: fn(&str) -> bool, check: fn(&str)| {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut tally = ScrapeTally { ok: 0, live: None };
+            while !stop.load(Ordering::Relaxed) {
+                // No sleep: the obs accept poll paces the loop, and three
+                // unpaced threads maximize connection-level contention.
+                if let Some(body) = http_get(obs, path) {
+                    check(&body);
+                    tally.ok += 1;
+                    if is_live(&body) {
+                        tally.live = Some(body);
+                    }
+                }
+            }
+            tally
+        })
+    };
+    let metrics_thread = scrape(
+        "/metrics",
+        |b| b.contains("rhychee_fl_round_current 1") || b.contains("rhychee_net_bytes_rx_total"),
+        assert_valid_exposition,
+    );
+    let health_thread = scrape(
+        "/healthz",
+        |b| b.contains("\"clients_connected\":3"),
+        |b| {
+            assert_balanced_json(b);
+            assert!(b.contains("\"status\":\"ok\""), "{b}");
+            assert!(b.contains("\"round\":"), "{b}");
+        },
+    );
+    let rounds_thread = scrape(
+        "/rounds.json",
+        |b| b.contains("\"round\":") && b.contains("\"offset_ns\":"),
+        |b| {
+            assert_balanced_json(b);
+            assert!(b.starts_with("{\"rounds\":["), "{b}");
+            assert!(b.contains("\"phases\":{"), "{b}");
+        },
+    );
+
+    server_thread.join().expect("server thread").expect("server run");
+    stop.store(true, Ordering::Relaxed);
+    let finals: Vec<Vec<f32>> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread").expect("client run").final_model)
+        .collect();
+    assert!(finals.windows(2).all(|w| w[0] == w[1]), "clients agree despite scrape load");
+
+    let metrics = metrics_thread.join().expect("metrics scraper");
+    let health = health_thread.join().expect("healthz scraper");
+    let rounds = rounds_thread.join().expect("rounds scraper");
+    for (path, tally) in [("/metrics", &metrics), ("/healthz", &health), ("/rounds.json", &rounds)]
+    {
+        assert!(tally.ok >= 1, "{path}: no successful scrape landed during the run");
+        assert!(tally.live.is_some(), "{path}: no scrape caught the federation in flight");
+    }
+
+    // The live `/rounds.json` capture must already carry per-client
+    // arrivals and all six phase histograms mid-run.
+    let live_rounds = rounds.live.expect("live rounds body");
+    assert!(live_rounds.contains("\"arrivals\":["), "{live_rounds}");
+    for phase in ["broadcast", "local_train", "encrypt", "upload", "aggregate", "decrypt"] {
+        assert!(live_rounds.contains(&format!("\"{phase}\":{{")), "{phase}: {live_rounds}");
+    }
+}
