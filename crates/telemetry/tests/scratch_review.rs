@@ -1,0 +1,26 @@
+use rhychee_telemetry::fedmerge::{self, FedSource};
+use rhychee_telemetry::profile::SpanRecord;
+
+fn rec(name: &str, path: &str, dur: u64, id: u64, rp: u64) -> SpanRecord {
+    SpanRecord { name: name.into(), path: path.into(), depth: 0, dur_ns: dur,
+        span_id: id, remote_parent: rp, ..SpanRecord::default() }
+}
+
+#[test]
+fn multi_client_decode_attribution() {
+    let server = FedSource::new("server", vec![
+        rec("net_round", "net_round", 1000, 10, 0),
+        rec("net_decode", "net_decode", 30, 13, 20), // decode of client0's upload
+        rec("net_decode", "net_decode", 40, 14, 30), // decode of client1's upload
+    ]);
+    let c0 = FedSource::new("client0", vec![rec("client_round", "client_round", 700, 20, 10)]);
+    let c1 = FedSource::new("client1", vec![rec("client_round", "client_round", 650, 30, 10)]);
+    let tree = fedmerge::merge(&[server, c0, c1]);
+    for n in tree.nodes() {
+        println!("{:60} total={}", n.path, n.total_ns);
+    }
+    let under_c0 = tree.get("server/net_round/client0/client_round/server/net_decode");
+    let under_c1 = tree.get("server/net_round/client1/client_round/server/net_decode");
+    println!("c0 decode node: {:?}", under_c0.map(|n| n.total_ns));
+    println!("c1 decode node: {:?}", under_c1.map(|n| n.total_ns));
+}
