@@ -1,0 +1,156 @@
+//! Scenario-engine headline: final global accuracy as a function of
+//! Byzantine attack fraction, with and without server-side defenses
+//! (DESIGN.md §13).
+//!
+//! Sweeps sign-flip attack fractions 0 / 10 / 20 / 30 % against an
+//! undefended federation, median norm-bound clipping, and a
+//! coordinate-wise trimmed mean, then replays one composed scenario
+//! (sign-flip + churn + stragglers + threshold-CKKS recovery) twice to
+//! prove bit-identical determinism.
+//!
+//! Everything written to **stdout is a pure function of the seed** — no
+//! timestamps, no wall times (those go to stderr) — so CI can run this
+//! binary twice and `cmp` the outputs byte for byte.
+//!
+//! Runtime: a couple of minutes on one core. Pass `--quick` for the CI
+//! sweep (~15 s).
+
+use std::time::Instant;
+
+use rhychee_bench::{banner, Table};
+use rhychee_core::FlConfig;
+use rhychee_data::{DatasetKind, SyntheticConfig, TrainTest};
+use rhychee_scenario::{
+    self as scenario, AttackKind, ChurnTrace, ClipBound, Defense, DeviceProfile, ScenarioReport,
+    ScenarioSpec,
+};
+
+const FRACTIONS: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+fn fl(clients: usize, rounds: usize, hd_dim: usize, seed: u64) -> FlConfig {
+    FlConfig::builder()
+        .clients(clients)
+        .rounds(rounds)
+        .hd_dim(hd_dim)
+        .seed(seed)
+        .build()
+        .expect("valid config")
+}
+
+/// Bit-exact digest of everything a scenario influences, for the
+/// replay gate.
+fn fingerprint(r: &ScenarioReport) -> Vec<u64> {
+    let mut fp = vec![
+        r.final_accuracy.to_bits(),
+        r.attacks_injected,
+        r.updates_clipped,
+        r.clients_churned,
+        r.stragglers_dropped,
+        r.threshold_recoveries,
+        r.recovery_failures,
+        r.recovery_max_err.to_bits(),
+    ];
+    fp.extend(r.rounds.iter().map(|round| round.accuracy.to_bits()));
+    fp.extend(r.rounds.iter().map(|round| round.participants as u64));
+    fp
+}
+
+fn main() {
+    rhychee_bench::init_telemetry();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (clients, rounds, hd_dim, samples) =
+        if quick { (10, 3, 512, 1_200) } else { (20, 5, 1_000, 4_000) };
+    let data: TrainTest = SyntheticConfig {
+        kind: DatasetKind::Har,
+        train_samples: samples,
+        test_samples: samples / 4,
+    }
+    .generate(42)
+    .expect("dataset generation");
+
+    banner("Scenario sweep: accuracy vs sign-flip attack fraction (HAR)");
+    println!("clients {clients}, rounds {rounds}, D {hd_dim}, seed 42, attack SignFlip x10\n");
+
+    let run = |fraction: f64, defense: Defense| -> ScenarioReport {
+        let mut spec = ScenarioSpec::new(fl(clients, rounds, hd_dim, 42)).with_defense(defense);
+        if fraction > 0.0 {
+            spec = spec.with_attack(AttackKind::SignFlip { scale: 10.0 }, fraction);
+        }
+        let t0 = Instant::now();
+        let report = scenario::run(&spec, &data).expect("scenario run");
+        eprintln!(
+            "  [frac {fraction:.1} {defense:?}] acc {:.4} ({:.1?})",
+            report.final_accuracy,
+            t0.elapsed()
+        );
+        report
+    };
+
+    let mut table =
+        Table::new(vec!["attack fraction", "undefended", "norm-clip (median)", "coord-trim 0.2"]);
+    let mut curves: Vec<(f64, f64, f64, f64)> = Vec::new();
+    for &fraction in &FRACTIONS {
+        let undefended = run(fraction, Defense::None);
+        let clipped = run(fraction, Defense::NormClip { bound: ClipBound::Median });
+        let trimmed = run(fraction, Defense::CoordTrim { trim_ratio: 0.2 });
+        table.row(vec![
+            format!("{fraction:.1}"),
+            format!("{:.4}", undefended.final_accuracy),
+            format!("{:.4}", clipped.final_accuracy),
+            format!("{:.4}", trimmed.final_accuracy),
+        ]);
+        curves.push((
+            fraction,
+            undefended.final_accuracy,
+            clipped.final_accuracy,
+            trimmed.final_accuracy,
+        ));
+    }
+    table.print();
+
+    // The ISSUE acceptance bar: at 20% attackers, clipping must recover
+    // at least half the accuracy the attack destroyed.
+    let benign = curves[0].1;
+    let at_20 = curves.iter().find(|c| (c.0 - 0.2).abs() < 1e-9).expect("0.2 in sweep");
+    let damage = benign - at_20.1;
+    let residual = benign - at_20.2;
+    println!(
+        "\nat 20% attackers: benign {benign:.4}, undefended {:.4}, clipped {:.4}",
+        at_20.1, at_20.2
+    );
+    println!(
+        "clipping recovered {:.0}% of the damage (bar: >= 50%)  {}",
+        if damage > 0.0 { 100.0 * (damage - residual) / damage } else { 100.0 },
+        if residual <= damage / 2.0 { "OK" } else { "BELOW BAR" }
+    );
+
+    banner("Composed scenario: sign-flip + churn + stragglers + threshold recovery");
+    let composed = || {
+        let spec = ScenarioSpec::new(fl(clients, rounds, hd_dim, 42))
+            .with_attack(AttackKind::SignFlip { scale: 10.0 }, 0.2)
+            .with_defense(Defense::NormClip { bound: ClipBound::Median })
+            .with_churn(ChurnTrace::new().depart(1, 3).rejoin(2, 3))
+            .with_devices(DeviceProfile::linear(clients, 1.0, 3.0), 2.8, 0.1)
+            .with_threshold(3);
+        scenario::run(&spec, &data).expect("composed scenario")
+    };
+    let a = composed();
+    let b = composed();
+    println!("attackers:            {:?}", a.attackers);
+    println!("attacks injected:     {}", a.attacks_injected);
+    println!("updates clipped:      {}", a.updates_clipped);
+    println!("clients churned:      {}", a.clients_churned);
+    println!("stragglers dropped:   {}", a.stragglers_dropped);
+    println!("threshold recoveries: {}", a.threshold_recoveries);
+    println!("recovery max err:     {:.2e}", a.recovery_max_err);
+    println!(
+        "per-round participants: {:?}",
+        a.rounds.iter().map(|r| r.participants).collect::<Vec<_>>()
+    );
+    println!("final accuracy:       {:.4}", a.final_accuracy);
+    assert_eq!(fingerprint(&a), fingerprint(&b), "same seed must replay bit-identically");
+    println!("\nreplayed twice from seed 42: bit-identical  OK");
+
+    // No emit_metrics_json here on purpose: it records wall times, and
+    // this binary's stdout doubles as CI's byte-for-byte replay gate.
+}

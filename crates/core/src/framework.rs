@@ -39,11 +39,64 @@ use crate::round::{self, ClientLocal, ClientUpdate, ServerRound};
 /// key material so pipelines can be compared round for round).
 const SAMPLING_SALT: u64 = 0xA076_1D64_78BD_642F;
 
+/// Presence hook: `(round, participant ids)`; edits the list in place.
+pub type PresenceHook = Box<dyn FnMut(usize, &mut Vec<usize>)>;
+/// Updates tap: `(round, plaintext updates)`; mutates the batch in place.
+pub type UpdatesTapHook = Box<dyn FnMut(usize, &mut Vec<ClientUpdate<Vec<f32>>>)>;
+/// Aggregation override: `(round, updates, weights)`; `Some` replaces
+/// the configured rule.
+pub type AggregateOverrideHook =
+    Box<dyn FnMut(usize, &[ClientUpdate<Vec<f32>>], &[f64]) -> Option<Vec<f32>>>;
+
+/// Callbacks a scenario driver installs around the round loop.
+///
+/// The hooks expose the three seams a perturbation layer needs without
+/// the framework knowing anything about scenarios: who participates
+/// (churn), what each client uploads (Byzantine attacks, client-side
+/// defenses), and how the server aggregates (robust aggregation). All
+/// hooks are deterministic functions of their arguments plus whatever
+/// seeded state the closure captured, so a hooked run replays
+/// bit-identically — the framework itself draws no extra randomness on
+/// their behalf.
+#[derive(Default)]
+pub struct RoundHooks {
+    /// Edits the participant list after sampling (arrival / departure /
+    /// rejoin). Ids are sanitized afterwards: out-of-range ids are
+    /// dropped, duplicates removed, order normalized to ascending.
+    pub presence: Option<PresenceHook>,
+    /// Mutates the round's plaintext updates *before* encryption — the
+    /// seam where Byzantine clients corrupt their uploads (and where a
+    /// batch defense may clip them). Receives every update at once so
+    /// defenses can compute batch statistics (e.g. the median norm).
+    pub updates_tap: Option<UpdatesTapHook>,
+    /// Replaces the server-side aggregation for the plaintext pipeline
+    /// (e.g. coordinate-wise trimmed mean). Returning `None` falls back
+    /// to the configured aggregation rule. Encrypted pipelines ignore
+    /// this hook: the server cannot run order statistics on
+    /// ciphertexts, which is exactly the robustness/privacy tension the
+    /// scenario engine measures.
+    pub aggregate_override: Option<AggregateOverrideHook>,
+}
+
+impl std::fmt::Debug for RoundHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundHooks")
+            .field("presence", &self.presence.is_some())
+            .field("updates_tap", &self.updates_tap.is_some())
+            .field("aggregate_override", &self.aggregate_override.is_some())
+            .finish()
+    }
+}
+
 /// Measurements from one aggregation round.
 #[derive(Debug, Clone, Default)]
 pub struct RoundReport {
     /// Round index (0-based).
     pub round: usize,
+    /// Number of client updates that entered aggregation this round
+    /// (after participation sampling, churn, and any defense that drops
+    /// updates outright).
+    pub participants: usize,
     /// Global-model accuracy on the held-out test set after the round.
     pub accuracy: f64,
     /// Bits uploaded per client this round.
@@ -118,6 +171,7 @@ pub struct Framework {
     pipeline: Pipeline,
     rng: StdRng,
     next_round: usize,
+    hooks: RoundHooks,
 }
 
 impl Framework {
@@ -202,12 +256,28 @@ impl Framework {
             .collect();
         let global = vec![0.0; classes * config.hd_dim];
         let rng = StdRng::seed_from_u64(config.seed ^ SAMPLING_SALT);
-        Ok(Framework { config, clients, test, global, classes, pipeline, rng, next_round: 0 })
+        Ok(Framework {
+            config,
+            clients,
+            test,
+            global,
+            classes,
+            pipeline,
+            rng,
+            next_round: 0,
+            hooks: RoundHooks::default(),
+        })
     }
 
     /// The run configuration.
     pub fn config(&self) -> &FlConfig {
         &self.config
+    }
+
+    /// Installs scenario hooks (replacing any previous set) — see
+    /// [`RoundHooks`] for the three seams they cover.
+    pub fn set_hooks(&mut self, hooks: RoundHooks) {
+        self.hooks = hooks;
     }
 
     /// Trainable parameter count `D × L`.
@@ -251,12 +321,34 @@ impl Framework {
 
         // Client sampling (participation < 1.0 is an extension; the paper
         // aggregates all clients every round).
-        let participants = self.sample_participants();
+        let mut participants = self.sample_participants();
+        if let Some(presence) = self.hooks.presence.as_mut() {
+            presence(round, &mut participants);
+            let total = self.clients.len();
+            participants.retain(|&id| id < total);
+            participants.sort_unstable();
+            participants.dedup();
+        }
 
         // 1. Local training.
         let span = telemetry::span("local_train");
-        let trained = self.train_locals(round, &participants);
+        let mut trained = self.train_locals(round, &participants);
         report.train_time = span.finish();
+
+        if let Some(tap) = self.hooks.updates_tap.as_mut() {
+            tap(round, &mut trained);
+        }
+        report.participants = trained.len();
+
+        // A round every client sat out (total churn) leaves the global
+        // model untouched rather than averaging over nothing.
+        if trained.is_empty() {
+            report.upload_bits_per_client = 0;
+            report.download_bits_per_client = 0;
+            report.accuracy = self.global_accuracy();
+            round_span.finish();
+            return Ok(report);
+        }
 
         // 2–4. Collection, aggregation, distribution.
         let new_global = match &self.pipeline {
@@ -266,7 +358,15 @@ impl Framework {
                 for u in trained {
                     sr.accept(u);
                 }
-                let global = sr.aggregate_with(self.config.parallelism)?;
+                let overridden = self
+                    .hooks
+                    .aggregate_override
+                    .as_mut()
+                    .and_then(|agg| agg(round, sr.updates(), &sr.weights()));
+                let global = match overridden {
+                    Some(g) => g,
+                    None => sr.aggregate_with(self.config.parallelism)?,
+                };
                 report.aggregate_time = span.finish();
                 global
             }

@@ -55,7 +55,7 @@ pub mod round;
 
 pub use config::{Aggregation, EncoderKind, FlConfig, FlConfigBuilder};
 pub use error::FlError;
-pub use framework::{Framework, RoundReport, RunReport};
+pub use framework::{Framework, RoundHooks, RoundReport, RunReport};
 pub use nn_fl::{NnFederation, NnModelKind, SgdConfig};
 pub use noisy::{ChannelStats, NoisyChannelConfig, NoisyFederation};
 pub use rhychee_par::Parallelism;

@@ -324,6 +324,7 @@ impl NoisyFederation {
         round_span.finish();
         Ok(RoundReport {
             round,
+            participants: self.config.clients,
             accuracy: self.global_accuracy(),
             upload_bits_per_client: payload_bits,
             download_bits_per_client: payload_bits,

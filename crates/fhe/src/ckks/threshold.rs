@@ -1,9 +1,11 @@
-//! Threshold (additively key-shared) CKKS.
+//! Threshold (key-shared) CKKS: n-out-of-n additive sharing and
+//! k-out-of-n Shamir sharing with dropout recovery.
 //!
 //! The paper's xMK-CKKS baseline uses a threshold multi-key variant of
 //! CKKS so that *no single client* holds the full decryption key. This
-//! module implements the standard n-out-of-n additive-sharing construction
-//! over our RNS-CKKS backend:
+//! module implements two constructions over our RNS-CKKS backend:
+//!
+//! **n-out-of-n additive sharing** ([`ThresholdGroup::generate`]):
 //!
 //! * each party samples a ternary share `s_i`; the joint secret is
 //!   `s = Σ s_i` and is never materialized anywhere;
@@ -13,6 +15,18 @@
 //! * decryption is distributed: party `i` publishes the partial
 //!   `p_i = c1·s_i + e_i^smudge`; summing all partials with `c0` yields
 //!   the plaintext. The smudging noise hides each share.
+//!
+//! **k-out-of-n Shamir sharing** ([`ThresholdGroup::generate_kofn`]):
+//! the ceremony additionally Shamir-shares each party's additive
+//! contribution, so party `j` ends up holding `F(x_j)` for a degree-
+//! `k−1` polynomial `F` with `F(0) = s`. Any `k` surviving parties can
+//! decrypt — each scales its share by the Lagrange coefficient of the
+//! participating subset *before* adding smudging noise
+//! ([`ThresholdGroup::partial_decrypt_subset`]) — while any `k−1`
+//! collusion learns nothing. This is the dropout-recovery story the
+//! encrypted-aggregation deployment needs: a keyholder that churns out
+//! of the federation no longer takes the global model with it
+//! (exercised by the `rhychee-scenario` engine).
 //!
 //! Rhychee-FL itself uses the simpler shared-secret-key deployment
 //! (paper §IV-A), but this extension removes that trust assumption and
@@ -42,9 +56,11 @@
 
 use rand::Rng;
 
+use crate::error::FheError;
 use crate::sampling::{gaussian_vec, ternary_vec};
 
 use super::cipher::{CkksCiphertext, CkksContext, CkksPublicKey};
+use super::modarith::{add_mod, inv_mod, mul_mod, sub_mod};
 use super::rns::RnsPoly;
 
 /// Smudging-noise standard deviation for partial decryptions.
@@ -53,25 +69,104 @@ use super::rns::RnsPoly;
 /// key share; 2^10 leaves ~40 bits of plaintext precision at Δ = 2^26+.
 const SMUDGING_SIGMA: f64 = 1024.0;
 
-/// One party's additive key share.
+/// One party's key share: the additive share `s_i` (n-of-n) or the
+/// Shamir point `F(x_i)` (k-of-n).
 #[derive(Debug, Clone)]
 pub struct KeyShare {
     share: RnsPoly,
 }
 
-/// A partial decryption `p_i = c1·s_i + e_smudge`.
+/// A partial decryption `p_i = c1·s_i + e_smudge` (additive) or
+/// `p_i = c1·(λ_i·F(x_i)) + e_smudge` (Shamir, λ over the declared
+/// decryption subset).
 #[derive(Debug, Clone)]
 pub struct PartialDecryption {
     poly: RnsPoly,
+    party: usize,
 }
 
-/// An n-out-of-n threshold key group: the shares plus the joint public
-/// key. In a real deployment each share would live on its own client;
-/// the group type models the ceremony for simulation.
+impl PartialDecryption {
+    /// The contributing party's index.
+    pub fn party(&self) -> usize {
+        self.party
+    }
+}
+
+/// How the joint secret is split across parties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sharing {
+    /// `s = Σ s_i`: every party must contribute to decrypt.
+    Additive,
+    /// Shamir degree-`k−1` sharing: any `k` parties decrypt.
+    Shamir { k: usize },
+}
+
+/// A threshold key group: the shares plus the joint public key. In a
+/// real deployment each share would live on its own client; the group
+/// type models the ceremony for simulation.
+///
+/// Built n-out-of-n by [`ThresholdGroup::generate`] or k-out-of-n by
+/// [`ThresholdGroup::generate_kofn`].
 #[derive(Debug)]
 pub struct ThresholdGroup {
     shares: Vec<KeyShare>,
     public_key: CkksPublicKey,
+    sharing: Sharing,
+}
+
+/// Shamir evaluation point for `party` (1-based so `F(0)` stays secret).
+fn x_coord(party: usize) -> u64 {
+    party as u64 + 1
+}
+
+/// Evaluates the polynomial with RNS-poly coefficients at scalar `x`,
+/// independently per RNS prime (Horner's rule).
+fn eval_shamir(coeffs: &[RnsPoly], x: u64, primes: &[u64]) -> RnsPoly {
+    let mut acc = coeffs.last().expect("at least the constant term").clone();
+    for c in coeffs.iter().rev().skip(1) {
+        for (l, &p) in primes.iter().enumerate() {
+            let xs = x % p;
+            let row = acc.residues_mut(l);
+            for (a, &cv) in row.iter_mut().zip(c.residues(l)) {
+                *a = add_mod(mul_mod(*a, xs, p), cv, p);
+            }
+        }
+    }
+    acc
+}
+
+/// The Lagrange coefficient `λ_i = Π_{j≠i} x_j/(x_j − x_i)` of party
+/// `party` over decryption subset `subset`, computed mod each prime.
+fn lagrange_at_zero(party: usize, subset: &[usize], primes: &[u64]) -> Vec<u64> {
+    primes
+        .iter()
+        .map(|&p| {
+            let xi = x_coord(party) % p;
+            let mut lambda = 1u64;
+            for &j in subset {
+                if j == party {
+                    continue;
+                }
+                let xj = x_coord(j) % p;
+                let num = xj;
+                let den = sub_mod(xj, xi, p);
+                lambda = mul_mod(lambda, mul_mod(num, inv_mod(den, p), p), p);
+            }
+            lambda
+        })
+        .collect()
+}
+
+/// Multiplies each RNS row of `poly` by the matching per-prime scalar.
+fn scale_rows(poly: &RnsPoly, scalars: &[u64], primes: &[u64]) -> RnsPoly {
+    let mut out = poly.clone();
+    for (l, &p) in primes.iter().enumerate() {
+        let s = scalars[l];
+        for v in out.residues_mut(l) {
+            *v = mul_mod(*v, s, p);
+        }
+    }
+    out
 }
 
 impl ThresholdGroup {
@@ -106,12 +201,88 @@ impl ThresholdGroup {
             shares.push(KeyShare { share: s_i });
         }
         let b = b_sum.expect("at least one party");
-        ThresholdGroup { shares, public_key: CkksPublicKey::from_coeff(ctx, b, a) }
+        ThresholdGroup {
+            shares,
+            public_key: CkksPublicKey::from_coeff(ctx, b, a),
+            sharing: Sharing::Additive,
+        }
+    }
+
+    /// Runs the k-out-of-n ceremony: any `k` of the `parties` shares
+    /// suffice to decrypt, so up to `parties − k` keyholders can drop
+    /// out of the federation without losing the global model.
+    ///
+    /// Each party `i` samples its additive contribution `s_i` exactly
+    /// as in [`ThresholdGroup::generate`], then Shamir-shares it with a
+    /// fresh degree-`k−1` polynomial `f_i` (constant term `s_i`,
+    /// remaining coefficients uniform per RNS prime). Party `j` keeps
+    /// the sum of everyone's evaluations `F(x_j) = Σ_i f_i(x_j)`, a
+    /// Shamir share of the joint secret `F(0) = s = Σ s_i` — no dealer
+    /// ever sees `s`.
+    pub fn generate_kofn<R: Rng + ?Sized>(
+        ctx: &CkksContext,
+        parties: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<ThresholdGroup, FheError> {
+        if parties == 0 || k == 0 || k > parties {
+            return Err(FheError::InvalidParams(format!(
+                "threshold k={k} must satisfy 1 <= k <= parties={parties}"
+            )));
+        }
+        let n = ctx.params().n;
+        let primes = ctx.primes();
+        let a = ctx.uniform_poly(rng);
+        let mut b_sum: Option<RnsPoly> = None;
+        let mut points: Vec<Option<RnsPoly>> = vec![None; parties];
+        for _ in 0..parties {
+            let s_i = RnsPoly::from_signed_coeffs(&ternary_vec(rng, n), primes);
+            let e_i =
+                RnsPoly::from_signed_coeffs(&gaussian_vec(rng, n, ctx.params().sigma), primes);
+            let b_i = ctx.poly_mul_at(&a, &s_i, primes.len()).neg(primes).add(&e_i, primes);
+            b_sum = Some(match b_sum {
+                None => b_i,
+                Some(acc) => acc.add(&b_i, primes),
+            });
+            // f_i(x) = s_i + a_1·x + … + a_{k−1}·x^{k−1}, coefficients
+            // uniform per prime (each prime's Shamir instance is
+            // independent; reconstruction is per-residue).
+            let mut coeffs = vec![s_i];
+            for _ in 1..k {
+                coeffs.push(ctx.uniform_poly(rng));
+            }
+            for (j, point) in points.iter_mut().enumerate() {
+                let eval = eval_shamir(&coeffs, x_coord(j), primes);
+                *point = Some(match point.take() {
+                    None => eval,
+                    Some(acc) => acc.add(&eval, primes),
+                });
+            }
+        }
+        let shares = points
+            .into_iter()
+            .map(|p| KeyShare { share: p.expect("evaluated for every party") })
+            .collect();
+        let b = b_sum.expect("at least one party");
+        Ok(ThresholdGroup {
+            shares,
+            public_key: CkksPublicKey::from_coeff(ctx, b, a),
+            sharing: Sharing::Shamir { k },
+        })
     }
 
     /// Number of parties in the group.
     pub fn parties(&self) -> usize {
         self.shares.len()
+    }
+
+    /// Minimum number of partial decryptions needed to recover a
+    /// plaintext: `k` for Shamir groups, `parties` for additive ones.
+    pub fn threshold(&self) -> usize {
+        match self.sharing {
+            Sharing::Additive => self.shares.len(),
+            Sharing::Shamir { k } => k,
+        }
     }
 
     /// The joint public key (given to the aggregation server).
@@ -131,9 +302,51 @@ impl ThresholdGroup {
         ct: &CkksCiphertext,
         rng: &mut R,
     ) -> PartialDecryption {
+        let all: Vec<usize> = (0..self.parties()).collect();
+        self.partial_decrypt_subset(ctx, party, &all, ct, rng)
+            .expect("the full party set is always a valid decryption subset")
+    }
+
+    /// Party `party`'s partial decryption of `ct` as a member of the
+    /// declared decryption subset `subset` (the parties that survived
+    /// the round).
+    ///
+    /// For Shamir groups the share is scaled by the Lagrange
+    /// coefficient `λ_party` of `subset` *before* smudging noise is
+    /// added, so summing the subset's partials interpolates
+    /// `F(0)·c1 = s·c1` directly — smudging stays small and is never
+    /// amplified by λ. For additive groups `subset` must be the full
+    /// party set.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] when `subset` is smaller than the
+    /// group threshold, contains duplicates or out-of-range indices,
+    /// or does not contain `party`.
+    pub fn partial_decrypt_subset<R: Rng + ?Sized>(
+        &self,
+        ctx: &CkksContext,
+        party: usize,
+        subset: &[usize],
+        ct: &CkksCiphertext,
+        rng: &mut R,
+    ) -> Result<PartialDecryption, FheError> {
+        self.validate_subset(subset)?;
+        if !subset.contains(&party) {
+            return Err(FheError::InvalidParams(format!(
+                "party {party} is not in the declared decryption subset"
+            )));
+        }
         let levels = ct.levels();
         let primes = &ctx.primes()[..levels];
         let share = ctx.at_level(&self.shares[party].share, levels);
+        let share = match self.sharing {
+            Sharing::Additive => share,
+            Sharing::Shamir { .. } => {
+                let lambda = lagrange_at_zero(party, subset, primes);
+                scale_rows(&share, &lambda, primes)
+            }
+        };
         let smudge =
             RnsPoly::from_signed_coeffs(&gaussian_vec(rng, ctx.params().n, SMUDGING_SIGMA), primes);
         // The share product runs in the coefficient domain; resident
@@ -141,7 +354,42 @@ impl ThresholdGroup {
         // round-end operation, not the aggregation hot loop).
         let c1 = ctx.to_coeff(&ct.c1);
         let poly = ctx.poly_mul_at(&c1, &share, levels).add(&smudge, primes);
-        PartialDecryption { poly }
+        Ok(PartialDecryption { poly, party })
+    }
+
+    /// Checks that `subset` is a plausible decryption quorum: distinct
+    /// in-range parties, at least [`ThresholdGroup::threshold`] of
+    /// them, and — for additive sharing — all of them.
+    fn validate_subset(&self, subset: &[usize]) -> Result<(), FheError> {
+        let parties = self.parties();
+        let mut seen = vec![false; parties];
+        for &p in subset {
+            if p >= parties {
+                return Err(FheError::InvalidParams(format!(
+                    "party index {p} out of range for {parties}-party group"
+                )));
+            }
+            if seen[p] {
+                return Err(FheError::InvalidParams(format!(
+                    "party {p} appears twice in the decryption subset"
+                )));
+            }
+            seen[p] = true;
+        }
+        let need = self.threshold();
+        if subset.len() < need {
+            return Err(FheError::InvalidParams(format!(
+                "decryption subset of {} parties is below the threshold {need}",
+                subset.len()
+            )));
+        }
+        if self.sharing == Sharing::Additive && subset.len() != parties {
+            return Err(FheError::InvalidParams(format!(
+                "additive sharing needs all {parties} parties, got {}",
+                subset.len()
+            )));
+        }
+        Ok(())
     }
 
     /// Combines all partial decryptions into the plaintext slots.
@@ -164,6 +412,27 @@ impl ThresholdGroup {
         }
         let coeffs = m.to_centered_f64(primes);
         ctx.encoder().decode_with_scale(&coeffs, ct.scale())
+    }
+
+    /// Combines partial decryptions after checking the quorum: the
+    /// contributing parties must be distinct, in range, and at least
+    /// [`ThresholdGroup::threshold`] many. This is the error path a
+    /// federation hits when a keyholder drops mid-round and too few
+    /// shares arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] when shares are missing or
+    /// duplicated.
+    pub fn combine_checked(
+        &self,
+        ctx: &CkksContext,
+        ct: &CkksCiphertext,
+        partials: &[PartialDecryption],
+    ) -> Result<Vec<f64>, FheError> {
+        let contributors: Vec<usize> = partials.iter().map(|p| p.party).collect();
+        self.validate_subset(&contributors)?;
+        Ok(Self::combine(ctx, ct, partials))
     }
 }
 
@@ -240,6 +509,34 @@ mod tests {
         let ct = ctx.encrypt(group.public_key(), &[7.0], &mut rng).expect("encrypt");
         let back = decrypt_all(&ctx, &group, &ct, &mut rng);
         assert!((back[0] - 7.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn kofn_subset_decrypts_after_dropout() {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+        let mut rng = StdRng::seed_from_u64(7);
+        let group = ThresholdGroup::generate_kofn(&ctx, 5, 3, &mut rng).expect("kofn");
+        assert_eq!(group.threshold(), 3);
+        let values = vec![3.5, -1.25];
+        let ct = ctx.encrypt(group.public_key(), &values, &mut rng).expect("encrypt");
+        // Parties 1 and 3 dropped; the surviving quorum {0, 2, 4} decrypts.
+        let subset = [0usize, 2, 4];
+        let partials: Vec<_> = subset
+            .iter()
+            .map(|&p| group.partial_decrypt_subset(&ctx, p, &subset, &ct, &mut rng).expect("valid"))
+            .collect();
+        let back = group.combine_checked(&ctx, &ct, &partials).expect("quorum met");
+        for (v, b) in values.iter().zip(&back) {
+            assert!((v - b).abs() < 0.05, "{v} vs {b}");
+        }
+    }
+
+    #[test]
+    fn additive_group_rejects_proper_subset() {
+        let (ctx, group, mut rng) = setup(3);
+        let ct = ctx.encrypt(group.public_key(), &[1.0], &mut rng).expect("encrypt");
+        let err = group.partial_decrypt_subset(&ctx, 0, &[0, 1], &ct, &mut rng).unwrap_err();
+        assert!(matches!(err, FheError::InvalidParams(_)));
     }
 
     #[test]

@@ -21,12 +21,12 @@
 //! other round (and duplicates) are NACKed with `UpdateAck { accepted:
 //! false }` and never touch the aggregate.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -91,6 +91,7 @@ pub struct ServerConfig {
     max_payload: u32,
     parallelism: Parallelism,
     obs_addr: Option<String>,
+    allow_rejoin: bool,
 }
 
 impl ServerConfig {
@@ -155,6 +156,11 @@ impl ServerConfig {
         self.obs_addr.as_deref()
     }
 
+    /// Whether departed clients may reconnect mid-run.
+    pub fn allow_rejoin(&self) -> bool {
+        self.allow_rejoin
+    }
+
     fn validate(&self) -> Result<(), NetError> {
         if self.clients == 0 || self.rounds == 0 || self.model_params == 0 {
             return Err(NetError::Protocol(
@@ -185,6 +191,7 @@ pub struct ServerConfigBuilder {
     max_payload: u32,
     parallelism: Parallelism,
     obs_addr: Option<String>,
+    allow_rejoin: bool,
 }
 
 impl Default for ServerConfigBuilder {
@@ -201,6 +208,7 @@ impl Default for ServerConfigBuilder {
             max_payload: DEFAULT_MAX_PAYLOAD,
             parallelism: Parallelism::Auto,
             obs_addr: None,
+            allow_rejoin: false,
         }
     }
 }
@@ -279,6 +287,17 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Lets a departed client reconnect with the same id and resume at
+    /// the next round boundary (default: off). Rejoins take effect
+    /// between rounds, so a client can never contribute two updates to
+    /// one round: the round it reconnects during already counts it as
+    /// dropped, and the per-round [`ServerRound`] dedupe rejects any
+    /// duplicate id regardless.
+    pub fn allow_rejoin(mut self, allow_rejoin: bool) -> Self {
+        self.allow_rejoin = allow_rejoin;
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -299,6 +318,7 @@ impl ServerConfigBuilder {
             max_payload: self.max_payload,
             parallelism: self.parallelism,
             obs_addr: self.obs_addr,
+            allow_rejoin: self.allow_rejoin,
         };
         config.validate()?;
         Ok(config)
@@ -327,6 +347,10 @@ pub struct ServerReport {
     pub rounds: Vec<NetRoundReport>,
     /// Clients that disconnected or violated the protocol mid-run.
     pub dropped_clients: usize,
+    /// Successful mid-run reconnections (see
+    /// [`ServerConfigBuilder::allow_rejoin`]). A client that departs and
+    /// rejoins counts once in `dropped_clients` and once here.
+    pub rejoined_clients: usize,
     /// Total bytes written to sockets (measured, not modeled).
     pub bytes_tx: u64,
     /// Total bytes read from sockets.
@@ -374,7 +398,10 @@ enum ServerEvent {
         arrived: Instant,
     },
     /// A client disconnected, timed out, or violated the protocol.
-    Dropped { client_id: usize },
+    /// `generation` identifies which incarnation of the connection died,
+    /// so a stale drop from a superseded handler can never evict a
+    /// rejoined client's live one.
+    Dropped { client_id: usize, generation: u64 },
 }
 
 /// How a handler thread deserializes the uploads it reads.
@@ -509,8 +536,28 @@ impl FlServer {
 
         let (event_tx, event_rx) = mpsc::channel::<ServerEvent>();
         let mut handlers = self.accept_clients(&event_tx, &shared)?;
-        drop(event_tx);
         telemetry::gauge("fl.clients.connected", handlers.len() as f64);
+
+        // Rejoin support: a shared id set gates duplicate Hellos (the
+        // coordinator owns the handler map, so the background acceptor
+        // cannot check it directly), and queued reconnections activate
+        // only at round boundaries.
+        let connected: Arc<Mutex<HashSet<usize>>> =
+            Arc::new(Mutex::new(handlers.keys().copied().collect()));
+        let mut next_generation = 0u64;
+        let rejoin = if self.config.allow_rejoin {
+            Some(RejoinAcceptor::spawn(
+                self.listener.try_clone()?,
+                self.config.clone(),
+                Arc::clone(&connected),
+                Arc::clone(&shared),
+            ))
+        } else {
+            None
+        };
+        // Handlers spawned mid-run need a live Sender; without rejoin,
+        // drop it now so the channel disconnects once handlers exit.
+        let event_tx = if rejoin.is_some() { Some(event_tx) } else { None };
 
         // One trace id spans the whole federation run; each round's wire
         // context chains client spans under that round's `net_round`.
@@ -529,6 +576,26 @@ impl FlServer {
                 parent_span: span.id(),
                 round: round as u32,
             });
+            // Activate rejoins queued since the last round boundary, so
+            // a reconnecting client re-enters with a full round — it can
+            // never contribute a second update to a round in flight.
+            if let Some(acceptor) = rejoin.as_ref() {
+                while let Ok((client_id, stream)) = acceptor.rx.try_recv() {
+                    if handlers.contains_key(&client_id) {
+                        continue; // superseded by a still-live handler
+                    }
+                    next_generation += 1;
+                    let events = event_tx.as_ref().expect("rejoin keeps the sender").clone();
+                    let handler =
+                        spawn_handler(client_id, next_generation, stream, events, &shared);
+                    handlers.insert(client_id, handler);
+                    connected.lock().expect("connected set").insert(client_id);
+                    report.rejoined_clients += 1;
+                    telemetry::count("net.rejoins", 1);
+                }
+                telemetry::gauge("fl.clients.connected", handlers.len() as f64);
+            }
+
             let round_start = Instant::now();
             let round_start_ns = telemetry::trace::now_ns();
             let live_at_start = handlers.len();
@@ -593,8 +660,14 @@ impl FlServer {
                             let _ = h.cmd_tx.send(HandlerCmd::Ack { round: r, accepted });
                         }
                     }
-                    Ok(ServerEvent::Dropped { client_id }) => {
-                        self.drop_client(&mut handlers, client_id, &mut report);
+                    Ok(ServerEvent::Dropped { client_id, generation }) => {
+                        self.drop_client(
+                            &mut handlers,
+                            client_id,
+                            generation,
+                            &mut report,
+                            &connected,
+                        );
                     }
                     Err(RecvTimeoutError::Timeout) => break,
                     Err(RecvTimeoutError::Disconnected) => break,
@@ -655,6 +728,10 @@ impl FlServer {
             drop(h.cmd_tx);
             let _ = h.join.join();
         }
+        if let Some(acceptor) = rejoin {
+            acceptor.shutdown();
+        }
+        drop(event_tx);
         // Drain any last events so dropped counts are accurate.
         while let Ok(ev) = event_rx.try_recv() {
             if let ServerEvent::Dropped { .. } = ev {
@@ -691,9 +768,9 @@ impl FlServer {
                 }
                 Err(e) => return Err(e.into()),
             };
-            match self.handshake(stream, &handlers, shared) {
+            match handshake(stream, &self.config, |id| handlers.contains_key(&id), shared) {
                 Ok((client_id, stream)) => {
-                    let handler = spawn_handler(client_id, stream, event_tx.clone(), shared);
+                    let handler = spawn_handler(client_id, 0, stream, event_tx.clone(), shared);
                     handlers.insert(client_id, handler);
                 }
                 Err(_) => continue, // a bad handshake never kills the server
@@ -709,53 +786,25 @@ impl FlServer {
         Ok(handlers)
     }
 
-    fn handshake(
-        &self,
-        stream: TcpStream,
-        handlers: &HashMap<usize, Handler>,
-        shared: &HandlerShared,
-    ) -> Result<(usize, TcpStream), NetError> {
-        let mut stream = stream;
-        // The listener is nonblocking for the accept deadline; accepted
-        // streams must not be.
-        stream.set_nonblocking(false)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.config.io_timeout))?;
-        stream.set_write_timeout(Some(self.config.io_timeout))?;
-        let (msg, n) = wire::read_message(&mut stream, self.config.max_payload)?;
-        shared.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
-        telemetry::count("net.bytes_rx", n as u64);
-        let client_id = match msg {
-            Message::Hello { client_id } => client_id,
-            other => {
-                return Err(NetError::Protocol(format!("expected Hello, got {}", other.name())))
-            }
-        };
-        if client_id >= self.config.clients || handlers.contains_key(&client_id) {
-            return Err(NetError::Protocol(format!("invalid or duplicate client id {client_id}")));
-        }
-        let n = wire::write_message(
-            &mut stream,
-            &Message::Welcome {
-                client_id,
-                clients: self.config.clients,
-                rounds: self.config.rounds,
-            },
-        )?;
-        shared.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
-        telemetry::count("net.bytes_tx", n as u64);
-        Ok((client_id, stream))
-    }
-
     fn drop_client(
         &self,
         handlers: &mut HashMap<usize, Handler>,
         client_id: usize,
+        generation: u64,
         report: &mut ServerReport,
+        connected: &Mutex<HashSet<usize>>,
     ) {
+        // A drop names the connection incarnation that died. If the
+        // mapped handler is from a different (newer) generation, the
+        // client already rejoined and this drop is stale — ignore it.
+        match handlers.get(&client_id) {
+            Some(h) if h.generation == generation => {}
+            _ => return,
+        }
         if let Some(h) = handlers.remove(&client_id) {
             drop(h.cmd_tx);
             let _ = h.join.join();
+            connected.lock().expect("connected set").remove(&client_id);
             report.dropped_clients += 1;
             telemetry::count("net.dropped_clients", 1);
         }
@@ -767,6 +816,96 @@ impl FlServer {
             (GlobalState::Ckks(cts), Some(ctx)) => codec::encode_ckks(ctx, cts),
             (GlobalState::Ckks(_), None) => unreachable!("CKKS state without a context"),
         }
+    }
+}
+
+/// Completes the Hello/Welcome handshake on a fresh connection.
+/// `taken` reports whether a client id is already connected — the
+/// accept loop checks its handler map, the rejoin acceptor a shared id
+/// set — so a duplicate Hello is rejected either way.
+fn handshake(
+    stream: TcpStream,
+    config: &ServerConfig,
+    taken: impl Fn(usize) -> bool,
+    shared: &HandlerShared,
+) -> Result<(usize, TcpStream), NetError> {
+    let mut stream = stream;
+    // The listener is nonblocking for the accept deadline; accepted
+    // streams must not be.
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(config.io_timeout()))?;
+    stream.set_write_timeout(Some(config.io_timeout()))?;
+    let (msg, n) = wire::read_message(&mut stream, config.max_payload())?;
+    shared.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+    telemetry::count("net.bytes_rx", n as u64);
+    let client_id = match msg {
+        Message::Hello { client_id } => client_id,
+        other => return Err(NetError::Protocol(format!("expected Hello, got {}", other.name()))),
+    };
+    if client_id >= config.clients() || taken(client_id) {
+        return Err(NetError::Protocol(format!("invalid or duplicate client id {client_id}")));
+    }
+    let n = wire::write_message(
+        &mut stream,
+        &Message::Welcome { client_id, clients: config.clients(), rounds: config.rounds() },
+    )?;
+    shared.bytes_tx.fetch_add(n as u64, Ordering::Relaxed);
+    telemetry::count("net.bytes_tx", n as u64);
+    Ok((client_id, stream))
+}
+
+/// The background accept loop behind
+/// [`ServerConfigBuilder::allow_rejoin`]: keeps listening after the
+/// initial handshake window, re-admitting departed clients. Handshaken
+/// streams are queued to the coordinator, which activates them at the
+/// next round boundary.
+struct RejoinAcceptor {
+    rx: Receiver<(usize, TcpStream)>,
+    stop: Arc<AtomicBool>,
+    join: thread::JoinHandle<()>,
+}
+
+impl RejoinAcceptor {
+    fn spawn(
+        listener: TcpListener,
+        config: ServerConfig,
+        connected: Arc<Mutex<HashSet<usize>>>,
+        shared: Arc<HandlerShared>,
+    ) -> RejoinAcceptor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let (tx, rx) = mpsc::channel();
+        let join = thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                // Reject ids still mapped to a live handler; a departed
+                // client's id leaves the set when its drop is processed.
+                let taken =
+                    |id: usize| connected.lock().map(|set| set.contains(&id)).unwrap_or(true);
+                match handshake(stream, &config, taken, &shared) {
+                    Ok(pair) => {
+                        if tx.send(pair).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue, // a bad handshake never kills the server
+                }
+            }
+        });
+        RejoinAcceptor { rx, stop, join }
+    }
+
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.join.join();
     }
 }
 
@@ -820,10 +959,16 @@ fn accept_update(
 struct Handler {
     cmd_tx: Sender<HandlerCmd>,
     join: thread::JoinHandle<()>,
+    /// Incarnation of this client's connection: 0 for the initial
+    /// handshake, bumped on every rejoin. Dropped events carry the
+    /// generation of the connection that died; the coordinator ignores
+    /// drops whose generation does not match the mapped handler.
+    generation: u64,
 }
 
 fn spawn_handler(
     client_id: usize,
+    generation: u64,
     stream: TcpStream,
     events: Sender<ServerEvent>,
     shared: &Arc<HandlerShared>,
@@ -831,9 +976,9 @@ fn spawn_handler(
     let (cmd_tx, cmd_rx) = mpsc::channel();
     let shared = Arc::clone(shared);
     let join = thread::spawn(move || {
-        handler_loop(client_id, stream, &cmd_rx, &events, &shared);
+        handler_loop(client_id, generation, stream, &cmd_rx, &events, &shared);
     });
-    Handler { cmd_tx, join }
+    Handler { cmd_tx, join, generation }
 }
 
 /// Per-connection I/O loop: writes broadcasts/acks, reads one update per
@@ -841,13 +986,14 @@ fn spawn_handler(
 /// the coordinator.
 fn handler_loop(
     client_id: usize,
+    generation: u64,
     mut stream: TcpStream,
     cmds: &Receiver<HandlerCmd>,
     events: &Sender<ServerEvent>,
     shared: &HandlerShared,
 ) {
     let drop_self = |events: &Sender<ServerEvent>| {
-        let _ = events.send(ServerEvent::Dropped { client_id });
+        let _ = events.send(ServerEvent::Dropped { client_id, generation });
     };
     if telemetry::enabled() {
         telemetry::trace::set_actor("server");

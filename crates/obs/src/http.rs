@@ -208,6 +208,22 @@ fn write_response(
 fn health_body() -> String {
     let reg = telemetry::metrics::global();
     let gauge = |name: &str| reg.gauge(name).get();
+    // Scenario-engine state (DESIGN.md §13): the `fl.scenario.*` gauges
+    // and counters the rhychee-scenario runner publishes. All zero when
+    // no scenario ever ran in this process.
+    let scenario = JsonObject::new()
+        .bool("active", gauge("fl.scenario.active") != 0.0)
+        .u64("attackers", gauge("fl.scenario.attackers") as u64)
+        .u64("attacks_injected", reg.counter("fl.scenario.attacks_injected").get())
+        .u64("updates_clipped", reg.counter("fl.scenario.updates_clipped").get())
+        .u64("clients_churned", reg.counter("fl.scenario.clients_churned").get())
+        .u64("stragglers_dropped", reg.counter("fl.scenario.stragglers_dropped").get())
+        .u64("threshold_recoveries", reg.counter("fl.scenario.threshold_recoveries").get())
+        .u64(
+            "threshold_recovery_failures",
+            reg.counter("fl.scenario.threshold_recovery_failures").get(),
+        )
+        .finish();
     JsonObject::new()
         .str("status", "ok")
         .u64("round", gauge("fl.round.current") as u64)
@@ -217,6 +233,8 @@ fn health_body() -> String {
         .u64("pool_queue_depth", gauge("par.queue.depth") as u64)
         .u64("bytes_tx", reg.counter("net.bytes_tx").get())
         .u64("bytes_rx", reg.counter("net.bytes_rx").get())
+        .u64("rejoined_clients", reg.counter("net.rejoins").get())
+        .raw("scenario", &scenario)
         .finish()
 }
 
@@ -279,6 +297,8 @@ mod tests {
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(body.contains("\"status\":\"ok\""), "{body}");
         assert!(body.contains("\"round\":2"), "{body}");
+        assert!(body.contains("\"scenario\":{"), "{body}");
+        assert!(body.contains("\"attacks_injected\":"), "{body}");
 
         let (status, body) = get(addr, "GET /trace.json?limit=5 HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 200 OK");

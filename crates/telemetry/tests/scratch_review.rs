@@ -2,17 +2,27 @@ use rhychee_telemetry::fedmerge::{self, FedSource};
 use rhychee_telemetry::profile::SpanRecord;
 
 fn rec(name: &str, path: &str, dur: u64, id: u64, rp: u64) -> SpanRecord {
-    SpanRecord { name: name.into(), path: path.into(), depth: 0, dur_ns: dur,
-        span_id: id, remote_parent: rp, ..SpanRecord::default() }
+    SpanRecord {
+        name: name.into(),
+        path: path.into(),
+        depth: 0,
+        dur_ns: dur,
+        span_id: id,
+        remote_parent: rp,
+        ..SpanRecord::default()
+    }
 }
 
 #[test]
 fn multi_client_decode_attribution() {
-    let server = FedSource::new("server", vec![
-        rec("net_round", "net_round", 1000, 10, 0),
-        rec("net_decode", "net_decode", 30, 13, 20), // decode of client0's upload
-        rec("net_decode", "net_decode", 40, 14, 30), // decode of client1's upload
-    ]);
+    let server = FedSource::new(
+        "server",
+        vec![
+            rec("net_round", "net_round", 1000, 10, 0),
+            rec("net_decode", "net_decode", 30, 13, 20), // decode of client0's upload
+            rec("net_decode", "net_decode", 40, 14, 30), // decode of client1's upload
+        ],
+    );
     let c0 = FedSource::new("client0", vec![rec("client_round", "client_round", 700, 20, 10)]);
     let c1 = FedSource::new("client1", vec![rec("client_round", "client_round", 650, 30, 10)]);
     let tree = fedmerge::merge(&[server, c0, c1]);

@@ -54,4 +54,5 @@ pub use rhychee_net as net;
 pub use rhychee_nn as nn;
 pub use rhychee_obs as obs;
 pub use rhychee_par as par;
+pub use rhychee_scenario as scenario;
 pub use rhychee_telemetry as telemetry;

@@ -5,12 +5,14 @@
 //! byte counts that reconcile with the analytical upload model.
 
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use rhychee_fl::core::packing;
 use rhychee_fl::core::round::{self, ClientLocal, FedSetup};
-use rhychee_fl::core::{FlConfig, Framework};
+use rhychee_fl::core::{FlConfig, Framework, RoundHooks};
 use rhychee_fl::data::{DatasetKind, SyntheticConfig, TrainTest};
 use rhychee_fl::fhe::ckks::CkksContext;
 use rhychee_fl::fhe::params::CkksParams;
@@ -241,6 +243,203 @@ fn dropout_mid_round_is_survived_by_quorum_aggregation() {
     assert_eq!(reg.counter("net.frame.crc_fail").get(), 0, "no torn frames on loopback");
     // Survivors still agree on one final model.
     assert!(finals.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn rejoined_client_is_not_double_counted_and_matches_framework() {
+    // Quorum-reweighting regression for churn: client 4 participates in
+    // round 0, departs during round 1, reconnects with the same id, and
+    // rejoins for round 2. It must count exactly once in every round it
+    // attends — received = [5, 4, 5] with zero NACKs — and the final
+    // model must match the in-process Framework running the same
+    // presence schedule, bit for bit. All five clients are hand-rolled
+    // on the raw wire so the survivors can gate their round-1 uploads on
+    // the rejoiner's re-handshake: the reconnect is then always queued
+    // before round 1 closes and activates exactly at the round-2
+    // boundary, deterministically.
+    let data = har_data();
+    let fl = config(5, 3, 17);
+    let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+
+    let cfg = ServerConfig::builder()
+        .clients(fl.clients)
+        .rounds(fl.rounds)
+        .model_params(num_params)
+        .quorum(4)
+        .round_timeout(Duration::from_secs(10))
+        .allow_rejoin(true)
+        .build()
+        .expect("server config");
+    let server = FlServer::bind("127.0.0.1:0", cfg, ServerPipeline::Plaintext).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server = thread::spawn(move || server.run());
+
+    let rejoined = Arc::new(AtomicBool::new(false));
+    let mut shards = shards;
+    let rejoin_shard = shards.pop().expect("5 shards");
+
+    let mut joins = Vec::new();
+    for (id, shard) in shards.into_iter().enumerate() {
+        let fl = fl.clone();
+        let rejoined = Arc::clone(&rejoined);
+        joins.push(thread::spawn(move || -> Vec<f32> {
+            let mut local = ClientLocal::new(id, shard, classes, &fl);
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            wire::write_message(&mut stream, &Message::Hello { client_id: id }).expect("hello");
+            let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("welcome");
+            assert!(matches!(msg, Message::Welcome { .. }), "got {}", msg.name());
+            for round in 0..fl.rounds {
+                let (msg, _) =
+                    wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("global");
+                let model = match msg {
+                    Message::Global { round: r, last: false, model } if r == round => model,
+                    other => panic!("client {id}: expected Global {round}, got {}", other.name()),
+                };
+                let global = codec::decode_plain(&model, num_params).expect("decode");
+                let flat = local.train(&global, &fl);
+                if round == 1 {
+                    // Hold the round open until client 4 has reconnected.
+                    while !rejoined.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                let update = Message::Update {
+                    round,
+                    client_id: id,
+                    steps: local.last_steps(),
+                    model: codec::encode_plain(&flat),
+                };
+                wire::write_message(&mut stream, &update).expect("upload");
+                let (ack, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("ack");
+                assert!(
+                    matches!(ack, Message::UpdateAck { accepted: true, .. }),
+                    "client {id} round {round}: got {}",
+                    ack.name()
+                );
+            }
+            let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("final");
+            let model = match msg {
+                Message::Global { last: true, model, .. } => model,
+                other => panic!("expected final Global, got {}", other.name()),
+            };
+            let (fin, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("finished");
+            assert!(matches!(fin, Message::Finished { .. }), "got {}", fin.name());
+            codec::decode_plain(&model, num_params).expect("final decode")
+        }));
+    }
+
+    let fl_rejoin = fl.clone();
+    let rejoined_flag = Arc::clone(&rejoined);
+    let rejoiner = thread::spawn(move || -> Vec<f32> {
+        let mut local = ClientLocal::new(4, rejoin_shard, classes, &fl_rejoin);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        wire::write_message(&mut stream, &Message::Hello { client_id: 4 }).expect("hello");
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("welcome");
+        assert!(matches!(msg, Message::Welcome { client_id: 4, .. }), "got {}", msg.name());
+
+        // Round 0: honest participation.
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("global 0");
+        let model = match msg {
+            Message::Global { round: 0, last: false, model } => model,
+            other => panic!("expected Global 0, got {}", other.name()),
+        };
+        let global = codec::decode_plain(&model, num_params).expect("decode");
+        let flat = local.train(&global, &fl_rejoin);
+        let update = Message::Update {
+            round: 0,
+            client_id: 4,
+            steps: local.last_steps(),
+            model: codec::encode_plain(&flat),
+        };
+        wire::write_message(&mut stream, &update).expect("upload");
+        let (ack, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("ack");
+        assert!(matches!(ack, Message::UpdateAck { accepted: true, .. }), "got {}", ack.name());
+
+        // Read the round-1 broadcast, then depart mid-round.
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("global 1");
+        assert!(matches!(msg, Message::Global { round: 1, .. }), "got {}", msg.name());
+        drop(stream);
+
+        // Reconnect with the same id and the same local state. The
+        // server admits the Hello once the dead handler is reaped and
+        // activates the connection at the next round boundary.
+        let mut stream = loop {
+            thread::sleep(Duration::from_millis(10));
+            let Ok(mut s) = TcpStream::connect(addr) else { continue };
+            if wire::write_message(&mut s, &Message::Hello { client_id: 4 }).is_err() {
+                continue;
+            }
+            match wire::read_message(&mut s, DEFAULT_MAX_PAYLOAD) {
+                Ok((Message::Welcome { client_id: 4, .. }, _)) => break s,
+                _ => continue,
+            }
+        };
+        rejoined_flag.store(true, Ordering::SeqCst);
+
+        // Round 2: back in the quorum.
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("global 2");
+        let model = match msg {
+            Message::Global { round: 2, last: false, model } => model,
+            other => panic!("expected Global 2, got {}", other.name()),
+        };
+        let global = codec::decode_plain(&model, num_params).expect("decode");
+        let flat = local.train(&global, &fl_rejoin);
+        let update = Message::Update {
+            round: 2,
+            client_id: 4,
+            steps: local.last_steps(),
+            model: codec::encode_plain(&flat),
+        };
+        wire::write_message(&mut stream, &update).expect("upload");
+        let (ack, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("ack");
+        assert!(
+            matches!(ack, Message::UpdateAck { round: 2, accepted: true }),
+            "the rejoined upload must be accepted, got {}",
+            ack.name()
+        );
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("final");
+        let model = match msg {
+            Message::Global { last: true, model, .. } => model,
+            other => panic!("expected final Global, got {}", other.name()),
+        };
+        let (fin, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("finished");
+        assert!(matches!(fin, Message::Finished { .. }), "got {}", fin.name());
+        codec::decode_plain(&model, num_params).expect("final decode")
+    });
+
+    let finals: Vec<Vec<f32>> = joins.into_iter().map(|j| j.join().expect("survivor")).collect();
+    let rejoiner_final = rejoiner.join().expect("rejoiner");
+    let server = server.join().expect("join").expect("server run");
+
+    // The same federation in process: everyone every round, except
+    // client 4 sits out round 1.
+    let mut fw = Framework::hdc_plaintext(fl, &data).expect("framework");
+    fw.set_hooks(RoundHooks {
+        presence: Some(Box::new(|round, ids: &mut Vec<usize>| {
+            if round == 1 {
+                ids.retain(|&c| c != 4);
+            }
+        })),
+        ..RoundHooks::default()
+    });
+    fw.run().expect("framework run");
+    let expected = fw.global_model().flatten();
+
+    assert_eq!(server.rounds.len(), 3);
+    let received: Vec<usize> = server.rounds.iter().map(|r| r.received).collect();
+    assert_eq!(received, vec![5, 4, 5], "one count per round attended, never two");
+    assert!(server.rounds.iter().all(|r| r.rejected == 0), "a clean rejoin must produce no NACKs");
+    assert_eq!(server.dropped_clients, 1, "the departure counts once");
+    assert_eq!(server.rejoined_clients, 1, "the reconnection counts once");
+    assert_eq!(
+        server.final_plain_model.as_deref(),
+        Some(expected.as_slice()),
+        "rejoin must reweight exactly like the in-process presence hook"
+    );
+    for (id, f) in finals.iter().chain(std::iter::once(&rejoiner_final)).enumerate() {
+        assert_eq!(f, &expected, "client {id} diverged");
+    }
 }
 
 #[test]

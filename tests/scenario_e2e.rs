@@ -1,0 +1,167 @@
+//! End-to-end scenario-engine tests: attack/defense accuracy effects,
+//! bit-identical replay (including across parallelism degrees), churn +
+//! straggler composition, and threshold-CKKS dropout recovery.
+
+use rhychee_fl::core::{FlConfig, Parallelism};
+use rhychee_fl::data::{DatasetKind, SyntheticConfig, TrainTest};
+use rhychee_fl::scenario::{
+    self, AttackKind, ChurnTrace, ClipBound, Defense, DeviceProfile, ScenarioReport, ScenarioSpec,
+};
+
+fn data() -> TrainTest {
+    SyntheticConfig { kind: DatasetKind::Har, train_samples: 400, test_samples: 160 }
+        .generate(11)
+        .expect("generate")
+}
+
+fn base(clients: usize, rounds: usize, seed: u64) -> FlConfig {
+    FlConfig::builder()
+        .clients(clients)
+        .rounds(rounds)
+        .hd_dim(512)
+        .seed(seed)
+        .build()
+        .expect("valid config")
+}
+
+fn fingerprint(r: &ScenarioReport) -> Vec<u64> {
+    // Bit-exact digest of everything the scenario influences.
+    let mut fp = vec![
+        r.final_accuracy.to_bits(),
+        r.attacks_injected,
+        r.updates_clipped,
+        r.clients_churned,
+        r.stragglers_dropped,
+        r.threshold_recoveries,
+        r.recovery_failures,
+        r.recovery_max_err.to_bits(),
+    ];
+    fp.extend(r.rounds.iter().map(|round| round.accuracy.to_bits()));
+    fp.extend(r.rounds.iter().map(|round| round.participants as u64));
+    fp
+}
+
+#[test]
+fn clipping_recovers_at_least_half_the_signflip_damage() {
+    // The ISSUE acceptance bar at 20% attack fraction, as a test: let
+    // benign/attacked/defended runs share the seed, then check
+    // benign − defended <= (benign − attacked) / 2.
+    let data = data();
+    let run = |attack: bool, defense: bool| {
+        let mut spec = ScenarioSpec::new(base(10, 3, 42));
+        if attack {
+            spec = spec.with_attack(AttackKind::SignFlip { scale: 10.0 }, 0.2);
+        }
+        if defense {
+            spec = spec.with_defense(Defense::NormClip { bound: ClipBound::Median });
+        }
+        scenario::run(&spec, &data).expect("run")
+    };
+    let benign = run(false, false);
+    let attacked = run(true, false);
+    let defended = run(true, true);
+
+    assert_eq!(attacked.attackers.len(), 2, "20% of 10 clients");
+    assert!(attacked.attacks_injected >= 2 * 3, "every round, every attacker");
+    assert!(defended.updates_clipped > 0, "the defense must have fired");
+
+    let damage = benign.final_accuracy - attacked.final_accuracy;
+    let residual = benign.final_accuracy - defended.final_accuracy;
+    assert!(
+        damage > 0.02,
+        "sign-flip at 20% must hurt: benign {} vs attacked {}",
+        benign.final_accuracy,
+        attacked.final_accuracy
+    );
+    assert!(
+        residual <= damage / 2.0,
+        "norm clipping must recover at least half the lost accuracy: \
+         benign {}, attacked {}, defended {}",
+        benign.final_accuracy,
+        attacked.final_accuracy,
+        defended.final_accuracy
+    );
+}
+
+#[test]
+fn scenario_replays_bit_identically() {
+    let data = data();
+    let spec = ScenarioSpec::new(base(8, 3, 1234))
+        .with_attack(AttackKind::SignFlip { scale: 10.0 }, 0.25)
+        .with_defense(Defense::NormClip { bound: ClipBound::Median })
+        .with_churn(ChurnTrace::new().depart(1, 2).rejoin(2, 2))
+        .with_devices(DeviceProfile::linear(8, 1.0, 2.0), 1.9, 0.15);
+    let a = scenario::run(&spec, &data).expect("run a");
+    let b = scenario::run(&spec, &data).expect("run b");
+    assert_eq!(fingerprint(&a), fingerprint(&b), "same spec, same bits");
+}
+
+#[test]
+fn scenario_is_parallelism_invariant() {
+    let data = data();
+    let run = |par: Parallelism| {
+        let fl = FlConfig::builder()
+            .clients(6)
+            .rounds(2)
+            .hd_dim(512)
+            .seed(77)
+            .parallelism(par)
+            .build()
+            .expect("valid config");
+        let spec = ScenarioSpec::new(fl)
+            .with_attack(AttackKind::Colluding { scale: 4.0 }, 0.34)
+            .with_defense(Defense::CoordTrim { trim_ratio: 0.2 })
+            .with_churn(ChurnTrace::new().depart(1, 0))
+            .with_threshold(3);
+        scenario::run(&spec, &data).expect("run")
+    };
+    let fixed = run(Parallelism::Fixed(1));
+    let auto = run(Parallelism::Auto);
+    assert_eq!(fingerprint(&fixed), fingerprint(&auto), "Fixed(1) and Auto must agree bit for bit");
+}
+
+#[test]
+fn churn_and_stragglers_shrink_the_quorum() {
+    let data = data();
+    let spec = ScenarioSpec::new(base(6, 3, 9))
+        .with_churn(ChurnTrace::new().depart(1, 4).rejoin(2, 4))
+        // Client 5 (speed 3.0) always misses the 2.7 deadline; the next
+        // slowest (2.6) just makes it.
+        .with_devices(DeviceProfile::linear(6, 1.0, 3.0), 2.7, 0.0);
+    let r = scenario::run(&spec, &data).expect("run");
+    assert_eq!(r.rounds[0].participants, 5, "straggler 5 out");
+    assert_eq!(r.rounds[1].participants, 4, "straggler 5 and departed 4 out");
+    assert_eq!(r.rounds[2].participants, 5, "4 is back, 5 still straggling");
+    assert_eq!(r.clients_churned, 2, "one departure + one rejoin");
+    assert_eq!(r.stragglers_dropped, 3, "client 5, every round");
+    assert!(r.final_accuracy > 0.7, "federation survives churn: {}", r.final_accuracy);
+}
+
+#[test]
+fn threshold_recovery_survives_keyholder_departure() {
+    let data = data();
+    let spec = ScenarioSpec::new(base(5, 2, 21))
+        .with_churn(ChurnTrace::new().depart(1, 3))
+        .with_threshold(3);
+    let r = scenario::run(&spec, &data).expect("run");
+    assert_eq!(r.threshold_recoveries, 1, "one departure round, one recovery");
+    assert_eq!(r.recovery_failures, 0);
+    assert!(
+        r.recovery_max_err < 0.05,
+        "recovered global model must match plaintext: err {}",
+        r.recovery_max_err
+    );
+}
+
+#[test]
+fn threshold_recovery_refuses_subthreshold_quorum() {
+    // 4 of 5 keyholders depart with k = 3: recovery must take the
+    // missing-share error path, not return garbage.
+    let data = data();
+    let spec = ScenarioSpec::new(base(5, 2, 22))
+        .with_churn(ChurnTrace::new().depart(1, 0).depart(1, 1).depart(1, 2).depart(1, 3))
+        .with_threshold(3);
+    let r = scenario::run(&spec, &data).expect("run");
+    assert_eq!(r.threshold_recoveries, 0);
+    assert_eq!(r.recovery_failures, 1);
+}
