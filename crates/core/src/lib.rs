@@ -23,6 +23,8 @@
 //! * [`packing`] — maximum ciphertext packing (⌈DL/(N/2)⌉ ciphertexts)
 //! * [`round`] — reusable `ClientLocal`/`ServerRound` building blocks
 //!   (shared with the networked `rhychee-net` runtime)
+//! * [`streaming`] — [`StreamingAggregator`]: per-frame zero-copy
+//!   folding of encrypted uploads, bit-identical to batch aggregation
 //! * [`nn_fl`] — CNN / MLP / logistic-regression FedAvg baselines
 //! * [`noisy`] — end-to-end encrypted FL across a noisy packet channel
 //! * [`error`] — framework errors
@@ -52,6 +54,7 @@ pub mod nn_fl;
 pub mod noisy;
 pub mod packing;
 pub mod round;
+pub mod streaming;
 
 pub use config::{Aggregation, EncoderKind, FlConfig, FlConfigBuilder};
 pub use error::FlError;
@@ -62,3 +65,4 @@ pub use rhychee_par::Parallelism;
 pub use round::{
     client_rng, derive_ckks_keys, prepare, ClientLocal, ClientUpdate, FedSetup, ServerRound,
 };
+pub use streaming::StreamingAggregator;

@@ -1,0 +1,318 @@
+//! Streaming homomorphic aggregation: fold each encrypted upload into
+//! the running sum *as its frame arrives*, instead of collecting every
+//! client's ciphertexts and aggregating after quorum.
+//!
+//! The batch path ([`packing::homomorphic_weighted_average`]) computes,
+//! per residue, `Σᵢ (e·xᵢ) mod q` with `e = round(w·Δ)` — scaling each
+//! upload and then adding in client-id order. The streaming path keeps
+//! the raw modular sum `Σᵢ xᵢ` (folded zero-copy from wire bytes via
+//! [`CkksContext::fold_view`]) and applies one `mul_scalar(·, w)` at
+//! round close: `e·Σᵢxᵢ ≡ Σᵢ(e·xᵢ) (mod q)` by ring distributivity,
+//! and modular addition is exactly associative and commutative, so the
+//! closed sum is **bit-identical** to the batch aggregate for every
+//! arrival order and parallelism degree (locked in by
+//! tests/parallel_determinism.rs).
+//!
+//! Two consequences shape the API:
+//!
+//! * only uniform-weight rules stream ([`Aggregation::FedAvg`],
+//!   [`Aggregation::FedProx`]): [`Aggregation::FedNova`] weights each
+//!   client by its step count, unknown until the round closes, so
+//!   [`StreamingAggregator::new`] rejects it and servers fall back to
+//!   the batch reference path (as they do for plaintext `f32` models,
+//!   whose float addition is not associative);
+//! * the aggregator holds exactly one accumulator ciphertext per model
+//!   chunk — server memory is O(1) in client count. Uploads live only
+//!   for the duration of their fold.
+//!
+//! [`packing::homomorphic_weighted_average`]: crate::packing::homomorphic_weighted_average
+
+use rhychee_fhe::ckks::{CkksCiphertext, CkksContext, CtView};
+use rhychee_telemetry as telemetry;
+
+use crate::config::Aggregation;
+use crate::error::FlError;
+
+/// Incremental replacement for collect-then-aggregate: one accumulator
+/// ciphertext per model chunk, a fold per arriving upload, one scalar
+/// multiplication at close.
+///
+/// Acceptance semantics mirror [`ServerRound::accept`]: wrong-round and
+/// duplicate uploads are rejected (`Ok(false)`, the caller NACKs them)
+/// without touching the accumulator, and a fold that succeeded stays in
+/// the sum even if its client later disconnects — exactly the batch
+/// path's quorum accounting. [`StreamingAggregator::retract_upload`]
+/// exists for deployments that prefer the opposite policy; it subtracts
+/// a folded contribution back out bit-exactly.
+///
+/// [`ServerRound::accept`]: crate::round::ServerRound::accept
+#[derive(Debug)]
+pub struct StreamingAggregator {
+    round: usize,
+    acc: Vec<CkksCiphertext>,
+    client_ids: Vec<usize>,
+}
+
+impl StreamingAggregator {
+    /// Whether `aggregation` can stream at all: true for the
+    /// uniform-weight rules, false for [`Aggregation::FedNova`] (its
+    /// per-client weights are unknown until every step count is in).
+    pub fn supports(aggregation: Aggregation) -> bool {
+        !matches!(aggregation, Aggregation::FedNova)
+    }
+
+    /// Creates an empty aggregator for `round`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] when `aggregation` cannot
+    /// stream (see [`StreamingAggregator::supports`]); use the batch
+    /// path instead.
+    pub fn new(round: usize, aggregation: Aggregation) -> Result<Self, FlError> {
+        if !Self::supports(aggregation) {
+            return Err(FlError::InvalidConfig(
+                "FedNova weights depend on step counts unknown until round close; \
+                 use the batch aggregation path"
+                    .into(),
+            ));
+        }
+        Ok(StreamingAggregator { round, acc: Vec::new(), client_ids: Vec::new() })
+    }
+
+    /// The round this aggregator folds for.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Uploads folded into the sum so far. Matches the batch path's
+    /// `received()`: a fold is never un-counted by a later disconnect.
+    pub fn received(&self) -> usize {
+        self.client_ids.len()
+    }
+
+    /// Ids of the clients whose uploads were folded, in arrival order.
+    pub fn client_ids(&self) -> &[usize] {
+        &self.client_ids
+    }
+
+    /// Folds one client's upload (one view per model chunk) into the
+    /// running sum, zero-copy from the wire bytes.
+    ///
+    /// Returns `Ok(false)` — a NACK, accumulator untouched — for a
+    /// wrong-round upload, a duplicate client id, an empty or
+    /// wrong-chunk-count payload, or chunks incompatible with the
+    /// accumulator (level/scale/domain). Every view is checked *before*
+    /// any chunk folds, so a rejected upload can never leave the sum
+    /// half-updated. Chunks fold in parallel at the context's
+    /// [`Parallelism`](rhychee_par::Parallelism); each chunk owns its
+    /// accumulator slot, so the result is degree-independent.
+    ///
+    /// # Errors
+    ///
+    /// This method itself never errors; the `Result` keeps the
+    /// signature open for future invariant checks that would need
+    /// [`FlError::StreamingAbort`].
+    pub fn fold_upload(
+        &mut self,
+        ctx: &CkksContext,
+        client_id: usize,
+        round: usize,
+        views: &[CtView<'_>],
+    ) -> Result<bool, FlError> {
+        if round != self.round || self.client_ids.contains(&client_id) || views.is_empty() {
+            return Ok(false);
+        }
+        if self.acc.is_empty() {
+            // First accepted upload defines the model shape; its own
+            // all-zero accumulators are compatible by construction.
+            self.acc = views.iter().map(|v| ctx.accumulator_for(v)).collect();
+        } else {
+            if views.len() != self.acc.len() {
+                return Ok(false);
+            }
+            if self.acc.iter().zip(views).any(|(ct, v)| ctx.check_view(ct, v).is_err()) {
+                return Ok(false);
+            }
+        }
+        rhychee_par::for_each_mut(ctx.parallelism(), &mut self.acc, |i, ct| {
+            ctx.fold_view(ct, &views[i]).expect("views validated before folding");
+        });
+        self.client_ids.push(client_id);
+        telemetry::count("fl.agg.folds", 1);
+        Ok(true)
+    }
+
+    /// Retracts a previously folded upload — the exact modular inverse
+    /// of [`StreamingAggregator::fold_upload`], for policies that evict
+    /// a dropped client's contribution instead of keeping it. Requires
+    /// the same views that were folded (the aggregator keeps none, by
+    /// design: that is the O(1) memory claim).
+    ///
+    /// Returns `Ok(false)` when `client_id` was never folded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::StreamingAbort`] when the views no longer
+    /// match the accumulator shape — a folded-then-mismatched retract
+    /// means the sum can no longer be trusted and the round must
+    /// restart.
+    pub fn retract_upload(
+        &mut self,
+        ctx: &CkksContext,
+        client_id: usize,
+        views: &[CtView<'_>],
+    ) -> Result<bool, FlError> {
+        let Some(pos) = self.client_ids.iter().position(|&id| id == client_id) else {
+            return Ok(false);
+        };
+        if views.len() != self.acc.len()
+            || self.acc.iter().zip(views).any(|(ct, v)| ctx.check_view(ct, v).is_err())
+        {
+            return Err(FlError::StreamingAbort(format!(
+                "retract of client {client_id} does not match the folded accumulator shape"
+            )));
+        }
+        rhychee_par::for_each_mut(ctx.parallelism(), &mut self.acc, |i, ct| {
+            ctx.unfold_view(ct, &views[i]).expect("views validated before unfolding");
+        });
+        self.client_ids.remove(pos);
+        Ok(true)
+    }
+
+    /// Closes the round: applies the uniform weight `1/P` to each chunk
+    /// of the summed ciphertexts and returns the aggregate — the same
+    /// `HomMul(Σᵢ Enc(LMᵢ), 1/P)` as the batch path (paper Eq. 2),
+    /// byte-identical to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::StreamingAbort`] when no upload was ever
+    /// folded (callers enforce quorum before closing, so this is an
+    /// invariant breach, not a recoverable state).
+    pub fn finish(self, ctx: &CkksContext) -> Result<Vec<CkksCiphertext>, FlError> {
+        if self.client_ids.is_empty() {
+            return Err(FlError::StreamingAbort(
+                "closing a streamed round that folded no uploads".into(),
+            ));
+        }
+        let w = 1.0 / self.client_ids.len() as f64;
+        Ok(rhychee_par::map(ctx.parallelism(), self.acc.len(), |i| ctx.mul_scalar(&self.acc[i], w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rhychee_fhe::params::CkksParams;
+    use rhychee_par::Parallelism;
+
+    use crate::packing;
+
+    use super::*;
+
+    /// Per-client serialized chunk blobs (outer: client, inner: chunk).
+    type Blobs = Vec<Vec<Vec<u8>>>;
+
+    /// Encrypts `clients` random models (two chunks each) and returns
+    /// `(ctx, per-client serialized chunk blobs, per-client ciphertexts)`.
+    fn encrypted_uploads(
+        clients: usize,
+        par: Parallelism,
+    ) -> (CkksContext, Blobs, Vec<Vec<CkksCiphertext>>) {
+        let ctx = CkksContext::with_parallelism(CkksParams::toy(), par).expect("params");
+        let mut rng = StdRng::seed_from_u64(99);
+        let (_, pk) = ctx.generate_keys(&mut rng);
+        let num_params = ctx.slot_count() + 7; // force two chunks
+        let mut blobs = Vec::new();
+        let mut models = Vec::new();
+        for c in 0..clients {
+            let mut crng = StdRng::seed_from_u64(1000 + c as u64);
+            let flat: Vec<f32> = (0..num_params).map(|_| crng.gen_range(-1.0..1.0)).collect();
+            let cts = packing::encrypt_model(&ctx, &pk, &flat, &mut crng).expect("encrypt");
+            blobs.push(cts.iter().map(|ct| ctx.serialize(ct)).collect());
+            models.push(cts);
+        }
+        (ctx, blobs, models)
+    }
+
+    #[test]
+    fn streamed_sum_is_bit_identical_to_batch_across_orders() {
+        let (ctx, blobs, models) = encrypted_uploads(4, Parallelism::Fixed(1));
+        let weights = vec![0.25; 4];
+        let batch = packing::homomorphic_weighted_average(&ctx, &models, &weights).expect("batch");
+        let batch_bytes: Vec<Vec<u8>> = batch.iter().map(|ct| ctx.serialize(ct)).collect();
+
+        for order in [[0usize, 1, 2, 3], [3, 1, 0, 2], [2, 3, 1, 0]] {
+            let mut agg = StreamingAggregator::new(0, Aggregation::FedAvg).expect("fedavg");
+            for &c in &order {
+                let views: Vec<CtView<'_>> =
+                    blobs[c].iter().map(|b| ctx.view_serialized(b).expect("view")).collect();
+                assert!(agg.fold_upload(&ctx, c, 0, &views).expect("fold"));
+            }
+            assert_eq!(agg.received(), 4);
+            let streamed = agg.finish(&ctx).expect("finish");
+            let streamed_bytes: Vec<Vec<u8>> =
+                streamed.iter().map(|ct| ctx.serialize(ct)).collect();
+            assert_eq!(streamed_bytes, batch_bytes, "order {order:?} diverged from batch");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_round_duplicates_and_shape_mismatches() {
+        let (ctx, blobs, _) = encrypted_uploads(2, Parallelism::Fixed(1));
+        let mut agg = StreamingAggregator::new(3, Aggregation::FedProx { mu: 0.1 }).expect("prox");
+        let views: Vec<CtView<'_>> =
+            blobs[0].iter().map(|b| ctx.view_serialized(b).expect("view")).collect();
+        assert!(!agg.fold_upload(&ctx, 0, 2, &views).expect("wrong round"), "wrong round NACKs");
+        assert!(agg.fold_upload(&ctx, 0, 3, &views).expect("fold"));
+        assert!(!agg.fold_upload(&ctx, 0, 3, &views).expect("dup"), "duplicate NACKs");
+        // Wrong chunk count: one view instead of two.
+        assert!(!agg.fold_upload(&ctx, 1, 3, &views[..1]).expect("short"), "short payload NACKs");
+        assert!(!agg.fold_upload(&ctx, 1, 3, &[]).expect("empty"), "empty payload NACKs");
+        assert_eq!(agg.received(), 1);
+        assert_eq!(agg.client_ids(), &[0]);
+    }
+
+    #[test]
+    fn fednova_cannot_stream() {
+        let err = StreamingAggregator::new(0, Aggregation::FedNova).expect_err("rejected");
+        assert!(matches!(err, FlError::InvalidConfig(_)));
+        assert!(!StreamingAggregator::supports(Aggregation::FedNova));
+        assert!(StreamingAggregator::supports(Aggregation::FedAvg));
+    }
+
+    #[test]
+    fn finishing_an_empty_round_aborts() {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+        let agg = StreamingAggregator::new(0, Aggregation::FedAvg).expect("fedavg");
+        let err = agg.finish(&ctx).expect_err("no uploads");
+        assert!(matches!(err, FlError::StreamingAbort(_)));
+        assert!(err.to_string().contains("streaming aggregation aborted"));
+    }
+
+    #[test]
+    fn retract_restores_the_sum_exactly() {
+        let (ctx, blobs, models) = encrypted_uploads(3, Parallelism::Auto);
+        let mut agg = StreamingAggregator::new(0, Aggregation::FedAvg).expect("fedavg");
+        for (c, blob) in blobs.iter().enumerate() {
+            let views: Vec<CtView<'_>> =
+                blob.iter().map(|b| ctx.view_serialized(b).expect("view")).collect();
+            assert!(agg.fold_upload(&ctx, c, 0, &views).expect("fold"));
+        }
+        // Retract client 1: the close must equal a batch over {0, 2}.
+        let views1: Vec<CtView<'_>> =
+            blobs[1].iter().map(|b| ctx.view_serialized(b).expect("view")).collect();
+        assert!(agg.retract_upload(&ctx, 1, &views1).expect("retract"));
+        assert!(!agg.retract_upload(&ctx, 1, &views1).expect("gone"), "double retract NACKs");
+        assert_eq!(agg.received(), 2);
+        let streamed = agg.finish(&ctx).expect("finish");
+
+        let subset = vec![models[0].clone(), models[2].clone()];
+        let batch =
+            packing::homomorphic_weighted_average(&ctx, &subset, &[0.5, 0.5]).expect("batch");
+        for (s, b) in streamed.iter().zip(&batch) {
+            assert_eq!(ctx.serialize(s), ctx.serialize(b));
+        }
+    }
+}

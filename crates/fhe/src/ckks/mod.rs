@@ -15,6 +15,7 @@
 //! * [`relin`] — ct×ct multiplication, Galois rotations, slot sums
 //! * [`threshold`] — n-out-of-n distributed keygen and decryption
 //! * [`seedexp`] — stable seeded expansion for compressed symmetric uploads
+//! * [`view`] — borrowed zero-copy views for streaming aggregation
 //!
 //! Ciphertexts are NTT-resident: fresh encryptions come out in the
 //! evaluation domain, the additive pipeline (FedAvg) stays pointwise
@@ -31,9 +32,11 @@ pub mod rns;
 mod scratch;
 pub(crate) mod seedexp;
 pub mod threshold;
+pub mod view;
 
 pub use cipher::{
     CkksCiphertext, CkksContext, CkksEncryptNoise, CkksPublicKey, CkksSecretKey, CkksSymmetricNoise,
 };
 pub use encoder::{CkksEncoder, Complex};
 pub use relin::{EvalKey, GaloisKey, RelinKey};
+pub use view::CtView;

@@ -1,0 +1,492 @@
+//! Borrowed, header-validated views over serialized ciphertexts — the
+//! zero-copy half of streaming aggregation.
+//!
+//! A [`CtView`] aliases the bytes of one wire-format ciphertext
+//! (canonical or seed-compressed) without unpacking its residue rows
+//! into an owned [`RnsPoly`]. Construction performs every structural
+//! check the owning deserializers do — level range, exact byte length
+//! against [`CkksContext::serialized_len`] /
+//! [`CkksContext::serialized_len_seeded`], finite positive scale, and
+//! the seed integrity digest — so a constructed view is guaranteed
+//! foldable: [`CkksContext::fold_view`] reads residues straight out of
+//! the receive buffer and modular-adds them into an accumulator row in
+//! place, allocating nothing and performing zero NTTs.
+//!
+//! Because a view is validated up front, the fold itself is infallible
+//! (beyond the accumulator-compatibility check), and it has an exact
+//! inverse: [`CkksContext::unfold_view`] subtracts the same residues
+//! back out mod `q`, restoring the accumulator bit for bit. Streaming
+//! servers use the pair to retract a contribution deterministically
+//! instead of restarting a round.
+//!
+//! Sum-then-scale equals scale-then-sum exactly here: the batch
+//! aggregation path computes `Σᵢ (e·xᵢ) mod q` per residue (with
+//! `e = round(w·Δ)`), the streaming path `e·(Σᵢ xᵢ) mod q` — equal by
+//! ring distributivity, and modular addition is exactly associative and
+//! commutative, so folds are arrival-order independent and the closed
+//! sum serializes to the same bytes as the batch aggregate.
+
+use rhychee_telemetry as telemetry;
+
+use crate::bitpack::{bits_for, BitReader};
+use crate::error::FheError;
+
+use super::cipher::{CkksCiphertext, CkksContext};
+use super::modarith::{add_mod, sub_mod};
+use super::rns::{Domain, RnsPoly};
+use super::seedexp;
+
+/// Which wire format a view's bytes are in. Canonical blobs carry both
+/// polynomials in the coefficient domain; seeded blobs carry an
+/// evaluation-domain `c0` plus the 32-byte expansion seed of `c1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ViewFormat {
+    Canonical,
+    Seeded([u8; 32]),
+}
+
+/// A borrowed, header-validated view over one serialized ciphertext.
+///
+/// Produced by [`CkksContext::view_serialized`] /
+/// [`CkksContext::view_serialized_seeded`]; consumed by
+/// [`CkksContext::fold_view`] (and its exact inverse
+/// [`CkksContext::unfold_view`]) without ever materializing an owned
+/// ciphertext. [`CtView::to_ciphertext`] bridges back to the owned
+/// world when a caller needs one.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct CtView<'a> {
+    bytes: &'a [u8],
+    levels: usize,
+    scale: f64,
+    format: ViewFormat,
+}
+
+impl<'a> CtView<'a> {
+    /// Active modulus levels declared in the header.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Scale Δ' declared in the header.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Whether the underlying bytes are in the seed-compressed format.
+    pub fn is_seeded(&self) -> bool {
+        matches!(self.format, ViewFormat::Seeded(_))
+    }
+
+    /// Length of the aliased wire bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The residue domain an accumulator must be in to fold this view:
+    /// canonical bytes are coefficient-domain, seeded bytes
+    /// evaluation-domain.
+    pub fn fold_domain(&self) -> Domain {
+        match self.format {
+            ViewFormat::Canonical => Domain::Coeff,
+            ViewFormat::Seeded(_) => Domain::Eval,
+        }
+    }
+
+    /// Materializes an owned ciphertext from the viewed bytes
+    /// (delegating to the owning deserializer of the matching format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FheError::Deserialize`]; unreachable in practice
+    /// since view construction already validated the bytes.
+    pub fn to_ciphertext(&self, ctx: &CkksContext) -> Result<CkksCiphertext, FheError> {
+        match self.format {
+            ViewFormat::Canonical => ctx.deserialize(self.bytes),
+            ViewFormat::Seeded(_) => ctx.deserialize_seeded(self.bytes),
+        }
+    }
+}
+
+/// Header bits shared by both formats: levels (8) + scale (64).
+const HEADER_BITS: u32 = 8 + 64;
+/// Extra seeded-format header bits: 256-bit seed + 32-bit digest.
+const SEED_BITS: u32 = 256 + 32;
+
+impl CkksContext {
+    /// Builds a borrowed view over one canonical-format ciphertext,
+    /// performing the same hardening checks as
+    /// [`CkksContext::deserialize`] without unpacking residues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Deserialize`] on an invalid level count, a
+    /// byte length that does not match [`CkksContext::serialized_len`]
+    /// for the declared levels, or an invalid scale.
+    pub fn view_serialized<'a>(&self, bytes: &'a [u8]) -> Result<CtView<'a>, FheError> {
+        let (levels, scale, _) = self.view_header(bytes, false)?;
+        Ok(CtView { bytes, levels, scale, format: ViewFormat::Canonical })
+    }
+
+    /// Builds a borrowed view over one seed-compressed ciphertext,
+    /// performing the same hardening checks as
+    /// [`CkksContext::deserialize_seeded`] — including the seed
+    /// integrity digest — without unpacking `c0` or expanding `c1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::Deserialize`] on an invalid level count, a
+    /// byte length that does not match
+    /// [`CkksContext::serialized_len_seeded`] for the declared levels,
+    /// an invalid scale, or a seed that fails its integrity digest.
+    pub fn view_serialized_seeded<'a>(&self, bytes: &'a [u8]) -> Result<CtView<'a>, FheError> {
+        let (levels, scale, seed) = self.view_header(bytes, true)?;
+        let seed = seed.expect("seeded header parse yields a seed");
+        Ok(CtView { bytes, levels, scale, format: ViewFormat::Seeded(seed) })
+    }
+
+    /// Shared header parse + validation for both formats.
+    #[allow(clippy::type_complexity)]
+    fn view_header(
+        &self,
+        bytes: &[u8],
+        seeded: bool,
+    ) -> Result<(usize, f64, Option<[u8; 32]>), FheError> {
+        let mut r = BitReader::new(bytes);
+        let levels = r.read_bits(8)? as usize;
+        if levels == 0 || levels > self.primes().len() {
+            return Err(FheError::Deserialize(format!("invalid level count {levels}")));
+        }
+        let (expected, what) = if seeded {
+            (self.serialized_len_seeded(levels), "seeded ciphertext")
+        } else {
+            (self.serialized_len(levels), "ciphertext")
+        };
+        if bytes.len() != expected {
+            return Err(FheError::Deserialize(format!(
+                "{} bytes for a {levels}-level {what}, expected {expected}",
+                bytes.len()
+            )));
+        }
+        let scale = f64::from_bits(r.read_bits(64)?);
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(FheError::Deserialize("invalid scale".into()));
+        }
+        if !seeded {
+            return Ok((levels, scale, None));
+        }
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&r.read_bits(64)?.to_le_bytes());
+        }
+        if r.read_bits(32)? as u32 != seedexp::seed_check(&seed) {
+            return Err(FheError::Deserialize("seed integrity check failed".into()));
+        }
+        Ok((levels, scale, Some(seed)))
+    }
+
+    /// An all-zero accumulator shaped to fold `view` into: the view's
+    /// levels and scale, residues in [`CtView::fold_domain`]. Folding
+    /// any number of compatible views into it accumulates their raw
+    /// (unscaled) homomorphic sum.
+    pub fn accumulator_for(&self, view: &CtView<'_>) -> CkksCiphertext {
+        let n = self.params().n;
+        let domain = view.fold_domain();
+        CkksCiphertext {
+            c0: RnsPoly::zero_in(n, view.levels, domain),
+            c1: RnsPoly::zero_in(n, view.levels, domain),
+            scale: view.scale,
+            c1_seed: None,
+        }
+    }
+
+    /// Checks that `view` can fold into `acc`: equal levels, matching
+    /// residue domain, and scales within the same relative tolerance as
+    /// [`CkksContext::add_assign`]. Callers that pre-check every view
+    /// of an upload make the subsequent folds infallible, so a partial
+    /// (accumulator-corrupting) fold can never happen.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::LevelMismatch`], [`FheError::InvalidParams`] (domain
+    /// mismatch), or [`FheError::ScaleMismatch`].
+    pub fn check_view(&self, acc: &CkksCiphertext, view: &CtView<'_>) -> Result<(), FheError> {
+        if acc.levels() != view.levels {
+            return Err(FheError::LevelMismatch { lhs: acc.levels(), rhs: view.levels });
+        }
+        if acc.c1.domain() != view.fold_domain() {
+            return Err(FheError::InvalidParams(
+                "ciphertext domain mismatch (evaluation vs coefficient)".into(),
+            ));
+        }
+        let tol = acc.scale.max(view.scale) * 1e-9;
+        if (acc.scale - view.scale).abs() > tol {
+            return Err(FheError::ScaleMismatch { lhs: acc.scale, rhs: view.scale });
+        }
+        Ok(())
+    }
+
+    /// Folds a viewed upload into the running encrypted sum:
+    /// `acc += view`, residue by residue, straight out of the wire
+    /// bytes. No owned ciphertext is built, no allocation happens, and
+    /// no transform runs — seeded `c1` rows are re-expanded into the
+    /// modular add one draw at a time. Residues are reduced `% q` on
+    /// the way in, exactly as the owning deserializers do, so folding a
+    /// corrupted canonical blob accumulates garbage rather than erroring
+    /// (the channel-noise semantics of the canonical format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkksContext::check_view`] incompatibilities; the
+    /// fold itself cannot fail on a constructed view.
+    pub fn fold_view(&self, acc: &mut CkksCiphertext, view: &CtView<'_>) -> Result<(), FheError> {
+        self.apply_view(acc, view, add_mod)
+    }
+
+    /// Exact inverse of [`CkksContext::fold_view`]: subtracts the
+    /// viewed upload back out of the accumulator mod `q`, restoring it
+    /// bit for bit. Used to retract a previously folded contribution
+    /// (e.g. a policy that un-counts a client that dropped mid-round)
+    /// without restarting the round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkksContext::check_view`] incompatibilities.
+    pub fn unfold_view(&self, acc: &mut CkksCiphertext, view: &CtView<'_>) -> Result<(), FheError> {
+        self.apply_view(acc, view, sub_mod)
+    }
+
+    fn apply_view(
+        &self,
+        acc: &mut CkksCiphertext,
+        view: &CtView<'_>,
+        op: impl Fn(u64, u64, u64) -> u64,
+    ) -> Result<(), FheError> {
+        self.check_view(acc, view)?;
+        telemetry::count("fhe.ckks.fold", 1);
+        let primes = &self.primes()[..view.levels];
+        let mut r = BitReader::new(view.bytes);
+        // Header bits were validated at view construction; the exact
+        // length check guarantees every residue read below succeeds.
+        let mut skip = match view.format {
+            ViewFormat::Canonical => HEADER_BITS,
+            ViewFormat::Seeded(_) => HEADER_BITS + SEED_BITS,
+        };
+        while skip > 0 {
+            let step = skip.min(64);
+            r.read_bits(step).expect("validated header");
+            skip -= step;
+        }
+        match view.format {
+            ViewFormat::Canonical => {
+                for poly in [&mut acc.c0, &mut acc.c1] {
+                    for (i, &q) in primes.iter().enumerate() {
+                        let bits = bits_for(q);
+                        for a in poly.residues_mut(i) {
+                            let v = r.read_bits(bits).expect("length-validated view") % q;
+                            *a = op(*a, v, q);
+                        }
+                    }
+                }
+            }
+            ViewFormat::Seeded(seed) => {
+                for (i, &q) in primes.iter().enumerate() {
+                    let bits = bits_for(q);
+                    for a in acc.c0.residues_mut(i) {
+                        let v = r.read_bits(bits).expect("length-validated view") % q;
+                        *a = op(*a, v, q);
+                    }
+                }
+                for (i, &q) in primes.iter().enumerate() {
+                    let mut stream = seedexp::SeedStream::new(&seed, i as u64);
+                    for a in acc.c1.residues_mut(i) {
+                        *a = op(*a, stream.uniform_below(q), q);
+                    }
+                }
+            }
+        }
+        acc.c1_seed = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::params::CkksParams;
+
+    use super::*;
+
+    fn ctx() -> CkksContext {
+        CkksContext::new(CkksParams::toy()).expect("params")
+    }
+
+    #[test]
+    fn canonical_view_validation_matches_deserialize() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, pk) = ctx.generate_keys(&mut rng);
+        let ct = ctx.encrypt(&pk, &[1.0, -2.0, 3.5], &mut rng).expect("encrypt");
+        let bytes = ctx.serialize(&ct);
+
+        let view = ctx.view_serialized(&bytes).expect("valid view");
+        assert_eq!(view.levels(), ct.levels());
+        assert_eq!(view.scale(), ct.scale());
+        assert!(!view.is_seeded());
+        assert_eq!(view.byte_len(), bytes.len());
+
+        // Every structural rejection of `deserialize` also rejects the view.
+        for corrupt in [
+            &bytes[..bytes.len() - 1], // truncated
+            &bytes[..0],               // empty
+        ] {
+            assert_eq!(ctx.view_serialized(corrupt).is_err(), ctx.deserialize(corrupt).is_err());
+            assert!(ctx.view_serialized(corrupt).is_err());
+        }
+        let mut oversized = bytes.clone();
+        oversized.push(0);
+        assert!(ctx.view_serialized(&oversized).is_err());
+        assert!(ctx.deserialize(&oversized).is_err());
+        let mut bad_levels = bytes.clone();
+        bad_levels[0] = 0xFF;
+        assert!(ctx.view_serialized(&bad_levels).is_err());
+        assert!(ctx.deserialize(&bad_levels).is_err());
+        let mut bad_scale = bytes.clone();
+        // Scale bits occupy bits 8..72 → bytes 1..9 hold them exactly.
+        bad_scale[1..9].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(ctx.view_serialized(&bad_scale).is_err());
+        assert!(ctx.deserialize(&bad_scale).is_err());
+    }
+
+    #[test]
+    fn seeded_view_validates_seed_digest() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (sk, _) = ctx.generate_keys(&mut rng);
+        let ct = ctx.encrypt_symmetric(&sk, &[0.25; 16], &mut rng).expect("encrypt");
+        let bytes = ctx.serialize_seeded(&ct).expect("seeded");
+
+        let view = ctx.view_serialized_seeded(&bytes).expect("valid view");
+        assert!(view.is_seeded());
+        assert_eq!(view.fold_domain(), Domain::Eval);
+
+        // A flipped seed byte must be caught, exactly as deserialize_seeded.
+        let mut flipped = bytes.clone();
+        flipped[12] ^= 0x20; // inside the 32-byte seed (bits 72..328)
+        assert!(ctx.view_serialized_seeded(&flipped).is_err());
+        assert!(ctx.deserialize_seeded(&flipped).is_err());
+        assert!(ctx.view_serialized_seeded(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn fold_equals_deserialize_and_add_bit_for_bit() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (_, pk) = ctx.generate_keys(&mut rng);
+        let blobs: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                let ct = ctx.encrypt(&pk, &[i as f64, 1.0], &mut rng).expect("encrypt");
+                ctx.serialize(&ct)
+            })
+            .collect();
+
+        // Reference: owned deserialize + add_assign in order.
+        let mut reference = ctx.deserialize(&blobs[0]).expect("deserialize");
+        for blob in &blobs[1..] {
+            let ct = ctx.deserialize(blob).expect("deserialize");
+            ctx.add_assign(&mut reference, &ct).expect("add");
+        }
+
+        // Streaming: zero accumulator + fold, in a shuffled order.
+        let view0 = ctx.view_serialized(&blobs[0]).expect("view");
+        let mut acc = ctx.accumulator_for(&view0);
+        for idx in [2usize, 0, 3, 1] {
+            let view = ctx.view_serialized(&blobs[idx]).expect("view");
+            ctx.fold_view(&mut acc, &view).expect("fold");
+        }
+        assert_eq!(ctx.serialize(&acc), ctx.serialize(&reference));
+    }
+
+    #[test]
+    fn seeded_fold_equals_deserialize_and_add_bit_for_bit() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (sk, _) = ctx.generate_keys(&mut rng);
+        let blobs: Vec<Vec<u8>> = (0..3)
+            .map(|i| {
+                let ct = ctx.encrypt_symmetric(&sk, &[0.5 * i as f64], &mut rng).expect("encrypt");
+                ctx.serialize_seeded(&ct).expect("seeded")
+            })
+            .collect();
+
+        let mut reference = ctx.deserialize_seeded(&blobs[0]).expect("deserialize");
+        for blob in &blobs[1..] {
+            let ct = ctx.deserialize_seeded(blob).expect("deserialize");
+            ctx.add_assign(&mut reference, &ct).expect("add");
+        }
+
+        let view0 = ctx.view_serialized_seeded(&blobs[0]).expect("view");
+        let mut acc = ctx.accumulator_for(&view0);
+        for blob in blobs.iter().rev() {
+            let view = ctx.view_serialized_seeded(blob).expect("view");
+            ctx.fold_view(&mut acc, &view).expect("fold");
+        }
+        // Both sums are eval-domain; serialize INTTs both identically.
+        assert_eq!(ctx.serialize(&acc), ctx.serialize(&reference));
+    }
+
+    #[test]
+    fn unfold_restores_accumulator_exactly() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(13);
+        let (_, pk) = ctx.generate_keys(&mut rng);
+        let a = ctx.serialize(&ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt"));
+        let b = ctx.serialize(&ctx.encrypt(&pk, &[2.0], &mut rng).expect("encrypt"));
+
+        let va = ctx.view_serialized(&a).expect("view");
+        let vb = ctx.view_serialized(&b).expect("view");
+        let mut acc = ctx.accumulator_for(&va);
+        ctx.fold_view(&mut acc, &va).expect("fold");
+        let snapshot = ctx.serialize(&acc);
+        ctx.fold_view(&mut acc, &vb).expect("fold");
+        ctx.unfold_view(&mut acc, &vb).expect("unfold");
+        assert_eq!(ctx.serialize(&acc), snapshot);
+    }
+
+    #[test]
+    fn fold_rejects_incompatible_accumulator() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(17);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let canonical = ctx.serialize(&ctx.encrypt(&pk, &[1.0], &mut rng).expect("encrypt"));
+        let seeded_ct = ctx.encrypt_symmetric(&sk, &[1.0], &mut rng).expect("encrypt");
+        let seeded = ctx.serialize_seeded(&seeded_ct).expect("seeded");
+
+        let vc = ctx.view_serialized(&canonical).expect("view");
+        let vs = ctx.view_serialized_seeded(&seeded).expect("view");
+        // Coeff-domain accumulator cannot fold an eval-domain seeded view.
+        let mut acc = ctx.accumulator_for(&vc);
+        assert!(matches!(ctx.fold_view(&mut acc, &vs), Err(FheError::InvalidParams(_))));
+        // And the accumulator is untouched by the rejected fold.
+        assert_eq!(ctx.serialize(&acc), ctx.serialize(&ctx.accumulator_for(&vc)));
+    }
+
+    #[test]
+    fn to_ciphertext_matches_owned_deserialize() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(19);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let canonical = ctx.serialize(&ctx.encrypt(&pk, &[3.0], &mut rng).expect("encrypt"));
+        let view = ctx.view_serialized(&canonical).expect("view");
+        let owned = view.to_ciphertext(&ctx).expect("materialize");
+        assert_eq!(ctx.serialize(&owned), canonical);
+
+        let seeded_ct = ctx.encrypt_symmetric(&sk, &[4.0], &mut rng).expect("encrypt");
+        let seeded = ctx.serialize_seeded(&seeded_ct).expect("seeded");
+        let view = ctx.view_serialized_seeded(&seeded).expect("view");
+        let owned = view.to_ciphertext(&ctx).expect("materialize");
+        assert_eq!(ctx.serialize_seeded(&owned).expect("re-seeded"), seeded);
+    }
+}

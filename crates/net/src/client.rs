@@ -10,6 +10,7 @@
 //! [`FlServer`]: crate::server::FlServer
 
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -21,7 +22,7 @@ use rhychee_fhe::params::CkksParams;
 use rhychee_hdc::model::{EncodedDataset, HdcModel};
 use rhychee_telemetry as telemetry;
 
-use crate::codec;
+use crate::codec::{self, CanonicalCodec, SeededCodec, WireCodec};
 use crate::error::NetError;
 use crate::wire::{self, Message, DEFAULT_MAX_PAYLOAD};
 
@@ -31,14 +32,16 @@ pub enum ClientPipeline {
     /// Plaintext `f32` parameters.
     Plaintext,
     /// Packed CKKS ciphertexts under the shared key derived from the
-    /// run seed.
+    /// run seed, in the wire format of [`ClientConfig::codec`]
+    /// (canonical by default; [`SeededCodec`] selects symmetric
+    /// encryption with seed-compressed uploads).
     Ckks(CkksParams),
-    /// Like [`ClientPipeline::Ckks`], but uploads are encrypted
-    /// symmetrically under the shared secret key and shipped in the
-    /// seed-compressed wire format (a 32-byte seed replaces the full
-    /// `c1` polynomial), roughly halving upload bytes. Downloads stay
-    /// canonical: the aggregate is no longer a fresh encryption, so it
-    /// cannot be seed-compressed.
+    /// Like [`ClientPipeline::Ckks`], but forcing the seed-compressed
+    /// wire format regardless of the configured codec.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Ckks` with `ClientConfig::codec` set to `SeededCodec` instead"
+    )]
     CkksSeeded(CkksParams),
 }
 
@@ -60,11 +63,17 @@ pub struct ClientConfig {
     pub backoff: Duration,
     /// Frame payload cap in bytes.
     pub max_payload: u32,
+    /// CKKS wire codec for uploads (default [`CanonicalCodec`]; must
+    /// match the server's configured codec). A [`SeededCodec`] client
+    /// encrypts uploads symmetrically so each ciphertext carries the
+    /// expansion seed the format transmits in place of `c1`; downloads
+    /// stay canonical, since the aggregate is not a fresh encryption.
+    pub codec: Arc<dyn WireCodec>,
 }
 
 impl ClientConfig {
     /// Loopback defaults: 5 s I/O, 60 s round window, 4 connect and 3
-    /// upload attempts with 50 ms base backoff.
+    /// upload attempts with 50 ms base backoff, canonical wire codec.
     pub fn new(addr: SocketAddr) -> Self {
         ClientConfig {
             addr,
@@ -74,6 +83,7 @@ impl ClientConfig {
             upload_attempts: 3,
             backoff: Duration::from_millis(50),
             max_payload: DEFAULT_MAX_PAYLOAD,
+            codec: Arc::new(CanonicalCodec),
         }
     }
 }
@@ -115,8 +125,9 @@ struct CkksSide {
     ctx: CkksContext,
     sk: CkksSecretKey,
     pk: CkksPublicKey,
-    /// Upload symmetric seeded ciphertexts instead of public-key ones.
-    seeded: bool,
+    /// Wire format for uploads; a symmetric codec switches encryption
+    /// to the secret key so ciphertexts carry expansion seeds.
+    codec: Arc<dyn WireCodec>,
 }
 
 /// A blocking-I/O TCP federated client.
@@ -147,13 +158,20 @@ impl FlClient {
         eval: Option<EncodedDataset>,
         pipeline: ClientPipeline,
     ) -> Result<Self, NetError> {
-        let seeded = matches!(pipeline, ClientPipeline::CkksSeeded(_));
-        let ckks = match pipeline {
-            ClientPipeline::Plaintext => None,
-            ClientPipeline::Ckks(params) | ClientPipeline::CkksSeeded(params) => {
+        // The deprecated seeded pipeline variant forces its codec so
+        // pre-redesign callers keep their wire format unchanged.
+        #[allow(deprecated)]
+        let (params, wire_codec): (Option<CkksParams>, Arc<dyn WireCodec>) = match pipeline {
+            ClientPipeline::Plaintext => (None, Arc::clone(&config.codec)),
+            ClientPipeline::Ckks(params) => (Some(params), Arc::clone(&config.codec)),
+            ClientPipeline::CkksSeeded(params) => (Some(params), Arc::new(SeededCodec)),
+        };
+        let ckks = match params {
+            None => None,
+            Some(params) => {
                 let ctx = CkksContext::with_parallelism(params, fl.parallelism)?;
                 let (sk, pk) = round::derive_ckks_keys(&ctx, fl.seed);
-                Some(CkksSide { ctx, sk, pk, seeded })
+                Some(CkksSide { ctx, sk, pk, codec: wire_codec })
             }
         };
         Ok(FlClient { config, fl, local, eval, ckks, classes })
@@ -256,16 +274,15 @@ impl FlClient {
             let espan = telemetry::span("encrypt");
             let payload = match &self.ckks {
                 None => Ok(codec::encode_plain(&flat)),
-                Some(side) if side.seeded => self
-                    .local
-                    .encrypt_update_symmetric(&side.ctx, &side.sk, &flat)
-                    .map_err(NetError::from)
-                    .and_then(|cts| codec::encode_ckks_seeded(&side.ctx, &cts)),
-                Some(side) => self
-                    .local
-                    .encrypt_update(&side.ctx, &side.pk, &flat)
-                    .map(|cts| codec::encode_ckks(&side.ctx, &cts))
-                    .map_err(NetError::from),
+                Some(side) => {
+                    let cts = if side.codec.symmetric() {
+                        self.local.encrypt_update_symmetric(&side.ctx, &side.sk, &flat)
+                    } else {
+                        self.local.encrypt_update(&side.ctx, &side.pk, &flat)
+                    };
+                    cts.map_err(NetError::from)
+                        .and_then(|cts| side.codec.encode_upload(&side.ctx, &cts))
+                }
             };
             let encrypt_time = espan.finish();
             telemetry::observe_duration("fl.phase.encrypt.ns", encrypt_time);

@@ -15,13 +15,34 @@
 //! `rhychee-fhe`) reject length mismatches, so a malformed payload
 //! costs at most one bounded allocation.
 //!
+//! The two ciphertext wire formats are unified behind the sealed
+//! [`WireCodec`] trait — [`CanonicalCodec`] (tag 1) and [`SeededCodec`]
+//! (tag 3) — selected via
+//! [`ServerConfigBuilder::codec`](crate::server::ServerConfigBuilder::codec)
+//! and [`ClientConfig::codec`](crate::client::ClientConfig::codec).
+//! Each codec offers both an owning decode ([`WireCodec::decode_upload`],
+//! the batch reference path) and a borrowing parse
+//! ([`WireCodec::parse_upload`], the streaming path): the latter returns
+//! a [`ModelView`] of zero-copy [`CtView`]s over the payload bytes,
+//! validated with the exact same count/length caps, which the server
+//! folds straight into its running encrypted sum.
+//!
 //! [`Message::Global`]: crate::wire::Message::Global
 //! [`Message::Update`]: crate::wire::Message::Update
 
-use rhychee_fhe::ckks::{CkksCiphertext, CkksContext};
+use std::fmt;
+
+use rhychee_fhe::ckks::{CkksCiphertext, CkksContext, CtView};
 use rhychee_fhe::lwe::{LweCiphertext, LweContext};
 
 use crate::error::NetError;
+
+mod sealed {
+    /// Seals [`WireCodec`](super::WireCodec): the codec set is fixed by
+    /// the wire protocol's tag space, so downstream crates select a
+    /// codec rather than implement one.
+    pub trait Sealed {}
+}
 
 /// Payload tag for plaintext `f32` parameters.
 pub const TAG_PLAIN: u8 = 0;
@@ -206,6 +227,263 @@ pub fn decode_ckks_seeded(
     Ok(cts)
 }
 
+/// A borrowed, validated view of one upload's ciphertexts — the
+/// streaming counterpart of the `Vec<CkksCiphertext>` that
+/// [`decode_ckks`] / [`decode_ckks_seeded`] return. Holds one zero-copy
+/// [`CtView`] per model chunk over the payload bytes; nothing is
+/// deserialized until the views are folded into an accumulator.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub struct ModelView<'a> {
+    views: Vec<CtView<'a>>,
+}
+
+impl<'a> ModelView<'a> {
+    /// One view per packed model chunk, in chunk order.
+    pub fn views(&self) -> &[CtView<'a>] {
+        &self.views
+    }
+
+    /// Number of ciphertext chunks in the upload.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when the payload declared zero ciphertexts.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+/// Parses at most `max_cts` packed CKKS ciphertexts into zero-copy
+/// views — the borrowing counterpart of [`decode_ckks`], with the same
+/// count and per-ciphertext length caps and the same structural
+/// validation (every view is header-checked on construction).
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on structural errors and
+/// [`NetError::Fhe`] when a ciphertext fails
+/// [`CkksContext::view_serialized`] validation.
+pub fn parse_ckks_views<'a>(
+    ctx: &CkksContext,
+    bytes: &'a [u8],
+    max_cts: usize,
+) -> Result<ModelView<'a>, NetError> {
+    expect_tag(bytes, TAG_CKKS, "CKKS")?;
+    let mut at = 1;
+    let count = take_u32(bytes, &mut at)? as usize;
+    if count > max_cts {
+        return Err(NetError::Protocol(format!(
+            "CKKS payload declares {count} ciphertexts, cap is {max_cts}"
+        )));
+    }
+    let max_ct_len = ctx.serialized_len(ctx.primes().len());
+    let mut views = Vec::with_capacity(count);
+    for i in 0..count {
+        let len = take_u32(bytes, &mut at)? as usize;
+        if len > max_ct_len {
+            return Err(NetError::Protocol(format!(
+                "ciphertext {i} declares {len} bytes, max is {max_ct_len}"
+            )));
+        }
+        views.push(ctx.view_serialized(take(bytes, &mut at, len)?)?);
+    }
+    check_done(bytes, at)?;
+    Ok(ModelView { views })
+}
+
+/// Parses at most `max_cts` seed-compressed CKKS ciphertexts into
+/// zero-copy views — the borrowing counterpart of
+/// [`decode_ckks_seeded`], including the seed integrity check.
+///
+/// # Errors
+///
+/// Returns [`NetError::Protocol`] on structural errors and
+/// [`NetError::Fhe`] when a ciphertext fails
+/// [`CkksContext::view_serialized_seeded`] validation (truncation,
+/// oversizing, bad levels, or a corrupted seed).
+pub fn parse_ckks_seeded_views<'a>(
+    ctx: &CkksContext,
+    bytes: &'a [u8],
+    max_cts: usize,
+) -> Result<ModelView<'a>, NetError> {
+    expect_tag(bytes, TAG_CKKS_SEEDED, "seeded CKKS")?;
+    let mut at = 1;
+    let count = take_u32(bytes, &mut at)? as usize;
+    if count > max_cts {
+        return Err(NetError::Protocol(format!(
+            "seeded CKKS payload declares {count} ciphertexts, cap is {max_cts}"
+        )));
+    }
+    let max_ct_len = ctx.serialized_len_seeded(ctx.primes().len());
+    let mut views = Vec::with_capacity(count);
+    for i in 0..count {
+        let len = take_u32(bytes, &mut at)? as usize;
+        if len > max_ct_len {
+            return Err(NetError::Protocol(format!(
+                "seeded ciphertext {i} declares {len} bytes, max is {max_ct_len}"
+            )));
+        }
+        views.push(ctx.view_serialized_seeded(take(bytes, &mut at, len)?)?);
+    }
+    check_done(bytes, at)?;
+    Ok(ModelView { views })
+}
+
+/// One CKKS wire format, as selected per endpoint: how uploads are
+/// encoded by clients and decoded — or zero-copy parsed — by the
+/// server, and how the client-side encryption must produce them.
+///
+/// Sealed: the implementations are exactly [`CanonicalCodec`] and
+/// [`SeededCodec`], matching the wire protocol's tag space. Select one
+/// with [`ServerConfigBuilder::codec`] / [`ClientConfig::codec`]; both
+/// endpoints of a federation must agree.
+///
+/// [`ServerConfigBuilder::codec`]: crate::server::ServerConfigBuilder::codec
+/// [`ClientConfig::codec`]: crate::client::ClientConfig
+pub trait WireCodec: sealed::Sealed + Send + Sync + fmt::Debug {
+    /// Stable short name (`"canonical"` / `"seeded"`), for logs.
+    fn name(&self) -> &'static str;
+
+    /// Whether clients must encrypt uploads symmetrically: only fresh
+    /// symmetric encryptions carry the expansion seed the seeded wire
+    /// format transmits in place of `c1`.
+    fn symmetric(&self) -> bool;
+
+    /// Encodes one upload's ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Fhe`] when a ciphertext cannot be expressed
+    /// in this wire format (e.g. a seedless ciphertext under
+    /// [`SeededCodec`]).
+    fn encode_upload(&self, ctx: &CkksContext, cts: &[CkksCiphertext])
+        -> Result<Vec<u8>, NetError>;
+
+    /// Decodes an upload into owned ciphertexts — the batch reference
+    /// path, kept selectable alongside streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Protocol`] on structural errors and
+    /// [`NetError::Fhe`] on ciphertext-level validation failures.
+    fn decode_upload(
+        &self,
+        ctx: &CkksContext,
+        bytes: &[u8],
+        max_cts: usize,
+    ) -> Result<Vec<CkksCiphertext>, NetError>;
+
+    /// Parses an upload into zero-copy views for streaming aggregation,
+    /// applying the same caps and validation as
+    /// [`WireCodec::decode_upload`] without materializing ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Protocol`] on structural errors and
+    /// [`NetError::Fhe`] on view validation failures.
+    fn parse_upload<'a>(
+        &self,
+        ctx: &CkksContext,
+        bytes: &'a [u8],
+        max_cts: usize,
+    ) -> Result<ModelView<'a>, NetError>;
+
+    /// Encodes a server→client broadcast. Always canonical: aggregates
+    /// are not fresh encryptions, so they carry no expansion seed.
+    fn encode_broadcast(&self, ctx: &CkksContext, cts: &[CkksCiphertext]) -> Vec<u8> {
+        encode_ckks(ctx, cts)
+    }
+}
+
+/// The canonical CKKS wire format (tag 1): full `(c0, c1)` bytes,
+/// public-key client encryption. The default codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CanonicalCodec;
+
+impl sealed::Sealed for CanonicalCodec {}
+
+impl WireCodec for CanonicalCodec {
+    fn name(&self) -> &'static str {
+        "canonical"
+    }
+
+    fn symmetric(&self) -> bool {
+        false
+    }
+
+    fn encode_upload(
+        &self,
+        ctx: &CkksContext,
+        cts: &[CkksCiphertext],
+    ) -> Result<Vec<u8>, NetError> {
+        Ok(encode_ckks(ctx, cts))
+    }
+
+    fn decode_upload(
+        &self,
+        ctx: &CkksContext,
+        bytes: &[u8],
+        max_cts: usize,
+    ) -> Result<Vec<CkksCiphertext>, NetError> {
+        decode_ckks(ctx, bytes, max_cts)
+    }
+
+    fn parse_upload<'a>(
+        &self,
+        ctx: &CkksContext,
+        bytes: &'a [u8],
+        max_cts: usize,
+    ) -> Result<ModelView<'a>, NetError> {
+        parse_ckks_views(ctx, bytes, max_cts)
+    }
+}
+
+/// The seed-compressed CKKS wire format (tag 3): symmetric fresh
+/// encryptions whose `c1` travels as a 32-byte expansion seed, roughly
+/// halving upload bytes. Broadcasts stay canonical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeededCodec;
+
+impl sealed::Sealed for SeededCodec {}
+
+impl WireCodec for SeededCodec {
+    fn name(&self) -> &'static str {
+        "seeded"
+    }
+
+    fn symmetric(&self) -> bool {
+        true
+    }
+
+    fn encode_upload(
+        &self,
+        ctx: &CkksContext,
+        cts: &[CkksCiphertext],
+    ) -> Result<Vec<u8>, NetError> {
+        encode_ckks_seeded(ctx, cts)
+    }
+
+    fn decode_upload(
+        &self,
+        ctx: &CkksContext,
+        bytes: &[u8],
+        max_cts: usize,
+    ) -> Result<Vec<CkksCiphertext>, NetError> {
+        decode_ckks_seeded(ctx, bytes, max_cts)
+    }
+
+    fn parse_upload<'a>(
+        &self,
+        ctx: &CkksContext,
+        bytes: &'a [u8],
+        max_cts: usize,
+    ) -> Result<ModelView<'a>, NetError> {
+        parse_ckks_seeded_views(ctx, bytes, max_cts)
+    }
+}
+
 /// Encodes per-parameter LWE ciphertexts plus their shared quantization
 /// scale under the given context.
 pub fn encode_lwe(ctx: &LweContext, scale: f64, cts: &[LweCiphertext]) -> Vec<u8> {
@@ -342,6 +620,55 @@ mod tests {
         assert!(decode_lwe(&ctx, &bytes, 4).is_err(), "count above cap");
         let bad = encode_lwe(&ctx, f64::NAN, &cts);
         assert!(decode_lwe(&ctx, &bad, 5).is_err(), "NaN scale");
+    }
+
+    #[test]
+    fn parsed_views_match_owned_decode_for_both_codecs() {
+        let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+        let mut rng = StdRng::seed_from_u64(21);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let values = vec![0.25; 64];
+        for codec in [&CanonicalCodec as &dyn WireCodec, &SeededCodec as &dyn WireCodec] {
+            let cts: Vec<CkksCiphertext> = (0..2)
+                .map(|_| {
+                    if codec.symmetric() {
+                        ctx.encrypt_symmetric(&sk, &values, &mut rng).expect("encrypt")
+                    } else {
+                        ctx.encrypt(&pk, &values, &mut rng).expect("encrypt")
+                    }
+                })
+                .collect();
+            let bytes = codec.encode_upload(&ctx, &cts).expect("encode");
+            let owned = codec.decode_upload(&ctx, &bytes, 2).expect("decode");
+            let parsed = codec.parse_upload(&ctx, &bytes, 2).expect("parse");
+            assert_eq!(parsed.len(), 2, "{}", codec.name());
+            assert!(!parsed.is_empty());
+            // A materialized view is the same ciphertext the owned
+            // decoder produces, byte for byte after re-serialization.
+            for (v, ct) in parsed.views().iter().zip(&owned) {
+                let via_view = v.to_ciphertext(&ctx).expect("materialize");
+                assert_eq!(ctx.serialize(&via_view), ctx.serialize(ct), "{}", codec.name());
+            }
+            // Parse enforces the same caps and structure as decode.
+            assert!(codec.parse_upload(&ctx, &bytes, 1).is_err(), "count above cap");
+            assert!(codec.parse_upload(&ctx, &bytes[..bytes.len() / 2], 2).is_err(), "truncated");
+            let mut bad = bytes.clone();
+            bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+            assert!(codec.parse_upload(&ctx, &bad, 2).is_err(), "oversized declared length");
+            // Wrong tag for this codec's parser.
+            let other = if codec.symmetric() {
+                encode_ckks(&ctx, &cts)
+            } else {
+                vec![TAG_CKKS_SEEDED, 0, 0, 0, 0]
+            };
+            assert!(codec.parse_upload(&ctx, &other, 2).is_err(), "tag mismatch");
+        }
+        // Broadcasts are canonical under either codec.
+        let ct = ctx.encrypt(&pk, &values, &mut rng).expect("encrypt");
+        let broadcast = SeededCodec.encode_broadcast(&ctx, std::slice::from_ref(&ct));
+        assert_eq!(broadcast.first(), Some(&TAG_CKKS));
+        // A seedless (public-key) ciphertext cannot ride the seeded codec.
+        assert!(SeededCodec.encode_upload(&ctx, std::slice::from_ref(&ct)).is_err());
     }
 
     #[test]

@@ -40,6 +40,15 @@ pub enum NetError {
         /// Minimum updates required.
         quorum: usize,
     },
+    /// The server's streaming aggregation broke an invariant mid-round
+    /// and abandoned the fold — distinct from a per-upload NACK, which
+    /// rejects one upload and leaves the round running.
+    StreamingAbort {
+        /// The round whose streamed sum can no longer be trusted.
+        round: usize,
+        /// What went wrong.
+        reason: String,
+    },
     /// An FHE operation (ciphertext codec, aggregation) failed.
     Fhe(FheError),
     /// A framework-level operation (training setup, aggregation) failed.
@@ -61,6 +70,9 @@ impl fmt::Display for NetError {
                 f,
                 "round {round}: only {received} update(s) before the deadline (quorum {quorum})"
             ),
+            NetError::StreamingAbort { round, reason } => {
+                write!(f, "round {round}: streaming aggregation aborted: {reason}")
+            }
             NetError::Fhe(e) => write!(f, "FHE failure: {e}"),
             NetError::Fl(e) => write!(f, "framework failure: {e}"),
         }

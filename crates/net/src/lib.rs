@@ -9,9 +9,14 @@
 //! Layers:
 //!
 //! * [`wire`] — length-prefixed, versioned, CRC-guarded binary frames
-//! * [`codec`] — model payload encoding (plaintext / CKKS / LWE)
+//! * [`codec`] — model payload encoding (plaintext / CKKS / LWE); the
+//!   sealed [`WireCodec`] trait selects the CKKS wire format
+//!   ([`CanonicalCodec`] / [`SeededCodec`]) and offers both owning
+//!   decode and zero-copy [`ModelView`] parsing
 //! * [`server`] — [`FlServer`]: thread-per-connection collection with
-//!   quorum-based straggler tolerance
+//!   quorum-based straggler tolerance; under CKKS, uploads stream into
+//!   the running encrypted sum as frames arrive (O(1) server memory in
+//!   client count, bit-identical to the batch reference path)
 //! * [`client`] — [`FlClient`]: connect/upload with bounded retry and
 //!   local decryption of each global model
 //! * [`error`] — [`NetError`]
@@ -69,6 +74,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientPipeline, ClientReport, FlClient};
+pub use codec::{CanonicalCodec, ModelView, SeededCodec, WireCodec};
 pub use error::NetError;
 pub use server::{
     FlServer, NetRoundReport, ServerConfig, ServerConfigBuilder, ServerPipeline, ServerReport,

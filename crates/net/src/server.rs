@@ -20,25 +20,42 @@
 //! fails with [`NetError::QuorumNotReached`] otherwise. Uploads for any
 //! other round (and duplicates) are NACKed with `UpdateAck { accepted:
 //! false }` and never touch the aggregate.
+//!
+//! Streaming aggregation (the default under CKKS): instead of each
+//! handler deserializing its upload and the coordinator collecting all
+//! of them until quorum, handlers ship the raw payload bytes and the
+//! coordinator folds each upload into the running encrypted sum the
+//! moment its frame arrives, zero-copy through
+//! [`WireCodec::parse_upload`] and [`StreamingAggregator`]. Handler
+//! reads gate on a resident-upload permit
+//! ([`ServerConfigBuilder::max_resident_uploads`]) released right after
+//! the fold, so server memory is O(accumulator + permits), independent
+//! of client count — late clients wait in TCP backpressure, not in
+//! server buffers. The streamed sum is **bit-identical** to the batch
+//! path for every arrival order; rules whose weights are unknown until
+//! close ([`Aggregation::FedNova`]) and the plaintext pipeline (float
+//! addition is not associative) fall back to batch automatically, and
+//! [`ServerConfigBuilder::streaming_aggregation`]`(false)` selects the
+//! batch reference path explicitly.
 
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use rhychee_core::packing;
 use rhychee_core::round::{ClientUpdate, ServerRound};
-use rhychee_core::{Aggregation, Parallelism};
+use rhychee_core::{Aggregation, FlError, Parallelism, StreamingAggregator};
 use rhychee_fhe::ckks::{CkksCiphertext, CkksContext};
 use rhychee_fhe::params::CkksParams;
 use rhychee_obs::{ObsHandle, ObsServer};
 use rhychee_telemetry as telemetry;
 
-use crate::codec;
+use crate::codec::{self, CanonicalCodec, SeededCodec, WireCodec};
 use crate::error::NetError;
 use crate::wire::{self, Message, TraceContext, DEFAULT_MAX_PAYLOAD};
 
@@ -49,12 +66,15 @@ pub enum ServerPipeline {
     /// Packed CKKS ciphertexts, homomorphic FedAvg. The server builds
     /// only the evaluation context from these parameters — key
     /// generation happens client-side and no key ever reaches here.
+    /// The wire format is the config's [`WireCodec`]
+    /// ([`ServerConfigBuilder::codec`]; canonical by default).
     Ckks(CkksParams),
-    /// Like [`ServerPipeline::Ckks`], but uploads arrive in the
-    /// seed-compressed wire format (symmetric fresh encryptions whose
-    /// `c1` is re-expanded from a 32-byte seed), roughly halving upload
-    /// bytes. Only the seeded tag is accepted for uploads; broadcasts
-    /// stay canonical since aggregates are not fresh encryptions.
+    /// Like [`ServerPipeline::Ckks`], but forcing the seed-compressed
+    /// wire format regardless of the configured codec.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Ckks` with `ServerConfig::builder().codec(SeededCodec)` instead"
+    )]
     CkksSeeded(CkksParams),
 }
 
@@ -92,6 +112,9 @@ pub struct ServerConfig {
     parallelism: Parallelism,
     obs_addr: Option<String>,
     allow_rejoin: bool,
+    codec: Arc<dyn WireCodec>,
+    streaming: bool,
+    max_resident_uploads: usize,
 }
 
 impl ServerConfig {
@@ -161,6 +184,23 @@ impl ServerConfig {
         self.allow_rejoin
     }
 
+    /// The CKKS wire codec uploads are expected in.
+    pub fn codec(&self) -> &dyn WireCodec {
+        self.codec.as_ref()
+    }
+
+    /// Whether eligible CKKS rounds fold uploads as frames arrive
+    /// instead of collecting them all and batch-aggregating.
+    pub fn streaming_aggregation(&self) -> bool {
+        self.streaming
+    }
+
+    /// How many undecoded uploads may be resident in server memory at
+    /// once under streaming aggregation.
+    pub fn max_resident_uploads(&self) -> usize {
+        self.max_resident_uploads
+    }
+
     fn validate(&self) -> Result<(), NetError> {
         if self.clients == 0 || self.rounds == 0 || self.model_params == 0 {
             return Err(NetError::Protocol(
@@ -172,6 +212,9 @@ impl ServerConfig {
                 "quorum {} must be in 1..={}",
                 self.quorum, self.clients
             )));
+        }
+        if self.max_resident_uploads == 0 {
+            return Err(NetError::Protocol("max_resident_uploads must be positive".into()));
         }
         Ok(())
     }
@@ -192,6 +235,9 @@ pub struct ServerConfigBuilder {
     parallelism: Parallelism,
     obs_addr: Option<String>,
     allow_rejoin: bool,
+    codec: Arc<dyn WireCodec>,
+    streaming: bool,
+    max_resident_uploads: usize,
 }
 
 impl Default for ServerConfigBuilder {
@@ -209,6 +255,9 @@ impl Default for ServerConfigBuilder {
             parallelism: Parallelism::Auto,
             obs_addr: None,
             allow_rejoin: false,
+            codec: Arc::new(CanonicalCodec),
+            streaming: true,
+            max_resident_uploads: 4,
         }
     }
 }
@@ -298,13 +347,46 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Selects the CKKS wire codec uploads must arrive in (default
+    /// [`CanonicalCodec`]). Both endpoints of a federation must agree;
+    /// clients set the matching codec on
+    /// [`ClientConfig::codec`](crate::client::ClientConfig).
+    pub fn codec<C: WireCodec + 'static>(mut self, codec: C) -> Self {
+        self.codec = Arc::new(codec);
+        self
+    }
+
+    /// Toggles streaming aggregation (default: on). When on, eligible
+    /// CKKS rounds fold each upload into the running encrypted sum as
+    /// its frame arrives — bit-identical to batch, O(1) server memory
+    /// in client count. Pass `false` to force the batch reference path
+    /// (collect all uploads, then aggregate), mirroring how
+    /// `set_eval_resident(false)` selects the reference NTT policy.
+    /// Plaintext pipelines and [`Aggregation::FedNova`] always use the
+    /// batch path regardless.
+    pub fn streaming_aggregation(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Bounds how many undecoded uploads may be resident in server
+    /// memory at once under streaming aggregation (default 4, must be
+    /// positive). Handlers block before *reading* an update frame until
+    /// a slot frees, so excess uploads wait in TCP backpressure rather
+    /// than server buffers; a straggler holding a slot is bounded by
+    /// the round deadline (its read times out and the slot frees).
+    pub fn max_resident_uploads(mut self, max_resident_uploads: usize) -> Self {
+        self.max_resident_uploads = max_resident_uploads;
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::Protocol`] when `clients`, `rounds`, or
-    /// `model_params` are unset/zero, or `quorum` is outside
-    /// `1..=clients`.
+    /// `model_params` are unset/zero, `quorum` is outside
+    /// `1..=clients`, or `max_resident_uploads` is zero.
     pub fn build(self) -> Result<ServerConfig, NetError> {
         let config = ServerConfig {
             clients: self.clients,
@@ -319,6 +401,9 @@ impl ServerConfigBuilder {
             parallelism: self.parallelism,
             obs_addr: self.obs_addr,
             allow_rejoin: self.allow_rejoin,
+            codec: self.codec,
+            streaming: self.streaming,
+            max_resident_uploads: self.max_resident_uploads,
         };
         config.validate()?;
         Ok(config)
@@ -376,12 +461,72 @@ enum HandlerCmd {
     Ack { round: usize, accepted: bool },
 }
 
-/// An upload deserialized on the handler thread that received it.
+/// An upload deserialized on the handler thread that received it — or,
+/// under streaming aggregation, shipped raw for the coordinator to fold
+/// zero-copy.
 enum DecodedModel {
     Plain(Vec<f32>),
     Ckks(Vec<CkksCiphertext>),
+    /// Streaming path: the raw payload bytes, not yet parsed. The
+    /// permit is this upload's resident-memory slot; dropping the event
+    /// (right after the fold, or when a stale round's upload is NACKed)
+    /// releases it and unblocks the next handler's read.
+    Raw {
+        payload: Vec<u8>,
+        _permit: ResidencyPermit,
+    },
     /// Undecodable or wrong-sized payload; the coordinator NACKs it.
     Invalid,
+}
+
+/// Counting semaphore bounding how many raw uploads are resident at
+/// once (see [`ServerConfigBuilder::max_resident_uploads`]). Handlers
+/// acquire a permit *before* reading their update frame, so the bytes
+/// of excess uploads stay in the kernel's TCP buffers — backpressure —
+/// rather than in process memory. Tracks the high-water mark for the
+/// `net.agg.peak_resident_uploads` gauge.
+struct Residency {
+    cap: usize,
+    /// `(held, peak)` resident-permit counts.
+    state: Mutex<(usize, usize)>,
+    freed: Condvar,
+}
+
+impl Residency {
+    fn new(cap: usize) -> Arc<Residency> {
+        Arc::new(Residency { cap, state: Mutex::new((0, 0)), freed: Condvar::new() })
+    }
+
+    /// Blocks until a slot frees, then claims it.
+    fn acquire(self: &Arc<Residency>) -> ResidencyPermit {
+        let mut state = self.state.lock().expect("residency state");
+        while state.0 >= self.cap {
+            state = self.freed.wait(state).expect("residency state");
+        }
+        state.0 += 1;
+        state.1 = state.1.max(state.0);
+        ResidencyPermit { residency: Arc::clone(self) }
+    }
+
+    /// High-water mark of concurrently resident uploads so far.
+    fn peak(&self) -> usize {
+        self.state.lock().expect("residency state").1
+    }
+}
+
+/// RAII slot from [`Residency::acquire`]; travels with the raw payload
+/// and frees the slot when the payload is dropped.
+struct ResidencyPermit {
+    residency: Arc<Residency>,
+}
+
+impl Drop for ResidencyPermit {
+    fn drop(&mut self) {
+        let mut state = self.residency.state.lock().expect("residency state");
+        state.0 -= 1;
+        drop(state);
+        self.residency.freed.notify_one();
+    }
 }
 
 /// Handler → coordinator events.
@@ -407,7 +552,7 @@ enum ServerEvent {
 /// How a handler thread deserializes the uploads it reads.
 enum DecodeKind {
     Plain { model_params: usize },
-    Ckks { ctx: Arc<CkksContext>, max_cts: usize, seeded: bool },
+    Ckks { ctx: Arc<CkksContext>, max_cts: usize, codec: Arc<dyn WireCodec> },
 }
 
 /// State shared by every handler thread.
@@ -417,6 +562,9 @@ struct HandlerShared {
     bytes_tx: AtomicU64,
     bytes_rx: AtomicU64,
     decode: DecodeKind,
+    /// Set when streaming aggregation is active: handlers skip decoding
+    /// and ship raw payloads, each holding one resident-upload permit.
+    residency: Option<Arc<Residency>>,
 }
 
 impl HandlerShared {
@@ -426,17 +574,12 @@ impl HandlerShared {
                 Ok(p) if p.len() == *model_params => DecodedModel::Plain(p),
                 _ => DecodedModel::Invalid,
             },
-            // A seeded pipeline accepts *only* the seeded tag (and vice
-            // versa): mixing evaluation-domain seeded uploads with
-            // coefficient-domain canonical ones in a single aggregate
-            // would trip the ciphertext domain check downstream.
-            DecodeKind::Ckks { ctx, max_cts, seeded } => {
-                let decoded = if *seeded {
-                    codec::decode_ckks_seeded(ctx, model, *max_cts)
-                } else {
-                    codec::decode_ckks(ctx, model, *max_cts)
-                };
-                match decoded {
+            // A codec accepts *only* its own tag: mixing
+            // evaluation-domain seeded uploads with coefficient-domain
+            // canonical ones in a single aggregate would trip the
+            // ciphertext domain check downstream.
+            DecodeKind::Ckks { ctx, max_cts, codec } => {
+                match codec.decode_upload(ctx, model, *max_cts) {
                     Ok(p) if p.len() == *max_cts => DecodedModel::Ckks(p),
                     _ => DecodedModel::Invalid,
                 }
@@ -511,19 +654,36 @@ impl FlServer {
     /// initial handshake) cannot gather `quorum` participants, or any
     /// I/O / protocol / FHE error that prevents the run from finishing.
     pub fn run(self) -> Result<ServerReport, NetError> {
-        let ctx = match &self.pipeline {
-            ServerPipeline::Plaintext => None,
-            ServerPipeline::Ckks(params) | ServerPipeline::CkksSeeded(params) => Some(Arc::new(
-                CkksContext::with_parallelism(params.clone(), self.config.parallelism)?,
-            )),
+        // The deprecated seeded pipeline variant forces its codec so
+        // pre-redesign callers keep their wire format unchanged.
+        #[allow(deprecated)]
+        let (params, wire_codec): (Option<&CkksParams>, Arc<dyn WireCodec>) = match &self.pipeline {
+            ServerPipeline::Plaintext => (None, Arc::clone(&self.config.codec)),
+            ServerPipeline::Ckks(params) => (Some(params), Arc::clone(&self.config.codec)),
+            ServerPipeline::CkksSeeded(params) => (Some(params), Arc::new(SeededCodec)),
         };
-        let seeded = matches!(self.pipeline, ServerPipeline::CkksSeeded(_));
+        let ctx = match params {
+            Some(params) => Some(Arc::new(CkksContext::with_parallelism(
+                params.clone(),
+                self.config.parallelism,
+            )?)),
+            None => None,
+        };
+        let max_cts = ctx
+            .as_ref()
+            .map(|c| packing::ciphertexts_needed(self.config.model_params, c.slot_count()))
+            .unwrap_or(0);
+        // Streaming needs an encrypted pipeline (float addition is not
+        // associative) and an aggregation rule whose weights are known
+        // per upload; everything else batches.
+        let streaming = self.config.streaming
+            && ctx.is_some()
+            && StreamingAggregator::supports(self.config.aggregation);
+        let residency = streaming.then(|| Residency::new(self.config.max_resident_uploads));
         let decode = match &ctx {
-            Some(c) => DecodeKind::Ckks {
-                ctx: Arc::clone(c),
-                max_cts: packing::ciphertexts_needed(self.config.model_params, c.slot_count()),
-                seeded,
-            },
+            Some(c) => {
+                DecodeKind::Ckks { ctx: Arc::clone(c), max_cts, codec: Arc::clone(&wire_codec) }
+            }
             None => DecodeKind::Plain { model_params: self.config.model_params },
         };
         let shared = Arc::new(HandlerShared {
@@ -532,6 +692,7 @@ impl FlServer {
             bytes_tx: AtomicU64::new(0),
             bytes_rx: AtomicU64::new(0),
             decode,
+            residency: residency.clone(),
         });
 
         let (event_tx, event_rx) = mpsc::channel::<ServerEvent>();
@@ -611,15 +772,26 @@ impl FlServer {
                 });
             }
 
-            let mut sr = match &ctx {
-                Some(_) => Collected::Ckks(ServerRound::new(round, self.config.aggregation)),
-                None => Collected::Plain(ServerRound::new(round, self.config.aggregation)),
+            let mut agg = if streaming {
+                RoundAgg::Stream(
+                    StreamingAggregator::new(round, self.config.aggregation)
+                        .expect("streaming eligibility checked above"),
+                )
+            } else {
+                RoundAgg::Batch(match &ctx {
+                    Some(_) => Collected::Ckks(ServerRound::new(round, self.config.aggregation)),
+                    None => Collected::Plain(ServerRound::new(round, self.config.aggregation)),
+                })
             };
             let mut rejected = 0usize;
             let mut arrivals: Vec<rhychee_obs::rounds::ClientArrival> = Vec::new();
             let mut quorum_ns: Option<u64> = None;
             let deadline = Instant::now() + self.config.round_timeout;
-            while sr.received() < handlers.len() {
+            // A client whose upload already folded may drop out of
+            // `handlers` before the round closes; its contribution
+            // stays counted (matching the batch path), so `received`
+            // can meet or exceed the shrinking live-handler count.
+            while agg.received() < handlers.len() {
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
                     break;
@@ -633,8 +805,32 @@ impl FlServer {
                         bytes,
                         arrived,
                     }) => {
-                        let accepted =
-                            r == round && accept_update(&mut sr, client_id, r, steps, model);
+                        let accepted = r == round
+                            && match (&mut agg, model) {
+                                (RoundAgg::Stream(s), DecodedModel::Raw { payload, _permit }) => {
+                                    let cx = ctx.as_deref().expect("streaming requires CKKS");
+                                    let fspan = telemetry::span("net_fold");
+                                    let folded =
+                                        match wire_codec.parse_upload(cx, &payload, max_cts) {
+                                            Ok(mv) if mv.len() == max_cts => s
+                                                .fold_upload(cx, client_id, r, mv.views())
+                                                .map_err(|e| stream_abort(round, e))?,
+                                            _ => false,
+                                        };
+                                    telemetry::observe_duration("fl.phase.fold.ns", fspan.finish());
+                                    // `payload` and its residency permit
+                                    // drop here: the upload's bytes live
+                                    // only for the duration of the fold.
+                                    folded
+                                }
+                                (RoundAgg::Batch(sr), model) => {
+                                    accept_update(sr, client_id, r, steps, model)
+                                }
+                                // A raw payload under batch or a decoded
+                                // one under streaming cannot happen; NACK
+                                // defensively rather than trust it.
+                                _ => false,
+                            };
                         if !accepted {
                             rejected += 1;
                             telemetry::count("net.frame.nack", 1);
@@ -653,7 +849,7 @@ impl FlServer {
                             bytes,
                             accepted,
                         });
-                        if accepted && quorum_ns.is_none() && sr.received() >= self.config.quorum {
+                        if accepted && quorum_ns.is_none() && agg.received() >= self.config.quorum {
                             quorum_ns = Some(offset_ns);
                         }
                         if let Some(h) = handlers.get(&client_id) {
@@ -675,19 +871,25 @@ impl FlServer {
             }
 
             telemetry::gauge("fl.clients.connected", handlers.len() as f64);
-            if sr.received() < self.config.quorum {
+            if agg.received() < self.config.quorum {
                 telemetry::gauge("fl.quorum.met", 0.0);
                 return Err(NetError::QuorumNotReached {
                     round,
-                    received: sr.received(),
+                    received: agg.received(),
                     quorum: self.config.quorum,
                 });
             }
             telemetry::gauge("fl.quorum.met", 1.0);
 
             let agg_span = telemetry::span("net_aggregate");
-            let received = sr.received();
-            global = sr.aggregate(ctx.as_deref(), self.config.parallelism)?;
+            let received = agg.received();
+            global = match agg {
+                RoundAgg::Batch(sr) => sr.aggregate(ctx.as_deref(), self.config.parallelism)?,
+                RoundAgg::Stream(s) => {
+                    let cx = ctx.as_deref().expect("streaming requires CKKS");
+                    GlobalState::Ckks(s.finish(cx).map_err(|e| stream_abort(round, e))?)
+                }
+            };
             let aggregate_time = agg_span.finish();
             telemetry::observe_duration("fl.phase.aggregate.ns", aggregate_time);
             report.rounds.push(NetRoundReport {
@@ -711,6 +913,9 @@ impl FlServer {
             }
             telemetry::gauge("net.bytes.tx", shared.bytes_tx.load(Ordering::Relaxed) as f64);
             telemetry::gauge("net.bytes.rx", shared.bytes_rx.load(Ordering::Relaxed) as f64);
+            if let Some(residency) = &residency {
+                telemetry::gauge("net.agg.peak_resident_uploads", residency.peak() as f64);
+            }
             span.finish();
         }
 
@@ -909,6 +1114,32 @@ impl RejoinAcceptor {
     }
 }
 
+/// One round's aggregation state: the batch reference path (collect
+/// all uploads, aggregate after quorum) or the streaming path (fold
+/// each upload as its frame arrives). Both close to the same bytes.
+enum RoundAgg {
+    Batch(Collected),
+    Stream(StreamingAggregator),
+}
+
+impl RoundAgg {
+    fn received(&self) -> usize {
+        match self {
+            RoundAgg::Batch(sr) => sr.received(),
+            RoundAgg::Stream(s) => s.received(),
+        }
+    }
+}
+
+/// Maps a streaming-path framework error to the wire-level abort,
+/// tagging it with the round whose sum became untrustworthy.
+fn stream_abort(round: usize, e: FlError) -> NetError {
+    match e {
+        FlError::StreamingAbort(reason) => NetError::StreamingAbort { round, reason },
+        other => NetError::Fl(other),
+    }
+}
+
 /// Round collection state, typed by pipeline.
 enum Collected {
     Plain(ServerRound<Vec<f32>>),
@@ -1045,7 +1276,27 @@ fn handler_loop(
                     }
                     return;
                 }
+                // Under streaming aggregation, claim a resident-upload
+                // slot *before* copying the frame out of the kernel —
+                // but only once this client's bytes have actually
+                // started arriving (`peek`), so a straggler that is
+                // still training never parks on a slot and starves the
+                // clients that are ready (quorum tolerance depends on
+                // the fast uploads getting through). Until a slot
+                // frees, the payload waits in the kernel's TCP buffers
+                // (and on the client's side of the connection), not
+                // here.
                 let sent_at = Instant::now();
+                let permit = match &shared.residency {
+                    Some(residency) => {
+                        if !matches!(stream.peek(&mut [0u8]), Ok(n) if n > 0) {
+                            drop_self(events);
+                            return;
+                        }
+                        Some(residency.acquire())
+                    }
+                    None => None,
+                };
                 match wire::read_message_ctx(&mut stream, shared.max_payload) {
                     Ok((Message::Update { round, client_id: cid, steps, model }, uctx, n))
                         if cid == client_id =>
@@ -1068,21 +1319,30 @@ fn handler_loop(
                                 arrived.saturating_duration_since(sent_at).as_nanos() as u64,
                             );
                         }
-                        // Deserialize here, on the connection's own
-                        // thread, so P clients' ciphertext payloads
-                        // decode concurrently instead of queueing on
-                        // the coordinator. When the upload carried a
-                        // context, the decode parents under the client's
-                        // upload span rather than the round span.
-                        if uctx.is_some() {
-                            telemetry::trace::set_remote_context(uctx);
-                        }
-                        let span = telemetry::span("net_decode");
-                        let model = shared.decode(&model);
-                        span.finish();
-                        if uctx.is_some() {
-                            telemetry::trace::set_remote_context(ctx);
-                        }
+                        // Streaming: ship the raw bytes (and their
+                        // residency permit) straight to the coordinator
+                        // for a zero-copy fold. Batch: deserialize here,
+                        // on the connection's own thread, so P clients'
+                        // ciphertext payloads decode concurrently
+                        // instead of queueing on the coordinator. When
+                        // the upload carried a context, the decode
+                        // parents under the client's upload span rather
+                        // than the round span.
+                        let model = match permit {
+                            Some(permit) => DecodedModel::Raw { payload: model, _permit: permit },
+                            None => {
+                                if uctx.is_some() {
+                                    telemetry::trace::set_remote_context(uctx);
+                                }
+                                let span = telemetry::span("net_decode");
+                                let model = shared.decode(&model);
+                                span.finish();
+                                if uctx.is_some() {
+                                    telemetry::trace::set_remote_context(ctx);
+                                }
+                                model
+                            }
+                        };
                         let _ = events.send(ServerEvent::Update {
                             client_id,
                             round,

@@ -1,8 +1,20 @@
-//! Deprecation hygiene for the PR 3 migration path: the deprecated
-//! `FlConfigBuilder::threads` alias must keep compiling and must map
-//! onto the unified `Parallelism` knob.
+//! Deprecation hygiene for the migration paths: the deprecated
+//! `FlConfigBuilder::threads` alias (PR 3) must keep compiling and map
+//! onto the unified `Parallelism` knob, and the deprecated
+//! `{Server,Client}Pipeline::CkksSeeded` variants (PR 8) must keep
+//! compiling and behave exactly like the replacement codec API.
 
+use std::sync::Arc;
+use std::thread;
+
+use rhychee_fl::core::round::{self, ClientLocal, FedSetup};
 use rhychee_fl::core::{FlConfig, Parallelism};
+use rhychee_fl::data::{DatasetKind, SyntheticConfig};
+use rhychee_fl::fhe::params::CkksParams;
+use rhychee_fl::net::{
+    ClientConfig, ClientPipeline, ClientReport, FlClient, FlServer, SeededCodec, ServerConfig,
+    ServerPipeline,
+};
 
 #[test]
 fn deprecated_threads_alias_still_maps_to_fixed_parallelism() {
@@ -26,4 +38,78 @@ fn deprecated_threads_alias_still_maps_to_fixed_parallelism() {
     let explicit =
         FlConfig::builder().parallelism(Parallelism::Fixed(3)).build().expect("valid config");
     assert_eq!(explicit.parallelism, Parallelism::Fixed(3));
+}
+
+/// Runs a small seeded-codec loopback federation, with the wire format
+/// selected either through the deprecated `CkksSeeded` pipeline
+/// variants or through the replacement codec API.
+fn run_seeded_federation(deprecated: bool) -> Vec<ClientReport> {
+    let data = SyntheticConfig { kind: DatasetKind::Har, train_samples: 120, test_samples: 40 }
+        .generate(19)
+        .expect("dataset generation");
+    let fl = FlConfig::builder()
+        .clients(2)
+        .rounds(2)
+        .hd_dim(256)
+        .seed(23)
+        .build()
+        .expect("valid config");
+    let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+
+    let mut builder =
+        ServerConfig::builder().clients(fl.clients).rounds(fl.rounds).model_params(num_params);
+    #[allow(deprecated)]
+    let server_pipeline = if deprecated {
+        ServerPipeline::CkksSeeded(CkksParams::toy())
+    } else {
+        builder = builder.codec(SeededCodec);
+        ServerPipeline::Ckks(CkksParams::toy())
+    };
+    let server =
+        FlServer::bind("127.0.0.1:0", builder.build().expect("server config"), server_pipeline)
+            .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server = thread::spawn(move || server.run());
+
+    let mut joins = Vec::new();
+    for (id, shard) in shards.into_iter().enumerate() {
+        let local = ClientLocal::new(id, shard, classes, &fl);
+        let mut client_config = ClientConfig::new(addr);
+        #[allow(deprecated)]
+        let client_pipeline = if deprecated {
+            ClientPipeline::CkksSeeded(CkksParams::toy())
+        } else {
+            client_config.codec = Arc::new(SeededCodec);
+            ClientPipeline::Ckks(CkksParams::toy())
+        };
+        let client =
+            FlClient::new(client_config, fl.clone(), local, classes, None, client_pipeline)
+                .expect("client");
+        joins.push(thread::spawn(move || client.run()));
+    }
+    let reports: Vec<ClientReport> =
+        joins.into_iter().map(|j| j.join().expect("join").expect("client run")).collect();
+    server.join().expect("join").expect("server run");
+    reports
+}
+
+#[test]
+fn deprecated_ckks_seeded_pipelines_match_the_codec_api() {
+    let old = run_seeded_federation(true);
+    let new = run_seeded_federation(false);
+    assert_eq!(old.len(), new.len());
+    for (o, n) in old.iter().zip(&new) {
+        assert_eq!(o.client_id, n.client_id);
+        assert_eq!(
+            o.final_model, n.final_model,
+            "client {}: deprecated CkksSeeded diverged from codec(SeededCodec)",
+            o.client_id
+        );
+        assert_eq!(
+            o.bytes_tx, n.bytes_tx,
+            "client {}: the two spellings must produce identical wire traffic",
+            o.client_id
+        );
+    }
 }

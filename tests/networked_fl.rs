@@ -18,7 +18,7 @@ use rhychee_fl::fhe::ckks::CkksContext;
 use rhychee_fl::fhe::params::CkksParams;
 use rhychee_fl::net::{
     codec, wire, ClientConfig, ClientPipeline, ClientReport, FlClient, FlServer, Message,
-    ServerConfig, ServerPipeline, ServerReport, DEFAULT_MAX_PAYLOAD,
+    SeededCodec, ServerConfig, ServerPipeline, ServerReport, DEFAULT_MAX_PAYLOAD,
 };
 
 fn har_data() -> TrainTest {
@@ -48,8 +48,9 @@ fn run_networked(
     run_networked_seeded(fl, data, ckks, false)
 }
 
-/// [`run_networked`] with a switch for the seed-compressed CKKS upload
-/// pipeline (symmetric encryptions whose `c1` ships as a 32-byte seed).
+/// [`run_networked`] with a switch for the seed-compressed CKKS wire
+/// codec (symmetric encryptions whose `c1` ships as a 32-byte seed),
+/// selected through the redesigned codec API on both endpoints.
 fn run_networked_seeded(
     fl: &FlConfig,
     data: &TrainTest,
@@ -58,22 +59,18 @@ fn run_networked_seeded(
 ) -> (ServerReport, Vec<ClientReport>) {
     let FedSetup { shards, test, classes } = round::prepare(fl, data).expect("prepare");
     let num_params = classes * fl.hd_dim;
-    let server_pipeline = match (&ckks, seeded) {
-        (Some(p), false) => ServerPipeline::Ckks(p.clone()),
-        (Some(p), true) => ServerPipeline::CkksSeeded(p.clone()),
-        (None, _) => ServerPipeline::Plaintext,
+    let server_pipeline = match &ckks {
+        Some(p) => ServerPipeline::Ckks(p.clone()),
+        None => ServerPipeline::Plaintext,
     };
-    let server = FlServer::bind(
-        "127.0.0.1:0",
-        ServerConfig::builder()
-            .clients(fl.clients)
-            .rounds(fl.rounds)
-            .model_params(num_params)
-            .build()
-            .expect("server config"),
-        server_pipeline,
-    )
-    .expect("bind");
+    let mut builder =
+        ServerConfig::builder().clients(fl.clients).rounds(fl.rounds).model_params(num_params);
+    if seeded {
+        builder = builder.codec(SeededCodec);
+    }
+    let server =
+        FlServer::bind("127.0.0.1:0", builder.build().expect("server config"), server_pipeline)
+            .expect("bind");
     let addr = server.local_addr().expect("local addr");
     let server = thread::spawn(move || server.run());
 
@@ -81,14 +78,16 @@ fn run_networked_seeded(
     for (id, shard) in shards.into_iter().enumerate() {
         let local = ClientLocal::new(id, shard, classes, fl);
         let eval = if id == 0 { Some(test.clone()) } else { None };
-        let pipeline = match (&ckks, seeded) {
-            (Some(p), false) => ClientPipeline::Ckks(p.clone()),
-            (Some(p), true) => ClientPipeline::CkksSeeded(p.clone()),
-            (None, _) => ClientPipeline::Plaintext,
+        let pipeline = match &ckks {
+            Some(p) => ClientPipeline::Ckks(p.clone()),
+            None => ClientPipeline::Plaintext,
         };
-        let client =
-            FlClient::new(ClientConfig::new(addr), fl.clone(), local, classes, eval, pipeline)
-                .expect("client build");
+        let mut client_config = ClientConfig::new(addr);
+        if seeded {
+            client_config.codec = Arc::new(SeededCodec);
+        }
+        let client = FlClient::new(client_config, fl.clone(), local, classes, eval, pipeline)
+            .expect("client build");
         joins.push(thread::spawn(move || client.run()));
     }
     let clients: Vec<ClientReport> =
@@ -439,6 +438,202 @@ fn rejoined_client_is_not_double_counted_and_matches_framework() {
     );
     for (id, f) in finals.iter().chain(std::iter::once(&rejoiner_final)).enumerate() {
         assert_eq!(f, &expected, "client {id} diverged");
+    }
+}
+
+/// One hand-rolled encrypted wire round: read the `Global`, decrypt it
+/// (round 0 arrives as plaintext zeros), train, encrypt, upload, and
+/// require the ACK to accept.
+#[allow(clippy::too_many_arguments)]
+fn ckks_wire_round(
+    stream: &mut TcpStream,
+    local: &mut ClientLocal,
+    fl: &FlConfig,
+    ctx: &CkksContext,
+    sk: &rhychee_fl::fhe::ckks::CkksSecretKey,
+    pk: &rhychee_fl::fhe::ckks::CkksPublicKey,
+    round: usize,
+    num_params: usize,
+) {
+    let id = local.id();
+    let max_cts = packing::ciphertexts_needed(num_params, ctx.slot_count());
+    let (msg, _) = wire::read_message(stream, DEFAULT_MAX_PAYLOAD).expect("global");
+    let model = match msg {
+        Message::Global { round: r, last: false, model } if r == round => model,
+        other => panic!("client {id}: expected Global {round}, got {}", other.name()),
+    };
+    let global = if model.first() == Some(&codec::TAG_PLAIN) {
+        codec::decode_plain(&model, num_params).expect("round-0 plaintext zeros")
+    } else {
+        let cts = codec::decode_ckks(ctx, &model, max_cts).expect("decode");
+        packing::decrypt_model(ctx, sk, &cts, num_params).expect("decrypt")
+    };
+    let flat = local.train(&global, fl);
+    let cts = local.encrypt_update(ctx, pk, &flat).expect("encrypt");
+    let update = Message::Update {
+        round,
+        client_id: id,
+        steps: local.last_steps(),
+        model: codec::encode_ckks(ctx, &cts),
+    };
+    wire::write_message(stream, &update).expect("upload");
+    let (ack, _) = wire::read_message(stream, DEFAULT_MAX_PAYLOAD).expect("ack");
+    assert!(
+        matches!(ack, Message::UpdateAck { accepted: true, .. }),
+        "client {id} round {round}: got {}",
+        ack.name()
+    );
+}
+
+#[test]
+fn streamed_fold_survives_dropout_and_rejoin_with_batch_quorum_accounting() {
+    // The streaming-specific churn regression: client 4's round-1 frame
+    // is folded into the running encrypted sum, *then* the client
+    // disconnects. Its contribution must stay in round 1's aggregate and
+    // its count in round 1's quorum accounting — exactly like the batch
+    // path, where an accepted update outlives its uploader. The death is
+    // noticed in round 2 (received = 4), the rejoin activates at the
+    // round-3 boundary, and the final model must match the in-process
+    // Framework running the same presence schedule, bit for bit.
+    let data = har_data();
+    let fl = config(5, 4, 37);
+    let FedSetup { shards, test: _, classes } = round::prepare(&fl, &data).expect("prepare");
+    let num_params = classes * fl.hd_dim;
+
+    let cfg = ServerConfig::builder()
+        .clients(fl.clients)
+        .rounds(fl.rounds)
+        .model_params(num_params)
+        .quorum(4)
+        .round_timeout(Duration::from_secs(10))
+        .allow_rejoin(true)
+        .max_resident_uploads(2)
+        .build()
+        .expect("server config");
+    assert!(cfg.streaming_aggregation(), "streaming is the default");
+    let server =
+        FlServer::bind("127.0.0.1:0", cfg, ServerPipeline::Ckks(CkksParams::toy())).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server = thread::spawn(move || server.run());
+
+    // Set once client 4's folded-then-dropped departure has happened;
+    // survivors gate their round-1 uploads on it so the fold always
+    // lands (and the socket dies) before round 1 can close.
+    let departed = Arc::new(AtomicBool::new(false));
+    let mut shards = shards;
+    let churn_shard = shards.pop().expect("5 shards");
+
+    let mut joins = Vec::new();
+    for (id, shard) in shards.into_iter().enumerate() {
+        let fl = fl.clone();
+        let departed = Arc::clone(&departed);
+        joins.push(thread::spawn(move || -> Vec<f32> {
+            let mut local = ClientLocal::new(id, shard, classes, &fl);
+            let ctx = CkksContext::new(CkksParams::toy()).expect("ctx");
+            let (sk, pk) = round::derive_ckks_keys(&ctx, fl.seed);
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            wire::write_message(&mut stream, &Message::Hello { client_id: id }).expect("hello");
+            let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("welcome");
+            assert!(matches!(msg, Message::Welcome { .. }), "got {}", msg.name());
+            for round in 0..fl.rounds {
+                if round == 1 {
+                    while !departed.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                ckks_wire_round(&mut stream, &mut local, &fl, &ctx, &sk, &pk, round, num_params);
+            }
+            let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("final");
+            let model = match msg {
+                Message::Global { last: true, model, .. } => model,
+                other => panic!("expected final Global, got {}", other.name()),
+            };
+            let (fin, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("finished");
+            assert!(matches!(fin, Message::Finished { .. }), "got {}", fin.name());
+            let max_cts = packing::ciphertexts_needed(num_params, ctx.slot_count());
+            let cts = codec::decode_ckks(&ctx, &model, max_cts).expect("final decode");
+            packing::decrypt_model(&ctx, &sk, &cts, num_params).expect("final decrypt")
+        }));
+    }
+
+    let fl_churn = fl.clone();
+    let departed_flag = Arc::clone(&departed);
+    let churner = thread::spawn(move || -> Vec<f32> {
+        let mut local = ClientLocal::new(4, churn_shard, classes, &fl_churn);
+        let ctx = CkksContext::new(CkksParams::toy()).expect("ctx");
+        let (sk, pk) = round::derive_ckks_keys(&ctx, fl_churn.seed);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        wire::write_message(&mut stream, &Message::Hello { client_id: 4 }).expect("hello");
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("welcome");
+        assert!(matches!(msg, Message::Welcome { client_id: 4, .. }), "got {}", msg.name());
+
+        // Rounds 0 and 1: honest participation. The round-1 ACK proves
+        // the upload was folded into the streamed sum...
+        ckks_wire_round(&mut stream, &mut local, &fl_churn, &ctx, &sk, &pk, 0, num_params);
+        ckks_wire_round(&mut stream, &mut local, &fl_churn, &ctx, &sk, &pk, 1, num_params);
+        // ...and then the uploader dies, before round 1 has closed.
+        drop(stream);
+        departed_flag.store(true, Ordering::SeqCst);
+
+        // Reconnect with the same id; the server admits the Hello once
+        // the dead handler is reaped (during round 2) and activates the
+        // connection at the round-3 boundary.
+        let mut stream = loop {
+            thread::sleep(Duration::from_millis(10));
+            let Ok(mut s) = TcpStream::connect(addr) else { continue };
+            if wire::write_message(&mut s, &Message::Hello { client_id: 4 }).is_err() {
+                continue;
+            }
+            match wire::read_message(&mut s, DEFAULT_MAX_PAYLOAD) {
+                Ok((Message::Welcome { client_id: 4, .. }, _)) => break s,
+                _ => continue,
+            }
+        };
+
+        // Round 3: back in the quorum.
+        ckks_wire_round(&mut stream, &mut local, &fl_churn, &ctx, &sk, &pk, 3, num_params);
+        let (msg, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("final");
+        let model = match msg {
+            Message::Global { last: true, model, .. } => model,
+            other => panic!("expected final Global, got {}", other.name()),
+        };
+        let (fin, _) = wire::read_message(&mut stream, DEFAULT_MAX_PAYLOAD).expect("finished");
+        assert!(matches!(fin, Message::Finished { .. }), "got {}", fin.name());
+        let max_cts = packing::ciphertexts_needed(num_params, ctx.slot_count());
+        let cts = codec::decode_ckks(&ctx, &model, max_cts).expect("final decode");
+        packing::decrypt_model(&ctx, &sk, &cts, num_params).expect("final decrypt")
+    });
+
+    let finals: Vec<Vec<f32>> = joins.into_iter().map(|j| j.join().expect("survivor")).collect();
+    let churner_final = churner.join().expect("churner");
+    let server = server.join().expect("join").expect("server run");
+
+    // The same federation in process (batch aggregation): everyone
+    // every round, except client 4 sits out round 2 — its round-1
+    // contribution stays in even though it had already disconnected.
+    let mut fw = Framework::hdc_encrypted(fl, &data, CkksParams::toy()).expect("framework");
+    fw.set_hooks(RoundHooks {
+        presence: Some(Box::new(|round, ids: &mut Vec<usize>| {
+            if round == 2 {
+                ids.retain(|&c| c != 4);
+            }
+        })),
+        ..RoundHooks::default()
+    });
+    fw.run().expect("framework run");
+    let expected = fw.global_model().flatten();
+
+    let received: Vec<usize> = server.rounds.iter().map(|r| r.received).collect();
+    assert_eq!(
+        received,
+        vec![5, 5, 4, 5],
+        "a folded frame counts even when its uploader drops before round close"
+    );
+    assert!(server.rounds.iter().all(|r| r.rejected == 0), "churn must produce no NACKs");
+    assert_eq!(server.dropped_clients, 1, "the departure counts once");
+    assert_eq!(server.rejoined_clients, 1, "the reconnection counts once");
+    for (id, f) in finals.iter().chain(std::iter::once(&churner_final)).enumerate() {
+        assert_eq!(f, &expected, "client {id} diverged from the in-process batch reference");
     }
 }
 
