@@ -1,11 +1,19 @@
-//! CI regression gate over `bench_fhe` output: compares a freshly
-//! measured `BENCH_fhe.json` against a committed baseline and fails
-//! when any shared `(op, threads)` row regressed by more than the
-//! allowed ratio in ns/op.
+//! CI regression gate over bench output: compares a freshly measured
+//! document against a committed baseline and fails when a gated figure
+//! regressed by more than the allowed ratio.
 //!
 //! ```text
-//! bench_check <baseline.json> <fresh.json> [--max-ratio R]
+//! bench_check <baseline.json> <fresh.json> [--max-ratio R]        # BENCH_fhe.json
+//! bench_check --net <baseline.json> <fresh.json> [--max-ratio R]  # BENCH_net.json
 //! ```
+//!
+//! The default mode joins the `"results"` rows of two `BENCH_fhe.json`
+//! documents on `(op, threads)` and gates ns/op. `--net` gates the
+//! scalar figures of `BENCH_net.json`: `fold_view_ns_per_ct` plus the
+//! memory peaks (`heap_peak_bytes`, `rss_peak_bytes`). A missing or
+//! field-incomplete `--net` baseline skips those comparisons with a
+//! note instead of failing — the baseline grows fields (and appears at
+//! all) one commit after the bench starts emitting them.
 //!
 //! Exit codes: 0 = within budget, 1 = regression past `--max-ratio`
 //! (default 2.0 — generous on purpose, CI runners are noisy), 2 =
@@ -139,12 +147,78 @@ fn render_table(comparisons: &[Comparison], max_ratio: f64) -> String {
     out
 }
 
+/// The `BENCH_net.json` figures the `--net` gate compares, all under
+/// the same `--max-ratio` budget: the fold hot-path latency and the
+/// memory peaks a leak or backpressure failure would inflate.
+const NET_GATED: &[&str] = &["fold_view_ns_per_ct", "heap_peak_bytes", "rss_peak_bytes"];
+
+/// Gates the scalar figures of a fresh `BENCH_net.json` against a
+/// baseline. Missing baseline file or missing baseline fields skip
+/// gracefully (the gate can only tighten once a baseline exists).
+fn run_net(baseline_path: &str, fresh_path: &str, max_ratio: f64) -> Result<ExitCode, String> {
+    let fresh = fs::read_to_string(fresh_path).map_err(|e| format!("{fresh_path}: {e}"))?;
+    let baseline = match fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(_) => {
+            println!(
+                "bench_check: no net baseline at {baseline_path} yet — nothing to gate (pass)"
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+    };
+    let mut compared = 0usize;
+    let mut regressed = 0usize;
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "{:<24} {:>16} {:>16} {:>7}  status", "figure", "baseline", "fresh", "ratio");
+    for key in NET_GATED {
+        let Some(f) = num_field(&fresh, key) else {
+            println!("bench_check: fresh {fresh_path} lacks \"{key}\"; skipping");
+            continue;
+        };
+        let Some(b) = num_field(&baseline, key) else {
+            println!("bench_check: baseline lacks \"{key}\" (pre-dates the field); skipping");
+            continue;
+        };
+        if b <= 0.0 {
+            // Peak RSS reads 0 where procfs is unavailable; a zero
+            // baseline cannot anchor a ratio.
+            println!("bench_check: baseline \"{key}\" is {b}; skipping");
+            continue;
+        }
+        compared += 1;
+        let ratio = f / b;
+        let status = if ratio > max_ratio {
+            regressed += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        let _ = writeln!(out, "{key:<24} {b:>16.1} {f:>16.1} {ratio:>6.2}x  {status}");
+    }
+    print!("{out}");
+    if compared == 0 {
+        println!("bench_check: no net figures shared with the baseline — nothing to gate (pass)");
+        return Ok(ExitCode::SUCCESS);
+    }
+    if regressed == 0 {
+        println!("bench_check: {compared} net figure(s) within {max_ratio}x of baseline");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("bench_check: {regressed} net figure(s) regressed past {max_ratio}x");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut paths = Vec::new();
     let mut max_ratio = 2.0f64;
+    let mut net = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--max-ratio" {
+        if arg == "--net" {
+            net = true;
+        } else if arg == "--max-ratio" {
             max_ratio = it
                 .next()
                 .ok_or("--max-ratio needs a value")?
@@ -158,8 +232,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let [baseline_path, fresh_path] = paths.as_slice() else {
-        return Err("usage: bench_check <baseline.json> <fresh.json> [--max-ratio R]".into());
+        return Err(
+            "usage: bench_check [--net] <baseline.json> <fresh.json> [--max-ratio R]".into()
+        );
     };
+    if net {
+        return run_net(baseline_path, fresh_path, max_ratio);
+    }
     let read = |p: &String| fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
     let baseline =
         parse_results(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: {e}"))?;
@@ -244,6 +323,57 @@ mod tests {
         let baseline = vec![BenchRow { op: "a".into(), threads: 1, ns_per_op: 1.0 }];
         let fresh = vec![BenchRow { op: "b".into(), threads: 1, ns_per_op: 1.0 }];
         assert!(compare(&baseline, &fresh).is_err(), "empty intersection must not gate-pass");
+    }
+
+    #[test]
+    fn net_gate_reads_scalar_fields() {
+        let doc = r#"{
+  "clients": 64,
+  "fold_view_ns_per_ct": 123456.7,
+  "heap_peak_bytes": 104857600,
+  "rss_peak_bytes": 209715200,
+  "federation_secs": 3.2
+}"#;
+        assert_eq!(num_field(doc, "fold_view_ns_per_ct"), Some(123456.7));
+        assert_eq!(num_field(doc, "heap_peak_bytes"), Some(104857600.0));
+        assert_eq!(num_field(doc, "rss_peak_bytes"), Some(209715200.0));
+        assert_eq!(num_field(doc, "nonexistent"), None);
+    }
+
+    #[test]
+    fn net_gate_passes_without_a_baseline_and_fails_on_regression() {
+        let dir = std::env::temp_dir().join(format!("rhychee-benchcheck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let fresh = dir.join("fresh.json");
+        let missing = dir.join("never-written.json");
+        std::fs::write(
+            &fresh,
+            "{\"fold_view_ns_per_ct\": 100.0, \"heap_peak_bytes\": 1000, \"rss_peak_bytes\": 0}",
+        )
+        .expect("write fresh");
+        // No baseline yet: the gate must pass, not error.
+        let code = run_net(missing.to_str().unwrap(), fresh.to_str().unwrap(), 2.0)
+            .expect("missing baseline is not an error");
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        // Identical baseline: passes. rss 0 baseline is skipped, not a div-by-zero.
+        let base = dir.join("base.json");
+        std::fs::write(
+            &base,
+            "{\"fold_view_ns_per_ct\": 100.0, \"heap_peak_bytes\": 1000, \"rss_peak_bytes\": 0}",
+        )
+        .expect("write base");
+        let code = run_net(base.to_str().unwrap(), fresh.to_str().unwrap(), 2.0).expect("gate");
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        // 3x fold regression past the 2x budget: fails.
+        let slow = dir.join("slow.json");
+        std::fs::write(
+            &slow,
+            "{\"fold_view_ns_per_ct\": 300.0, \"heap_peak_bytes\": 1000, \"rss_peak_bytes\": 0}",
+        )
+        .expect("write slow");
+        let code = run_net(base.to_str().unwrap(), slow.to_str().unwrap(), 2.0).expect("gate");
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::FAILURE));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

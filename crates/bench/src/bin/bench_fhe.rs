@@ -233,6 +233,9 @@ fn main() {
         json.push_str(&format!("  \"encrypt_speedup_resident_vs_coeff\": {:.3},\n", coeff / res));
         json.push_str(&format!("  \"encrypt_speedup_seeded_vs_coeff\": {:.3},\n", coeff / seeded));
     }
+    let (heap_peak, rss_peak) = rhychee_bench::peak_memory();
+    json.push_str(&format!("  \"heap_peak_bytes\": {heap_peak},\n"));
+    json.push_str(&format!("  \"rss_peak_bytes\": {rss_peak},\n"));
     json.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };

@@ -148,12 +148,15 @@ fn main() {
         }
     }) / cts.len() as f64;
 
+    let (heap_peak, rss_peak) = rhychee_bench::peak_memory();
     let mut table = Table::new(vec!["measure", "value"]);
     table.row(vec!["clients".into(), clients.to_string()]);
     table.row(vec!["updates folded".into(), format!("{folds:.0}")]);
     table.row(vec!["peak resident uploads".into(), format!("{peak:.0}")]);
     table.row(vec!["residency cap".into(), max_resident.to_string()]);
     table.row(vec!["fold_view ns/op (per ct)".into(), format!("{fold_ns:.0}")]);
+    table.row(vec!["heap peak".into(), format!("{:.1} MiB", heap_peak as f64 / (1 << 20) as f64)]);
+    table.row(vec!["rss peak".into(), format!("{:.1} MiB", rss_peak as f64 / (1 << 20) as f64)]);
     table.row(vec!["federation wall time".into(), format!("{federation_secs:.2}s")]);
     table.print();
 
@@ -164,6 +167,8 @@ fn main() {
          \"max_resident_uploads\": {max_resident},\n  \
          \"peak_resident_uploads\": {peak:.0},\n  \
          \"fold_view_ns_per_ct\": {fold_ns:.1},\n  \
+         \"heap_peak_bytes\": {heap_peak},\n  \
+         \"rss_peak_bytes\": {rss_peak},\n  \
          \"federation_secs\": {federation_secs:.3}\n}}\n"
     );
     std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");

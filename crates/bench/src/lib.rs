@@ -26,6 +26,23 @@ use std::path::PathBuf;
 
 use rhychee_telemetry as telemetry;
 
+/// Every experiment binary links this crate, so declaring the tracking
+/// allocator here puts all of `src/bin/` under heap accounting: spans
+/// get allocation attribution and every `BENCH_*.json` can report the
+/// process heap peak next to its timings.
+#[global_allocator]
+static TRACKING_ALLOC: telemetry::alloc::TrackingAlloc = telemetry::alloc::TrackingAlloc;
+
+/// The memory headline embedded in `BENCH_*.json` documents:
+/// `(heap_peak_bytes, rss_peak_bytes)` — the tracking allocator's
+/// high-water mark and the process peak RSS (0 where procfs is
+/// unavailable).
+pub fn peak_memory() -> (u64, u64) {
+    let heap_peak = telemetry::alloc::stats().peak_bytes;
+    let rss_peak = telemetry::mem::sample_rss().map(|(_, peak)| peak).unwrap_or(0);
+    (heap_peak, rss_peak)
+}
+
 /// A simple left-aligned ASCII table for experiment output.
 ///
 /// # Examples

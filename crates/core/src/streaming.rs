@@ -27,11 +27,23 @@
 //!
 //! [`packing::homomorphic_weighted_average`]: crate::packing::homomorphic_weighted_average
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rhychee_fhe::ckks::{CkksCiphertext, CkksContext, CtView};
 use rhychee_telemetry as telemetry;
 
 use crate::config::Aggregation;
 use crate::error::FlError;
+
+/// Process-wide bytes held by live streaming accumulators, feeding the
+/// `core.stream_accum` entry of the memory breakdown. Charged when an
+/// aggregator materializes its per-chunk sums, released on drop.
+static ACCUM_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Bytes currently held by live [`StreamingAggregator`] accumulators.
+pub fn accumulator_bytes() -> u64 {
+    ACCUM_BYTES.load(Ordering::Relaxed)
+}
 
 /// Incremental replacement for collect-then-aggregate: one accumulator
 /// ciphertext per model chunk, a fold per arriving upload, one scalar
@@ -76,7 +88,14 @@ impl StreamingAggregator {
                     .into(),
             ));
         }
+        telemetry::mem::register_source("core.stream_accum", accumulator_bytes);
         Ok(StreamingAggregator { round, acc: Vec::new(), client_ids: Vec::new() })
+    }
+
+    /// Heap bytes this aggregator's accumulator ciphertexts hold — the
+    /// O(1)-in-client-count resident cost of the streaming path.
+    pub fn heap_bytes(&self) -> u64 {
+        self.acc.iter().map(CkksCiphertext::heap_bytes).sum()
     }
 
     /// The round this aggregator folds for.
@@ -126,6 +145,7 @@ impl StreamingAggregator {
             // First accepted upload defines the model shape; its own
             // all-zero accumulators are compatible by construction.
             self.acc = views.iter().map(|v| ctx.accumulator_for(v)).collect();
+            ACCUM_BYTES.fetch_add(self.heap_bytes(), Ordering::Relaxed);
         } else {
             if views.len() != self.acc.len() {
                 return Ok(false);
@@ -197,6 +217,14 @@ impl StreamingAggregator {
         }
         let w = 1.0 / self.client_ids.len() as f64;
         Ok(rhychee_par::map(ctx.parallelism(), self.acc.len(), |i| ctx.mul_scalar(&self.acc[i], w)))
+    }
+}
+
+impl Drop for StreamingAggregator {
+    fn drop(&mut self) {
+        // The accumulator shape is fixed at first fold, so the bytes
+        // charged there are exactly what is released here.
+        ACCUM_BYTES.fetch_sub(self.heap_bytes(), Ordering::Relaxed);
     }
 }
 
@@ -289,6 +317,23 @@ mod tests {
         let err = agg.finish(&ctx).expect_err("no uploads");
         assert!(matches!(err, FlError::StreamingAbort(_)));
         assert!(err.to_string().contains("streaming aggregation aborted"));
+    }
+
+    #[test]
+    fn accumulator_bytes_track_aggregator_lifetime() {
+        let (ctx, blobs, _) = encrypted_uploads(1, Parallelism::Fixed(1));
+        let mut agg = StreamingAggregator::new(0, Aggregation::FedAvg).expect("fedavg");
+        assert_eq!(agg.heap_bytes(), 0, "no accumulator before the first fold");
+        let views: Vec<CtView<'_>> =
+            blobs[0].iter().map(|b| ctx.view_serialized(b).expect("view")).collect();
+        assert!(agg.fold_upload(&ctx, 0, 0, &views).expect("fold"));
+        let held = agg.heap_bytes();
+        assert!(held > 0, "materialized accumulator holds heap bytes");
+        // The global counter is Σ bytes of live aggregators, so while
+        // ours is alive it must cover at least our contribution — true
+        // even with sibling tests charging/releasing concurrently.
+        let charged = accumulator_bytes();
+        assert!(charged >= held, "global counter covers this aggregator: {charged} < {held}");
     }
 
     #[test]

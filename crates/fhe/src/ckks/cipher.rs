@@ -28,9 +28,9 @@ use rhychee_telemetry as telemetry;
 use crate::bitpack::{bits_for, BitReader, BitWriter};
 use crate::error::FheError;
 use crate::params::CkksParams;
-use crate::sampling::{gaussian_vec, ternary_vec};
+use crate::sampling::{gaussian_fill, gaussian_vec, ternary_vec};
 
-use super::encoder::CkksEncoder;
+use super::encoder::{CkksEncoder, Complex};
 use super::modarith::{add_mod, find_ntt_primes, mul_mod};
 use super::ntt::{cached_table, NttTable};
 use super::rns::{Domain, RnsPoly};
@@ -126,10 +126,36 @@ pub struct CkksEncryptNoise {
 /// Produced by [`CkksContext::sample_symmetric_noise`] and consumed by
 /// [`CkksContext::encrypt_symmetric_with_noise`] — the same sequential-
 /// sampling / parallel-arithmetic split as [`CkksEncryptNoise`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CkksSymmetricNoise {
     seed: [u8; 32],
     e: Vec<i64>,
+}
+
+/// Reusable scratch buffers for the allocation-free symmetric encrypt
+/// path ([`CkksContext::encrypt_symmetric_with_noise_into`]): FFT
+/// scratch and integer coefficients for encoding, plus the encoded
+/// message polynomial. One arena serves any number of sequential
+/// encryptions; after the first call its buffers are warm and the
+/// steady-state encrypt performs no heap allocation.
+#[derive(Debug)]
+pub struct CkksEncryptArena {
+    z: Vec<Complex>,
+    coeffs: Vec<i64>,
+    m: RnsPoly,
+}
+
+impl Default for CkksEncryptArena {
+    fn default() -> Self {
+        CkksEncryptArena { z: Vec::new(), coeffs: Vec::new(), m: RnsPoly::zero(0, 0) }
+    }
+}
+
+impl CkksEncryptArena {
+    /// An empty arena; buffers grow to the context's shape on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A CKKS ciphertext `(c0, c1)` with scale and (implicit) level tracking.
@@ -163,6 +189,12 @@ impl CkksCiphertext {
     /// supports [`CkksContext::serialize_seeded`].
     pub fn is_seeded(&self) -> bool {
         self.c1_seed.is_some()
+    }
+
+    /// Heap bytes held by both component polynomials, for memory
+    /// accounting (e.g. streaming accumulators).
+    pub fn heap_bytes(&self) -> u64 {
+        self.c0.heap_bytes() + self.c1.heap_bytes()
     }
 }
 
@@ -210,6 +242,10 @@ impl CkksContext {
             .collect();
         let ntt = primes.iter().map(|&q| cached_table(params.n, q)).collect();
         let encoder = CkksEncoder::new(params.n, 1u64 << params.scale_bits);
+        // Expose the crate's two long-lived heap consumers to the memory
+        // observability plane (idempotent: re-registration replaces).
+        telemetry::mem::register_source("fhe.ntt_table_cache", super::ntt::table_cache_bytes);
+        telemetry::mem::register_source("fhe.scratch", scratch::pooled_bytes);
         Ok(CkksContext { params, primes, ntt, encoder, parallelism, eval_resident: true })
     }
 
@@ -437,6 +473,31 @@ impl CkksContext {
         CkksSymmetricNoise { seed, e: gaussian_vec(rng, self.params.n, self.params.sigma) }
     }
 
+    /// [`CkksContext::sample_symmetric_noise`] into a caller-owned
+    /// struct, reusing the error vector's allocation. Draws the exact
+    /// same RNG stream (seed bytes first, then Gaussian `e`).
+    pub fn sample_symmetric_noise_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        noise: &mut CkksSymmetricNoise,
+    ) {
+        rng.fill_bytes(&mut noise.seed);
+        gaussian_fill(rng, self.params.n, self.params.sigma, &mut noise.e);
+    }
+
+    /// An all-zero evaluation-domain ciphertext at full level, shaped for
+    /// this context — the reusable output slot for
+    /// [`CkksContext::encrypt_symmetric_with_noise_into`].
+    pub fn zero_ciphertext(&self) -> CkksCiphertext {
+        let (n, levels) = (self.params.n, self.primes.len());
+        CkksCiphertext {
+            c0: RnsPoly::zero_in(n, levels, Domain::Eval),
+            c1: RnsPoly::zero_in(n, levels, Domain::Eval),
+            scale: self.encoder.scale(),
+            c1_seed: None,
+        }
+    }
+
     /// Symmetric encryption with pre-sampled randomness.
     ///
     /// Always evaluation-domain: `c1 = a` is expanded from the seed
@@ -490,6 +551,70 @@ impl CkksContext {
         };
         self.publish_noise_gauges(&ct);
         Ok(ct)
+    }
+
+    /// [`CkksContext::encrypt_symmetric_with_noise`] into caller-owned
+    /// buffers: bit-identical output, zero heap allocation once `arena`
+    /// and `out` are warm (the steady-state client upload path).
+    ///
+    /// Runs in two passes so `out`'s fields can be borrowed disjointly:
+    /// pass 1 expands every `c1` row from the seed directly in NTT form;
+    /// pass 2 computes `c0 = −(a ∘ ŝ) + NTT(e) + NTT(m)` reading the
+    /// finished `c1` rows immutably. Same two forward transforms per
+    /// prime as the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::PlaintextTooLarge`] if more than `N/2` values
+    /// are supplied; `out` is untouched in that case.
+    pub fn encrypt_symmetric_with_noise_into(
+        &self,
+        sk: &CkksSecretKey,
+        values: &[f64],
+        noise: &CkksSymmetricNoise,
+        arena: &mut CkksEncryptArena,
+        out: &mut CkksCiphertext,
+    ) -> Result<(), FheError> {
+        let _span = telemetry::span("fhe.ckks.encrypt");
+        if values.len() > self.slot_count() {
+            return Err(FheError::PlaintextTooLarge {
+                len: values.len(),
+                capacity: self.slot_count(),
+            });
+        }
+        self.encoder.encode_into(values, &mut arena.z, &mut arena.coeffs);
+        arena.m.fill_from_signed(&arena.coeffs, &self.primes);
+        let n = self.params.n;
+        let levels = self.primes.len();
+        out.c0.ensure_shape(n, levels, Domain::Eval);
+        out.c1.ensure_shape(n, levels, Domain::Eval);
+        rhychee_par::for_each_mut(self.parallelism, out.c1.residues_all_mut(), |i, r1| {
+            seedexp::expand_row_into(&noise.seed, i, self.primes[i], n, r1);
+        });
+        let (c0, c1) = (&mut out.c0, &out.c1);
+        let m = &arena.m;
+        rhychee_par::for_each_mut(self.parallelism, c0.residues_all_mut(), |i, r0| {
+            let table = &self.ntt[i];
+            let q = self.primes[i];
+            let s_row = sk.s_eval.residues(i);
+            let r1 = c1.residues(i);
+            reduce_signed_into(&noise.e, q, r0);
+            table.forward(r0);
+            scratch::with_row(n, |t| {
+                t.copy_from_slice(m.residues(i));
+                table.forward(t);
+                for j in 0..n {
+                    let e_m = add_mod(r0[j], t[j], q);
+                    let a_s = mul_mod(r1[j], s_row[j], q);
+                    r0[j] = add_mod(if a_s == 0 { 0 } else { q - a_s }, e_m, q);
+                }
+            });
+        });
+        telemetry::count("fhe.ckks.encrypt.count", 1);
+        out.scale = self.encoder.scale();
+        out.c1_seed = Some(noise.seed);
+        self.publish_noise_gauges(out);
+        Ok(())
     }
 
     /// Decrypts a ciphertext to its slot values.
@@ -1100,6 +1225,50 @@ mod tests {
         let ct = ctx.encrypt_symmetric(&sk, &values, &mut rng).expect("encrypt");
         let back = ctx.decrypt(&sk, &ct);
         assert_close(&back[..4], &values, 1e-4);
+    }
+
+    #[test]
+    fn encrypt_symmetric_into_is_bit_identical() {
+        let (ctx, sk, _, mut rng) = toy_setup();
+        let values: Vec<f64> = (0..ctx.slot_count()).map(|i| (i as f64 * 0.3).cos()).collect();
+        let noise = ctx.sample_symmetric_noise(&mut rng);
+        let reference = ctx.encrypt_symmetric_with_noise(&sk, &values, &noise).expect("encrypt");
+        let mut arena = CkksEncryptArena::new();
+        let mut out = ctx.zero_ciphertext();
+        ctx.encrypt_symmetric_with_noise_into(&sk, &values, &noise, &mut arena, &mut out)
+            .expect("encrypt into");
+        assert_eq!(out.c0, reference.c0);
+        assert_eq!(out.c1, reference.c1);
+        assert_eq!(out.scale, reference.scale);
+        assert_eq!(out.c1_seed, reference.c1_seed);
+    }
+
+    #[test]
+    fn encrypt_symmetric_into_reuses_buffers_across_messages() {
+        let (ctx, sk, _, mut rng) = toy_setup();
+        let mut arena = CkksEncryptArena::new();
+        let mut out = ctx.zero_ciphertext();
+        let mut noise = CkksSymmetricNoise::default();
+        for round in 0..3 {
+            let values: Vec<f64> = (0..4).map(|i| (round * 10 + i) as f64).collect();
+            ctx.sample_symmetric_noise_into(&mut rng, &mut noise);
+            ctx.encrypt_symmetric_with_noise_into(&sk, &values, &noise, &mut arena, &mut out)
+                .expect("encrypt into");
+            let back = ctx.decrypt(&sk, &out);
+            assert_close(&back[..4], &values, 1e-4);
+        }
+    }
+
+    #[test]
+    fn sample_symmetric_noise_into_matches_owned_sampler() {
+        let (ctx, _, _, _) = toy_setup();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let owned = ctx.sample_symmetric_noise(&mut a);
+        let mut reused = CkksSymmetricNoise::default();
+        ctx.sample_symmetric_noise_into(&mut b, &mut reused);
+        assert_eq!(owned.seed, reused.seed);
+        assert_eq!(owned.e, reused.e);
     }
 
     #[test]

@@ -157,21 +157,37 @@ impl CkksEncoder {
     ///
     /// Panics if more than `N/2` values are supplied.
     pub fn encode(&self, values: &[f64]) -> Vec<i64> {
+        let mut z = Vec::new();
+        let mut coeffs = Vec::new();
+        self.encode_into(values, &mut z, &mut coeffs);
+        coeffs
+    }
+
+    /// [`CkksEncoder::encode`] into caller-owned buffers: `z` is FFT
+    /// scratch (resized to `N/2`), `coeffs` receives the `N` scaled
+    /// integer coefficients. Neither allocates once warm, making the
+    /// steady-state encode path allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` values are supplied.
+    pub fn encode_into(&self, values: &[f64], z: &mut Vec<Complex>, coeffs: &mut Vec<i64>) {
         let half = self.n / 2;
         assert!(values.len() <= half, "too many values for {} slots", half);
         let _t = telemetry::timer("fhe.ckks.encode");
-        let mut z: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        z.clear();
+        z.extend(values.iter().map(|&v| Complex::new(v, 0.0)));
         z.resize(half, Complex::default());
         // Inverse FFT recovers the folded, twisted coefficient vector d.
-        fft(&mut z, true);
+        fft(z, true);
         // Untwist: c_l = Re(d_l ξ^{-l}), c_{l+N/2} = Im(d_l ξ^{-l}).
-        let mut coeffs = vec![0i64; self.n];
+        coeffs.clear();
+        coeffs.resize(self.n, 0);
         for (l, d) in z.iter().enumerate() {
             let u = d.mul(self.twist_inv[l]);
             coeffs[l] = (u.re * self.scale).round() as i64;
             coeffs[l + half] = (u.im * self.scale).round() as i64;
         }
-        coeffs
     }
 
     /// Decodes `N` (already descaled-by-Δ-free) coefficient values into

@@ -35,7 +35,8 @@ pub mod threshold;
 pub mod view;
 
 pub use cipher::{
-    CkksCiphertext, CkksContext, CkksEncryptNoise, CkksPublicKey, CkksSecretKey, CkksSymmetricNoise,
+    CkksCiphertext, CkksContext, CkksEncryptArena, CkksEncryptNoise, CkksPublicKey, CkksSecretKey,
+    CkksSymmetricNoise,
 };
 pub use encoder::{CkksEncoder, Complex};
 pub use relin::{EvalKey, GaloisKey, RelinKey};

@@ -55,6 +55,17 @@ pub fn cached_table(n: usize, q: u64) -> Arc<NttTable> {
     table
 }
 
+/// Total bytes retained by the process-wide twiddle-table cache — one
+/// entry per `(n, q)` pair ever requested, never evicted. Feeds the
+/// `fhe.ntt_table_cache` entry of the memory observability breakdown.
+pub fn table_cache_bytes() -> u64 {
+    let Some(cache) = TABLE_CACHE.get() else {
+        return 0;
+    };
+    let map = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.values().map(|t| t.bytes()).sum()
+}
+
 /// `⌊w·2^64/q⌋` — Shoup's precomputed quotient for twiddle `w < q`.
 #[inline]
 fn shoup(w: u64, q: u64) -> u64 {
@@ -160,6 +171,14 @@ impl NttTable {
     /// The ring degree of this table.
     pub fn degree(&self) -> usize {
         self.n
+    }
+
+    /// Heap bytes held by this table's four twiddle vectors.
+    pub fn bytes(&self) -> u64 {
+        8 * (self.psi_rev.capacity()
+            + self.psi_rev_shoup.capacity()
+            + self.psi_inv_rev.capacity()
+            + self.psi_inv_rev_shoup.capacity()) as u64
     }
 
     /// In-place forward negacyclic NTT.

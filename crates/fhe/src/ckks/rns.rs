@@ -78,19 +78,38 @@ impl RnsPoly {
     /// Each coefficient is reduced into `[0, q_i)` per prime, mapping
     /// negative values to `q_i - |c|`.
     pub fn from_signed_coeffs(coeffs: &[i64], primes: &[u64]) -> Self {
-        let residues = primes
-            .iter()
-            .map(|&q| {
-                coeffs
-                    .iter()
-                    .map(|&c| {
-                        let r = (c % q as i64 + q as i64) % q as i64;
-                        r as u64
-                    })
-                    .collect()
-            })
-            .collect();
-        RnsPoly { residues, domain: Domain::Coeff }
+        let mut out = RnsPoly { residues: Vec::new(), domain: Domain::Coeff };
+        out.fill_from_signed(coeffs, primes);
+        out
+    }
+
+    /// Refills `self` from signed coefficients, reusing the existing row
+    /// allocations. Produces the exact shape and values of
+    /// [`RnsPoly::from_signed_coeffs`] and retags to `Coeff`.
+    pub(crate) fn fill_from_signed(&mut self, coeffs: &[i64], primes: &[u64]) {
+        self.ensure_shape(coeffs.len(), primes.len(), Domain::Coeff);
+        for (row, &q) in self.residues.iter_mut().zip(primes) {
+            for (slot, &c) in row.iter_mut().zip(coeffs) {
+                *slot = ((c % q as i64 + q as i64) % q as i64) as u64;
+            }
+        }
+    }
+
+    /// Resizes the residue rows to `levels` rows of `n` limbs each and
+    /// retags the domain, reusing allocations where possible. Row
+    /// contents are unspecified afterwards — callers must overwrite them.
+    pub(crate) fn ensure_shape(&mut self, n: usize, levels: usize, domain: Domain) {
+        self.residues.resize_with(levels, Vec::new);
+        for row in &mut self.residues {
+            row.resize(n, 0);
+        }
+        self.domain = domain;
+    }
+
+    /// Heap bytes held by the residue rows (capacity, not length).
+    pub fn heap_bytes(&self) -> u64 {
+        8 * self.residues.iter().map(|r| r.capacity() as u64).sum::<u64>()
+            + (self.residues.capacity() * std::mem::size_of::<Vec<u64>>()) as u64
     }
 
     /// Ring degree N.

@@ -86,8 +86,25 @@ impl SeedStream {
 /// Expands residue row `prime_idx` of the seeded uniform polynomial:
 /// `n` evaluation-domain points in `[0, q)`.
 pub(crate) fn expand_row(seed: &[u8; 32], prime_idx: usize, q: u64, n: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    expand_row_into(seed, prime_idx, q, n, &mut out);
+    out
+}
+
+/// [`expand_row`] into a caller-owned buffer (resized to `n`), reusing
+/// its allocation. Draws the exact same stream.
+pub(crate) fn expand_row_into(
+    seed: &[u8; 32],
+    prime_idx: usize,
+    q: u64,
+    n: usize,
+    out: &mut Vec<u64>,
+) {
     let mut stream = SeedStream::new(seed, prime_idx as u64);
-    (0..n).map(|_| stream.uniform_below(q)).collect()
+    out.resize(n, 0);
+    for slot in out.iter_mut() {
+        *slot = stream.uniform_below(q);
+    }
 }
 
 /// 32-bit integrity digest of a seed, carried alongside it on the wire.

@@ -28,7 +28,18 @@ pub fn discrete_gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> i64 {
 
 /// Samples a vector of discrete Gaussian deviates.
 pub fn gaussian_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64) -> Vec<i64> {
-    (0..n).map(|_| discrete_gaussian(rng, sigma)).collect()
+    let mut out = Vec::new();
+    gaussian_fill(rng, n, sigma, &mut out);
+    out
+}
+
+/// Fills (resizing) `out` with `n` discrete Gaussian deviates, reusing
+/// its allocation. Draws the exact RNG stream of [`gaussian_vec`].
+pub fn gaussian_fill<R: Rng + ?Sized>(rng: &mut R, n: usize, sigma: f64, out: &mut Vec<i64>) {
+    out.resize(n, 0);
+    for slot in out.iter_mut() {
+        *slot = discrete_gaussian(rng, sigma);
+    }
 }
 
 /// Samples a uniform ternary vector over {-1, 0, 1}.

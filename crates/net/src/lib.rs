@@ -70,6 +70,7 @@
 pub mod client;
 pub mod codec;
 pub mod error;
+mod residency;
 pub mod server;
 pub mod wire;
 

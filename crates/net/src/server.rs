@@ -41,9 +41,10 @@
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -52,11 +53,12 @@ use rhychee_core::round::{ClientUpdate, ServerRound};
 use rhychee_core::{Aggregation, FlError, Parallelism, StreamingAggregator};
 use rhychee_fhe::ckks::{CkksCiphertext, CkksContext};
 use rhychee_fhe::params::CkksParams;
-use rhychee_obs::{ObsHandle, ObsServer};
+use rhychee_obs::{ObsHandle, ObsServer, Watchdog};
 use rhychee_telemetry as telemetry;
 
 use crate::codec::{self, CanonicalCodec, SeededCodec, WireCodec};
 use crate::error::NetError;
+use crate::residency::{Residency, ResidencyPermit};
 use crate::wire::{self, Message, TraceContext, DEFAULT_MAX_PAYLOAD};
 
 /// How the server transports and aggregates model payloads.
@@ -115,6 +117,8 @@ pub struct ServerConfig {
     codec: Arc<dyn WireCodec>,
     streaming: bool,
     max_resident_uploads: usize,
+    watchdog_multiple: f64,
+    flight_dump_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -201,6 +205,17 @@ impl ServerConfig {
         self.max_resident_uploads
     }
 
+    /// Round-watchdog deadline as a multiple of `round_timeout`
+    /// (0 = watchdog disabled).
+    pub fn round_watchdog(&self) -> f64 {
+        self.watchdog_multiple
+    }
+
+    /// Where flight-recorder snapshots are dumped on a stall or panic.
+    pub fn flight_dump_dir(&self) -> Option<&std::path::Path> {
+        self.flight_dump_dir.as_deref()
+    }
+
     fn validate(&self) -> Result<(), NetError> {
         if self.clients == 0 || self.rounds == 0 || self.model_params == 0 {
             return Err(NetError::Protocol(
@@ -215,6 +230,11 @@ impl ServerConfig {
         }
         if self.max_resident_uploads == 0 {
             return Err(NetError::Protocol("max_resident_uploads must be positive".into()));
+        }
+        if !self.watchdog_multiple.is_finite() || self.watchdog_multiple < 0.0 {
+            return Err(NetError::Protocol(
+                "round_watchdog multiple must be finite and non-negative".into(),
+            ));
         }
         Ok(())
     }
@@ -238,6 +258,8 @@ pub struct ServerConfigBuilder {
     codec: Arc<dyn WireCodec>,
     streaming: bool,
     max_resident_uploads: usize,
+    watchdog_multiple: f64,
+    flight_dump_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfigBuilder {
@@ -258,6 +280,8 @@ impl Default for ServerConfigBuilder {
             codec: Arc::new(CanonicalCodec),
             streaming: true,
             max_resident_uploads: 4,
+            watchdog_multiple: 0.0,
+            flight_dump_dir: None,
         }
     }
 }
@@ -380,6 +404,30 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Arms the round watchdog: if any round phase (broadcast, collect,
+    /// aggregate) makes no progress for `round_timeout × multiple`, the
+    /// watchdog bumps the `fl.round.stalled` counter and — when
+    /// [`flight_dump_dir`](Self::flight_dump_dir) is set — dumps a
+    /// flight-recorder snapshot for post-mortem analysis. It fires at
+    /// most once per stalled phase. Use a multiple ≥ 1 so a phase that
+    /// legitimately runs to the round deadline is not reported; 0
+    /// disables the watchdog (the default).
+    pub fn round_watchdog(mut self, multiple: f64) -> Self {
+        self.watchdog_multiple = multiple;
+        self
+    }
+
+    /// Directory for flight-recorder snapshots (default: none). Setting
+    /// it also installs a process-wide panic hook that dumps one final
+    /// snapshot before the panic propagates, so a crashing server
+    /// leaves its observability state behind. Dumps are written on
+    /// watchdog stalls and panics; read them with the `mem_report`
+    /// binary.
+    pub fn flight_dump_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.flight_dump_dir = Some(dir.into());
+        self
+    }
+
     /// Validates and returns the config.
     ///
     /// # Errors
@@ -404,6 +452,8 @@ impl ServerConfigBuilder {
             codec: self.codec,
             streaming: self.streaming,
             max_resident_uploads: self.max_resident_uploads,
+            watchdog_multiple: self.watchdog_multiple,
+            flight_dump_dir: self.flight_dump_dir,
         };
         config.validate()?;
         Ok(config)
@@ -477,56 +527,6 @@ enum DecodedModel {
     },
     /// Undecodable or wrong-sized payload; the coordinator NACKs it.
     Invalid,
-}
-
-/// Counting semaphore bounding how many raw uploads are resident at
-/// once (see [`ServerConfigBuilder::max_resident_uploads`]). Handlers
-/// acquire a permit *before* reading their update frame, so the bytes
-/// of excess uploads stay in the kernel's TCP buffers — backpressure —
-/// rather than in process memory. Tracks the high-water mark for the
-/// `net.agg.peak_resident_uploads` gauge.
-struct Residency {
-    cap: usize,
-    /// `(held, peak)` resident-permit counts.
-    state: Mutex<(usize, usize)>,
-    freed: Condvar,
-}
-
-impl Residency {
-    fn new(cap: usize) -> Arc<Residency> {
-        Arc::new(Residency { cap, state: Mutex::new((0, 0)), freed: Condvar::new() })
-    }
-
-    /// Blocks until a slot frees, then claims it.
-    fn acquire(self: &Arc<Residency>) -> ResidencyPermit {
-        let mut state = self.state.lock().expect("residency state");
-        while state.0 >= self.cap {
-            state = self.freed.wait(state).expect("residency state");
-        }
-        state.0 += 1;
-        state.1 = state.1.max(state.0);
-        ResidencyPermit { residency: Arc::clone(self) }
-    }
-
-    /// High-water mark of concurrently resident uploads so far.
-    fn peak(&self) -> usize {
-        self.state.lock().expect("residency state").1
-    }
-}
-
-/// RAII slot from [`Residency::acquire`]; travels with the raw payload
-/// and frees the slot when the payload is dropped.
-struct ResidencyPermit {
-    residency: Arc<Residency>,
-}
-
-impl Drop for ResidencyPermit {
-    fn drop(&mut self) {
-        let mut state = self.residency.state.lock().expect("residency state");
-        state.0 -= 1;
-        drop(state);
-        self.residency.freed.notify_one();
-    }
 }
 
 /// Handler → coordinator events.
@@ -617,9 +617,13 @@ impl FlServer {
     ) -> Result<Self, NetError> {
         config.validate()?;
         let listener = TcpListener::bind(addr)?;
+        if let Some(dir) = config.flight_dump_dir() {
+            rhychee_obs::flight::install_panic_hook(dir.to_path_buf());
+        }
         let obs = match config.obs_addr() {
             Some(obs_addr) => {
                 telemetry::set_enabled(true);
+                telemetry::mem::init_start_time();
                 telemetry::gauge("fl.round.current", 0.0);
                 telemetry::gauge("fl.rounds.total", config.rounds() as f64);
                 telemetry::gauge("fl.clients.connected", 0.0);
@@ -699,6 +703,21 @@ impl FlServer {
         let mut handlers = self.accept_clients(&event_tx, &shared)?;
         telemetry::gauge("fl.clients.connected", handlers.len() as f64);
 
+        // Liveness: every round-phase transition beats the watchdog; a
+        // phase that overstays round_timeout × multiple gets reported
+        // once and flight-recorded (ServerConfigBuilder::round_watchdog).
+        let watchdog = (self.config.watchdog_multiple > 0.0).then(|| {
+            Watchdog::spawn(
+                self.config.round_timeout.mul_f64(self.config.watchdog_multiple),
+                self.config.flight_dump_dir.clone(),
+            )
+        });
+        let beat = |phase: &'static str| {
+            if let Some(wd) = &watchdog {
+                wd.beat(phase);
+            }
+        };
+
         // Rejoin support: a shared id set gates duplicate Hellos (the
         // coordinator owns the handler map, so the background acceptor
         // cannot check it directly), and queued reconnections activate
@@ -762,6 +781,7 @@ impl FlServer {
             let live_at_start = handlers.len();
             // 1-based "round in flight" (0 means still handshaking).
             telemetry::gauge("fl.round.current", (round + 1) as f64);
+            beat("broadcast");
             let payload = Arc::new(self.encode_global(&global, ctx.as_deref()));
             for h in handlers.values() {
                 let _ = h.cmd_tx.send(HandlerCmd::Broadcast {
@@ -786,6 +806,7 @@ impl FlServer {
             let mut rejected = 0usize;
             let mut arrivals: Vec<rhychee_obs::rounds::ClientArrival> = Vec::new();
             let mut quorum_ns: Option<u64> = None;
+            beat("collect");
             let deadline = Instant::now() + self.config.round_timeout;
             // A client whose upload already folded may drop out of
             // `handlers` before the round closes; its contribution
@@ -809,14 +830,28 @@ impl FlServer {
                             && match (&mut agg, model) {
                                 (RoundAgg::Stream(s), DecodedModel::Raw { payload, _permit }) => {
                                     let cx = ctx.as_deref().expect("streaming requires CKKS");
+                                    // Parse outside the fold span: building
+                                    // the per-chunk view table allocates one
+                                    // small Vec, and the zero-alloc claim is
+                                    // about the fold kernel itself.
+                                    let parsed = wire_codec.parse_upload(cx, &payload, max_cts);
                                     let fspan = telemetry::span("net_fold");
-                                    let folded =
-                                        match wire_codec.parse_upload(cx, &payload, max_cts) {
-                                            Ok(mv) if mv.len() == max_cts => s
-                                                .fold_upload(cx, client_id, r, mv.views())
-                                                .map_err(|e| stream_abort(round, e))?,
-                                            _ => false,
-                                        };
+                                    let folded = match parsed {
+                                        Ok(mv) if mv.len() == max_cts => s
+                                            .fold_upload(cx, client_id, r, mv.views())
+                                            .map_err(|e| stream_abort(round, e))?,
+                                        _ => false,
+                                    };
+                                    // Per-phase allocation attribution:
+                                    // a steady-state fold should report
+                                    // 0 bytes (the streaming path reuses
+                                    // the accumulator in place).
+                                    if telemetry::alloc::installed() {
+                                        telemetry::observe(
+                                            "fl.phase.fold.alloc_bytes",
+                                            fspan.alloc_bytes(),
+                                        );
+                                    }
                                     telemetry::observe_duration("fl.phase.fold.ns", fspan.finish());
                                     // `payload` and its residency permit
                                     // drop here: the upload's bytes live
@@ -881,6 +916,7 @@ impl FlServer {
             }
             telemetry::gauge("fl.quorum.met", 1.0);
 
+            beat("aggregate");
             let agg_span = telemetry::span("net_aggregate");
             let received = agg.received();
             global = match agg {
@@ -890,6 +926,9 @@ impl FlServer {
                     GlobalState::Ckks(s.finish(cx).map_err(|e| stream_abort(round, e))?)
                 }
             };
+            if telemetry::alloc::installed() {
+                telemetry::observe("fl.phase.aggregate.alloc_bytes", agg_span.alloc_bytes());
+            }
             let aggregate_time = agg_span.finish();
             telemetry::observe_duration("fl.phase.aggregate.ns", aggregate_time);
             report.rounds.push(NetRoundReport {
@@ -914,12 +953,20 @@ impl FlServer {
             telemetry::gauge("net.bytes.tx", shared.bytes_tx.load(Ordering::Relaxed) as f64);
             telemetry::gauge("net.bytes.rx", shared.bytes_rx.load(Ordering::Relaxed) as f64);
             if let Some(residency) = &residency {
+                telemetry::gauge("net.agg.resident_uploads", residency.held() as f64);
                 telemetry::gauge("net.agg.peak_resident_uploads", residency.peak() as f64);
+                telemetry::gauge("net.agg.resident_upload_bytes", residency.bytes() as f64);
+                telemetry::gauge(
+                    "net.agg.peak_resident_upload_bytes",
+                    residency.peak_bytes() as f64,
+                );
             }
             span.finish();
+            beat("idle");
         }
 
         // Final distribution: the aggregated model of the last round.
+        beat("final_broadcast");
         let payload = Arc::new(self.encode_global(&global, ctx.as_deref()));
         for h in handlers.values() {
             let _ = h.cmd_tx.send(HandlerCmd::Broadcast {
@@ -933,6 +980,7 @@ impl FlServer {
             drop(h.cmd_tx);
             let _ = h.join.join();
         }
+        drop(watchdog); // the run is over; nothing left to stall
         if let Some(acceptor) = rejoin {
             acceptor.shutdown();
         }
@@ -1255,6 +1303,9 @@ fn handler_loop(
                 let msg = Message::Global { round, last, model: payload.as_ref().clone() };
                 let bspan = telemetry::span("broadcast");
                 let wrote = wire::write_message_ctx(&mut stream, &msg, ctx.as_ref());
+                if telemetry::alloc::installed() {
+                    telemetry::observe("fl.phase.broadcast.alloc_bytes", bspan.alloc_bytes());
+                }
                 telemetry::observe_duration("fl.phase.broadcast.ns", bspan.finish());
                 match wrote {
                     Ok(n) => {
@@ -1329,7 +1380,13 @@ fn handler_loop(
                         // parents under the client's upload span rather
                         // than the round span.
                         let model = match permit {
-                            Some(permit) => DecodedModel::Raw { payload: model, _permit: permit },
+                            Some(mut permit) => {
+                                // Charge the payload's bytes to the slot
+                                // so the memory plane can see exactly how
+                                // much raw upload data is resident.
+                                permit.track_bytes(model.len() as u64);
+                                DecodedModel::Raw { payload: model, _permit: permit }
+                            }
                             None => {
                                 if uctx.is_some() {
                                     telemetry::trace::set_remote_context(uctx);
@@ -1382,6 +1439,23 @@ mod tests {
         assert!(ServerConfig::builder().build().is_err());
         assert!(ServerConfig::builder().clients(4).rounds(3).build().is_err());
         assert!(ServerConfig::builder().clients(4).model_params(10).build().is_err());
+    }
+
+    #[test]
+    fn builder_configures_watchdog_and_dump_dir() {
+        let base = || ServerConfig::builder().clients(4).rounds(3).model_params(10);
+        let cfg = base().build().expect("valid");
+        assert_eq!(cfg.round_watchdog(), 0.0, "watchdog defaults to disabled");
+        assert!(cfg.flight_dump_dir().is_none());
+        let cfg = base()
+            .round_watchdog(1.5)
+            .flight_dump_dir("/tmp/rhychee-dumps")
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.round_watchdog(), 1.5);
+        assert_eq!(cfg.flight_dump_dir(), Some(std::path::Path::new("/tmp/rhychee-dumps")));
+        assert!(base().round_watchdog(-1.0).build().is_err());
+        assert!(base().round_watchdog(f64::NAN).build().is_err());
     }
 
     #[test]

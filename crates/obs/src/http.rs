@@ -1,14 +1,20 @@
 //! Hand-rolled blocking HTTP/1.1 exposition server.
 //!
-//! Serves four read-only endpoints off the global telemetry state:
+//! Serves five read-only endpoints off the global telemetry state:
 //!
-//! - `/metrics` — Prometheus text exposition ([`crate::prometheus`])
+//! - `/metrics` — Prometheus text exposition ([`crate::prometheus`]);
+//!   every scrape first refreshes the `mem.*` gauges from their live
+//!   sources so heap/RSS/subsystem figures are scrape-fresh
 //! - `/healthz` — JSON liveness summary (round number, quorum status,
-//!   connected clients, pool queue depth, wire byte counters)
-//! - `/trace.json` — the ring of most recent completed spans, plus the
-//!   count of spans dropped on ring overflow
+//!   connected clients, uptime, memory headline figures, pool queue
+//!   depth, wire byte counters)
+//! - `/trace.json` — the ring of most recent completed spans (with
+//!   per-span allocation attribution when the tracking allocator is
+//!   installed), plus the count of spans dropped on ring overflow
 //! - `/rounds.json` — the per-round federation timeline with
 //!   round-phase SLO quantiles ([`crate::rounds`])
+//! - `/memory.json` — the reconciled memory breakdown
+//!   ([`crate::memory`])
 //!
 //! The server follows the `rhychee-net` socket idioms: a nonblocking
 //! accept loop polled on a short sleep (so shutdown needs no self-
@@ -150,6 +156,7 @@ fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
     }
     match path {
         "/metrics" => {
+            let _ = crate::memory::refresh_gauges();
             let body = prometheus::render(&telemetry::metrics::global().snapshot());
             write_response(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
         }
@@ -158,11 +165,14 @@ fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
         "/rounds.json" => {
             write_response(&mut stream, "200 OK", "application/json", &crate::rounds::render_json())
         }
+        "/memory.json" => {
+            write_response(&mut stream, "200 OK", "application/json", &crate::memory::memory_body())
+        }
         _ => write_response(
             &mut stream,
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "try /metrics, /healthz, /trace.json or /rounds.json\n",
+            "try /metrics, /healthz, /trace.json, /rounds.json or /memory.json\n",
         ),
     }
 }
@@ -224,8 +234,20 @@ fn health_body() -> String {
             reg.counter("fl.scenario.threshold_recovery_failures").get(),
         )
         .finish();
+    // Memory headline figures, refreshed at scrape time so /healthz and
+    // /memory.json can never disagree about the same instant.
+    let _ = crate::memory::refresh_gauges();
+    let heap = telemetry::alloc::stats();
+    let (rss_now, rss_peak) = telemetry::mem::sample_rss().unwrap_or((0, 0));
+    let memory = JsonObject::new()
+        .u64("heap_live_bytes", heap.live_bytes)
+        .u64("heap_peak_bytes", heap.peak_bytes)
+        .u64("rss_bytes", rss_now)
+        .u64("rss_peak_bytes", rss_peak)
+        .finish();
     JsonObject::new()
         .str("status", "ok")
+        .f64("uptime_s", telemetry::mem::uptime_seconds())
         .u64("round", gauge("fl.round.current") as u64)
         .u64("rounds_total", gauge("fl.rounds.total") as u64)
         .u64("clients_connected", gauge("fl.clients.connected") as u64)
@@ -234,6 +256,10 @@ fn health_body() -> String {
         .u64("bytes_tx", reg.counter("net.bytes_tx").get())
         .u64("bytes_rx", reg.counter("net.bytes_rx").get())
         .u64("rejoined_clients", reg.counter("net.rejoins").get())
+        .u64("resident_uploads", gauge("net.agg.resident_uploads") as u64)
+        .u64("peak_resident_uploads", gauge("net.agg.peak_resident_uploads") as u64)
+        .u64("round_stalls", reg.counter("fl.round.stalled").get())
+        .raw("memory", &memory)
         .raw("scenario", &scenario)
         .finish()
 }
@@ -248,16 +274,17 @@ fn trace_body() -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str(
-            &JsonObject::new()
-                .str("name", e.name)
-                .str("path", &e.path)
-                .u64("depth", u64::from(e.depth))
-                .u64("thread", e.thread)
-                .u64("start_ns", e.start_ns)
-                .u64("dur_ns", e.dur_ns)
-                .finish(),
-        );
+        let mut obj = JsonObject::new();
+        obj.str("name", e.name)
+            .str("path", &e.path)
+            .u64("depth", u64::from(e.depth))
+            .u64("thread", e.thread)
+            .u64("start_ns", e.start_ns)
+            .u64("dur_ns", e.dur_ns);
+        if e.alloc_bytes != 0 || e.alloc_calls != 0 {
+            obj.u64("alloc_bytes", e.alloc_bytes).u64("alloc_calls", e.alloc_calls);
+        }
+        out.push_str(&obj.finish());
     }
     out.push_str("]}");
     out
@@ -297,8 +324,17 @@ mod tests {
         assert_eq!(status, "HTTP/1.1 200 OK");
         assert!(body.contains("\"status\":\"ok\""), "{body}");
         assert!(body.contains("\"round\":2"), "{body}");
+        assert!(body.contains("\"uptime_s\":"), "{body}");
+        assert!(body.contains("\"peak_resident_uploads\":"), "{body}");
+        assert!(body.contains("\"round_stalls\":"), "{body}");
+        assert!(body.contains("\"memory\":{\"heap_live_bytes\":"), "{body}");
         assert!(body.contains("\"scenario\":{"), "{body}");
         assert!(body.contains("\"attacks_injected\":"), "{body}");
+
+        let (status, body) = get(addr, "GET /memory.json HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"heap\":{\"installed\":"), "{body}");
+        assert!(body.contains("\"sources\":{"), "{body}");
 
         let (status, body) = get(addr, "GET /trace.json?limit=5 HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(status, "HTTP/1.1 200 OK");

@@ -4,8 +4,16 @@
 //! HTTP/1.1 exposition server ([`http::ObsServer`]) publishing the global
 //! telemetry registry as Prometheus text ([`prometheus::render`]) on
 //! `/metrics`, a JSON liveness summary on `/healthz`, the recent-span
-//! ring on `/trace.json`, and the per-round federation timeline with
-//! round-phase SLO quantiles on `/rounds.json` ([`rounds::render_json`]).
+//! ring on `/trace.json`, the per-round federation timeline with
+//! round-phase SLO quantiles on `/rounds.json` ([`rounds::render_json`]),
+//! and the reconciled memory breakdown — tracking-allocator heap, RSS,
+//! per-subsystem bytes — on `/memory.json` ([`memory::memory_body`]).
+//!
+//! Liveness failures get first-class handling: the round [`Watchdog`]
+//! detects a stalled round phase and the [`flight`] recorder dumps a
+//! full observability snapshot (spans with allocation attribution,
+//! metrics, memory breakdown) to disk for post-mortem reading with the
+//! `mem_report` binary.
 //!
 //! The server is wired into `rhychee-net`'s `FlServer` via
 //! `ServerConfig::builder().obs_addr(...)`; it can also be embedded
@@ -23,10 +31,14 @@
 //! Metric naming, the exposition grammar, and the noise-budget gauge
 //! taxonomy are documented in DESIGN.md §10.
 
+pub mod flight;
 pub mod http;
+pub mod memory;
 pub mod prometheus;
 pub mod rounds;
+pub mod watchdog;
 
 pub use http::{ObsHandle, ObsServer};
 pub use prometheus::{metric_name, render};
 pub use rounds::{ClientArrival, RoundRecord};
+pub use watchdog::Watchdog;

@@ -1,0 +1,198 @@
+//! Round watchdog: detects a stalled round phase and dumps evidence.
+//!
+//! The server [beats](Watchdog::beat) the watchdog at every round-phase
+//! transition (broadcast, collect, aggregate, idle). A background
+//! thread checks that a beat arrived within the configured deadline; if
+//! a phase overstays it, the watchdog **fires**: it bumps the
+//! `fl.round.stalled` counter, logs the stuck phase, and writes a
+//! [flight-recorder](crate::flight) snapshot to the dump directory so
+//! the stall can be diagnosed after the fact (which clients were
+//! resident, where memory sat, what the last spans were).
+//!
+//! Firing is edge-triggered: each beat opens a new epoch, and the
+//! watchdog fires **at most once per epoch** — a wedged phase produces
+//! one dump, not one per poll tick. The next beat re-arms it.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rhychee_telemetry as telemetry;
+
+struct WatchState {
+    phase: &'static str,
+    /// Incremented on every beat; the fire path records which epoch it
+    /// fired for so it cannot fire twice without an intervening beat.
+    epoch: u64,
+    last_beat: Instant,
+    fired_epoch: Option<u64>,
+    stopped: bool,
+}
+
+struct Inner {
+    deadline: Duration,
+    dump_dir: Option<PathBuf>,
+    state: Mutex<WatchState>,
+    tick: Condvar,
+}
+
+/// Handle to a running round watchdog. Dropping it stops the poll
+/// thread.
+pub struct Watchdog {
+    inner: Arc<Inner>,
+    poll: Option<thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts a watchdog that fires when no [`beat`](Self::beat)
+    /// arrives within `deadline`. When `dump_dir` is set, each firing
+    /// writes a flight-recorder snapshot there (reason `"stall"`).
+    pub fn spawn(deadline: Duration, dump_dir: Option<PathBuf>) -> Watchdog {
+        assert!(deadline > Duration::ZERO, "watchdog deadline must be positive");
+        let inner = Arc::new(Inner {
+            deadline,
+            dump_dir,
+            state: Mutex::new(WatchState {
+                phase: "startup",
+                epoch: 0,
+                last_beat: Instant::now(),
+                fired_epoch: None,
+                stopped: false,
+            }),
+            tick: Condvar::new(),
+        });
+        let poll_inner = Arc::clone(&inner);
+        let poll = thread::Builder::new()
+            .name("round-watchdog".into())
+            .spawn(move || poll_loop(&poll_inner))
+            .expect("spawn watchdog thread");
+        Watchdog { inner, poll: Some(poll) }
+    }
+
+    /// Marks a phase transition: the round made progress and is now in
+    /// `phase`. Opens a new epoch and re-arms the watchdog.
+    pub fn beat(&self, phase: &'static str) {
+        let mut state = self.inner.state.lock().expect("watchdog state");
+        state.phase = phase;
+        state.epoch += 1;
+        state.last_beat = Instant::now();
+        drop(state);
+        self.inner.tick.notify_one();
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("watchdog state");
+            state.stopped = true;
+        }
+        self.inner.tick.notify_one();
+        if let Some(poll) = self.poll.take() {
+            let _ = poll.join();
+        }
+    }
+}
+
+fn poll_loop(inner: &Inner) {
+    let mut state = inner.state.lock().expect("watchdog state");
+    loop {
+        if state.stopped {
+            return;
+        }
+        let elapsed = state.last_beat.elapsed();
+        let overdue = elapsed >= inner.deadline;
+        if overdue && state.fired_epoch != Some(state.epoch) {
+            state.fired_epoch = Some(state.epoch);
+            let phase = state.phase;
+            // Fire outside the lock: the dump walks the full metrics
+            // registry and must not block beats.
+            drop(state);
+            fire(inner, phase, elapsed);
+            state = inner.state.lock().expect("watchdog state");
+            continue;
+        }
+        // Sleep until the current epoch's deadline (or a beat/stop).
+        let wait = if overdue { inner.deadline } else { inner.deadline - elapsed };
+        let (next, _) = inner.tick.wait_timeout(state, wait).expect("watchdog state");
+        state = next;
+    }
+}
+
+fn fire(inner: &Inner, phase: &'static str, elapsed: Duration) {
+    // Straight to the registry, not the `telemetry::count` facade: a
+    // stall must be recorded even when fine-grained telemetry is off.
+    telemetry::metrics::global().counter("fl.round.stalled").add(1);
+    eprintln!(
+        "round watchdog: phase '{phase}' stalled for {:.1}s (deadline {:.1}s)",
+        elapsed.as_secs_f64(),
+        inner.deadline.as_secs_f64()
+    );
+    if let Some(dir) = &inner.dump_dir {
+        match crate::flight::dump(dir, "stall") {
+            Ok(path) => eprintln!("round watchdog: flight recorder dumped to {}", path.display()),
+            Err(err) => eprintln!("round watchdog: flight recorder dump failed: {err}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The stall counter is process-global; tests asserting exact
+    /// deltas must not observe each other's firings.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn stall_count() -> u64 {
+        telemetry::metrics::global().counter("fl.round.stalled").get()
+    }
+
+    #[test]
+    fn fires_exactly_once_per_stalled_epoch() {
+        let _serial = COUNTER_LOCK.lock().expect("counter lock");
+        let before = stall_count();
+        let wd = Watchdog::spawn(Duration::from_millis(20), None);
+        wd.beat("collect");
+        thread::sleep(Duration::from_millis(150));
+        assert_eq!(stall_count() - before, 1, "one stall, one firing — not one per poll tick");
+        // A beat re-arms it; a fresh stall fires again.
+        wd.beat("aggregate");
+        thread::sleep(Duration::from_millis(150));
+        assert_eq!(stall_count() - before, 2, "re-armed watchdog fires for the new epoch");
+    }
+
+    #[test]
+    fn steady_beats_never_fire() {
+        let _serial = COUNTER_LOCK.lock().expect("counter lock");
+        let before = stall_count();
+        let wd = Watchdog::spawn(Duration::from_millis(60), None);
+        for _ in 0..10 {
+            wd.beat("collect");
+            thread::sleep(Duration::from_millis(5));
+        }
+        drop(wd);
+        assert_eq!(stall_count(), before, "beats inside the deadline keep the watchdog quiet");
+    }
+
+    #[test]
+    fn firing_writes_a_flight_dump() {
+        let _serial = COUNTER_LOCK.lock().expect("counter lock");
+        let dir =
+            std::env::temp_dir().join(format!("rhychee-watchdog-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wd = Watchdog::spawn(Duration::from_millis(20), Some(dir.clone()));
+        wd.beat("collect");
+        thread::sleep(Duration::from_millis(150));
+        drop(wd);
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dump dir created")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("flight-stall-") && n.ends_with(".json"))
+            .collect();
+        assert_eq!(dumps.len(), 1, "exactly one dump for one stall: {dumps:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -49,8 +49,10 @@
 //! println!("{}", telemetry::trace::summary_table(&snapshot));
 //! ```
 
+pub mod alloc;
 pub mod fedmerge;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod span;
@@ -59,6 +61,7 @@ pub mod trace;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+pub use alloc::{AllocStats, TrackingAlloc};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry};
 pub use profile::{SpanNode, SpanTree};
 pub use span::Span;

@@ -6,6 +6,14 @@
 //! every span a `parent/child` path — and, on completion, records a
 //! [`SpanEvent`](crate::trace::SpanEvent) into the global trace buffer and
 //! its duration into the histogram named after the span.
+//!
+//! When the [tracking allocator](crate::alloc) is installed, each tracked
+//! span also snapshots the opening thread's cumulative allocation counter
+//! as the last step of opening and diffs it as the first step of closing,
+//! so `SpanEvent::alloc_bytes` reports exactly the bytes the wrapped code
+//! allocated on that thread — the span's own bookkeeping (path `String`,
+//! trace-ring insertion) lands outside the measurement window and is
+//! attributed to the parent.
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +52,10 @@ pub struct Span {
     /// Remote trace context installed on this thread when the span
     /// opened; stamped onto the recorded event at close.
     ctx: Option<trace::TraceContext>,
+    /// Opening thread's cumulative `(bytes, calls)` allocation counters,
+    /// snapshotted after all open-time bookkeeping so the close-time diff
+    /// covers only the wrapped code.
+    alloc_at_open: (u64, u64),
     finished: bool,
 }
 
@@ -63,7 +75,11 @@ pub(crate) fn open(name: &'static str) -> Span {
     } else {
         (None, 0, None)
     };
-    Span { name, start: Instant::now(), tracked_depth, id, ctx, finished: false }
+    // Snapshot the allocation counters last — the path push above
+    // allocates, and that must bill to the parent span, not this one.
+    let alloc_at_open =
+        (crate::alloc::thread_allocated_bytes(), crate::alloc::thread_alloc_calls());
+    Span { name, start: Instant::now(), tracked_depth, id, ctx, alloc_at_open, finished: false }
 }
 
 impl Span {
@@ -85,6 +101,13 @@ impl Span {
         self.start.elapsed()
     }
 
+    /// Bytes the calling thread has allocated since this span opened.
+    /// Meaningful only on the thread that opened the span and only when
+    /// the [tracking allocator](crate::alloc) is installed (0 otherwise).
+    pub fn alloc_bytes(&self) -> u64 {
+        crate::alloc::thread_allocated_bytes().saturating_sub(self.alloc_at_open.0)
+    }
+
     /// Closes the span and returns its duration. Recording (trace event +
     /// duration histogram) happens only if telemetry was enabled when the
     /// span opened.
@@ -93,6 +116,11 @@ impl Span {
     }
 
     fn close(&mut self) -> Duration {
+        // Diff the allocation counters before the duration read and all
+        // close-time bookkeeping, so only the wrapped code is measured.
+        let alloc_bytes =
+            crate::alloc::thread_allocated_bytes().saturating_sub(self.alloc_at_open.0);
+        let alloc_calls = crate::alloc::thread_alloc_calls().saturating_sub(self.alloc_at_open.1);
         let dur = self.start.elapsed();
         if self.finished {
             return dur;
@@ -107,16 +135,25 @@ impl Span {
                 stack.pop().unwrap_or_else(|| self.name.to_owned())
             });
             crate::metrics::global().histogram(self.name).record(dur.as_nanos() as u64);
-            trace::record_span(
-                self.name,
+            if crate::alloc::installed() {
+                // Per-span-name allocation histogram, only when the
+                // tracking allocator is feeding real numbers.
+                crate::metrics::global()
+                    .histogram(&format!("{}.alloc_bytes", self.name))
+                    .record(alloc_bytes);
+            }
+            trace::record_span(trace::SpanRecord {
+                name: self.name,
                 path,
-                depth as u32,
-                thread_seq(),
-                self.start,
+                depth: depth as u32,
+                thread: thread_seq(),
+                start: self.start,
                 dur,
-                self.id,
-                self.ctx,
-            );
+                span_id: self.id,
+                ctx: self.ctx,
+                alloc_bytes,
+                alloc_calls,
+            });
         }
         dur
     }

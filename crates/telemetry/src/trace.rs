@@ -166,6 +166,11 @@ pub struct SpanEvent {
     pub remote_parent: u64,
     /// Actor label of the recording thread, if one was set.
     pub actor: Option<Arc<str>>,
+    /// Bytes the opening thread allocated inside the span (0 when the
+    /// [tracking allocator](crate::alloc) is not installed).
+    pub alloc_bytes: u64,
+    /// Allocation calls the opening thread made inside the span.
+    pub alloc_calls: u64,
 }
 
 fn epoch() -> Instant {
@@ -205,18 +210,35 @@ pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
+/// Everything `Span::close` hands to the trace buffer for one completed
+/// span.
+pub(crate) struct SpanRecord {
+    pub name: &'static str,
+    pub path: String,
+    pub depth: u32,
+    pub thread: u64,
+    pub start: Instant,
+    pub dur: Duration,
+    pub span_id: u64,
+    pub ctx: Option<TraceContext>,
+    pub alloc_bytes: u64,
+    pub alloc_calls: u64,
+}
+
 /// Appends a completed span to the trace buffer (called by `Span`).
-#[allow(clippy::too_many_arguments)] // internal plumbing; every field feeds one SpanEvent
-pub(crate) fn record_span(
-    name: &'static str,
-    path: String,
-    depth: u32,
-    thread: u64,
-    start: Instant,
-    dur: Duration,
-    span_id: u64,
-    ctx: Option<TraceContext>,
-) {
+pub(crate) fn record_span(rec: SpanRecord) {
+    let SpanRecord {
+        name,
+        path,
+        depth,
+        thread,
+        start,
+        dur,
+        span_id,
+        ctx,
+        alloc_bytes,
+        alloc_calls,
+    } = rec;
     let start_ns = start.saturating_duration_since(epoch()).as_nanos() as u64;
     let event = SpanEvent {
         name,
@@ -231,6 +253,8 @@ pub(crate) fn record_span(
         // locally through their path.
         remote_parent: if depth == 0 { ctx.map_or(0, |c| c.parent_span) } else { 0 },
         actor: actor(),
+        alloc_bytes,
+        alloc_calls,
     };
     {
         let mut ring = recent_ring().lock().expect("trace ring lock");
@@ -299,6 +323,11 @@ impl<W: Write> TraceWriter<W> {
         }
         if let Some(actor) = &e.actor {
             obj.str("actor", actor);
+        }
+        // Allocation attribution only when the tracking allocator
+        // recorded something — untracked runs keep the compact shape.
+        if e.alloc_bytes != 0 || e.alloc_calls != 0 {
+            obj.u64("alloc_bytes", e.alloc_bytes).u64("alloc_calls", e.alloc_calls);
         }
         writeln!(self.w, "{}", obj.finish())
     }
@@ -393,9 +422,21 @@ fn format_ns(ns: u64) -> String {
     }
 }
 
+fn format_bytes(b: u64) -> String {
+    let f = b as f64;
+    if f >= 1048576.0 {
+        format!("{:.2}MiB", f / 1048576.0)
+    } else if f >= 1024.0 {
+        format!("{:.2}KiB", f / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
 /// Renders a snapshot as an aligned, human-readable summary table:
 /// counters and gauges first, then histograms with count/mean/p50/p90/
-/// p99/max (durations pretty-printed from nanoseconds).
+/// p99/max (durations pretty-printed from nanoseconds; histograms whose
+/// name ends in `bytes` are rendered as byte sizes instead).
 pub fn summary_table(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     if !snap.counters.is_empty() || !snap.gauges.is_empty() {
@@ -422,15 +463,17 @@ pub fn summary_table(snap: &MetricsSnapshot) -> String {
         ));
         for h in &snap.histograms {
             let mean = h.sum.checked_div(h.count).unwrap_or(0);
+            let fmt: fn(u64) -> String =
+                if h.name.ends_with("bytes") { format_bytes } else { format_ns };
             out.push_str(&format!(
                 "{:<width$}  {:>10} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
                 h.name,
                 h.count,
-                format_ns(mean),
-                format_ns(h.p50),
-                format_ns(h.p90),
-                format_ns(h.p99),
-                format_ns(h.max),
+                fmt(mean),
+                fmt(h.p50),
+                fmt(h.p90),
+                fmt(h.p99),
+                fmt(h.max),
             ));
         }
     }
