@@ -5,15 +5,25 @@
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--max-ratio R]        # BENCH_fhe.json
 //! bench_check --net <baseline.json> <fresh.json> [--max-ratio R]  # BENCH_net.json
+//! bench_check --decrypt-identity <a.json> <b.json>                # matrix legs
 //! ```
 //!
 //! The default mode joins the `"results"` rows of two `BENCH_fhe.json`
-//! documents on `(op, threads)` and gates ns/op. `--net` gates the
-//! scalar figures of `BENCH_net.json`: `fold_view_ns_per_ct` plus the
-//! memory peaks (`heap_peak_bytes`, `rss_peak_bytes`). A missing or
-//! field-incomplete `--net` baseline skips those comparisons with a
-//! note instead of failing — the baseline grows fields (and appears at
-//! all) one commit after the bench starts emitting them.
+//! documents on `(op, threads)` and gates ns/op — but only rows whose
+//! NTT `backend` labels agree (rows without the label, from older
+//! baselines, compare with anything). Comparing a scalar baseline
+//! against an AVX measurement would misread a hardware change as a
+//! speedup or regression; mismatched-backend rows are skipped with a
+//! note instead. `--net` gates the scalar figures of `BENCH_net.json`:
+//! `fold_view_ns_per_ct` plus the memory peaks (`heap_peak_bytes`,
+//! `rss_peak_bytes`). A missing or field-incomplete `--net` baseline
+//! skips those comparisons with a note instead of failing — the
+//! baseline grows fields (and appears at all) one commit after the
+//! bench starts emitting them. `--decrypt-identity` compares the
+//! `decrypt_fingerprint` of two artifacts from the same commit (CI's
+//! `RHYCHEE_NTT_BACKEND` matrix legs) and fails on any difference: NTT
+//! backends are bit-identical by contract, so the seeded decrypt output
+//! must match exactly.
 //!
 //! Exit codes: 0 = within budget, 1 = regression past `--max-ratio`
 //! (default 2.0 — generous on purpose, CI runners are noisy), 2 =
@@ -30,6 +40,8 @@ struct BenchRow {
     op: String,
     threads: u64,
     ns_per_op: f64,
+    /// NTT backend label; `None` for rows that pre-date the field.
+    backend: Option<String>,
 }
 
 /// Extracts the string value of `"key"` from one JSON object body.
@@ -86,6 +98,7 @@ fn parse_results(json: &str) -> Result<Vec<BenchRow>, String> {
                 as u64,
             ns_per_op: num_field(obj, "ns_per_op")
                 .ok_or_else(|| format!("row without \"ns_per_op\": {obj}"))?,
+            backend: str_field(obj, "backend"),
         });
         rest = &rest[end + 1..];
     }
@@ -104,12 +117,34 @@ struct Comparison {
     ratio: f64,
 }
 
-/// Joins the two row sets on `(op, threads)`. Errors when the
-/// intersection is empty — a gate that compares nothing must not pass.
+/// `true` when two rows ran on comparable NTT backends: equal labels,
+/// or either side pre-dates the label (legacy baselines gate against
+/// whatever the fresh run used, as they always have).
+fn backends_comparable(a: &BenchRow, b: &BenchRow) -> bool {
+    match (&a.backend, &b.backend) {
+        (Some(x), Some(y)) => x == y,
+        _ => true,
+    }
+}
+
+/// Joins the two row sets on `(op, threads)` plus backend
+/// compatibility. Errors when the intersection is empty — a gate that
+/// compares nothing must not pass.
 fn compare(baseline: &[BenchRow], fresh: &[BenchRow]) -> Result<Vec<Comparison>, String> {
     let mut out = Vec::new();
     for b in baseline {
-        let Some(f) = fresh.iter().find(|f| f.op == b.op && f.threads == b.threads) else {
+        let Some(f) = fresh
+            .iter()
+            .find(|f| f.op == b.op && f.threads == b.threads && backends_comparable(b, f))
+        else {
+            if fresh.iter().any(|f| f.op == b.op && f.threads == b.threads) {
+                println!(
+                    "bench_check: {}@{}t backend changed ({} -> fresh hardware); skipping",
+                    b.op,
+                    b.threads,
+                    b.backend.as_deref().unwrap_or("unlabeled")
+                );
+            }
             continue;
         };
         if b.ns_per_op <= 0.0 {
@@ -210,14 +245,53 @@ fn run_net(baseline_path: &str, fresh_path: &str, max_ratio: f64) -> Result<Exit
     }
 }
 
+/// Compares the `decrypt_fingerprint` of two `BENCH_fhe.json`
+/// artifacts. Both present and equal → pass; both present and
+/// different → fail (a backend broke bit-identity); either missing →
+/// skip-pass with a note (pre-fingerprint artifact).
+fn run_decrypt_identity(a_path: &str, b_path: &str) -> Result<ExitCode, String> {
+    let read = |p: &str| fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let a = read(a_path)?;
+    let b = read(b_path)?;
+    let (fa, fb) = (str_field(&a, "decrypt_fingerprint"), str_field(&b, "decrypt_fingerprint"));
+    match (fa, fb) {
+        (Some(fa), Some(fb)) if fa == fb => {
+            let backend = |s: &str| str_field(s, "ntt_backend").unwrap_or_else(|| "?".into());
+            println!(
+                "bench_check: decrypt fingerprints agree ({fa}; backends {} vs {})",
+                backend(&a),
+                backend(&b)
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        (Some(fa), Some(fb)) => {
+            eprintln!(
+                "bench_check: decrypt fingerprints disagree: {a_path} has {fa}, {b_path} has \
+                 {fb} — an NTT backend broke bit-identity with scalar"
+            );
+            Ok(ExitCode::FAILURE)
+        }
+        _ => {
+            println!(
+                "bench_check: at least one artifact lacks \"decrypt_fingerprint\" \
+                 (pre-dates the field); nothing to compare (pass)"
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut paths = Vec::new();
     let mut max_ratio = 2.0f64;
     let mut net = false;
+    let mut decrypt_identity = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--net" {
             net = true;
+        } else if arg == "--decrypt-identity" {
+            decrypt_identity = true;
         } else if arg == "--max-ratio" {
             max_ratio = it
                 .next()
@@ -233,9 +307,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     let [baseline_path, fresh_path] = paths.as_slice() else {
         return Err(
-            "usage: bench_check [--net] <baseline.json> <fresh.json> [--max-ratio R]".into()
+            "usage: bench_check [--net | --decrypt-identity] <baseline.json> <fresh.json> \
+             [--max-ratio R]"
+                .into(),
         );
     };
+    if decrypt_identity {
+        return run_decrypt_identity(baseline_path, fresh_path);
+    }
     if net {
         return run_net(baseline_path, fresh_path, max_ratio);
     }
@@ -288,8 +367,71 @@ mod tests {
     fn parses_bench_fhe_results_rows() {
         let rows = parse_results(SAMPLE).expect("parse");
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0], BenchRow { op: "ntt_forward".into(), threads: 1, ns_per_op: 7000.0 });
+        assert_eq!(
+            rows[0],
+            BenchRow { op: "ntt_forward".into(), threads: 1, ns_per_op: 7000.0, backend: None }
+        );
         assert_eq!(rows[2].threads, 2, "thread sweep rows keep their degree");
+    }
+
+    #[test]
+    fn parses_backend_labels_when_present() {
+        let doc = r#"{"results": [
+            {"op": "ntt_forward_avx2", "backend": "avx2", "threads": 1, "ns_per_op": 3000.0}
+        ]}"#;
+        let rows = parse_results(doc).expect("parse");
+        assert_eq!(rows[0].backend.as_deref(), Some("avx2"));
+    }
+
+    #[test]
+    fn mismatched_backends_skip_instead_of_comparing() {
+        let row = |backend: Option<&str>, ns: f64| BenchRow {
+            op: "encrypt_model".into(),
+            threads: 1,
+            ns_per_op: ns,
+            backend: backend.map(Into::into),
+        };
+        // Baseline ran on avx512, fresh runner only has scalar: the
+        // pair must not be compared (it would read as a 3x regression).
+        assert!(compare(&[row(Some("avx512"), 100.0)], &[row(Some("scalar"), 300.0)]).is_err());
+        // Same backend still gates.
+        let cmp = compare(&[row(Some("scalar"), 100.0)], &[row(Some("scalar"), 300.0)])
+            .expect("same backend compares");
+        assert!((cmp[0].ratio - 3.0).abs() < 1e-12);
+        // Unlabeled legacy baseline compares with anything.
+        let cmp = compare(&[row(None, 100.0)], &[row(Some("avx2"), 150.0)]).expect("legacy");
+        assert!((cmp[0].ratio - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decrypt_identity_gate_passes_agrees_fails_disagrees() {
+        let dir = std::env::temp_dir().join(format!("rhychee-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let write = |name: &str, body: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, body).expect("write");
+            p.to_str().unwrap().to_owned()
+        };
+        let a = write(
+            "a.json",
+            "{\"ntt_backend\": \"scalar\", \"decrypt_fingerprint\": \"0xdeadbeef\"}",
+        );
+        let same = write(
+            "same.json",
+            "{\"ntt_backend\": \"avx512\", \"decrypt_fingerprint\": \"0xdeadbeef\"}",
+        );
+        let diff = write(
+            "diff.json",
+            "{\"ntt_backend\": \"avx512\", \"decrypt_fingerprint\": \"0x12345678\"}",
+        );
+        let old = write("old.json", "{\"machine_cores\": 1}");
+        let code = run_decrypt_identity(&a, &same).expect("gate");
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        let code = run_decrypt_identity(&a, &diff).expect("gate");
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::FAILURE));
+        let code = run_decrypt_identity(&a, &old).expect("pre-fingerprint artifact skips");
+        assert_eq!(format!("{code:?}"), format!("{:?}", ExitCode::SUCCESS));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -305,9 +447,14 @@ mod tests {
         // Fresh run: ntt 1.5x slower (ok at 2x budget), encrypt@1t 3x
         // slower (regression), encrypt@2t missing (runner has 1 core).
         let fresh = vec![
-            BenchRow { op: "ntt_forward".into(), threads: 1, ns_per_op: 10500.0 },
-            BenchRow { op: "encrypt_model".into(), threads: 1, ns_per_op: 3_600_001.5 },
-            BenchRow { op: "brand_new_op".into(), threads: 1, ns_per_op: 1.0 },
+            BenchRow { op: "ntt_forward".into(), threads: 1, ns_per_op: 10500.0, backend: None },
+            BenchRow {
+                op: "encrypt_model".into(),
+                threads: 1,
+                ns_per_op: 3_600_001.5,
+                backend: None,
+            },
+            BenchRow { op: "brand_new_op".into(), threads: 1, ns_per_op: 1.0, backend: None },
         ];
         let cmp = compare(&baseline, &fresh).expect("overlap");
         assert_eq!(cmp.len(), 2, "only shared rows compare");
@@ -320,8 +467,8 @@ mod tests {
 
     #[test]
     fn disjoint_row_sets_are_an_error_not_a_pass() {
-        let baseline = vec![BenchRow { op: "a".into(), threads: 1, ns_per_op: 1.0 }];
-        let fresh = vec![BenchRow { op: "b".into(), threads: 1, ns_per_op: 1.0 }];
+        let baseline = vec![BenchRow { op: "a".into(), threads: 1, ns_per_op: 1.0, backend: None }];
+        let fresh = vec![BenchRow { op: "b".into(), threads: 1, ns_per_op: 1.0, backend: None }];
         assert!(compare(&baseline, &fresh).is_err(), "empty intersection must not gate-pass");
     }
 

@@ -47,9 +47,84 @@ fn time_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
 }
 
 struct Sample {
-    op: &'static str,
+    op: String,
     threads: usize,
     ns_per_op: f64,
+    /// NTT backend the row ran on: per-backend rows pin it explicitly,
+    /// everything else inherits the process-wide active kernel.
+    backend: &'static str,
+}
+
+/// FNV-1a over the decrypted model's `f32` bit patterns: a cheap,
+/// dependency-free fingerprint CI compares across `RHYCHEE_NTT_BACKEND`
+/// matrix legs. Backends are bit-identical by contract, and the bench
+/// RNG is seeded, so two artifacts from the same commit must agree.
+fn decrypt_fingerprint(flat: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in flat {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// `--probe-encrypt` child mode: the NTT backend is resolved once per
+/// process, so per-backend `encrypt_model` rows come from re-executing
+/// this binary with `RHYCHEE_NTT_BACKEND` overridden. Prints one
+/// machine-readable line and exits.
+fn run_encrypt_probe(params: &CkksParams, model_params: usize, iters: usize) {
+    let ctx = CkksContext::with_parallelism(params.clone(), Parallelism::Fixed(1))
+        .expect("probe context");
+    let mut rng = StdRng::seed_from_u64(7);
+    let (_sk, pk) = ctx.generate_keys(&mut rng);
+    let flat: Vec<f32> = (0..model_params).map(|i| (i as f32 * 0.01).sin()).collect();
+    let ns = time_ns(iters, || {
+        let cts = packing::encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt");
+        std::hint::black_box(cts);
+    });
+    let backend = rhychee_fhe::ckks::ntt::active_kernel().name();
+    println!("probe encrypt_model {backend} {ns:.1}");
+}
+
+/// Spawns one `--probe-encrypt` child per non-active backend and parses
+/// its row. Probe failures skip the row (with a note) rather than
+/// failing the bench: the matrix of compiled backends is host-dependent.
+fn probe_other_backends(quick: bool, active: &str) -> Vec<Sample> {
+    let Ok(exe) = std::env::current_exe() else {
+        return Vec::new();
+    };
+    let mut rows = Vec::new();
+    for kernel in rhychee_fhe::ckks::ntt::available_kernels() {
+        let name = kernel.name();
+        if name == active {
+            continue;
+        }
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--probe-encrypt").env("RHYCHEE_NTT_BACKEND", name);
+        if quick {
+            cmd.arg("--quick");
+        }
+        let parsed = cmd.output().ok().and_then(|out| {
+            let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+            let line = stdout.lines().find(|l| l.starts_with("probe encrypt_model"))?;
+            let mut it = line.split_whitespace().skip(2);
+            let backend = it.next()?;
+            let ns: f64 = it.next()?.parse().ok()?;
+            (backend == name).then_some(ns)
+        });
+        match parsed {
+            Some(ns) => rows.push(Sample {
+                op: "encrypt_model".into(),
+                threads: 1,
+                ns_per_op: ns,
+                backend: name,
+            }),
+            None => eprintln!("  note: encrypt probe for backend {name} failed; row skipped"),
+        }
+    }
+    rows
 }
 
 fn main() {
@@ -62,6 +137,11 @@ fn main() {
     } else {
         (CkksParams::ckks3(), 20_000, 4, 4)
     };
+    if args.iter().any(|a| a == "--probe-encrypt") {
+        run_encrypt_probe(&params, model_params, iters);
+        return;
+    }
+    let ntt_backend = rhychee_fhe::ckks::ntt::active_kernel().name();
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let full_sweep = [1usize, 2, 4];
@@ -107,7 +187,34 @@ fn main() {
     let mut poly: Vec<u64> = (0..params.n as u64).map(|i| i.wrapping_mul(0x9E3779B9) % q).collect();
     let ntt_ns = time_ns(iters.max(16), || table_ntt.forward(&mut poly));
     for &threads in &degrees {
-        samples.push(Sample { op: "ntt_forward", threads, ns_per_op: ntt_ns });
+        samples.push(Sample {
+            op: "ntt_forward".into(),
+            threads,
+            ns_per_op: ntt_ns,
+            backend: ntt_backend,
+        });
+    }
+
+    // Per-backend NTT rows: every compiled-and-detected kernel, pinned
+    // via `with_kernel` (kernels are stateless, so one process measures
+    // them all). The `ntt_forward_<backend>` rows let bench_check trend
+    // each backend like-for-like even when the active one changes.
+    for kernel in rhychee_fhe::ckks::ntt::available_kernels() {
+        let table = NttTable::with_kernel(params.n, q, *kernel);
+        let fwd_ns = time_ns(iters.max(16), || table.forward(&mut poly));
+        samples.push(Sample {
+            op: format!("ntt_forward_{}", kernel.name()),
+            threads: 1,
+            ns_per_op: fwd_ns,
+            backend: kernel.name(),
+        });
+        let inv_ns = time_ns(iters.max(16), || table.inverse(&mut poly));
+        samples.push(Sample {
+            op: format!("ntt_inverse_{}", kernel.name()),
+            threads: 1,
+            ns_per_op: inv_ns,
+            backend: kernel.name(),
+        });
     }
 
     for &threads in &degrees {
@@ -126,20 +233,35 @@ fn main() {
             let cts = packing::encrypt_model(&ctx_ref, &pk, &flat, &mut rng).expect("encrypt");
             std::hint::black_box(cts);
         });
-        samples.push(Sample { op: "encrypt_model_coeff", threads, ns_per_op: encrypt_coeff_ns });
+        samples.push(Sample {
+            op: "encrypt_model_coeff".into(),
+            threads,
+            ns_per_op: encrypt_coeff_ns,
+            backend: ntt_backend,
+        });
 
         let encrypt_ns = time_ns(iters, || {
             let cts = packing::encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt");
             std::hint::black_box(cts);
         });
-        samples.push(Sample { op: "encrypt_model", threads, ns_per_op: encrypt_ns });
+        samples.push(Sample {
+            op: "encrypt_model".into(),
+            threads,
+            ns_per_op: encrypt_ns,
+            backend: ntt_backend,
+        });
 
         let encrypt_seeded_ns = time_ns(iters, || {
             let cts =
                 packing::encrypt_model_symmetric(&ctx, &sk, &flat, &mut rng).expect("encrypt");
             std::hint::black_box(cts);
         });
-        samples.push(Sample { op: "encrypt_model_seeded", threads, ns_per_op: encrypt_seeded_ns });
+        samples.push(Sample {
+            op: "encrypt_model_seeded".into(),
+            threads,
+            ns_per_op: encrypt_seeded_ns,
+            backend: ntt_backend,
+        });
 
         let models: Vec<_> = (0..clients)
             .map(|_| packing::encrypt_model(&ctx, &pk, &flat, &mut rng).expect("encrypt"))
@@ -150,7 +272,12 @@ fn main() {
                 packing::homomorphic_weighted_average(&ctx, &models, &weights).expect("aggregate");
             std::hint::black_box(global);
         });
-        samples.push(Sample { op: "aggregate", threads, ns_per_op: aggregate_ns });
+        samples.push(Sample {
+            op: "aggregate".into(),
+            threads,
+            ns_per_op: aggregate_ns,
+            backend: ntt_backend,
+        });
 
         let global =
             packing::homomorphic_weighted_average(&ctx, &models, &weights).expect("aggregate");
@@ -158,9 +285,38 @@ fn main() {
             let flat = packing::decrypt_model(&ctx, &sk, &global, model_params).expect("decrypt");
             std::hint::black_box(flat);
         });
-        samples.push(Sample { op: "decrypt_model", threads, ns_per_op: decrypt_ns });
+        samples.push(Sample {
+            op: "decrypt_model".into(),
+            threads,
+            ns_per_op: decrypt_ns,
+            backend: ntt_backend,
+        });
         eprintln!("  [threads = {threads}] done");
     }
+
+    // Per-backend encrypt rows: the kernel is resolved once per process,
+    // so the other backends are measured by child processes with
+    // `RHYCHEE_NTT_BACKEND` overridden (no-op on scalar-only hosts).
+    samples.extend(probe_other_backends(quick, ntt_backend));
+
+    // Deterministic encrypt → aggregate → decrypt fingerprint: seeded
+    // RNG and no timing loops interleaved, so two artifacts from the
+    // same commit must agree on it no matter which NTT backend ran —
+    // the CI matrix diffs this field across its legs.
+    let fp_ctx =
+        CkksContext::with_parallelism(params.clone(), Parallelism::Fixed(1)).expect("context");
+    let mut fp_rng = StdRng::seed_from_u64(1234);
+    let (fp_sk, fp_pk) = fp_ctx.generate_keys(&mut fp_rng);
+    let fp_flat: Vec<f32> = (0..model_params).map(|i| (i as f32 * 0.01).sin()).collect();
+    let fp_models: Vec<_> = (0..clients)
+        .map(|_| packing::encrypt_model(&fp_ctx, &fp_pk, &fp_flat, &mut fp_rng).expect("encrypt"))
+        .collect();
+    let fp_weights = vec![1.0 / clients as f64; clients];
+    let fp_global =
+        packing::homomorphic_weighted_average(&fp_ctx, &fp_models, &fp_weights).expect("aggregate");
+    let fp_dec =
+        packing::decrypt_model(&fp_ctx, &fp_sk, &fp_global, model_params).expect("decrypt");
+    let fingerprint = decrypt_fingerprint(&fp_dec);
 
     // Wire sizes are degree-independent: canonical vs seeded bytes for
     // one fresh full-level ciphertext, plus a whole-model upload.
@@ -171,11 +327,11 @@ fn main() {
     let upload_canonical = packing::upload_bytes_canonical(&size_ctx, model_params);
     let upload_seeded = packing::upload_bytes_seeded(&size_ctx, model_params);
 
-    let mut table = Table::new(vec!["op", "threads", "ns/op", "ms/op", "speedup vs 1"]);
+    let mut table = Table::new(vec!["op", "backend", "threads", "ns/op", "ms/op", "speedup vs 1"]);
     for s in &samples {
         let base = samples
             .iter()
-            .find(|b| b.op == s.op && b.threads == 1)
+            .find(|b| b.op == s.op && b.threads == 1 && b.backend == s.backend)
             .map_or(s.ns_per_op, |b| b.ns_per_op);
         let threads = if s.threads > cores {
             format!("{} (oversub)", s.threads)
@@ -183,7 +339,8 @@ fn main() {
             s.threads.to_string()
         };
         table.row(vec![
-            s.op.into(),
+            s.op.clone(),
+            s.backend.into(),
             threads,
             format!("{:.0}", s.ns_per_op),
             format!("{:.3}", s.ns_per_op / 1e6),
@@ -212,6 +369,8 @@ fn main() {
     if let Some(w) = &warning {
         json.push_str(&format!("  \"warning\": \"{w}\",\n"));
     }
+    json.push_str(&format!("  \"ntt_backend\": \"{ntt_backend}\",\n"));
+    json.push_str(&format!("  \"decrypt_fingerprint\": \"{fingerprint:#018x}\",\n"));
     json.push_str(&format!("  \"ring_degree\": {},\n", params.n));
     json.push_str(&format!("  \"model_params\": {model_params},\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
@@ -240,9 +399,10 @@ fn main() {
     for (i, s) in samples.iter().enumerate() {
         let comma = if i + 1 < samples.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{\"op\": \"{}\", \"threads\": {}, \"ns_per_op\": {:.1}, \
+            "    {{\"op\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"ns_per_op\": {:.1}, \
              \"machine_cores\": {cores}, \"oversubscribed\": {}}}{comma}\n",
             s.op,
+            s.backend,
             s.threads,
             s.ns_per_op,
             s.threads > cores

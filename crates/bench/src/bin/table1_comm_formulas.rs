@@ -7,6 +7,7 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use rhychee_bench::{banner, format_bits, Table};
+use rhychee_core::packing::{self, PackingConfig};
 use rhychee_fhe::ckks::CkksContext;
 use rhychee_fhe::lwe::LweContext;
 use rhychee_fhe::params::ParamSet;
@@ -83,5 +84,52 @@ fn main() {
         }
     }
     check.print();
+
+    // Bit-interleaved packing at the same operating point: quantized
+    // coordinates share slots (lane = bits + ceil(log2 P) for carry-free
+    // sums across P clients, plus one counter lane), so the per-upload
+    // ciphertext count — and every byte formula above — scales down by
+    // the packing density. The analytical model is cross-checked against
+    // actually serialized uploads; the same reconciliation is asserted in
+    // `rhychee-core`'s packing tests.
+    banner("Bit-interleaved packing (bits = 10, P = 4 clients) vs dense slots");
+    let dense = PackingConfig::dense();
+    let inter = PackingConfig::interleaved(10, 1.0, 4);
+    let mut packed = Table::new(vec![
+        "Set",
+        "cts dense",
+        "cts packed",
+        "bytes dense",
+        "bytes packed (analytical)",
+        "bytes packed (serialized)",
+        "ratio",
+    ]);
+    for (name, set) in ParamSet::table3() {
+        let ParamSet::Ckks(p) = set else { continue };
+        let ctx = CkksContext::new(p).expect("params");
+        let slots = ctx.slot_count();
+        let dense_cts = packing::ciphertexts_needed_with(&dense, dl as usize, slots);
+        let packed_cts = packing::ciphertexts_needed_with(&inter, dl as usize, slots);
+        let dense_bytes = packing::upload_bytes_canonical_with(&ctx, &dense, dl as usize);
+        let packed_bytes = packing::upload_bytes_canonical_with(&ctx, &inter, dl as usize);
+        let (_, pk) = ctx.generate_keys(&mut rng);
+        let flat: Vec<f32> = (0..dl as usize).map(|i| ((i % 97) as f32 / 97.0) - 0.5).collect();
+        let cts = packing::encrypt_model_with(&ctx, &pk, &flat, &inter, &mut rng).expect("encrypt");
+        let serialized: usize = cts.iter().map(|ct| ctx.serialize(ct).len()).sum();
+        assert_eq!(
+            serialized, packed_bytes,
+            "{name}: serialized interleaved upload diverged from the analytical model"
+        );
+        packed.row(vec![
+            name.to_string(),
+            dense_cts.to_string(),
+            packed_cts.to_string(),
+            dense_bytes.to_string(),
+            packed_bytes.to_string(),
+            serialized.to_string(),
+            format!("{:.2}x", dense_bytes as f64 / packed_bytes as f64),
+        ]);
+    }
+    packed.print();
     rhychee_bench::emit_metrics_json("table1_comm_formulas");
 }

@@ -139,8 +139,15 @@ impl RunReport {
 enum Pipeline {
     /// Raw parameter exchange (no encryption).
     Plaintext,
-    /// Packed CKKS ciphertexts with homomorphic averaging.
-    Ckks { ctx: Box<CkksContext>, sk: CkksSecretKey, pk: CkksPublicKey },
+    /// Packed CKKS ciphertexts with homomorphic averaging. The packing
+    /// config selects dense slots (weighted average server-side) or
+    /// bit-interleaved lanes (homomorphic sum, mean after decryption).
+    Ckks {
+        ctx: Box<CkksContext>,
+        sk: CkksSecretKey,
+        pk: CkksPublicKey,
+        packing: packing::PackingConfig,
+    },
     /// Per-parameter LWE ciphertexts over quantized weights.
     Lwe { ctx: LweContext, sk: LweSecretKey, quant_bits: u32 },
 }
@@ -201,7 +208,41 @@ impl Framework {
     ) -> Result<Self, FlError> {
         let ctx = CkksContext::with_parallelism(params, config.parallelism)?;
         let (sk, pk) = round::derive_ckks_keys(&ctx, config.seed);
-        Self::build(config, data, Pipeline::Ckks { ctx: Box::new(ctx), sk, pk })
+        let packing = packing::PackingConfig::dense();
+        Self::build(config, data, Pipeline::Ckks { ctx: Box::new(ctx), sk, pk, packing })
+    }
+
+    /// Builds the encrypted CKKS federation with bit-interleaved slot
+    /// packing: coordinates quantized to `bits` bits (clipped to
+    /// `[-clip, clip]`), several per slot, aggregated by homomorphic
+    /// sum with the mean recovered after decryption from the in-band
+    /// contributor counter. Fewer ciphertexts — and fewer NTTs — per
+    /// round than [`Framework::hdc_encrypted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for non-uniform aggregation
+    /// rules (FedNova weights cannot ride a lane-packed sum) and
+    /// [`FlError`] on invalid packing or FHE parameters.
+    pub fn hdc_encrypted_interleaved(
+        config: FlConfig,
+        data: &TrainTest,
+        params: CkksParams,
+        bits: u32,
+        clip: f32,
+    ) -> Result<Self, FlError> {
+        if matches!(config.aggregation, crate::config::Aggregation::FedNova) {
+            return Err(FlError::InvalidConfig(
+                "bit-interleaved packing aggregates by uniform sum; FedNova's per-client \
+                 weights require the dense layout"
+                    .into(),
+            ));
+        }
+        let packing = packing::PackingConfig::interleaved(bits, clip, config.clients);
+        packing.validate()?;
+        let ctx = CkksContext::with_parallelism(params, config.parallelism)?;
+        let (sk, pk) = round::derive_ckks_keys(&ctx, config.seed);
+        Self::build(config, data, Pipeline::Ckks { ctx: Box::new(ctx), sk, pk, packing })
     }
 
     /// Builds an encrypted federation over the single-value LWE scheme,
@@ -300,8 +341,9 @@ impl Framework {
         let n = self.num_parameters() as u64;
         match &self.pipeline {
             Pipeline::Plaintext => n * 32,
-            Pipeline::Ckks { ctx, .. } => {
-                n.div_ceil(ctx.slot_count() as u64) * ctx.params().ciphertext_bits()
+            Pipeline::Ckks { ctx, packing, .. } => {
+                packing::ciphertexts_needed_with(packing, n as usize, ctx.slot_count()) as u64
+                    * ctx.params().ciphertext_bits()
             }
             Pipeline::Lwe { ctx, .. } => n * ctx.params().ciphertext_bits(),
         }
@@ -370,7 +412,7 @@ impl Framework {
                 report.aggregate_time = span.finish();
                 global
             }
-            Pipeline::Ckks { ctx, sk, pk } => {
+            Pipeline::Ckks { ctx, sk, pk, packing } => {
                 // Keep the plaintext updates around while telemetry is on
                 // so the decrypted aggregate can be checked against the
                 // exact plaintext FedAvg (the `fl.decrypt_error.max`
@@ -379,10 +421,11 @@ impl Framework {
                 let span = telemetry::span("encrypt");
                 let mut sr = ServerRound::new(round, self.config.aggregation);
                 for u in trained {
-                    let cts = packing::encrypt_model(
+                    let cts = packing::encrypt_model_with(
                         ctx,
                         pk,
                         &u.payload,
+                        packing,
                         self.clients[u.client_id].rng_mut(),
                     )?;
                     sr.accept(ClientUpdate {
@@ -394,12 +437,20 @@ impl Framework {
                 }
                 report.encrypt_time = span.finish();
 
+                // Interleaved lanes survive only pure additions, so the
+                // plaintext `1/P` moves to after decryption (driven by
+                // the in-band contributor counter).
                 let span = telemetry::span("aggregate");
-                let global_ct = sr.aggregate_ckks(ctx)?;
+                let global_ct = if packing.is_interleaved() {
+                    sr.aggregate_ckks_sum(ctx)?
+                } else {
+                    sr.aggregate_ckks(ctx)?
+                };
                 report.aggregate_time = span.finish();
 
                 let span = telemetry::span("decrypt");
-                let global = packing::decrypt_model(ctx, sk, &global_ct, self.global.len())?;
+                let global =
+                    packing::decrypt_model_with(ctx, sk, &global_ct, self.global.len(), packing)?;
                 report.decrypt_time = span.finish();
 
                 if let Some(updates) = plain_updates {
@@ -575,6 +626,60 @@ mod tests {
             rp.final_accuracy,
             re.final_accuracy
         );
+    }
+
+    #[test]
+    fn interleaved_fl_matches_dense_within_quantization_error() {
+        // The acceptance run for bit-interleaved packing: same
+        // federation under the dense and interleaved CKKS pipelines.
+        // Normalized uploads keep coordinates in [-1, 1], so clip = 1
+        // loses nothing and the only divergence is the 10-bit grid.
+        let data = small_data(DatasetKind::Har);
+        let cfg = || {
+            FlConfig::builder()
+                .clients(4)
+                .rounds(3)
+                .hd_dim(512)
+                .seed(5)
+                .normalize(true)
+                .build()
+                .expect("valid")
+        };
+        let mut dense = Framework::hdc_encrypted(cfg(), &data, CkksParams::toy()).expect("build");
+        let mut inter =
+            Framework::hdc_encrypted_interleaved(cfg(), &data, CkksParams::toy(), 10, 1.0)
+                .expect("build");
+        let rd = dense.run().expect("dense run");
+        let ri = inter.run().expect("interleaved run");
+        assert!(
+            (rd.final_accuracy - ri.final_accuracy).abs() < 0.05,
+            "dense {} vs interleaved {}",
+            rd.final_accuracy,
+            ri.final_accuracy
+        );
+        // Fewer ciphertexts per upload must show up as fewer bits on
+        // the wire: 2 lanes/slot at 10 bits, P=4 → roughly half.
+        assert!(
+            ri.total_upload_bits_per_client() < rd.total_upload_bits_per_client() * 3 / 4,
+            "interleaved {} bits vs dense {} bits",
+            ri.total_upload_bits_per_client(),
+            rd.total_upload_bits_per_client()
+        );
+    }
+
+    #[test]
+    fn interleaved_rejects_fednova() {
+        let data = small_data(DatasetKind::Har);
+        let cfg = FlConfig::builder()
+            .clients(4)
+            .rounds(1)
+            .hd_dim(512)
+            .seed(5)
+            .aggregation(Aggregation::FedNova)
+            .build()
+            .expect("valid");
+        let err = Framework::hdc_encrypted_interleaved(cfg, &data, CkksParams::toy(), 10, 1.0);
+        assert!(matches!(err, Err(FlError::InvalidConfig(_))));
     }
 
     #[test]

@@ -5,11 +5,86 @@
 //! ciphertext, wasting most of the `N/2` slots. Rhychee-FL instead
 //! flattens the whole `L × D` model and fills every slot of every
 //! ciphertext, needing exactly `⌈DL / (N/2)⌉` ciphertexts.
+//!
+//! The [`PackingLayout::BitInterleaved`] mode (FedBit-style co-design)
+//! goes further: coordinates are quantized to `bits` bits and several
+//! are packed per slot at a lane stride wide enough that the
+//! homomorphic *sum* of up to `max_clients` uploads never carries
+//! across lanes. Aggregation is then a pure ciphertext addition
+//! ([`homomorphic_sum`]); the division by the contributor count moves
+//! to after decryption. The count itself travels in-band: every client
+//! packs the constant `1` into a reserved counter lane (lane 0 of the
+//! first slot), so the summed aggregate is self-describing — dropouts
+//! and partial quorums need no side channel.
 
 use rand::Rng;
 
+pub use rhychee_fhe::bitpack::PackingLayout;
+use rhychee_fhe::bitpack::{pack_lanes, unpack_lane};
 use rhychee_fhe::ckks::{CkksCiphertext, CkksContext, CkksPublicKey, CkksSecretKey};
 use rhychee_fhe::FheError;
+
+/// Everything both endpoints must agree on to pack, aggregate, and
+/// unpack a model under a given [`PackingLayout`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackingConfig {
+    /// Slot layout of the flat model.
+    pub layout: PackingLayout,
+    /// Symmetric clip range for quantization (`BitInterleaved` only):
+    /// coordinates are clamped to `[-clip, clip]`, shared by all
+    /// clients so quantization grids line up.
+    pub clip: f32,
+    /// Lane-headroom bound `P`: the most uploads one aggregate may sum
+    /// (`BitInterleaved` only).
+    pub max_clients: usize,
+}
+
+impl PackingConfig {
+    /// The paper's dense one-coordinate-per-slot layout.
+    pub fn dense() -> Self {
+        PackingConfig { layout: PackingLayout::Dense, clip: 0.0, max_clients: 0 }
+    }
+
+    /// Bit-interleaved packing at `bits` bits per coordinate, clipping
+    /// to `[-clip, clip]`, with carry-free headroom for `max_clients`
+    /// summed uploads.
+    pub fn interleaved(bits: u32, clip: f32, max_clients: usize) -> Self {
+        PackingConfig { layout: PackingLayout::BitInterleaved { bits }, clip, max_clients }
+    }
+
+    /// True when this config packs multiple coordinates per slot.
+    pub fn is_interleaved(&self) -> bool {
+        matches!(self.layout, PackingLayout::BitInterleaved { .. })
+    }
+
+    /// Checks layout bounds and (for `BitInterleaved`) the clip range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::InvalidParams`] on an over-budget lane
+    /// stride or a non-finite / non-positive clip.
+    pub fn validate(&self) -> Result<(), FheError> {
+        self.layout.validate(self.max_clients)?;
+        if self.is_interleaved() && !(self.clip.is_finite() && self.clip > 0.0) {
+            return Err(FheError::InvalidParams(format!(
+                "BitInterleaved clip must be positive and finite, got {}",
+                self.clip
+            )));
+        }
+        Ok(())
+    }
+
+    /// Slots one flat model occupies under this layout, counting the
+    /// reserved contributor-counter slot.
+    pub fn slots_for(&self, num_params: usize) -> usize {
+        match self.layout {
+            PackingLayout::Dense => num_params,
+            PackingLayout::BitInterleaved { .. } => {
+                1 + num_params.div_ceil(self.layout.lanes_per_slot(self.max_clients))
+            }
+        }
+    }
+}
 
 /// Bytes needed to upload a packed model in the canonical (full `c1`)
 /// wire format.
@@ -35,6 +110,241 @@ pub fn chunk_params(flat: &[f32], slots: usize) -> Vec<Vec<f64>> {
 /// `⌈DL / (N/2)⌉`.
 pub fn ciphertexts_needed(num_params: usize, slots: usize) -> usize {
     num_params.div_ceil(slots)
+}
+
+/// Layout-aware ciphertext count: `Dense` matches
+/// [`ciphertexts_needed`]; `BitInterleaved` divides the model across
+/// `lanes_per_slot` coordinates per slot (plus the counter slot).
+pub fn ciphertexts_needed_with(cfg: &PackingConfig, num_params: usize, slots: usize) -> usize {
+    cfg.slots_for(num_params).div_ceil(slots)
+}
+
+/// Layout-aware canonical upload bytes (cf. [`upload_bytes_canonical`]).
+pub fn upload_bytes_canonical_with(
+    ctx: &CkksContext,
+    cfg: &PackingConfig,
+    num_params: usize,
+) -> usize {
+    ciphertexts_needed_with(cfg, num_params, ctx.slot_count())
+        * ctx.serialized_len(ctx.primes().len())
+}
+
+/// Layout-aware seed-compressed upload bytes (cf. [`upload_bytes_seeded`]).
+pub fn upload_bytes_seeded_with(
+    ctx: &CkksContext,
+    cfg: &PackingConfig,
+    num_params: usize,
+) -> usize {
+    ciphertexts_needed_with(cfg, num_params, ctx.slot_count())
+        * ctx.serialized_len_seeded(ctx.primes().len())
+}
+
+/// Quantizes, bias-encodes, and lane-packs a flat model into slot
+/// values: word 0 is the contributor counter (this client's constant
+/// `1` in lane 0), the rest carry `lanes_per_slot` coordinates each.
+///
+/// Each coordinate is clamped to `[-clip, clip]` and mapped to the
+/// biased-unsigned grid `round(x/clip · qmax) + 2^(bits−1)`
+/// ∈ `[1, 2^bits − 1]`, so a sum of `k ≤ max_clients` clients stays
+/// below `2^lane_bits` — lane-carry-free by construction.
+///
+/// # Errors
+///
+/// Returns [`FheError::InvalidParams`] on an invalid config.
+pub fn interleaved_chunks(
+    cfg: &PackingConfig,
+    flat: &[f32],
+    slots: usize,
+) -> Result<Vec<Vec<f64>>, FheError> {
+    cfg.validate()?;
+    let PackingLayout::BitInterleaved { bits } = cfg.layout else {
+        return Err(FheError::InvalidParams("interleaved_chunks needs BitInterleaved".into()));
+    };
+    let lane_bits = cfg.layout.lane_bits(cfg.max_clients);
+    let lanes = cfg.layout.lanes_per_slot(cfg.max_clients);
+    let half = 1u64 << (bits - 1);
+    let qmax = (half - 1) as f32;
+    let mut words = Vec::with_capacity(cfg.slots_for(flat.len()));
+    words.push(1.0); // contributor counter: lane 0 of slot 0
+    let mut lane_vals = Vec::with_capacity(lanes);
+    for group in flat.chunks(lanes) {
+        lane_vals.clear();
+        for &x in group {
+            let q = (x / cfg.clip * qmax).round().clamp(-qmax, qmax) as i64;
+            lane_vals.push((q + half as i64) as u64);
+        }
+        // Exact as f64: a packed word is < 2^SLOT_PAYLOAD_BITS ≤ 2^32.
+        words.push(pack_lanes(&lane_vals, lane_bits) as f64);
+    }
+    Ok(words.chunks(slots).map(<[f64]>::to_vec).collect())
+}
+
+/// Layout-aware [`encrypt_model`]: `Dense` delegates; `BitInterleaved`
+/// encrypts the lane-packed slot words from [`interleaved_chunks`].
+///
+/// # Errors
+///
+/// Propagates [`FheError`] from validation or encryption.
+pub fn encrypt_model_with<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    pk: &CkksPublicKey,
+    flat: &[f32],
+    cfg: &PackingConfig,
+    rng: &mut R,
+) -> Result<Vec<CkksCiphertext>, FheError> {
+    match cfg.layout {
+        PackingLayout::Dense => encrypt_model(ctx, pk, flat, rng),
+        PackingLayout::BitInterleaved { .. } => {
+            let chunks = interleaved_chunks(cfg, flat, ctx.slot_count())?;
+            // Same sequential-draw / parallel-arithmetic split as
+            // `encrypt_model`, so ciphertexts are degree-independent.
+            let noises: Vec<_> = chunks.iter().map(|_| ctx.sample_encrypt_noise(rng)).collect();
+            rhychee_par::map(ctx.parallelism(), chunks.len(), |i| {
+                ctx.encrypt_with_noise(pk, &chunks[i], &noises[i])
+            })
+            .into_iter()
+            .collect()
+        }
+    }
+}
+
+/// Layout-aware [`encrypt_model_symmetric`] — seeded ciphertexts for
+/// the seed-compressed wire format under either layout.
+///
+/// # Errors
+///
+/// Propagates [`FheError`] from validation or encryption.
+pub fn encrypt_model_symmetric_with<R: Rng + ?Sized>(
+    ctx: &CkksContext,
+    sk: &CkksSecretKey,
+    flat: &[f32],
+    cfg: &PackingConfig,
+    rng: &mut R,
+) -> Result<Vec<CkksCiphertext>, FheError> {
+    match cfg.layout {
+        PackingLayout::Dense => encrypt_model_symmetric(ctx, sk, flat, rng),
+        PackingLayout::BitInterleaved { .. } => {
+            let chunks = interleaved_chunks(cfg, flat, ctx.slot_count())?;
+            let noises: Vec<_> = chunks.iter().map(|_| ctx.sample_symmetric_noise(rng)).collect();
+            rhychee_par::map(ctx.parallelism(), chunks.len(), |i| {
+                ctx.encrypt_symmetric_with_noise(sk, &chunks[i], &noises[i])
+            })
+            .into_iter()
+            .collect()
+        }
+    }
+}
+
+/// Layout-aware [`decrypt_model`].
+///
+/// `Dense` delegates unchanged. `BitInterleaved` expects the
+/// ciphertexts to be the homomorphic **sum** of `k ≥ 1` client uploads
+/// (a single fresh upload is the `k = 1` case): it reads `k` from the
+/// in-band counter lane, un-biases each lane sum, and returns the mean
+/// model `(Σᵢ qᵢ)/k` dequantized — uniform FedAvg with the division
+/// done in plaintext, where it cannot disturb lane boundaries.
+///
+/// # Errors
+///
+/// Returns [`FheError::Deserialize`] when the ciphertexts carry too few
+/// slots, a slot decodes outside the packed integer range (noise budget
+/// exhausted or layout mismatch), or the counter lane is outside
+/// `1..=max_clients`.
+pub fn decrypt_model_with(
+    ctx: &CkksContext,
+    sk: &CkksSecretKey,
+    cts: &[CkksCiphertext],
+    num_params: usize,
+    cfg: &PackingConfig,
+) -> Result<Vec<f32>, FheError> {
+    let PackingLayout::BitInterleaved { bits } = cfg.layout else {
+        return decrypt_model(ctx, sk, cts, num_params);
+    };
+    cfg.validate()?;
+    let lane_bits = cfg.layout.lane_bits(cfg.max_clients);
+    let lanes = cfg.layout.lanes_per_slot(cfg.max_clients);
+    let words_needed = cfg.slots_for(num_params);
+    let decrypted = rhychee_par::map(ctx.parallelism(), cts.len(), |i| ctx.decrypt(sk, &cts[i]));
+    let mut words = Vec::with_capacity(words_needed);
+    'outer: for values in &decrypted {
+        for &v in values {
+            if words.len() == words_needed {
+                break 'outer;
+            }
+            words.push(round_packed_word(v, lane_bits, lanes)?);
+        }
+    }
+    if words.len() != words_needed {
+        return Err(FheError::Deserialize(format!(
+            "ciphertexts carry {} packed slots, expected {words_needed}",
+            words.len()
+        )));
+    }
+    let k = unpack_lane(words[0], 0, lane_bits);
+    if k == 0 || k > cfg.max_clients as u64 {
+        return Err(FheError::Deserialize(format!(
+            "contributor counter {k} outside 1..={}",
+            cfg.max_clients
+        )));
+    }
+    let half = 1u64 << (bits - 1);
+    let qmax = (half - 1) as f64;
+    let mut flat = Vec::with_capacity(num_params);
+    for i in 0..num_params {
+        let lane_sum = unpack_lane(words[1 + i / lanes], i % lanes, lane_bits);
+        let q_sum = lane_sum as i64 - (k * half) as i64;
+        flat.push((q_sum as f64 / k as f64 / qmax * f64::from(cfg.clip)) as f32);
+    }
+    Ok(flat)
+}
+
+/// Rounds a decrypted slot back to its packed integer, rejecting values
+/// the quantized-sum encoding cannot produce.
+fn round_packed_word(v: f64, lane_bits: u32, lanes: usize) -> Result<u64, FheError> {
+    let r = v.round();
+    let cap = (1u64 << (lane_bits as usize * lanes.max(1)).min(63)) as f64;
+    if !(r.is_finite() && (0.0..cap).contains(&r) && (v - r).abs() < 0.45) {
+        return Err(FheError::Deserialize(format!(
+            "slot value {v} outside the packed integer range (noise budget or layout mismatch)"
+        )));
+    }
+    Ok(r as u64)
+}
+
+/// Homomorphically sums packed models: `Σᵢ Enc(LMᵢ)`, ciphertext by
+/// ciphertext — the lane-safe aggregation for [`PackingLayout::
+/// BitInterleaved`] (no plaintext multiply ever touches the packed
+/// slots). The mean is recovered at decryption from the in-band
+/// contributor counter ([`decrypt_model_with`]).
+///
+/// # Errors
+///
+/// Returns [`FheError`] on empty input, inconsistent ciphertext counts,
+/// or incompatible ciphertexts.
+pub fn homomorphic_sum(
+    ctx: &CkksContext,
+    client_models: &[Vec<CkksCiphertext>],
+) -> Result<Vec<CkksCiphertext>, FheError> {
+    if client_models.is_empty() {
+        return Err(FheError::InvalidParams("no client models to aggregate".into()));
+    }
+    let chunks = client_models[0].len();
+    if client_models.iter().any(|m| m.len() != chunks) {
+        return Err(FheError::InvalidParams(
+            "clients submitted differing ciphertext counts".into(),
+        ));
+    }
+    // Chunks aggregate independently; clients are accumulated in
+    // submission order, so the sum is degree-independent.
+    rhychee_par::map(ctx.parallelism(), chunks, |chunk_idx| {
+        let mut acc = client_models[0][chunk_idx].clone();
+        for client in &client_models[1..] {
+            ctx.add_assign(&mut acc, &client[chunk_idx])?;
+        }
+        Ok(acc)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Encrypts a flat model with maximum packing under the public key.
@@ -307,6 +617,146 @@ mod tests {
         let b = encrypt_model(&ctx, &pk, &vec![1.0; 600], &mut rng).expect("encrypt");
         assert!(homomorphic_average(&ctx, &[a, b]).is_err());
         assert!(homomorphic_average(&ctx, &[]).is_err());
+    }
+
+    #[test]
+    fn interleaved_single_model_round_trip_is_exact_quantization() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let cfg = PackingConfig::interleaved(8, 1.0, 4);
+        let flat: Vec<f32> = (0..700).map(|i| (i as f32 * 0.013).sin()).collect();
+        let cts = encrypt_model_with(&ctx, &pk, &flat, &cfg, &mut rng).expect("encrypt");
+        assert_eq!(cts.len(), ciphertexts_needed_with(&cfg, 700, ctx.slot_count()));
+        let back = decrypt_model_with(&ctx, &sk, &cts, 700, &cfg).expect("decrypt");
+        // k = 1: the round trip must reproduce quantize→dequantize
+        // exactly — CKKS noise is absorbed by the integer rounding.
+        let qmax = 127.0f32;
+        for (a, b) in flat.iter().zip(&back) {
+            let expected = (a * qmax).round().clamp(-qmax, qmax) / qmax;
+            assert_eq!(*b, expected, "coordinate {a}");
+        }
+    }
+
+    #[test]
+    fn interleaved_sum_recovers_mean_within_quantization_error() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let p = 4;
+        let cfg = PackingConfig::interleaved(8, 1.0, p);
+        let models: Vec<Vec<f32>> = (0..p)
+            .map(|c| (0..300).map(|i| ((c * 300 + i) as f32 * 0.01).cos() * 0.9).collect())
+            .collect();
+        let encrypted: Vec<Vec<CkksCiphertext>> = models
+            .iter()
+            .map(|m| encrypt_model_with(&ctx, &pk, m, &cfg, &mut rng).expect("encrypt"))
+            .collect();
+        let global = homomorphic_sum(&ctx, &encrypted).expect("sum");
+        let back = decrypt_model_with(&ctx, &sk, &global, 300, &cfg).expect("decrypt");
+        // The counter lane carried k = 4, so the mean comes back within
+        // one quantization step of the plaintext FedAvg.
+        let step = 1.0f32 / 127.0;
+        for i in 0..300 {
+            let expected: f32 = models.iter().map(|m| m[i]).sum::<f32>() / p as f32;
+            assert!((back[i] - expected).abs() <= step, "param {i}: {} vs {expected}", back[i]);
+        }
+    }
+
+    #[test]
+    fn interleaved_partial_quorum_self_describes() {
+        // Sum only 3 of the 4 provisioned clients: the counter lane
+        // must report 3 and the mean divide by 3, no side channel.
+        let (ctx, sk, pk, mut rng) = setup();
+        let cfg = PackingConfig::interleaved(8, 1.0, 4);
+        let models: Vec<Vec<f32>> = vec![vec![0.3; 50], vec![0.6; 50], vec![-0.3; 50]];
+        let encrypted: Vec<Vec<CkksCiphertext>> = models
+            .iter()
+            .map(|m| encrypt_model_with(&ctx, &pk, m, &cfg, &mut rng).expect("encrypt"))
+            .collect();
+        let global = homomorphic_sum(&ctx, &encrypted).expect("sum");
+        let back = decrypt_model_with(&ctx, &sk, &global, 50, &cfg).expect("decrypt");
+        for v in &back {
+            assert!((v - 0.2).abs() <= 1.0 / 127.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn interleaved_cuts_ciphertexts_and_bytes_for_2000_params() {
+        let (ctx, _, pk, mut rng) = setup();
+        let dense = PackingConfig::dense();
+        let cfg = PackingConfig::interleaved(8, 1.0, 4);
+        let slots = ctx.slot_count();
+        let dense_cts = ciphertexts_needed_with(&dense, 2000, slots);
+        let inter_cts = ciphertexts_needed_with(&cfg, 2000, slots);
+        assert_eq!(dense_cts, ciphertexts_needed(2000, slots));
+        // 3 lanes/slot at bits=8, P=4: ⌈(1 + ⌈2000/3⌉)/256⌉ = 3 vs 8.
+        assert!(inter_cts < dense_cts, "{inter_cts} vs {dense_cts}");
+        assert!(
+            upload_bytes_canonical_with(&ctx, &cfg, 2000)
+                < upload_bytes_canonical_with(&ctx, &dense, 2000)
+        );
+        assert!(
+            upload_bytes_seeded_with(&ctx, &cfg, 2000)
+                < upload_bytes_seeded_with(&ctx, &dense, 2000)
+        );
+        assert_eq!(
+            upload_bytes_canonical_with(&ctx, &dense, 2000),
+            upload_bytes_canonical(&ctx, 2000)
+        );
+        // The analytical byte model must reconcile exactly with a real
+        // serialized upload (EXPERIMENTS.md Table I accounting).
+        let flat: Vec<f32> = (0..2000).map(|i| ((i % 89) as f32 / 89.0) - 0.5).collect();
+        let cts = encrypt_model_with(&ctx, &pk, &flat, &cfg, &mut rng).expect("encrypt");
+        assert_eq!(cts.len(), inter_cts);
+        assert_eq!(
+            cts.iter().map(|ct| ctx.serialize(ct).len()).sum::<usize>(),
+            upload_bytes_canonical_with(&ctx, &cfg, 2000),
+            "serialized interleaved upload diverged from the analytical model"
+        );
+    }
+
+    #[test]
+    fn interleaved_symmetric_uploads_stay_seeded() {
+        let (ctx, sk, _, mut rng) = setup();
+        let cfg = PackingConfig::interleaved(8, 1.0, 2);
+        let flat: Vec<f32> = (0..100).map(|i| (i as f32 * 0.07).sin()).collect();
+        let cts = encrypt_model_symmetric_with(&ctx, &sk, &flat, &cfg, &mut rng).expect("encrypt");
+        assert!(cts.iter().all(rhychee_fhe::ckks::CkksCiphertext::is_seeded));
+        assert_eq!(
+            upload_bytes_seeded_with(&ctx, &cfg, 100),
+            cts.iter().map(|ct| ctx.serialize_seeded(ct).expect("seeded").len()).sum::<usize>()
+        );
+        let back = decrypt_model_with(&ctx, &sk, &cts, 100, &cfg).expect("decrypt");
+        for (a, b) in flat.iter().zip(&back) {
+            assert!((a - b).abs() <= 0.5 / 127.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn interleaved_rejects_bad_configs_and_counters() {
+        let (ctx, sk, pk, mut rng) = setup();
+        let flat = vec![0.5f32; 10];
+        // Invalid configs refuse to encrypt.
+        for bad in [
+            PackingConfig::interleaved(1, 1.0, 4),
+            PackingConfig::interleaved(31, 1.0, 4),
+            PackingConfig::interleaved(8, 0.0, 4),
+            PackingConfig::interleaved(8, f32::NAN, 4),
+            PackingConfig::interleaved(8, 1.0, 0),
+        ] {
+            assert!(encrypt_model_with(&ctx, &pk, &flat, &bad, &mut rng).is_err(), "{bad:?}");
+        }
+        // Summing more uploads than max_clients overflows the counter
+        // check at decrypt time.
+        let cfg = PackingConfig::interleaved(8, 1.0, 2);
+        let encrypted: Vec<_> = (0..3)
+            .map(|_| encrypt_model_with(&ctx, &pk, &flat, &cfg, &mut rng).expect("encrypt"))
+            .collect();
+        let over = homomorphic_sum(&ctx, &encrypted).expect("sum");
+        assert!(decrypt_model_with(&ctx, &sk, &over, 10, &cfg).is_err(), "counter > max_clients");
+        // Too few ciphertexts for the declared parameter count.
+        let one = encrypt_model_with(&ctx, &pk, &flat, &cfg, &mut rng).expect("encrypt");
+        assert!(decrypt_model_with(&ctx, &sk, &one, 10_000, &cfg).is_err(), "short payload");
+        // A dense ciphertext stream is not a packed integer stream.
+        let dense_cts = encrypt_model(&ctx, &pk, &[0.37f32; 10], &mut rng).expect("encrypt");
+        assert!(decrypt_model_with(&ctx, &sk, &dense_cts, 10, &cfg).is_err(), "layout mismatch");
     }
 
     #[test]

@@ -246,6 +246,38 @@ impl ClientLocal {
     ) -> Result<Vec<CkksCiphertext>, FheError> {
         packing::encrypt_model_symmetric(ctx, sk, flat, &mut self.rng)
     }
+
+    /// Layout-aware [`ClientRound::encrypt_update`]: `Dense` matches it
+    /// bit for bit; `BitInterleaved` packs several quantized
+    /// coordinates per slot ([`packing::encrypt_model_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FheError`] from validation or encryption.
+    pub fn encrypt_update_with(
+        &mut self,
+        ctx: &CkksContext,
+        pk: &CkksPublicKey,
+        flat: &[f32],
+        cfg: &packing::PackingConfig,
+    ) -> Result<Vec<CkksCiphertext>, FheError> {
+        packing::encrypt_model_with(ctx, pk, flat, cfg, &mut self.rng)
+    }
+
+    /// Layout-aware [`ClientRound::encrypt_update_symmetric`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FheError`] from validation or encryption.
+    pub fn encrypt_update_symmetric_with(
+        &mut self,
+        ctx: &CkksContext,
+        sk: &CkksSecretKey,
+        flat: &[f32],
+        cfg: &packing::PackingConfig,
+    ) -> Result<Vec<CkksCiphertext>, FheError> {
+        packing::encrypt_model_symmetric_with(ctx, sk, flat, cfg, &mut self.rng)
+    }
 }
 
 /// One client's contribution to a round.
@@ -376,6 +408,25 @@ impl ServerRound<Vec<CkksCiphertext>> {
         let models: Vec<Vec<CkksCiphertext>> =
             self.updates.iter().map(|u| u.payload.clone()).collect();
         Ok(packing::homomorphic_weighted_average(ctx, &models, &self.weights())?)
+    }
+
+    /// Lane-safe aggregation for bit-interleaved uploads: the plain
+    /// homomorphic **sum** `Σᵢ Enc(LMᵢ)`, with no plaintext multiply
+    /// that could carry across packed lanes. The division by the
+    /// contributor count happens after decryption, driven by the
+    /// in-band counter lane ([`packing::decrypt_model_with`]) — so this
+    /// path implements uniform FedAvg only; weighted rules need the
+    /// dense layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError`] if no updates were accepted or the
+    /// ciphertexts are incompatible.
+    pub fn aggregate_ckks_sum(&self, ctx: &CkksContext) -> Result<Vec<CkksCiphertext>, FlError> {
+        self.check_nonempty()?;
+        let models: Vec<Vec<CkksCiphertext>> =
+            self.updates.iter().map(|u| u.payload.clone()).collect();
+        Ok(packing::homomorphic_sum(ctx, &models)?)
     }
 }
 

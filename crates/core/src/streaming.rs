@@ -218,6 +218,25 @@ impl StreamingAggregator {
         let w = 1.0 / self.client_ids.len() as f64;
         Ok(rhychee_par::map(ctx.parallelism(), self.acc.len(), |i| ctx.mul_scalar(&self.acc[i], w)))
     }
+
+    /// Closes the round *without* the `1/P` plaintext multiply,
+    /// returning the raw encrypted sum — the finalizer for
+    /// bit-interleaved uploads, whose packed lanes a `mul_scalar` would
+    /// smear across boundaries. The contributor count rides in-band
+    /// (counter lane), so decryption recovers the mean on its own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::StreamingAbort`] when no upload was ever
+    /// folded, exactly as [`StreamingAggregator::finish`].
+    pub fn finish_sum(self) -> Result<Vec<CkksCiphertext>, FlError> {
+        if self.client_ids.is_empty() {
+            return Err(FlError::StreamingAbort(
+                "closing a streamed round that folded no uploads".into(),
+            ));
+        }
+        Ok(self.acc.clone())
+    }
 }
 
 impl Drop for StreamingAggregator {
@@ -262,6 +281,39 @@ mod tests {
             models.push(cts);
         }
         (ctx, blobs, models)
+    }
+
+    #[test]
+    fn finish_sum_preserves_interleaved_lanes() {
+        // Fold bit-interleaved uploads and close with `finish_sum`: the
+        // raw encrypted sum must decrypt to the exact per-coordinate
+        // mean — the `1/P` multiply of `finish` would smear lanes.
+        let ctx = CkksContext::new(CkksParams::toy()).expect("params");
+        let mut rng = StdRng::seed_from_u64(77);
+        let (sk, pk) = ctx.generate_keys(&mut rng);
+        let p = 3;
+        let cfg = packing::PackingConfig::interleaved(8, 1.0, p);
+        let num_params = 2 * ctx.slot_count(); // multiple chunks
+        let mut agg = StreamingAggregator::new(0, Aggregation::FedAvg).expect("fedavg");
+        let mut plain: Vec<Vec<f32>> = Vec::new();
+        for c in 0..p {
+            let mut crng = StdRng::seed_from_u64(500 + c as u64);
+            let flat: Vec<f32> = (0..num_params).map(|_| crng.gen_range(-1.0..1.0)).collect();
+            let cts =
+                packing::encrypt_model_with(&ctx, &pk, &flat, &cfg, &mut crng).expect("encrypt");
+            let blobs: Vec<Vec<u8>> = cts.iter().map(|ct| ctx.serialize(ct)).collect();
+            let views: Vec<CtView<'_>> =
+                blobs.iter().map(|b| ctx.view_serialized(b).expect("view")).collect();
+            assert!(agg.fold_upload(&ctx, c, 0, &views).expect("fold"));
+            plain.push(flat);
+        }
+        let sum = agg.finish_sum().expect("finish");
+        let back = packing::decrypt_model_with(&ctx, &sk, &sum, num_params, &cfg).expect("decrypt");
+        let step = 1.0f32 / 127.0;
+        for i in 0..num_params {
+            let mean: f32 = plain.iter().map(|m| m[i]).sum::<f32>() / p as f32;
+            assert!((back[i] - mean).abs() <= step, "param {i}: {} vs {mean}", back[i]);
+        }
     }
 
     #[test]

@@ -15,12 +15,128 @@
 //! `q < 2^62` (guaranteed: `find_ntt_primes` caps primes at 62 bits).
 //! Outputs are bit-identical to the plain `mul_mod` implementation this
 //! replaces.
+//!
+//! # Kernel backends
+//!
+//! The butterfly loops run behind the [`NttKernel`] trait. Three
+//! backends exist: the scalar Harvey path above (always compiled, the
+//! reference), an AVX2 backend (`x86_64`, 4-lane butterflies with the
+//! Shoup multiply-high rebuilt from `_mm256_mul_epu32` 32×32→64
+//! partial products), and a NEON backend (`aarch64`, 2-lane). One
+//! backend is selected per process — runtime feature detection under
+//! an `RHYCHEE_NTT_BACKEND={scalar,avx2,neon,auto}` env override — and
+//! the choice is cached inside every [`NttTable`], so `forward`/
+//! `inverse`/`multiply` and the per-RNS-prime parallel loops dispatch
+//! through a preresolved vtable pointer with zero per-call branching.
+//! All backends perform the *same* wrapping-u64 lazy-reduction
+//! arithmetic, so outputs are bit-identical across backends (asserted
+//! by proptests and the cross-backend identity test).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use super::modarith::{add_mod, inv_mod, mul_mod, primitive_root, sub_mod};
 use rhychee_telemetry as telemetry;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// One NTT butterfly-kernel backend.
+///
+/// Implementations must reproduce the scalar reference arithmetic
+/// exactly — same lazy-reduction bounds, same wrapping-u64 operations —
+/// so that every backend is bit-identical to [`forward_scalar`]
+/// (`NttTable::forward_scalar`); the repo's determinism invariants
+/// (parallel determinism, resident-vs-reference identity) depend on it.
+/// The table's twiddles are passed back in so kernels stay stateless
+/// and one process-global instance serves every `(n, q)` pair.
+pub trait NttKernel: Send + Sync + std::fmt::Debug {
+    /// Stable backend name: `"scalar"`, `"avx2"` or `"neon"`.
+    fn name(&self) -> &'static str;
+    /// In-place forward butterflies + canonicalization for `table`.
+    fn forward(&self, table: &NttTable, a: &mut [u64]);
+    /// In-place inverse butterflies + `N^{-1}` scaling for `table`.
+    fn inverse(&self, table: &NttTable, a: &mut [u64]);
+}
+
+/// The scalar Harvey lazy-reduction reference backend (always available).
+#[derive(Debug)]
+struct ScalarKernel;
+
+static SCALAR_KERNEL: ScalarKernel = ScalarKernel;
+
+impl NttKernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+    fn forward(&self, table: &NttTable, a: &mut [u64]) {
+        table.forward_scalar(a);
+    }
+    fn inverse(&self, table: &NttTable, a: &mut [u64]) {
+        table.inverse_scalar(a);
+    }
+}
+
+/// Every backend compiled into this binary *and* usable on this CPU,
+/// scalar first. SIMD backends appear only when the corresponding
+/// feature is detected at runtime, so handing any element of this
+/// slice to [`NttTable::with_kernel`] is always safe.
+pub fn available_kernels() -> &'static [&'static dyn NttKernel] {
+    static KERNELS: OnceLock<Vec<&'static dyn NttKernel>> = OnceLock::new();
+    KERNELS.get_or_init(|| {
+        #[allow(unused_mut)]
+        let mut v: Vec<&'static dyn NttKernel> = vec![&SCALAR_KERNEL];
+        #[cfg(target_arch = "x86_64")]
+        if avx2::available() {
+            v.push(avx2::kernel());
+        }
+        #[cfg(target_arch = "x86_64")]
+        if avx512::available() {
+            v.push(avx512::kernel());
+        }
+        #[cfg(target_arch = "aarch64")]
+        if neon::available() {
+            v.push(neon::kernel());
+        }
+        v
+    })
+}
+
+/// Looks up an available backend by name (`"scalar"`, `"avx2"`, `"neon"`).
+pub fn kernel_by_name(name: &str) -> Option<&'static dyn NttKernel> {
+    available_kernels().iter().copied().find(|k| k.name() == name)
+}
+
+/// The process-wide backend: resolved once from `RHYCHEE_NTT_BACKEND`
+/// (`scalar` / `avx2` / `neon` / `auto`, default `auto` = fastest
+/// detected) and cached, so per-call dispatch is a preresolved vtable
+/// pointer. Requesting a backend this host cannot run falls back to
+/// scalar with a warning rather than aborting, so one CI matrix works
+/// across architectures. Publishes the `fhe.ckks.ntt.backend` info
+/// metric on first resolution.
+pub fn active_kernel() -> &'static dyn NttKernel {
+    static ACTIVE: OnceLock<&'static dyn NttKernel> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let requested = std::env::var("RHYCHEE_NTT_BACKEND").unwrap_or_default();
+        let kernel = match requested.as_str() {
+            "" | "auto" => *available_kernels().last().expect("scalar kernel always present"),
+            name => kernel_by_name(name).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: RHYCHEE_NTT_BACKEND={name} unavailable on this host \
+                     (compiled+detected: {:?}); falling back to scalar",
+                    available_kernels().iter().map(|k| k.name()).collect::<Vec<_>>()
+                );
+                &SCALAR_KERNEL
+            }),
+        };
+        telemetry::count_labeled("fhe.ckks.ntt.backend", "backend", kernel.name(), 1);
+        kernel
+    })
+}
 
 /// Process-wide table cache keyed by `(n, q)`.
 ///
@@ -51,6 +167,16 @@ pub fn cached_table(n: usize, q: u64) -> Arc<NttTable> {
     }
     telemetry::count("fhe.ckks.ntt.table_cache.miss", 1);
     let table = Arc::new(NttTable::new(n, q));
+    // Per-backend cache accounting: which kernel the retained twiddle
+    // bytes serve. The backend is process-global, so in practice one
+    // label accumulates, but the breakdown survives env-override tests.
+    telemetry::count_labeled("fhe.ckks.ntt.table_cache.tables", "backend", table.backend(), 1);
+    telemetry::count_labeled(
+        "fhe.ckks.ntt.table_cache.bytes_added",
+        "backend",
+        table.backend(),
+        table.bytes(),
+    );
     map.insert((n, q), Arc::clone(&table));
     table
 }
@@ -113,6 +239,18 @@ pub struct NttTable {
     n_inv: u64,
     /// Shoup quotient for `n_inv`.
     n_inv_shoup: u64,
+    /// `psi_inv_rev[1] · N^{-1} mod q` — the single twiddle of the
+    /// final inverse pass with the `N^{-1}` scaling pre-folded, so
+    /// SIMD kernels can emit canonical outputs from that pass and skip
+    /// the separate scaling sweep (outputs are fully reduced either
+    /// way, so this cannot change results).
+    inv_last_folded: u64,
+    /// Shoup quotient for `inv_last_folded`.
+    inv_last_folded_shoup: u64,
+    /// The butterfly backend this table dispatches through — resolved
+    /// once at construction ([`active_kernel`] unless overridden via
+    /// [`NttTable::with_kernel`]), so per-call dispatch is branch-free.
+    kernel: &'static dyn NttKernel,
 }
 
 impl NttTable {
@@ -124,6 +262,20 @@ impl NttTable {
     /// Panics if `n` is not a power of two, `q ≢ 1 (mod 2n)`, or
     /// `q ≥ 2^62` (the lazy-reduction headroom bound).
     pub fn new(n: usize, q: u64) -> Self {
+        Self::with_kernel(n, q, active_kernel())
+    }
+
+    /// Builds tables for `(n, q)` dispatching through an explicit
+    /// backend instead of the process-wide [`active_kernel`]. Used by
+    /// the per-backend proptests, the cross-backend bit-identity test
+    /// and `bench_fhe`'s per-backend rows. `kernel` must come from
+    /// [`available_kernels`] / [`kernel_by_name`], which only hand out
+    /// backends the running CPU supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NttTable::new`].
+    pub fn with_kernel(n: usize, q: u64, kernel: &'static dyn NttKernel) -> Self {
         assert!(n.is_power_of_two(), "ring degree must be a power of two");
         assert_eq!((q - 1) % (2 * n as u64), 0, "q must be 1 mod 2N");
         assert!(q < 1u64 << 62, "q must be < 2^62 for lazy reduction");
@@ -151,6 +303,8 @@ impl NttTable {
         let psi_inv_rev_shoup = psi_inv_rev.iter().map(|&w| shoup(w, q)).collect();
         let n_inv = inv_mod(n as u64, q);
         let n_inv_shoup = shoup(n_inv, q);
+        let inv_last_folded = if n > 1 { mul_mod(psi_inv_rev[1], n_inv, q) } else { n_inv };
+        let inv_last_folded_shoup = shoup(inv_last_folded, q);
         NttTable {
             q,
             n,
@@ -160,12 +314,20 @@ impl NttTable {
             psi_inv_rev_shoup,
             n_inv,
             n_inv_shoup,
+            inv_last_folded,
+            inv_last_folded_shoup,
+            kernel,
         }
     }
 
     /// The prime modulus of this table.
     pub fn modulus(&self) -> u64 {
         self.q
+    }
+
+    /// Name of the butterfly backend this table dispatches through.
+    pub fn backend(&self) -> &'static str {
+        self.kernel.name()
     }
 
     /// The ring degree of this table.
@@ -190,6 +352,13 @@ impl NttTable {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         telemetry::count("fhe.ckks.ntt.forward.count", 1);
         let _t = telemetry::timer("fhe.ckks.ntt.forward");
+        self.kernel.forward(self, a);
+    }
+
+    /// Scalar reference forward butterflies (no telemetry, no length
+    /// check — callers are [`forward`](Self::forward) and the SIMD
+    /// kernels' small-ring fallback).
+    pub(crate) fn forward_scalar(&self, a: &mut [u64]) {
         let q = self.q;
         let two_q = 2 * q;
         let mut t = self.n;
@@ -236,6 +405,12 @@ impl NttTable {
         assert_eq!(a.len(), self.n, "input length must equal ring degree");
         telemetry::count("fhe.ckks.ntt.inverse.count", 1);
         let _t = telemetry::timer("fhe.ckks.ntt.inverse");
+        self.kernel.inverse(self, a);
+    }
+
+    /// Scalar reference inverse butterflies (see
+    /// [`forward_scalar`](Self::forward_scalar)).
+    pub(crate) fn inverse_scalar(&self, a: &mut [u64]) {
         let q = self.q;
         let two_q = 2 * q;
         let mut t = 1;

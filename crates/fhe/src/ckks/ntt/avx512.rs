@@ -1,0 +1,335 @@
+//! AVX-512 backend: 8-lane Harvey/Shoup butterflies.
+//!
+//! Where the AVX2 backend must emulate every 64-bit product from
+//! 32×32→64 partials, AVX-512DQ has a native vector 64×64→low-64
+//! multiply (`vpmullq`), and AVX-512F a native unsigned 64-bit min
+//! (`vpminuq`) that turns the conditional lazy reduction
+//! `x >= b ? x - b : x` into two ops (`min(x, x - b)` — the
+//! subtraction wraps far above `b` exactly when `x < b`). Only the
+//! Shoup multiply-high still needs the schoolbook 32-bit partial
+//! products.
+//!
+//! Unlike the AVX2 backend, *every* pass is vectorized: the short
+//! passes (`t < 8`), whose butterfly halves are interleaved within a
+//! vector, run through `vpermi2q` deinterleave/reinterleave shuffles
+//! with the per-group twiddles gathered by `vpermq` from the
+//! contiguous twiddle table. Two full-array sweeps are also fused
+//! away: the forward canonicalization happens inside the last
+//! (`t = 1`) pass, and the inverse `N^{-1}` scaling is pre-folded
+//! into the single twiddle of the final (`t = N/2`) pass
+//! (`NttTable::inv_last_folded`). Both fusions only change lazy
+//! intermediates; canonical outputs are bit-identical to the scalar
+//! reference.
+//!
+//! # Safety
+//!
+//! Mirrors the AVX2 module: intrinsics only inside
+//! `#[target_feature(enable = "avx512f,avx512dq")]` functions, the
+//! kernel handed out only when both features are detected at runtime
+//! ([`available`]), raw-pointer accesses in bounds by the scalar
+//! loops' index algebra (main passes: `j + t + 7 ≤ j1 + 2t − 1 < n`;
+//! tail passes: whole 16-element blocks of `a` and ≤ 8-element
+//! twiddle loads ending exactly at the table's length).
+
+use core::arch::x86_64::*;
+
+use super::{NttKernel, NttTable};
+
+/// Tail passes need 16-element blocks; below 32 the main loop never
+/// runs and the scalar path is at no disadvantage.
+const MIN_VECTOR_RING: usize = 32;
+
+#[derive(Debug)]
+pub(super) struct Avx512Kernel;
+
+static KERNEL: Avx512Kernel = Avx512Kernel;
+
+/// Runtime gate: the only path that hands out the AVX-512 kernel.
+pub(super) fn available() -> bool {
+    is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq")
+}
+
+pub(super) fn kernel() -> &'static dyn NttKernel {
+    &KERNEL
+}
+
+impl NttKernel for Avx512Kernel {
+    fn name(&self) -> &'static str {
+        "avx512"
+    }
+    fn forward(&self, table: &NttTable, a: &mut [u64]) {
+        if table.n < MIN_VECTOR_RING {
+            return table.forward_scalar(a);
+        }
+        // SAFETY: kernel only obtainable after the `available()` check.
+        unsafe { forward_avx512(table, a) }
+    }
+    fn inverse(&self, table: &NttTable, a: &mut [u64]) {
+        if table.n < MIN_VECTOR_RING {
+            return table.inverse_scalar(a);
+        }
+        // SAFETY: as above.
+        unsafe { inverse_avx512(table, a) }
+    }
+}
+
+/// Per lane: `x >= bound ? x - bound : x` via `vpminuq`.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn sub_if_ge(x: __m512i, bound: __m512i) -> __m512i {
+    _mm512_min_epu64(x, _mm512_sub_epi64(x, bound))
+}
+
+/// High 64 bits of the 128-bit product per lane (Hacker's Delight
+/// `mulhu` over `vpmuludq` partials — see the AVX2 twin for the
+/// overflow argument). `b_hi`/`y_hi` are the per-lane high halves.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn mul_hi64(b: __m512i, b_hi: __m512i, y: __m512i, y_hi: __m512i) -> __m512i {
+    let lo_lo = _mm512_mul_epu32(b, y);
+    let hi_lo = _mm512_mul_epu32(b_hi, y);
+    let lo_hi = _mm512_mul_epu32(b, y_hi);
+    let hi_hi = _mm512_mul_epu32(b_hi, y_hi);
+    let t1 = _mm512_add_epi64(hi_lo, _mm512_srli_epi64::<32>(lo_lo));
+    let m = _mm512_set1_epi64(0xFFFF_FFFF);
+    let u = _mm512_add_epi64(lo_hi, _mm512_and_si512(t1, m));
+    _mm512_add_epi64(
+        _mm512_add_epi64(hi_hi, _mm512_srli_epi64::<32>(t1)),
+        _mm512_srli_epi64::<32>(u),
+    )
+}
+
+/// 8-lane `mul_shoup_lazy(y, w, w_shoup, q)` — the two low-64
+/// products are single `vpmullq`s.
+#[inline]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn mul_shoup_lazy8(
+    y: __m512i,
+    w: __m512i,
+    ws: __m512i,
+    ws_hi: __m512i,
+    q: __m512i,
+) -> __m512i {
+    let y_hi = _mm512_srli_epi64::<32>(y);
+    let hi = mul_hi64(ws, ws_hi, y, y_hi);
+    _mm512_sub_epi64(_mm512_mullo_epi64(w, y), _mm512_mullo_epi64(hi, q))
+}
+
+/// Shuffle patterns for one interleaved ("tail") pass at `t ∈ {1,2,4}`.
+///
+/// A 16-element block holds `16/(2t)` butterfly groups; `u`/`v` pick
+/// the group halves out of the block (indices 0–7 address the first
+/// loaded vector, 8–15 the second, per `vpermi2q`), `tw` replicates
+/// each of the block's consecutive twiddles `t` times, and `o0`/`o1`
+/// interleave the halves back into block order.
+struct TailIdx {
+    u: __m512i,
+    v: __m512i,
+    tw: __m512i,
+    o0: __m512i,
+    o1: __m512i,
+}
+
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn tail_idx(t: usize) -> TailIdx {
+    match t {
+        4 => TailIdx {
+            u: _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11),
+            v: _mm512_setr_epi64(4, 5, 6, 7, 12, 13, 14, 15),
+            tw: _mm512_setr_epi64(0, 0, 0, 0, 1, 1, 1, 1),
+            o0: _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11),
+            o1: _mm512_setr_epi64(4, 5, 6, 7, 12, 13, 14, 15),
+        },
+        2 => TailIdx {
+            u: _mm512_setr_epi64(0, 1, 4, 5, 8, 9, 12, 13),
+            v: _mm512_setr_epi64(2, 3, 6, 7, 10, 11, 14, 15),
+            tw: _mm512_setr_epi64(0, 0, 1, 1, 2, 2, 3, 3),
+            o0: _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11),
+            o1: _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15),
+        },
+        _ => TailIdx {
+            u: _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14),
+            v: _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15),
+            tw: _mm512_setr_epi64(0, 1, 2, 3, 4, 5, 6, 7),
+            o0: _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11),
+            o1: _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15),
+        },
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn forward_avx512(table: &NttTable, a: &mut [u64]) {
+    let q = table.q;
+    let two_q = 2 * q;
+    let n = table.n;
+    let q_v = _mm512_set1_epi64(q as i64);
+    let two_q_v = _mm512_set1_epi64(two_q as i64);
+    let base = a.as_mut_ptr();
+    let mut t = n;
+    let mut m = 1;
+    // Main passes: each group's halves are ≥ one vector long.
+    while t > 8 {
+        t /= 2;
+        for i in 0..m {
+            let j1 = 2 * i * t;
+            let s = table.psi_rev[m + i];
+            let s_shoup = table.psi_rev_shoup[m + i];
+            let w = _mm512_set1_epi64(s as i64);
+            let ws = _mm512_set1_epi64(s_shoup as i64);
+            let ws_hi = _mm512_set1_epi64((s_shoup >> 32) as i64);
+            let mut j = j1;
+            while j < j1 + t {
+                // SAFETY: j + t + 7 ≤ j1 + 2t − 1 < n.
+                let pu = base.add(j) as *mut __m512i;
+                let pv = base.add(j + t) as *mut __m512i;
+                let u = sub_if_ge(_mm512_loadu_si512(pu), two_q_v);
+                let y = _mm512_loadu_si512(pv);
+                let v = mul_shoup_lazy8(y, w, ws, ws_hi, q_v);
+                _mm512_storeu_si512(pu, _mm512_add_epi64(u, v));
+                _mm512_storeu_si512(pv, _mm512_add_epi64(u, _mm512_sub_epi64(two_q_v, v)));
+                j += 8;
+            }
+        }
+        m *= 2;
+    }
+    // Tail passes (t = 4, 2, 1): interleaved halves via vpermi2q. The
+    // last pass canonicalizes its outputs, replacing the separate
+    // [0, 4q) → [0, q) sweep.
+    while m < n {
+        t /= 2;
+        let idx = tail_idx(t);
+        let groups_per_block = 16 / (2 * t);
+        let tw_base = table.psi_rev.as_ptr().add(m);
+        let tws_base = table.psi_rev_shoup.as_ptr().add(m);
+        let mut k = 0;
+        let mut g = 0;
+        while k < n {
+            // SAFETY: blocks cover a[k..k+16], k + 16 ≤ n (16 | n for
+            // n ≥ MIN_VECTOR_RING). Twiddle loads read 8 u64 at
+            // offset m + g; the largest such read ends at
+            // m + (m − groups_per_block) + 8 ≤ 2m ≤ n.
+            let p0 = base.add(k) as *mut __m512i;
+            let p1 = base.add(k + 8) as *mut __m512i;
+            let z0 = _mm512_loadu_si512(p0);
+            let z1 = _mm512_loadu_si512(p1);
+            let u = sub_if_ge(_mm512_permutex2var_epi64(z0, idx.u, z1), two_q_v);
+            let y = _mm512_permutex2var_epi64(z0, idx.v, z1);
+            let tw_raw = _mm512_loadu_si512(tw_base.add(g) as *const __m512i);
+            let tws_raw = _mm512_loadu_si512(tws_base.add(g) as *const __m512i);
+            let w = _mm512_permutexvar_epi64(idx.tw, tw_raw);
+            let ws = _mm512_permutexvar_epi64(idx.tw, tws_raw);
+            let ws_hi = _mm512_srli_epi64::<32>(ws);
+            let v = mul_shoup_lazy8(y, w, ws, ws_hi, q_v);
+            let mut out_u = _mm512_add_epi64(u, v);
+            let mut out_v = _mm512_add_epi64(u, _mm512_sub_epi64(two_q_v, v));
+            if t == 1 {
+                out_u = sub_if_ge(sub_if_ge(out_u, two_q_v), q_v);
+                out_v = sub_if_ge(sub_if_ge(out_v, two_q_v), q_v);
+            }
+            _mm512_storeu_si512(p0, _mm512_permutex2var_epi64(out_u, idx.o0, out_v));
+            _mm512_storeu_si512(p1, _mm512_permutex2var_epi64(out_u, idx.o1, out_v));
+            k += 16;
+            g += groups_per_block;
+        }
+        m *= 2;
+    }
+}
+
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn inverse_avx512(table: &NttTable, a: &mut [u64]) {
+    let q = table.q;
+    let two_q = 2 * q;
+    let n = table.n;
+    let q_v = _mm512_set1_epi64(q as i64);
+    let two_q_v = _mm512_set1_epi64(two_q as i64);
+    let base = a.as_mut_ptr();
+    let mut t = 1;
+    let mut m = n;
+    // Tail passes (t = 1, 2, 4): interleaved halves.
+    while t < 8 && m > 2 {
+        let h = m / 2;
+        let idx = tail_idx(t);
+        let groups_per_block = 16 / (2 * t);
+        let tw_base = table.psi_inv_rev.as_ptr().add(h);
+        let tws_base = table.psi_inv_rev_shoup.as_ptr().add(h);
+        let mut k = 0;
+        let mut g = 0;
+        while k < n {
+            // SAFETY: same block/twiddle bounds as the forward tail.
+            let p0 = base.add(k) as *mut __m512i;
+            let p1 = base.add(k + 8) as *mut __m512i;
+            let z0 = _mm512_loadu_si512(p0);
+            let z1 = _mm512_loadu_si512(p1);
+            let u = _mm512_permutex2var_epi64(z0, idx.u, z1);
+            let v = _mm512_permutex2var_epi64(z0, idx.v, z1);
+            let tw_raw = _mm512_loadu_si512(tw_base.add(g) as *const __m512i);
+            let tws_raw = _mm512_loadu_si512(tws_base.add(g) as *const __m512i);
+            let w = _mm512_permutexvar_epi64(idx.tw, tw_raw);
+            let ws = _mm512_permutexvar_epi64(idx.tw, tws_raw);
+            let ws_hi = _mm512_srli_epi64::<32>(ws);
+            let sum = sub_if_ge(_mm512_add_epi64(u, v), two_q_v);
+            let diff = _mm512_sub_epi64(_mm512_add_epi64(u, two_q_v), v);
+            let out_v = mul_shoup_lazy8(diff, w, ws, ws_hi, q_v);
+            _mm512_storeu_si512(p0, _mm512_permutex2var_epi64(sum, idx.o0, out_v));
+            _mm512_storeu_si512(p1, _mm512_permutex2var_epi64(sum, idx.o1, out_v));
+            k += 16;
+            g += groups_per_block;
+        }
+        t *= 2;
+        m = h;
+    }
+    // Main passes, stopping before the final (t = N/2) one.
+    while m > 2 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let s = table.psi_inv_rev[h + i];
+            let s_shoup = table.psi_inv_rev_shoup[h + i];
+            let w = _mm512_set1_epi64(s as i64);
+            let ws = _mm512_set1_epi64(s_shoup as i64);
+            let ws_hi = _mm512_set1_epi64((s_shoup >> 32) as i64);
+            let mut j = j1;
+            while j < j1 + t {
+                // SAFETY: j + t + 7 ≤ j1 + 2t − 1 < n.
+                let pu = base.add(j) as *mut __m512i;
+                let pv = base.add(j + t) as *mut __m512i;
+                let u = _mm512_loadu_si512(pu);
+                let v = _mm512_loadu_si512(pv);
+                let sum = sub_if_ge(_mm512_add_epi64(u, v), two_q_v);
+                _mm512_storeu_si512(pu, sum);
+                let diff = _mm512_sub_epi64(_mm512_add_epi64(u, two_q_v), v);
+                let out = mul_shoup_lazy8(diff, w, ws, ws_hi, q_v);
+                _mm512_storeu_si512(pv, out);
+                j += 8;
+            }
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+    // Final pass (t = N/2, one twiddle): fold in N^{-1} on the sum
+    // half and the prefolded twiddle on the difference half, emitting
+    // fully reduced outputs — replaces the separate scaling sweep.
+    let w_n = _mm512_set1_epi64(table.n_inv as i64);
+    let ws_n = _mm512_set1_epi64(table.n_inv_shoup as i64);
+    let ws_n_hi = _mm512_set1_epi64((table.n_inv_shoup >> 32) as i64);
+    let w_f = _mm512_set1_epi64(table.inv_last_folded as i64);
+    let ws_f = _mm512_set1_epi64(table.inv_last_folded_shoup as i64);
+    let ws_f_hi = _mm512_set1_epi64((table.inv_last_folded_shoup >> 32) as i64);
+    let half = n / 2;
+    let mut j = 0;
+    while j < half {
+        // SAFETY: j + half + 7 ≤ n − 1.
+        let pu = base.add(j) as *mut __m512i;
+        let pv = base.add(j + half) as *mut __m512i;
+        let u = _mm512_loadu_si512(pu);
+        let v = _mm512_loadu_si512(pv);
+        let sum = sub_if_ge(_mm512_add_epi64(u, v), two_q_v);
+        let out_u = mul_shoup_lazy8(sum, w_n, ws_n, ws_n_hi, q_v);
+        _mm512_storeu_si512(pu, sub_if_ge(out_u, q_v));
+        let diff = _mm512_sub_epi64(_mm512_add_epi64(u, two_q_v), v);
+        let out_v = mul_shoup_lazy8(diff, w_f, ws_f, ws_f_hi, q_v);
+        _mm512_storeu_si512(pv, sub_if_ge(out_v, q_v));
+        j += 8;
+    }
+}

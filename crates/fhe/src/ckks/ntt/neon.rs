@@ -1,0 +1,246 @@
+//! NEON backend: 2-lane Harvey/Shoup butterflies for `aarch64`.
+//!
+//! AArch64 NEON has no 64×64→128 multiply either, so the Shoup
+//! multiply-high is rebuilt from `vmull_u32` 32×32→64 widening partial
+//! products with the same schoolbook carry propagation as the AVX2
+//! backend (and the same wrapping-u64 operation sequence as the scalar
+//! reference, so outputs are bit-identical). Unlike AVX2, NEON has a
+//! native unsigned 64-bit compare (`vcgeq_u64`), so the conditional
+//! lazy reductions need no sign-bias trick.
+//!
+//! Passes with contiguous runs shorter than one vector (`t < 2`: the
+//! last forward / first inverse pass) fall through to the scalar loop.
+//!
+//! # Safety
+//!
+//! Mirrors the AVX2 module: intrinsics run inside
+//! `#[target_feature(enable = "neon")]` functions, the kernel is
+//! handed out only when `is_aarch64_feature_detected!("neon")` holds,
+//! and every raw-pointer access stays within `a[..n]` by the scalar
+//! loops' index algebra (`j + t + 1 < j1 + 2t ≤ n`).
+
+use core::arch::aarch64::*;
+
+use super::{NttKernel, NttTable};
+
+/// Below this ring degree most passes are scalar anyway; use the
+/// reference path outright.
+const MIN_VECTOR_RING: usize = 8;
+
+#[derive(Debug)]
+pub(super) struct NeonKernel;
+
+static KERNEL: NeonKernel = NeonKernel;
+
+/// Runtime gate: the only path that hands out the NEON kernel.
+pub(super) fn available() -> bool {
+    std::arch::is_aarch64_feature_detected!("neon")
+}
+
+pub(super) fn kernel() -> &'static dyn NttKernel {
+    &KERNEL
+}
+
+impl NttKernel for NeonKernel {
+    fn name(&self) -> &'static str {
+        "neon"
+    }
+    fn forward(&self, table: &NttTable, a: &mut [u64]) {
+        if table.n < MIN_VECTOR_RING {
+            return table.forward_scalar(a);
+        }
+        // SAFETY: kernel only obtainable after the `available()` check.
+        unsafe { forward_neon(table, a) }
+    }
+    fn inverse(&self, table: &NttTable, a: &mut [u64]) {
+        if table.n < MIN_VECTOR_RING {
+            return table.inverse_scalar(a);
+        }
+        // SAFETY: as above.
+        unsafe { inverse_neon(table, a) }
+    }
+}
+
+/// High 64 bits of the 128-bit product per lane from 32-bit halves;
+/// `b_lo`/`b_hi` are the broadcast low/high 32-bit halves of the
+/// scalar multiplicand.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn mul_hi64(b_lo: uint32x2_t, b_hi: uint32x2_t, y: uint64x2_t) -> uint64x2_t {
+    let y_lo = vmovn_u64(y);
+    let y_hi = vshrn_n_u64::<32>(y);
+    let lo_lo = vmull_u32(b_lo, y_lo);
+    let hi_lo = vmull_u32(b_hi, y_lo);
+    let lo_hi = vmull_u32(b_lo, y_hi);
+    let hi_hi = vmull_u32(b_hi, y_hi);
+    let m = vdupq_n_u64(0xFFFF_FFFF);
+    let cross =
+        vaddq_u64(vaddq_u64(vshrq_n_u64::<32>(lo_lo), vandq_u64(hi_lo, m)), vandq_u64(lo_hi, m));
+    vaddq_u64(
+        vaddq_u64(hi_hi, vshrq_n_u64::<32>(hi_lo)),
+        vaddq_u64(vshrq_n_u64::<32>(lo_hi), vshrq_n_u64::<32>(cross)),
+    )
+}
+
+/// Wrapping low 64 bits of the product per lane.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn mul_lo64(b_lo: uint32x2_t, b_hi: uint32x2_t, y: uint64x2_t) -> uint64x2_t {
+    let y_lo = vmovn_u64(y);
+    let y_hi = vshrn_n_u64::<32>(y);
+    let lo_lo = vmull_u32(b_lo, y_lo);
+    let hi_lo = vmull_u32(b_hi, y_lo);
+    let lo_hi = vmull_u32(b_lo, y_hi);
+    vaddq_u64(lo_lo, vshlq_n_u64::<32>(vaddq_u64(hi_lo, lo_hi)))
+}
+
+/// Per lane: `x >= bound ? x - bound : x` via the native unsigned
+/// 64-bit compare.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn sub_if_ge(x: uint64x2_t, bound: uint64x2_t) -> uint64x2_t {
+    let ge = vcgeq_u64(x, bound);
+    vsubq_u64(x, vandq_u64(ge, bound))
+}
+
+/// 2-lane `mul_shoup_lazy(y, w, w_shoup, q)` in wrapping u64.
+#[inline]
+#[target_feature(enable = "neon")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn mul_shoup_lazy2(
+    y: uint64x2_t,
+    w_lo: uint32x2_t,
+    w_hi: uint32x2_t,
+    ws_lo: uint32x2_t,
+    ws_hi: uint32x2_t,
+    q_lo: uint32x2_t,
+    q_hi: uint32x2_t,
+) -> uint64x2_t {
+    let hi = mul_hi64(ws_lo, ws_hi, y);
+    vsubq_u64(mul_lo64(w_lo, w_hi, y), mul_lo64(q_lo, q_hi, hi))
+}
+
+/// Broadcast the low/high 32-bit halves of a scalar.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn halves(x: u64) -> (uint32x2_t, uint32x2_t) {
+    (vdup_n_u32(x as u32), vdup_n_u32((x >> 32) as u32))
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn forward_neon(table: &NttTable, a: &mut [u64]) {
+    let q = table.q;
+    let two_q = 2 * q;
+    let n = table.n;
+    let (q_lo, q_hi) = halves(q);
+    let q_v = vdupq_n_u64(q);
+    let two_q_v = vdupq_n_u64(two_q);
+    let base = a.as_mut_ptr();
+    let mut t = n;
+    let mut m = 1;
+    while m < n {
+        t /= 2;
+        for i in 0..m {
+            let j1 = 2 * i * t;
+            let s = table.psi_rev[m + i];
+            let s_shoup = table.psi_rev_shoup[m + i];
+            if t >= 2 {
+                let (w_lo, w_hi) = halves(s);
+                let (ws_lo, ws_hi) = halves(s_shoup);
+                let mut j = j1;
+                while j < j1 + t {
+                    // SAFETY: j + t + 1 ≤ j1 + 2t − 1 < n.
+                    let pu = base.add(j);
+                    let pv = base.add(j + t);
+                    let u = sub_if_ge(vld1q_u64(pu), two_q_v);
+                    let y = vld1q_u64(pv);
+                    let v = mul_shoup_lazy2(y, w_lo, w_hi, ws_lo, ws_hi, q_lo, q_hi);
+                    vst1q_u64(pu, vaddq_u64(u, v));
+                    vst1q_u64(pv, vaddq_u64(u, vsubq_u64(two_q_v, v)));
+                    j += 2;
+                }
+            } else {
+                for j in j1..j1 + t {
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = super::mul_shoup_lazy(a[j + t], s, s_shoup, q);
+                    a[j] = u + v;
+                    a[j + t] = u + two_q - v;
+                }
+            }
+        }
+        m *= 2;
+    }
+    let mut j = 0;
+    while j < n {
+        // SAFETY: j + 1 < n since 2 | n.
+        let p = base.add(j);
+        let x = sub_if_ge(sub_if_ge(vld1q_u64(p), two_q_v), q_v);
+        vst1q_u64(p, x);
+        j += 2;
+    }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn inverse_neon(table: &NttTable, a: &mut [u64]) {
+    let q = table.q;
+    let two_q = 2 * q;
+    let n = table.n;
+    let (q_lo, q_hi) = halves(q);
+    let q_v = vdupq_n_u64(q);
+    let two_q_v = vdupq_n_u64(two_q);
+    let base = a.as_mut_ptr();
+    let mut t = 1;
+    let mut m = n;
+    while m > 1 {
+        let h = m / 2;
+        let mut j1 = 0;
+        for i in 0..h {
+            let s = table.psi_inv_rev[h + i];
+            let s_shoup = table.psi_inv_rev_shoup[h + i];
+            if t >= 2 {
+                let (w_lo, w_hi) = halves(s);
+                let (ws_lo, ws_hi) = halves(s_shoup);
+                let mut j = j1;
+                while j < j1 + t {
+                    // SAFETY: j + t + 1 ≤ j1 + 2t − 1 < n.
+                    let pu = base.add(j);
+                    let pv = base.add(j + t);
+                    let u = vld1q_u64(pu);
+                    let v = vld1q_u64(pv);
+                    vst1q_u64(pu, sub_if_ge(vaddq_u64(u, v), two_q_v));
+                    let diff = vsubq_u64(vaddq_u64(u, two_q_v), v);
+                    let out = mul_shoup_lazy2(diff, w_lo, w_hi, ws_lo, ws_hi, q_lo, q_hi);
+                    vst1q_u64(pv, out);
+                    j += 2;
+                }
+            } else {
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    let mut sum = u + v;
+                    if sum >= two_q {
+                        sum -= two_q;
+                    }
+                    a[j] = sum;
+                    a[j + t] = super::mul_shoup_lazy(u + two_q - v, s, s_shoup, q);
+                }
+            }
+            j1 += 2 * t;
+        }
+        t *= 2;
+        m = h;
+    }
+    let (w_lo, w_hi) = halves(table.n_inv);
+    let (ws_lo, ws_hi) = halves(table.n_inv_shoup);
+    let mut j = 0;
+    while j < n {
+        // SAFETY: j + 1 < n since 2 | n.
+        let p = base.add(j);
+        let r = mul_shoup_lazy2(vld1q_u64(p), w_lo, w_hi, ws_lo, ws_hi, q_lo, q_hi);
+        vst1q_u64(p, sub_if_ge(r, q_v));
+        j += 2;
+    }
+}

@@ -173,6 +173,100 @@ proptest! {
     }
 }
 
+// Every compiled-and-detected NTT backend must agree with the scalar
+// reference bit for bit: the kernels share one contract (canonical
+// outputs in `[0, q)`), so SIMD lane tricks and fused passes are free
+// to differ internally but never externally.
+mod ntt_backends {
+    use super::*;
+    use rhychee_fhe::ckks::modarith::find_ntt_primes;
+    use rhychee_fhe::ckks::ntt::{available_kernels, negacyclic_mul_naive, NttTable};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn every_backend_round_trips(
+            raw in prop::collection::vec(any::<u64>(), 128),
+            prime_bits in 30u32..=61,
+        ) {
+            let q = find_ntt_primes(prime_bits, 1, 256)[0];
+            let a: Vec<u64> = raw.iter().map(|&x| x % q).collect();
+            for &kernel in available_kernels() {
+                let table = NttTable::with_kernel(128, q, kernel);
+                let mut t = a.clone();
+                table.forward(&mut t);
+                table.inverse(&mut t);
+                prop_assert!(t == a, "backend {} broke the round trip", kernel.name());
+            }
+        }
+
+        #[test]
+        fn every_backend_matches_naive_product(
+            raw_a in prop::collection::vec(any::<u64>(), 64),
+            raw_b in prop::collection::vec(any::<u64>(), 64),
+        ) {
+            let q = find_ntt_primes(50, 1, 128)[0];
+            let a: Vec<u64> = raw_a.iter().map(|&x| x % q).collect();
+            let b: Vec<u64> = raw_b.iter().map(|&x| x % q).collect();
+            let expected = negacyclic_mul_naive(&a, &b, q);
+            for &kernel in available_kernels() {
+                let table = NttTable::with_kernel(64, q, kernel);
+                prop_assert!(
+                    table.multiply(&a, &b) == expected,
+                    "backend {} diverged from the naive product",
+                    kernel.name()
+                );
+            }
+        }
+    }
+
+    /// Forward and inverse transforms of every backend are bit-identical
+    /// to scalar at every prime width a workspace `CkksParams` preset
+    /// uses (30/35/40/45/50/61), for both a vectorized and a
+    /// fallback-sized ring.
+    #[test]
+    fn backends_bit_identical_at_workspace_primes() {
+        use rand::Rng;
+        use rhychee_fhe::ckks::ntt::kernel_by_name;
+        let mut rng = StdRng::seed_from_u64(0x5eed_bac4);
+        let scalar = kernel_by_name("scalar").expect("scalar kernel always present");
+        for &bits in &[30u32, 35, 40, 45, 50, 61] {
+            for &n in &[16usize, 512] {
+                let q = find_ntt_primes(bits, 1, 2 * n as u64)[0];
+                let input: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+
+                let scalar_table = NttTable::with_kernel(n, q, scalar);
+                let mut fwd_ref = input.clone();
+                scalar_table.forward(&mut fwd_ref);
+                let mut inv_ref = fwd_ref.clone();
+                scalar_table.inverse(&mut inv_ref);
+
+                for &kernel in available_kernels() {
+                    let table = NttTable::with_kernel(n, q, kernel);
+                    let mut fwd = input.clone();
+                    table.forward(&mut fwd);
+                    assert_eq!(
+                        fwd,
+                        fwd_ref,
+                        "forward({}) != forward(scalar) at {bits}-bit prime, n = {n}",
+                        kernel.name()
+                    );
+                    let mut inv = fwd;
+                    table.inverse(&mut inv);
+                    assert_eq!(
+                        inv,
+                        inv_ref,
+                        "inverse({}) != inverse(scalar) at {bits}-bit prime, n = {n}",
+                        kernel.name()
+                    );
+                    assert_eq!(inv, input, "round trip must be the identity");
+                }
+            }
+        }
+    }
+}
+
 // Paillier proptests use a fixed key (keygen dominates runtime) shared
 // across cases via a lazily-initialized static.
 mod paillier_props {

@@ -69,6 +69,13 @@ pub struct ClientConfig {
     /// expansion seed the format transmits in place of `c1`; downloads
     /// stay canonical, since the aggregate is not a fresh encryption.
     pub codec: Arc<dyn WireCodec>,
+    /// Slot layout for CKKS uploads and the global broadcast (default
+    /// dense; must match the server's
+    /// [`ServerConfigBuilder::packing`](crate::server::ServerConfigBuilder::packing)).
+    /// Under a bit-interleaved layout the received global is an
+    /// encrypted *sum*; decryption divides by the in-band contributor
+    /// counter to recover the mean.
+    pub packing: packing::PackingConfig,
 }
 
 impl ClientConfig {
@@ -84,6 +91,7 @@ impl ClientConfig {
             backoff: Duration::from_millis(50),
             max_payload: DEFAULT_MAX_PAYLOAD,
             codec: Arc::new(CanonicalCodec),
+            packing: packing::PackingConfig::dense(),
         }
     }
 }
@@ -166,6 +174,7 @@ impl FlClient {
             ClientPipeline::Ckks(params) => (Some(params), Arc::clone(&config.codec)),
             ClientPipeline::CkksSeeded(params) => (Some(params), Arc::new(SeededCodec)),
         };
+        config.packing.validate()?;
         let ckks = match params {
             None => None,
             Some(params) => {
@@ -204,7 +213,11 @@ impl FlClient {
 
         let num_params = self.local.num_parameters();
         let max_cts = match &self.ckks {
-            Some(side) => packing::ciphertexts_needed(num_params, side.ctx.slot_count()),
+            Some(side) => packing::ciphertexts_needed_with(
+                &self.config.packing,
+                num_params,
+                side.ctx.slot_count(),
+            ),
             None => 0,
         };
 
@@ -276,9 +289,19 @@ impl FlClient {
                 None => Ok(codec::encode_plain(&flat)),
                 Some(side) => {
                     let cts = if side.codec.symmetric() {
-                        self.local.encrypt_update_symmetric(&side.ctx, &side.sk, &flat)
+                        self.local.encrypt_update_symmetric_with(
+                            &side.ctx,
+                            &side.sk,
+                            &flat,
+                            &self.config.packing,
+                        )
                     } else {
-                        self.local.encrypt_update(&side.ctx, &side.pk, &flat)
+                        self.local.encrypt_update_with(
+                            &side.ctx,
+                            &side.pk,
+                            &flat,
+                            &self.config.packing,
+                        )
                     };
                     cts.map_err(NetError::from)
                         .and_then(|cts| side.codec.encode_upload(&side.ctx, &cts))
@@ -402,7 +425,13 @@ impl FlClient {
                     return codec::decode_plain(model, num_params);
                 }
                 let cts = codec::decode_ckks(&side.ctx, model, max_cts)?;
-                Ok(packing::decrypt_model(&side.ctx, &side.sk, &cts, num_params)?)
+                Ok(packing::decrypt_model_with(
+                    &side.ctx,
+                    &side.sk,
+                    &cts,
+                    num_params,
+                    &self.config.packing,
+                )?)
             }
         }
     }

@@ -115,6 +115,7 @@ pub struct ServerConfig {
     obs_addr: Option<String>,
     allow_rejoin: bool,
     codec: Arc<dyn WireCodec>,
+    packing: packing::PackingConfig,
     streaming: bool,
     max_resident_uploads: usize,
     watchdog_multiple: f64,
@@ -193,6 +194,12 @@ impl ServerConfig {
         self.codec.as_ref()
     }
 
+    /// How model coordinates map onto ciphertext slots (must match
+    /// every client's [`ClientConfig::packing`](crate::client::ClientConfig)).
+    pub fn packing(&self) -> &packing::PackingConfig {
+        &self.packing
+    }
+
     /// Whether eligible CKKS rounds fold uploads as frames arrive
     /// instead of collecting them all and batch-aggregating.
     pub fn streaming_aggregation(&self) -> bool {
@@ -236,6 +243,14 @@ impl ServerConfig {
                 "round_watchdog multiple must be finite and non-negative".into(),
             ));
         }
+        self.packing.validate()?;
+        if self.packing.is_interleaved() && matches!(self.aggregation, Aggregation::FedNova) {
+            return Err(NetError::Protocol(
+                "bit-interleaved packing aggregates by uniform sum; FedNova's per-client \
+                 weights require the dense layout"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -256,6 +271,7 @@ pub struct ServerConfigBuilder {
     obs_addr: Option<String>,
     allow_rejoin: bool,
     codec: Arc<dyn WireCodec>,
+    packing: packing::PackingConfig,
     streaming: bool,
     max_resident_uploads: usize,
     watchdog_multiple: f64,
@@ -278,6 +294,7 @@ impl Default for ServerConfigBuilder {
             obs_addr: None,
             allow_rejoin: false,
             codec: Arc::new(CanonicalCodec),
+            packing: packing::PackingConfig::dense(),
             streaming: true,
             max_resident_uploads: 4,
             watchdog_multiple: 0.0,
@@ -380,6 +397,16 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Slot layout for CKKS uploads (default dense). A bit-interleaved
+    /// layout packs several quantized coordinates per slot, aggregates
+    /// by homomorphic sum, and leaves the mean division to the clients'
+    /// decryption (driven by the in-band contributor counter); every
+    /// client must be configured identically.
+    pub fn packing(mut self, packing: packing::PackingConfig) -> Self {
+        self.packing = packing;
+        self
+    }
+
     /// Toggles streaming aggregation (default: on). When on, eligible
     /// CKKS rounds fold each upload into the running encrypted sum as
     /// its frame arrives — bit-identical to batch, O(1) server memory
@@ -450,6 +477,7 @@ impl ServerConfigBuilder {
             obs_addr: self.obs_addr,
             allow_rejoin: self.allow_rejoin,
             codec: self.codec,
+            packing: self.packing,
             streaming: self.streaming,
             max_resident_uploads: self.max_resident_uploads,
             watchdog_multiple: self.watchdog_multiple,
@@ -675,7 +703,13 @@ impl FlServer {
         };
         let max_cts = ctx
             .as_ref()
-            .map(|c| packing::ciphertexts_needed(self.config.model_params, c.slot_count()))
+            .map(|c| {
+                packing::ciphertexts_needed_with(
+                    &self.config.packing,
+                    self.config.model_params,
+                    c.slot_count(),
+                )
+            })
             .unwrap_or(0);
         // Streaming needs an encrypted pipeline (float addition is not
         // associative) and an aggregation rule whose weights are known
@@ -919,8 +953,17 @@ impl FlServer {
             beat("aggregate");
             let agg_span = telemetry::span("net_aggregate");
             let received = agg.received();
+            let interleaved = self.config.packing.is_interleaved();
             global = match agg {
-                RoundAgg::Batch(sr) => sr.aggregate(ctx.as_deref(), self.config.parallelism)?,
+                RoundAgg::Batch(sr) => {
+                    sr.aggregate(ctx.as_deref(), self.config.parallelism, interleaved)?
+                }
+                // Interleaved lanes survive only pure additions: close
+                // with the raw sum and let decryption divide by the
+                // in-band contributor counter.
+                RoundAgg::Stream(s) if interleaved => {
+                    GlobalState::Ckks(s.finish_sum().map_err(|e| stream_abort(round, e))?)
+                }
                 RoundAgg::Stream(s) => {
                     let cx = ctx.as_deref().expect("streaming requires CKKS");
                     GlobalState::Ckks(s.finish(cx).map_err(|e| stream_abort(round, e))?)
@@ -1206,9 +1249,13 @@ impl Collected {
         self,
         ctx: Option<&CkksContext>,
         par: Parallelism,
+        interleaved: bool,
     ) -> Result<GlobalState, NetError> {
         match (self, ctx) {
             (Collected::Plain(sr), _) => Ok(GlobalState::Plain(sr.aggregate_with(par)?)),
+            (Collected::Ckks(sr), Some(ctx)) if interleaved => {
+                Ok(GlobalState::Ckks(sr.aggregate_ckks_sum(ctx)?))
+            }
             (Collected::Ckks(sr), Some(ctx)) => Ok(GlobalState::Ckks(sr.aggregate_ckks(ctx)?)),
             (Collected::Ckks(_), None) => unreachable!("CKKS state without a context"),
         }
